@@ -1,0 +1,129 @@
+// Regenerates Table 1: control-bit data volume and test-time comparisons for
+// CKT-A/B/C — X-masking only [5] vs. X-canceling MISR only [12] vs. the
+// proposed pattern-partitioned hybrid — followed by google-benchmark timings
+// of the partitioning algorithm itself.
+//
+// Absolute numbers depend on the (proprietary) X distributions; the workload
+// generator reproduces the published geometry, density and correlation
+// structure, so the SHAPE of the table is the reproduction target: column 2
+// is exact (pure geometry), column 3 is exact given the realized X count, and
+// the proposed column must beat both with ratios in the paper's bands
+// (≈7–280× over [5], ≈1.2–2.2× over [12]).
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "core/hybrid.hpp"
+#include "masking/mask_encoding.hpp"
+#include "misr/accounting.hpp"
+#include "util/table.hpp"
+#include "workload/industrial.hpp"
+
+namespace xh {
+namespace {
+
+const MisrConfig kMisr{32, 7};  // the paper's configuration
+
+HybridConfig hybrid_cfg() {
+  HybridConfig cfg;
+  cfg.partitioner.misr = kMisr;
+  return cfg;
+}
+
+void print_table1() {
+  TextTable bits({"Circuit (X-density)", "X-Masking Only [5]",
+                  "X-Canceling MISR Only [12]", "Proposed Method",
+                  "Impv. over [5]", "Impv. over [12]", "#Partitions"});
+  TextTable time({"Circuit", "Test Time: X-Canceling Only [12]",
+                  "Test Time: Proposed", "Impv. over [12]"});
+  TextTable ext({"Circuit", "Raw mask bits (L*C*P)", "Gap-coded mask bits",
+                 "Mask compression", "Proposed total w/ coding",
+                 "Impv. over [12]"});
+
+  for (const WorkloadProfile& profile :
+       {ckt_a_profile(), ckt_b_profile(), ckt_c_profile()}) {
+    const XMatrix xm = generate_workload(profile);
+    const HybridReport rep = run_hybrid_analysis(xm, hybrid_cfg());
+    bits.add_row({profile.name + " (" +
+                      TextTable::num(rep.x_density * 100.0, 2) + "%)",
+                  TextTable::millions(static_cast<double>(
+                      rep.masking_only_bits)),
+                  TextTable::millions(rep.canceling_only_bits),
+                  TextTable::millions(rep.proposed_bits),
+                  TextTable::num(rep.improvement_over_masking, 2),
+                  TextTable::num(rep.improvement_over_canceling, 2),
+                  std::to_string(rep.partitioning.num_partitions())});
+    time.add_row({profile.name,
+                  TextTable::num(rep.test_time_canceling_only, 2),
+                  TextTable::num(rep.test_time_proposed, 2),
+                  TextTable::num(rep.test_time_improvement, 2)});
+
+    // Extension beyond the paper: gap-code the sparse partition masks
+    // instead of shipping L*C raw bits each.
+    std::uint64_t coded = 0;
+    for (const BitVec& mask : rep.partitioning.masks) {
+      coded += encoded_mask_bits(mask);
+    }
+    const double coded_total =
+        static_cast<double>(coded) + rep.partitioning.canceling_bits;
+    ext.add_row({profile.name,
+                 TextTable::millions(rep.partitioning.masking_bits),
+                 TextTable::millions(static_cast<double>(coded)),
+                 TextTable::num(rep.partitioning.masking_bits /
+                                    static_cast<double>(coded == 0 ? 1
+                                                                   : coded),
+                                1) + "x",
+                 TextTable::millions(coded_total),
+                 TextTable::num(rep.canceling_only_bits / coded_total, 2)});
+  }
+
+  std::printf("== Table 1 (control bit data volume) =====================\n%s\n",
+              bits.render().c_str());
+  std::printf("== Table 1 (normalized test time) ========================\n%s\n",
+              time.render().c_str());
+  std::printf("== Extension: gap-coded partition masks ==================\n%s\n",
+              ext.render().c_str());
+  std::printf(
+      "Paper reference — control bits: CKT-A 1515.15M/6.54M/5.35M "
+      "(283.21x, 1.22x); CKT-B 108.23M/26.57M/12.22M (8.86x, 2.17x); "
+      "CKT-C 292.93M/62.22M/41.13M (7.12x, 1.51x).\n"
+      "Paper reference — test time: 1.14->1.09 (1.05x), 1.58->1.26 (1.26x), "
+      "2.35->1.88 (1.25x).\n\n");
+}
+
+void BM_PartitionPatterns(benchmark::State& state, WorkloadProfile profile) {
+  profile = scaled_profile(profile, 0.2);
+  const XMatrix xm = generate_workload(profile);
+  PartitionerConfig cfg;
+  cfg.misr = kMisr;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(partition_patterns(xm, cfg));
+  }
+  state.counters["total_x"] = static_cast<double>(xm.total_x());
+}
+
+void BM_GenerateWorkload(benchmark::State& state, WorkloadProfile profile) {
+  profile = scaled_profile(profile, 0.2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(generate_workload(profile));
+  }
+}
+
+BENCHMARK_CAPTURE(BM_PartitionPatterns, ckt_a_scaled, ckt_a_profile())
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK_CAPTURE(BM_PartitionPatterns, ckt_b_scaled, ckt_b_profile())
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK_CAPTURE(BM_PartitionPatterns, ckt_c_scaled, ckt_c_profile())
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK_CAPTURE(BM_GenerateWorkload, ckt_b_scaled, ckt_b_profile())
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace xh
+
+int main(int argc, char** argv) {
+  xh::print_table1();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

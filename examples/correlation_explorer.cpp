@@ -1,0 +1,72 @@
+// Explores how X inter-correlation drives the method: generates workloads
+// with the same X budget but varying cluster strength and reports what the
+// Section 3 analysis sees and what the partitioner earns from it.
+//
+// Usage: correlation_explorer [x_density_percent] [patterns]
+#include <cstdio>
+#include <cstdlib>
+
+#include "core/hybrid.hpp"
+#include "response/x_stats.hpp"
+#include "workload/industrial.hpp"
+
+using namespace xh;
+
+int main(int argc, char** argv) {
+  double density_percent = 2.0;
+  std::size_t patterns = 600;
+  if (argc > 1) density_percent = std::atof(argv[1]);
+  if (argc > 2) patterns = static_cast<std::size_t>(std::atoi(argv[2]));
+  if (density_percent <= 0.0 || density_percent >= 100.0 || patterns < 8) {
+    std::fprintf(stderr,
+                 "usage: %s [x_density_percent (0,100)] [patterns >= 8]\n",
+                 argv[0]);
+    return 1;
+  }
+
+  std::printf("density %.2f%%, %zu patterns, 24 chains x 96 cells\n\n",
+              density_percent, patterns);
+  std::printf("%-14s %-12s %-18s %-12s %-12s %-10s\n", "clustered",
+              "capturing", "90% of X in", "partitions", "masked", "impv.");
+
+  for (const double frac : {0.0, 0.25, 0.5, 0.75, 1.0}) {
+    WorkloadProfile profile;
+    profile.name = "explorer";
+    profile.geometry = {24, 96};
+    profile.num_patterns = patterns;
+    profile.x_density = density_percent / 100.0;
+    profile.clustered_fraction = frac;
+    profile.cluster_cells_mean = 40;
+    profile.cluster_patterns_mean = patterns / 5;
+    profile.seed = 99;
+
+    const XMatrix xm = generate_workload(profile);
+    const XStatistics stats = compute_x_statistics(xm);
+
+    HybridConfig cfg;
+    cfg.partitioner.misr = {32, 7};
+    const HybridReport rep = run_hybrid_analysis(xm, cfg);
+
+    char cells_buf[32];
+    std::snprintf(cells_buf, sizeof cells_buf, "%zu cells",
+                  stats.x_capturing_cells);
+    char conc_buf[32];
+    std::snprintf(conc_buf, sizeof conc_buf, "%.1f%% of cells",
+                  100.0 * stats.cell_fraction_covering(0.9));
+    char masked_buf[32];
+    std::snprintf(masked_buf, sizeof masked_buf, "%.0f%%",
+                  100.0 * static_cast<double>(rep.partitioning.masked_x) /
+                      static_cast<double>(rep.total_x == 0 ? 1
+                                                           : rep.total_x));
+    std::printf("%-14.2f %-12s %-18s %-12zu %-12s %-10.2f\n", frac, cells_buf,
+                conc_buf, rep.partitioning.num_partitions(), masked_buf,
+                rep.improvement_over_canceling);
+  }
+
+  std::printf(
+      "\nReading: with no correlation the partitioner keeps one partition\n"
+      "(nothing can be masked safely) and the hybrid degenerates to\n"
+      "X-canceling-only; as correlation grows, more X's become maskable with\n"
+      "shared control bits and the improvement factor climbs.\n");
+  return 0;
+}

@@ -1,0 +1,57 @@
+// Interactive view of the cost function: forces the partitioner to k rounds
+// for increasing k and prints the masking-vs-canceling control-bit trade-off,
+// marking the point where the paper's stopping rule lands.
+//
+// Usage: tradeoff_explorer [misr_size] [q]
+#include <cstdio>
+#include <cstdlib>
+
+#include "core/partitioner.hpp"
+#include "workload/industrial.hpp"
+
+using namespace xh;
+
+int main(int argc, char** argv) {
+  MisrConfig misr{32, 7};
+  if (argc > 1) misr.size = static_cast<std::size_t>(std::atoi(argv[1]));
+  if (argc > 2) misr.q = static_cast<std::size_t>(std::atoi(argv[2]));
+  if (misr.size < 2 || misr.size > 64 || misr.q < 1 || misr.q >= misr.size) {
+    std::fprintf(stderr, "usage: %s [misr_size 2..64] [q 1..m-1]\n", argv[0]);
+    return 1;
+  }
+
+  const WorkloadProfile profile = scaled_profile(ckt_b_profile(), 0.25);
+  const XMatrix xm = generate_workload(profile);
+  std::printf("workload: %zu cells, %zu patterns, %zu X's; MISR m=%zu q=%zu "
+              "(%.2f control bits per leaked X)\n\n",
+              xm.num_cells(), xm.num_patterns(), xm.total_x(), misr.size,
+              misr.q,
+              static_cast<double>(misr.size * misr.q) /
+                  static_cast<double>(misr.size - misr.q));
+
+  PartitionerConfig auto_cfg;
+  auto_cfg.misr = misr;
+  const PartitionResult chosen = partition_patterns(xm, auto_cfg);
+
+  std::printf("%-8s %-12s %-14s %-16s %-14s\n", "rounds", "partitions",
+              "masking bits", "canceling bits", "total bits");
+  for (std::size_t k = 0;; ++k) {
+    PartitionerConfig cfg;
+    cfg.misr = misr;
+    cfg.stop_on_cost_increase = false;
+    cfg.max_rounds = k;
+    const PartitionResult r = partition_patterns(xm, cfg);
+    const bool is_choice = r.num_partitions() == chosen.num_partitions();
+    std::printf("%-8zu %-12zu %-14.0f %-16.0f %-14.0f%s\n", k,
+                r.num_partitions(), r.masking_bits, r.canceling_bits,
+                r.total_bits, is_choice ? "  <= cost-function stop" : "");
+    if (r.num_partitions() < k + 1 ||
+        k > chosen.num_partitions() + 10) {
+      break;  // ran out of splittable groups, or far past the optimum
+    }
+  }
+  std::printf(
+      "\nThe stopping rule accepts a round only while it removes more\n"
+      "canceling control data than the extra per-partition mask costs.\n");
+  return 0;
+}

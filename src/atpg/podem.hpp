@@ -1,0 +1,77 @@
+// PODEM (Path-Oriented DEcision Making) deterministic test generation.
+//
+// Implemented as dual three-valued simulation: a good machine and a faulty
+// machine run side by side over the same partial input assignment; X marks
+// "not yet assigned". Three-valued simulation is monotone in assignments
+// (definite values never change as X's get filled in), which yields exact
+// early conflict detection: once every observation point is definite and
+// equal in both machines, no completion can detect the fault.
+//
+// Controllable inputs are the primary inputs and the scanned flops; the
+// observation points are the scanned flops' capture values. Unscanned flops
+// and floating/contending buses stay X — PODEM navigates around them exactly
+// like a commercial ATPG must.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "fault/fault_model.hpp"
+#include "fault/testability.hpp"
+#include "scan/test_application.hpp"
+
+namespace xh {
+
+struct PodemStats {
+  std::size_t decisions = 0;
+  std::size_t backtracks = 0;
+  bool aborted = false;  // hit the backtrack limit (fault MAY be testable)
+};
+
+class Podem {
+ public:
+  Podem(const Netlist& nl, const ScanPlan& plan);
+
+  /// Generates a test for @p fault or returns nullopt (untestable, or
+  /// aborted — see stats().aborted). Unassigned inputs in the returned
+  /// pattern are filled with pseudo-random values from @p fill_seed, or left
+  /// as Lv::kX don't-cares when @p fill_dont_cares is false (the form a
+  /// stimulus decompressor wants).
+  std::optional<TestPattern> generate(const StuckFault& fault,
+                                      std::size_t backtrack_limit = 2000,
+                                      std::uint64_t fill_seed = 1,
+                                      bool fill_dont_cares = true);
+
+  const PodemStats& stats() const { return stats_; }
+
+ private:
+  struct Assignment {
+    GateId input;       // PI or scanned DFF
+    bool value;
+    bool tried_both;
+  };
+
+  void simulate(const StuckFault& fault);
+  bool detected(const StuckFault& fault) const;
+  bool conflict(const StuckFault& fault) const;
+  /// X-path check: can the fault effect still reach an observer through
+  /// gates whose output is unresolved? False ⇒ no completion detects.
+  bool x_path_exists(const StuckFault& fault) const;
+  /// Finds (gate, value) to pursue next; nullopt when the D-frontier is gone.
+  std::optional<std::pair<GateId, bool>> objective(const StuckFault& fault);
+  /// Walks an X-path from the objective to a controllable input; returns the
+  /// input and the value to assign, or nullopt when no path exists.
+  std::optional<std::pair<GateId, bool>> backtrace(GateId gate, bool value);
+
+  const Netlist* nl_;
+  const ScanPlan* plan_;
+  Testability scoap_;
+  std::vector<Lv> good_;
+  std::vector<Lv> bad_;
+  std::vector<Lv> assignment_;   // per gate id; X = unassigned (inputs only)
+  std::vector<bool> in_fault_cone_;
+  std::vector<GateId> observers_;  // scanned DFFs
+  PodemStats stats_;
+};
+
+}  // namespace xh

@@ -1,0 +1,45 @@
+// Complete test-set generation: random phase with fault dropping, then
+// deterministic PODEM top-up for the survivors.
+#pragma once
+
+#include <cstdint>
+
+#include "atpg/podem.hpp"
+#include "fault/fault_sim.hpp"
+
+namespace xh {
+
+struct AtpgConfig {
+  /// Random-fill patterns tried before deterministic generation.
+  std::size_t random_patterns = 64;
+  std::size_t backtrack_limit = 2000;
+  std::uint64_t seed = 1;
+  /// Drop random patterns that detect nothing new (test-set compaction).
+  bool compact_random_phase = true;
+  /// Fill PODEM don't-cares with random values (true, standard) or keep
+  /// them as Lv::kX for a downstream stimulus decompressor (false; the
+  /// random phase is skipped in that mode since random patterns have no
+  /// don't-cares worth compressing).
+  bool fill_dont_cares = true;
+};
+
+struct AtpgResult {
+  std::vector<TestPattern> patterns;
+  std::vector<StuckFault> faults;      // the collapsed universe targeted
+  std::vector<bool> detected;          // per fault
+  std::size_t num_detected = 0;
+  std::size_t num_untestable = 0;      // PODEM exhausted the search space
+  std::size_t num_aborted = 0;         // backtrack limit hit
+
+  double coverage() const {
+    return faults.empty() ? 0.0
+                          : static_cast<double>(num_detected) /
+                                static_cast<double>(faults.size());
+  }
+};
+
+/// Generates a pattern set for the collapsed stuck-at universe of @p nl.
+AtpgResult generate_test_set(const Netlist& nl, const ScanPlan& plan,
+                             const AtpgConfig& cfg);
+
+}  // namespace xh

@@ -1,0 +1,32 @@
+#include "baseline/chain_masking.hpp"
+
+namespace xh {
+
+ChainMaskingResult chain_masking(const XMatrix& xm) {
+  const ScanGeometry& geo = xm.geometry();
+  ChainMaskingResult result;
+  result.control_bits =
+      static_cast<std::uint64_t>(geo.num_chains) * xm.num_patterns();
+  result.masked_x = xm.total_x();
+
+  // For each chain: union of patterns with any X in the chain, and the
+  // per-chain X totals, via pattern-set algebra over the sparse matrix.
+  for (std::size_t chain = 0; chain < geo.num_chains; ++chain) {
+    BitVec any_x(xm.num_patterns());
+    std::uint64_t chain_x = 0;
+    for (std::size_t pos = 0; pos < geo.chain_length; ++pos) {
+      const BitVec& pats = xm.patterns_of(geo.cell_index(chain, pos));
+      any_x |= pats;
+      chain_x += pats.count();
+    }
+    const std::uint64_t masked_patterns = any_x.count();
+    result.masked_chains += masked_patterns;
+    // Every masked (pattern, chain) blanks chain_length bits; the X's among
+    // them were worthless anyway, the rest are lost observations.
+    result.lost_observations +=
+        masked_patterns * geo.chain_length - chain_x;
+  }
+  return result;
+}
+
+}  // namespace xh

@@ -1,0 +1,77 @@
+#include "core/hybrid.hpp"
+
+#include "masking/mask.hpp"
+#include "misr/accounting.hpp"
+#include "util/check.hpp"
+
+namespace xh {
+
+HybridReport run_hybrid_analysis(const XMatrix& xm, const HybridConfig& cfg) {
+  HybridReport rep;
+  rep.num_patterns = xm.num_patterns();
+  rep.num_chains = xm.geometry().num_chains;
+  rep.chain_length = xm.geometry().chain_length;
+  rep.total_x = xm.total_x();
+  rep.x_density = xm.x_density();
+
+  rep.partitioning = partition_patterns(xm, cfg.partitioner);
+
+  const MisrConfig& misr = cfg.partitioner.misr;
+  rep.masking_only_bits =
+      x_masking_only_bits(xm.geometry(), xm.num_patterns());
+  rep.canceling_only_bits = x_canceling_only_bits(misr, rep.total_x);
+  rep.proposed_bits = rep.partitioning.total_bits;
+  if (rep.proposed_bits > 0.0) {
+    rep.improvement_over_masking =
+        static_cast<double>(rep.masking_only_bits) / rep.proposed_bits;
+    rep.improvement_over_canceling =
+        rep.canceling_only_bits / rep.proposed_bits;
+  }
+
+  const double cells_per_pattern =
+      static_cast<double>(xm.geometry().num_cells());
+  const double leaked_density =
+      static_cast<double>(rep.partitioning.leaked_x) /
+      (cells_per_pattern * static_cast<double>(xm.num_patterns()));
+  rep.test_time_canceling_only =
+      normalized_test_time(rep.num_chains, rep.x_density, misr);
+  rep.test_time_proposed =
+      normalized_test_time(rep.num_chains, leaked_density, misr);
+  if (rep.test_time_proposed > 0.0) {
+    rep.test_time_improvement =
+        rep.test_time_canceling_only / rep.test_time_proposed;
+  }
+  return rep;
+}
+
+HybridSimulation run_hybrid_simulation(const ResponseMatrix& response,
+                                       const HybridConfig& cfg) {
+  const XMatrix xm = XMatrix::from_response(response);
+
+  HybridSimulation sim{run_hybrid_analysis(xm, cfg),
+                       response,
+                       {},
+                       false,
+                       0};
+
+  // Apply the per-partition masks and check the no-loss invariant against
+  // the ORIGINAL response (a masked cell must have been X).
+  const PartitionResult& pr = sim.report.partitioning;
+  sim.observability_preserved =
+      masks_preserve_observability(response, pr.partitions, pr.masks);
+  XH_ASSERT(sim.observability_preserved,
+            "partition masks would destroy observable values");
+  for (std::size_t i = 0; i < pr.partitions.size(); ++i) {
+    apply_mask(sim.masked_response, pr.partitions[i], pr.masks[i]);
+  }
+
+  const std::uint64_t remaining_x = sim.masked_response.total_x();
+  XH_ASSERT(remaining_x == pr.leaked_x,
+            "leaked-X accounting disagrees with masked response");
+
+  sim.cancel = run_x_canceling(sim.masked_response, cfg.partitioner.misr);
+  sim.x_entering_misr = sim.cancel.total_x_seen;
+  return sim;
+}
+
+}  // namespace xh

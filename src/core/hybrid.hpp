@@ -1,0 +1,59 @@
+// End-to-end hybrid X-handling pipeline and paper-style comparison report.
+//
+// Analysis mode consumes only X locations (scales to the Table 1 workloads);
+// simulation mode additionally applies the masks to a dense response, streams
+// it through a real X-canceling MISR, and checks the method's invariants
+// (no observable value masked; every extracted signature bit X-free).
+#pragma once
+
+#include "core/partitioner.hpp"
+#include "misr/x_cancel.hpp"
+#include "response/response_matrix.hpp"
+#include "response/x_matrix.hpp"
+
+namespace xh {
+
+struct HybridConfig {
+  PartitionerConfig partitioner;  // includes the MisrConfig
+};
+
+/// The three columns of Table 1 plus the test-time model, for one workload.
+struct HybridReport {
+  // Workload facts.
+  std::size_t num_patterns = 0;
+  std::size_t num_chains = 0;
+  std::size_t chain_length = 0;
+  std::uint64_t total_x = 0;
+  double x_density = 0.0;
+
+  PartitionResult partitioning;
+
+  // Control-bit volumes.
+  std::uint64_t masking_only_bits = 0;   // [5]
+  double canceling_only_bits = 0.0;      // [12]
+  double proposed_bits = 0.0;            // this paper
+  double improvement_over_masking = 0.0;    // [5] / proposed
+  double improvement_over_canceling = 0.0;  // [12] / proposed
+
+  // Normalized test time (time-multiplexed X-canceling MISR [11]).
+  double test_time_canceling_only = 0.0;
+  double test_time_proposed = 0.0;
+  double test_time_improvement = 0.0;
+};
+
+/// Analysis-only pipeline (closed-form accounting on X locations).
+HybridReport run_hybrid_analysis(const XMatrix& xm, const HybridConfig& cfg);
+
+/// Full-simulation pipeline on a dense response.
+struct HybridSimulation {
+  HybridReport report;
+  ResponseMatrix masked_response;    // after per-partition masking
+  XCancelResult cancel;              // real MISR session on the masked data
+  bool observability_preserved = false;
+  std::uint64_t x_entering_misr = 0;  // post-spatial-compaction X count
+};
+
+HybridSimulation run_hybrid_simulation(const ResponseMatrix& response,
+                                       const HybridConfig& cfg);
+
+}  // namespace xh

@@ -1,0 +1,48 @@
+// The paper's worked example (Figures 4–6, Section 4).
+//
+// 8 test patterns, 5 scan chains × 3 cells. The full X matrix is not printed
+// in the paper; this reconstruction is the unique-up-to-symmetry assignment
+// consistent with every number in the text:
+//   * X counts per cell: three cells with 4 X's (first cells of SC1/SC2/SC3),
+//     one with 1 (SC5 cell 3), one with 2 (SC2 cell 3), one with 6
+//     (SC5 cell 2), one with 7 (SC4 cell 3); 28 X's total.
+//   * Round 1 splits on a 4-X cell → partitions {P1,P4,P5,P6} / {P2,P3,P7,P8},
+//     masking 16 X's and leaking 12.
+//   * Round 2 splits Partition 1 on SC4 cell 3 → {P1,P4,P5} / {P6},
+//     masking 23 X's and leaking 5; masking control bits drop 120 → 45.
+//   * No partition has ≥2 candidate cells sharing an X count afterwards, so
+//     partitioning stops exactly as the paper describes.
+//   * Cost sequence (m=10,q=2): 85 → 60 → 57.5 (continue);
+//     (m=10,q=1): 46.1 → 43.3, next probe 50.5 (stop after round 1).
+#pragma once
+
+#include <cstdint>
+
+#include "response/response_matrix.hpp"
+#include "response/x_matrix.hpp"
+
+namespace xh {
+
+/// 5 chains × 3 cells (cell index = chain·3 + position).
+ScanGeometry paper_example_geometry();
+
+/// Convenient aliases for the cells named in the text.
+struct PaperExampleCells {
+  static constexpr std::size_t sc1_c0 = 0;   // first cell of SC1 (4 X's)
+  static constexpr std::size_t sc2_c0 = 3;   // first cell of SC2 (4 X's)
+  static constexpr std::size_t sc2_c2 = 5;   // third cell of SC2 (2 X's)
+  static constexpr std::size_t sc3_c0 = 6;   // first cell of SC3 (4 X's)
+  static constexpr std::size_t sc4_c2 = 11;  // third cell of SC4 (7 X's)
+  static constexpr std::size_t sc5_c1 = 13;  // second cell of SC5 (6 X's)
+  static constexpr std::size_t sc5_c2 = 14;  // third cell of SC5 (1 X)
+};
+
+/// The 8-pattern × 15-cell X-location matrix of Figure 4.
+XMatrix paper_example_x_matrix();
+
+/// A dense response carrying the Figure 4 X's; deterministic cells get
+/// pseudo-random 0/1 values from @p seed (their values are irrelevant to the
+/// partitioning but exercise the full pipeline).
+ResponseMatrix paper_example_response(std::uint64_t seed = 1);
+
+}  // namespace xh

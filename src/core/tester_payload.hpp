@@ -1,0 +1,48 @@
+// Tester payload assembly: the concrete control-data image behind the
+// paper's "control bit data volume".
+//
+// For the hybrid scheme the tester ships, per partition, one mask vector
+// (raw L·C bits, or gap-coded — see masking/mask_encoding.hpp), and, per
+// MISR stop, q selection vectors of m bits for the selective-XOR readout.
+// Patterns are applied partition-by-partition so no per-pattern partition
+// tag is needed; the reordering permutation is part of the payload metadata
+// (pattern data itself is unchanged, just re-sequenced).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "core/hybrid.hpp"
+#include "masking/mask_encoding.hpp"
+
+namespace xh {
+
+struct TesterPayload {
+  struct PartitionSection {
+    BitVec patterns;     // which patterns run under this mask
+    EncodedMask mask;    // gap-coded mask image
+    std::size_t raw_mask_bits = 0;  // L·C (what the paper counts)
+  };
+
+  std::vector<PartitionSection> partitions;
+  /// Application order: patterns grouped by partition.
+  std::vector<std::size_t> pattern_order;
+  /// One m-bit selection vector per extracted X-free combination.
+  std::vector<BitVec> cancel_vectors;
+
+  std::size_t raw_mask_bits = 0;
+  std::size_t coded_mask_bits = 0;
+  std::size_t cancel_bits = 0;
+
+  /// Paper accounting: raw masks + canceling vectors.
+  std::size_t total_bits_raw() const { return raw_mask_bits + cancel_bits; }
+  /// With gap-coded masks (extension).
+  std::size_t total_bits_coded() const {
+    return coded_mask_bits + cancel_bits;
+  }
+};
+
+/// Assembles the payload from a completed hybrid simulation.
+TesterPayload build_tester_payload(const HybridSimulation& sim);
+
+}  // namespace xh

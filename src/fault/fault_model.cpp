@@ -1,0 +1,48 @@
+#include "fault/fault_model.hpp"
+
+#include "util/check.hpp"
+
+namespace xh {
+
+std::string fault_name(const Netlist& nl, const StuckFault& fault) {
+  return nl.gate(fault.gate).name + (fault.stuck_at_one ? "/1" : "/0");
+}
+
+std::vector<StuckFault> enumerate_faults(const Netlist& nl) {
+  XH_REQUIRE(nl.finalized(), "fault enumeration requires a finalized netlist");
+  std::vector<StuckFault> faults;
+  faults.reserve(nl.gate_count() * 2);
+  for (GateId id = 0; id < nl.gate_count(); ++id) {
+    const GateType type = nl.gate(id).type;
+    // Constants cannot meaningfully be stuck at their own value, and a
+    // stuck fault on a constant's opposite value is a fault on its fanout —
+    // skip constants entirely.
+    if (type == GateType::kConst0 || type == GateType::kConst1) continue;
+    faults.push_back({id, false});
+    faults.push_back({id, true});
+  }
+  return faults;
+}
+
+std::vector<StuckFault> collapse_faults(const Netlist& nl,
+                                        const std::vector<StuckFault>& all) {
+  XH_REQUIRE(nl.finalized(), "fault collapsing requires a finalized netlist");
+  std::vector<StuckFault> kept;
+  kept.reserve(all.size());
+  for (const StuckFault& f : all) {
+    const Gate& g = nl.gate(f.gate);
+    if (g.type == GateType::kBuf || g.type == GateType::kNot) {
+      const GateId stem = g.fanin[0];
+      // Equivalent to a stem fault when the stem drives only this gate and
+      // the stem itself is a faultable site.
+      const GateType stem_type = nl.gate(stem).type;
+      const bool stem_faultable = stem_type != GateType::kConst0 &&
+                                  stem_type != GateType::kConst1;
+      if (stem_faultable && nl.fanout(stem).size() == 1) continue;
+    }
+    kept.push_back(f);
+  }
+  return kept;
+}
+
+}  // namespace xh

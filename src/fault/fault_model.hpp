@@ -1,0 +1,36 @@
+// Single stuck-at fault model.
+//
+// Faults are modeled on gate OUTPUTS (stem faults). Structural equivalence
+// collapsing folds the classic redundancies — a BUF/NOT output fault is
+// equivalent to (the possibly inverted) fault on its single driver when that
+// driver has fanout 1 — shrinking the universe fault simulation has to walk.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "netlist/netlist.hpp"
+
+namespace xh {
+
+struct StuckFault {
+  GateId gate = kNoGate;
+  bool stuck_at_one = false;
+
+  bool operator==(const StuckFault&) const = default;
+};
+
+std::string fault_name(const Netlist& nl, const StuckFault& fault);
+
+/// Every output stuck-at-0/1 on primary inputs, combinational gates and DFF
+/// outputs — 2 × gate_count faults before collapsing.
+std::vector<StuckFault> enumerate_faults(const Netlist& nl);
+
+/// Structural equivalence collapsing over BUF/NOT chains: the fault on a
+/// BUF/NOT output whose input stem has fanout 1 is dropped (it is equivalent
+/// to a fault on the stem). Returns the surviving representative set.
+std::vector<StuckFault> collapse_faults(const Netlist& nl,
+                                        const std::vector<StuckFault>& all);
+
+}  // namespace xh

@@ -1,0 +1,81 @@
+#include "fault/fault_sim.hpp"
+
+#include "util/check.hpp"
+
+namespace xh {
+
+ObservationFilter observe_all() {
+  return [](std::size_t, std::size_t) { return true; };
+}
+
+ObservationFilter observe_with_partition_masks(
+    const std::vector<BitVec>& partitions, const std::vector<BitVec>& masks) {
+  XH_REQUIRE(partitions.size() == masks.size(),
+             "one mask per partition required");
+  // Copy by value into the closure: the filter outlives its arguments.
+  return [partitions, masks](std::size_t pattern, std::size_t cell) {
+    for (std::size_t i = 0; i < partitions.size(); ++i) {
+      if (pattern < partitions[i].size() && partitions[i].get(pattern)) {
+        return cell >= masks[i].size() || !masks[i].get(cell);
+      }
+    }
+    return true;  // pattern not covered by any partition — fully observable
+  };
+}
+
+FaultSimulator::FaultSimulator(const Netlist& nl, const ScanPlan& plan)
+    : nl_(&nl), plan_(&plan), applicator_(nl, plan) {}
+
+FaultSimResult FaultSimulator::run(const std::vector<TestPattern>& patterns,
+                                   const std::vector<StuckFault>& faults,
+                                   const ObservationFilter& observe) const {
+  XH_REQUIRE(!patterns.empty(), "need at least one pattern");
+  FaultSimResult result;
+  result.faults = faults;
+  result.detected.assign(faults.size(), false);
+  result.first_pattern.assign(faults.size(), 0);
+
+  const ResponseMatrix good = applicator_.capture(patterns);
+
+  for (std::size_t fi = 0; fi < faults.size(); ++fi) {
+    const ResponseMatrix bad = applicator_.capture_faulty(
+        patterns, faults[fi].gate, faults[fi].stuck_at_one);
+    bool found = false;
+    for (std::size_t p = 0; !found && p < patterns.size(); ++p) {
+      for (std::size_t c = 0; c < good.num_cells(); ++c) {
+        const Lv gv = good.get(p, c);
+        const Lv bv = bad.get(p, c);
+        if (is_definite(gv) && is_definite(bv) && gv != bv &&
+            observe(p, c)) {
+          result.detected[fi] = true;
+          result.first_pattern[fi] = p;
+          ++result.num_detected;
+          found = true;
+          break;
+        }
+      }
+    }
+  }
+  return result;
+}
+
+std::vector<bool> FaultSimulator::detects(
+    const std::vector<TestPattern>& patterns, const StuckFault& fault) const {
+  const ResponseMatrix good = applicator_.capture(patterns);
+  const ResponseMatrix bad =
+      applicator_.capture_faulty(patterns, fault.gate, fault.stuck_at_one);
+  std::vector<bool> out(patterns.size(), false);
+  for (std::size_t p = 0; p < patterns.size(); ++p) {
+    for (std::size_t c = 0; c < good.num_cells(); ++c) {
+      const Lv gv = good.get(p, c);
+      const Lv bv = bad.get(p, c);
+      if (is_definite(gv) && is_definite(bv) && gv != bv) {
+        out[p] = true;
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace xh

@@ -1,0 +1,193 @@
+#include "fault/testability.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+
+namespace xh {
+namespace {
+
+std::uint32_t sat_add(std::uint32_t a, std::uint32_t b) {
+  const std::uint64_t sum = static_cast<std::uint64_t>(a) + b;
+  return sum >= kScoapInf ? kScoapInf : static_cast<std::uint32_t>(sum);
+}
+
+}  // namespace
+
+Testability compute_scoap(const Netlist& nl) {
+  XH_REQUIRE(nl.finalized(), "SCOAP requires a finalized netlist");
+  Testability t;
+  t.cc0.assign(nl.gate_count(), kScoapInf);
+  t.cc1.assign(nl.gate_count(), kScoapInf);
+  t.co.assign(nl.gate_count(), kScoapInf);
+
+  // ---- controllability: forward over the topological order ---------------
+  for (const GateId id : nl.topo_order()) {
+    const Gate& g = nl.gate(id);
+    const auto c0 = [&](std::size_t k) { return t.cc0[g.fanin[k]]; };
+    const auto c1 = [&](std::size_t k) { return t.cc1[g.fanin[k]]; };
+    switch (g.type) {
+      case GateType::kInput:
+        t.cc0[id] = 1;
+        t.cc1[id] = 1;
+        break;
+      case GateType::kDff:
+        if (g.scanned) {
+          t.cc0[id] = 1;
+          t.cc1[id] = 1;
+        }  // unscanned: uncontrollable (stays ∞)
+        break;
+      case GateType::kConst0:
+        t.cc0[id] = 0;
+        break;
+      case GateType::kConst1:
+        t.cc1[id] = 0;
+        break;
+      case GateType::kBuf:
+        t.cc0[id] = sat_add(c0(0), 1);
+        t.cc1[id] = sat_add(c1(0), 1);
+        break;
+      case GateType::kNot:
+        t.cc0[id] = sat_add(c1(0), 1);
+        t.cc1[id] = sat_add(c0(0), 1);
+        break;
+      case GateType::kAnd:
+      case GateType::kNand: {
+        std::uint32_t all1 = 0;
+        std::uint32_t min0 = kScoapInf;
+        for (std::size_t k = 0; k < g.fanin.size(); ++k) {
+          all1 = sat_add(all1, c1(k));
+          min0 = std::min(min0, c0(k));
+        }
+        const std::uint32_t out1 = sat_add(all1, 1);
+        const std::uint32_t out0 = sat_add(min0, 1);
+        t.cc1[id] = g.type == GateType::kAnd ? out1 : out0;
+        t.cc0[id] = g.type == GateType::kAnd ? out0 : out1;
+        break;
+      }
+      case GateType::kOr:
+      case GateType::kNor: {
+        std::uint32_t all0 = 0;
+        std::uint32_t min1 = kScoapInf;
+        for (std::size_t k = 0; k < g.fanin.size(); ++k) {
+          all0 = sat_add(all0, c0(k));
+          min1 = std::min(min1, c1(k));
+        }
+        const std::uint32_t out0 = sat_add(all0, 1);
+        const std::uint32_t out1 = sat_add(min1, 1);
+        t.cc0[id] = g.type == GateType::kOr ? out0 : out1;
+        t.cc1[id] = g.type == GateType::kOr ? out1 : out0;
+        break;
+      }
+      case GateType::kXor:
+      case GateType::kXnor: {
+        // Fold pairwise: cost of parity 0 / parity 1.
+        std::uint32_t p0 = c0(0);
+        std::uint32_t p1 = c1(0);
+        for (std::size_t k = 1; k < g.fanin.size(); ++k) {
+          const std::uint32_t n0 =
+              std::min(sat_add(p0, c0(k)), sat_add(p1, c1(k)));
+          const std::uint32_t n1 =
+              std::min(sat_add(p0, c1(k)), sat_add(p1, c0(k)));
+          p0 = n0;
+          p1 = n1;
+        }
+        p0 = sat_add(p0, 1);
+        p1 = sat_add(p1, 1);
+        t.cc0[id] = g.type == GateType::kXor ? p0 : p1;
+        t.cc1[id] = g.type == GateType::kXor ? p1 : p0;
+        break;
+      }
+      case GateType::kMux: {
+        const std::uint32_t s0 = c0(0);
+        const std::uint32_t s1 = c1(0);
+        t.cc0[id] = sat_add(
+            std::min(sat_add(s0, c0(1)), sat_add(s1, c0(2))), 1);
+        t.cc1[id] = sat_add(
+            std::min(sat_add(s0, c1(1)), sat_add(s1, c1(2))), 1);
+        break;
+      }
+      case GateType::kTristate:
+        // Driving a definite value requires the enable on.
+        t.cc0[id] = sat_add(sat_add(c1(0), c0(1)), 1);
+        t.cc1[id] = sat_add(sat_add(c1(0), c1(1)), 1);
+        break;
+      case GateType::kBus: {
+        // Optimistic: cheapest single driver provides the value (other
+        // drivers' Z-ness is ignored, the usual SCOAP simplification).
+        std::uint32_t min0 = kScoapInf;
+        std::uint32_t min1 = kScoapInf;
+        for (std::size_t k = 0; k < g.fanin.size(); ++k) {
+          min0 = std::min(min0, c0(k));
+          min1 = std::min(min1, c1(k));
+        }
+        t.cc0[id] = sat_add(min0, 1);
+        t.cc1[id] = sat_add(min1, 1);
+        break;
+      }
+    }
+  }
+
+  // ---- observability: backward -------------------------------------------
+  // Observation points: D inputs of scanned flops.
+  for (const GateId dff : nl.dffs()) {
+    if (nl.gate(dff).scanned) {
+      t.co[nl.gate(dff).fanin[0]] = 0;
+    }
+  }
+  const auto& topo = nl.topo_order();
+  for (auto it = topo.rbegin(); it != topo.rend(); ++it) {
+    const GateId id = *it;
+    const Gate& g = nl.gate(id);
+    if (g.type == GateType::kDff || g.type == GateType::kInput) continue;
+    const std::uint32_t out_co = t.co[id];
+    if (out_co >= kScoapInf) continue;
+    for (std::size_t k = 0; k < g.fanin.size(); ++k) {
+      std::uint32_t side = 0;  // cost of sensitizing the other inputs
+      switch (g.type) {
+        case GateType::kAnd:
+        case GateType::kNand:
+          for (std::size_t j = 0; j < g.fanin.size(); ++j) {
+            if (j != k) side = sat_add(side, t.cc1[g.fanin[j]]);
+          }
+          break;
+        case GateType::kOr:
+        case GateType::kNor:
+          for (std::size_t j = 0; j < g.fanin.size(); ++j) {
+            if (j != k) side = sat_add(side, t.cc0[g.fanin[j]]);
+          }
+          break;
+        case GateType::kXor:
+        case GateType::kXnor:
+          for (std::size_t j = 0; j < g.fanin.size(); ++j) {
+            if (j != k) {
+              side = sat_add(side, std::min(t.cc0[g.fanin[j]],
+                                            t.cc1[g.fanin[j]]));
+            }
+          }
+          break;
+        case GateType::kMux:
+          if (k == 0) {
+            // Select observable when the data inputs differ.
+            side = std::min(
+                sat_add(t.cc0[g.fanin[1]], t.cc1[g.fanin[2]]),
+                sat_add(t.cc1[g.fanin[1]], t.cc0[g.fanin[2]]));
+          } else {
+            // Data input observable when selected.
+            side = (k == 1) ? t.cc0[g.fanin[0]] : t.cc1[g.fanin[0]];
+          }
+          break;
+        case GateType::kTristate:
+          side = (k == 1) ? t.cc1[g.fanin[0]] : 0;
+          break;
+        default:
+          break;  // BUF/NOT/BUS drivers: no side cost
+      }
+      const std::uint32_t through = sat_add(sat_add(out_co, side), 1);
+      t.co[g.fanin[k]] = std::min(t.co[g.fanin[k]], through);
+    }
+  }
+  return t;
+}
+
+}  // namespace xh

@@ -1,0 +1,38 @@
+// SCOAP testability measures (Goldstein's controllability/observability).
+//
+// CC0/CC1(net): minimum "effort" (roughly, number of input assignments) to
+// drive the net to 0/1. CO(net): effort to propagate the net's value to an
+// observation point. Computed once per netlist; PODEM uses them to steer
+// backtrace toward cheap inputs and the D-frontier toward observable paths,
+// which substantially reduces backtracking on reconvergent logic.
+//
+// Conventions for this library's observation model: controllable points are
+// primary inputs and scanned flops (cost 1); unscanned flops are
+// uncontrollable (∞); observation points are scanned-flop D inputs (cost 0);
+// primary outputs are NOT observed (MISR flows observe scan-out only).
+// Tri-state/bus formulas are the usual optimistic approximations.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "netlist/netlist.hpp"
+
+namespace xh {
+
+/// Saturating "infinite" effort for uncontrollable/unobservable nets.
+inline constexpr std::uint32_t kScoapInf = 1u << 30;
+
+struct Testability {
+  std::vector<std::uint32_t> cc0;  // per gate id
+  std::vector<std::uint32_t> cc1;
+  std::vector<std::uint32_t> co;
+
+  std::uint32_t cc(GateId id, bool value) const {
+    return value ? cc1[id] : cc0[id];
+  }
+};
+
+Testability compute_scoap(const Netlist& nl);
+
+}  // namespace xh

@@ -1,0 +1,151 @@
+#include "gf2/lfsr.hpp"
+
+#include <algorithm>
+#include <array>
+
+#include "util/check.hpp"
+
+namespace xh {
+namespace {
+
+// Primitive polynomial tap table (degrees 2..64), from the classic LFSR tap
+// tables (Xilinx XAPP052). Entry d lists the intermediate exponents of a
+// primitive polynomial x^d + sum(x^t) + 1. Degree and constant terms are
+// implicit. Index 0/1 unused.
+constexpr std::array<std::array<std::uint8_t, 4>, 65> kPrimitiveTaps = {{
+    /* 0*/ {0, 0, 0, 0},
+    /* 1*/ {0, 0, 0, 0},
+    /* 2*/ {1, 0, 0, 0},
+    /* 3*/ {2, 0, 0, 0},
+    /* 4*/ {3, 0, 0, 0},
+    /* 5*/ {3, 0, 0, 0},
+    /* 6*/ {5, 0, 0, 0},
+    /* 7*/ {6, 0, 0, 0},
+    /* 8*/ {6, 5, 4, 0},
+    /* 9*/ {5, 0, 0, 0},
+    /*10*/ {7, 0, 0, 0},
+    /*11*/ {9, 0, 0, 0},
+    /*12*/ {6, 4, 1, 0},
+    /*13*/ {4, 3, 1, 0},
+    /*14*/ {5, 3, 1, 0},
+    /*15*/ {14, 0, 0, 0},
+    /*16*/ {15, 13, 4, 0},
+    /*17*/ {14, 0, 0, 0},
+    /*18*/ {11, 0, 0, 0},
+    /*19*/ {6, 2, 1, 0},
+    /*20*/ {17, 0, 0, 0},
+    /*21*/ {19, 0, 0, 0},
+    /*22*/ {21, 0, 0, 0},
+    /*23*/ {18, 0, 0, 0},
+    /*24*/ {23, 22, 17, 0},
+    /*25*/ {22, 0, 0, 0},
+    /*26*/ {6, 2, 1, 0},
+    /*27*/ {5, 2, 1, 0},
+    /*28*/ {25, 0, 0, 0},
+    /*29*/ {27, 0, 0, 0},
+    /*30*/ {6, 4, 1, 0},
+    /*31*/ {28, 0, 0, 0},
+    /*32*/ {22, 2, 1, 0},
+    /*33*/ {20, 0, 0, 0},
+    /*34*/ {27, 2, 1, 0},
+    /*35*/ {33, 0, 0, 0},
+    /*36*/ {25, 0, 0, 0},
+    /*37*/ {5, 4, 3, 2},
+    /*38*/ {6, 5, 1, 0},
+    /*39*/ {35, 0, 0, 0},
+    /*40*/ {38, 21, 19, 0},
+    /*41*/ {38, 0, 0, 0},
+    /*42*/ {41, 20, 19, 0},
+    /*43*/ {42, 38, 37, 0},
+    /*44*/ {43, 18, 17, 0},
+    /*45*/ {44, 42, 41, 0},
+    /*46*/ {45, 26, 25, 0},
+    /*47*/ {42, 0, 0, 0},
+    /*48*/ {47, 21, 20, 0},
+    /*49*/ {40, 0, 0, 0},
+    /*50*/ {49, 24, 23, 0},
+    /*51*/ {50, 36, 35, 0},
+    /*52*/ {49, 0, 0, 0},
+    /*53*/ {52, 38, 37, 0},
+    /*54*/ {53, 18, 17, 0},
+    /*55*/ {31, 0, 0, 0},
+    /*56*/ {55, 35, 34, 0},
+    /*57*/ {50, 0, 0, 0},
+    /*58*/ {39, 0, 0, 0},
+    /*59*/ {58, 38, 37, 0},
+    /*60*/ {59, 0, 0, 0},
+    /*61*/ {60, 46, 45, 0},
+    /*62*/ {61, 6, 5, 0},
+    /*63*/ {62, 0, 0, 0},
+    /*64*/ {63, 61, 60, 0},
+}};
+
+}  // namespace
+
+FeedbackPolynomial::FeedbackPolynomial(std::size_t degree,
+                                       std::vector<std::size_t> taps)
+    : degree_(degree), taps_(std::move(taps)) {
+  XH_REQUIRE(degree_ >= 2, "feedback polynomial degree must be >= 2");
+  for (const auto t : taps_) {
+    XH_REQUIRE(t > 0 && t < degree_, "tap exponents must lie in (0, degree)");
+  }
+  std::sort(taps_.begin(), taps_.end());
+  XH_REQUIRE(std::adjacent_find(taps_.begin(), taps_.end()) == taps_.end(),
+             "duplicate tap exponent");
+}
+
+FeedbackPolynomial FeedbackPolynomial::primitive(std::size_t degree) {
+  XH_REQUIRE(degree >= 2 && degree <= 64,
+             "primitive polynomial table covers degrees 2..64");
+  std::vector<std::size_t> taps;
+  for (const auto t : kPrimitiveTaps[degree]) {
+    if (t != 0) taps.push_back(t);
+  }
+  // Degree 37's entry has a fifth tap (x^37+x^5+x^4+x^3+x^2+x+1).
+  if (degree == 37) taps.push_back(1);
+  return FeedbackPolynomial(degree, std::move(taps));
+}
+
+Lfsr::Lfsr(FeedbackPolynomial poly)
+    : poly_(std::move(poly)), state_(poly_.degree()) {}
+
+void Lfsr::set_state(const BitVec& state) {
+  XH_REQUIRE(state.size() == size(), "LFSR state width mismatch");
+  state_ = state;
+}
+
+void Lfsr::reset() { state_.fill(false); }
+
+BitVec Lfsr::next_state(const BitVec& in) const {
+  // Internal-XOR (Galois) form: stage 0 receives the feedback bit, stage i
+  // receives stage i-1, and tap stages additionally XOR the feedback in.
+  const std::size_t m = size();
+  const bool feedback = in.get(m - 1);
+  BitVec next(m);
+  next.set(0, feedback);
+  for (std::size_t i = 1; i < m; ++i) next.set(i, in.get(i - 1));
+  if (feedback) {
+    for (const auto t : poly_.taps()) next.flip(t);
+  }
+  return next;
+}
+
+void Lfsr::step() { state_ = next_state(state_); }
+
+void Lfsr::step(const BitVec& input) {
+  XH_REQUIRE(input.size() == size(), "MISR input width mismatch");
+  state_ = next_state(state_);
+  state_ ^= input;
+}
+
+std::uint64_t Lfsr::measure_period(std::uint64_t limit) {
+  BitVec start(size(), true);
+  set_state(start);
+  for (std::uint64_t n = 1; n <= limit; ++n) {
+    step();
+    if (state_ == start) return n;
+  }
+  return 0;
+}
+
+}  // namespace xh

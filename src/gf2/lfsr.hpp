@@ -1,0 +1,68 @@
+// Feedback polynomials and stepping for LFSR-structured registers (MISRs).
+//
+// A MISR is a type-2 (internal-XOR) LFSR whose stage inputs are additionally
+// XORed with the parallel input vector each cycle. Primitive feedback
+// polynomials guarantee maximal state sequences, which keeps signature
+// aliasing probability at ~2^-m.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "util/bitvec.hpp"
+
+namespace xh {
+
+/// A feedback polynomial over GF(2), stored as the set of tap positions.
+///
+/// Tap t means the polynomial includes x^t; the degree term x^m and the
+/// constant term x^0 are implicit members of every valid polynomial.
+class FeedbackPolynomial {
+ public:
+  /// @p degree is the register width m; @p taps are the intermediate
+  /// exponents (strictly between 0 and degree).
+  FeedbackPolynomial(std::size_t degree, std::vector<std::size_t> taps);
+
+  std::size_t degree() const { return degree_; }
+  const std::vector<std::size_t>& taps() const { return taps_; }
+
+  /// A primitive (or at least maximal-period-verified) polynomial for the
+  /// requested degree. Supported degrees: 2..64.
+  static FeedbackPolynomial primitive(std::size_t degree);
+
+ private:
+  std::size_t degree_;
+  std::vector<std::size_t> taps_;
+};
+
+/// Internal-XOR LFSR state machine used as the base of the MISR.
+class Lfsr {
+ public:
+  explicit Lfsr(FeedbackPolynomial poly);
+
+  std::size_t size() const { return poly_.degree(); }
+  const BitVec& state() const { return state_; }
+  void set_state(const BitVec& state);
+  void reset();
+
+  /// One autonomous clock (no parallel input).
+  void step();
+
+  /// One clock with a parallel input vector XORed into every stage (MISR
+  /// compaction step). @p input must have size() == size().
+  void step(const BitVec& input);
+
+  /// Period of the autonomous sequence from the all-ones state; used by
+  /// tests to verify maximality on small degrees. Walks at most @p limit
+  /// steps and returns 0 if the state did not recur within it.
+  std::uint64_t measure_period(std::uint64_t limit);
+
+ private:
+  BitVec next_state(const BitVec& in) const;
+
+  FeedbackPolynomial poly_;
+  BitVec state_;
+};
+
+}  // namespace xh

@@ -1,0 +1,83 @@
+// Dense GF(2) matrix with Gaussian elimination that tracks row combinations.
+//
+// This is the algebraic engine behind the X-canceling MISR (Yang & Touba,
+// TCAD 2012): each MISR bit is a linear combination of scan-cell symbols; the
+// X-dependency part forms a matrix whose left null space (row combinations
+// that XOR to zero) yields X-free signatures.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "util/bitvec.hpp"
+
+namespace xh {
+
+/// Row-major dense matrix over GF(2).
+class Gf2Matrix {
+ public:
+  Gf2Matrix() = default;
+
+  /// rows × cols zero matrix.
+  Gf2Matrix(std::size_t rows, std::size_t cols);
+
+  /// Builds from explicit rows; all rows must share one size.
+  explicit Gf2Matrix(std::vector<BitVec> rows);
+
+  std::size_t rows() const { return rows_.size(); }
+  std::size_t cols() const { return cols_; }
+
+  const BitVec& row(std::size_t r) const;
+  BitVec& row(std::size_t r);
+
+  bool get(std::size_t r, std::size_t c) const;
+  void set(std::size_t r, std::size_t c, bool value = true);
+
+  void append_row(BitVec row);
+
+  /// Parses rows from strings of '0'/'1' (e.g. {"1100", "0101"}).
+  static Gf2Matrix from_strings(const std::vector<std::string>& rows);
+
+  /// rank over GF(2) (destructive elimination on a copy).
+  std::size_t rank() const;
+
+  bool operator==(const Gf2Matrix& other) const = default;
+
+  std::string to_string() const;
+
+ private:
+  std::size_t cols_ = 0;
+  std::vector<BitVec> rows_;
+};
+
+/// Result of tracked Gaussian elimination.
+///
+/// `reduced.row(i)` equals the XOR of the original rows selected by
+/// `combination[i]`. Rows with `reduced.row(i).none()` are members of the left
+/// null space: XORing those original rows cancels every column — for the
+/// X-canceling MISR this means an X-free signature combination.
+struct Elimination {
+  Gf2Matrix reduced;
+  /// combination[i] is a BitVec over original row indices.
+  std::vector<BitVec> combination;
+  std::size_t rank = 0;
+
+  /// Indices i with reduced.row(i) all-zero (null-space rows).
+  std::vector<std::size_t> null_rows() const;
+};
+
+/// Forward Gaussian elimination with full row-combination tracking.
+Elimination eliminate(const Gf2Matrix& m);
+
+/// Convenience: the row combinations (over original rows) whose XOR is zero
+/// in every column of @p m — i.e. a basis of the left null space.
+std::vector<BitVec> x_free_combinations(const Gf2Matrix& m);
+
+/// Solves A·x = b over GF(2). Returns one solution (free variables set to 0)
+/// or nullopt when the system is inconsistent. @p b must have m.rows() bits;
+/// the solution has m.cols() bits.
+std::optional<BitVec> solve(const Gf2Matrix& m, const BitVec& b);
+
+}  // namespace xh

@@ -1,0 +1,70 @@
+#include "masking/mask.hpp"
+
+#include "util/check.hpp"
+
+namespace xh {
+
+BitVec partition_mask(const XMatrix& xm, const BitVec& partition) {
+  XH_REQUIRE(partition.size() == xm.num_patterns(),
+             "partition width must equal pattern count");
+  const std::size_t span = partition.count();
+  XH_REQUIRE(span > 0, "partition must contain at least one pattern");
+  BitVec mask(xm.num_cells());
+  for (const std::size_t cell : xm.x_cells()) {
+    // Masked ⇔ X under every pattern of the partition.
+    if ((xm.patterns_of(cell) & partition).count() == span) {
+      mask.set(cell);
+    }
+  }
+  return mask;
+}
+
+std::size_t masked_x_count(const XMatrix& xm, const BitVec& partition) {
+  return partition_mask(xm, partition).count() * partition.count();
+}
+
+void apply_mask(ResponseMatrix& response, const BitVec& partition,
+                const BitVec& mask) {
+  XH_REQUIRE(partition.size() == response.num_patterns(),
+             "partition width must equal pattern count");
+  XH_REQUIRE(mask.size() == response.num_cells(),
+             "mask width must equal cell count");
+  const auto cells = mask.set_bits();
+  for (const std::size_t p : partition.set_bits()) {
+    for (const std::size_t c : cells) {
+      response.set(p, c, Lv::k0);
+    }
+  }
+}
+
+bool masks_preserve_observability(const ResponseMatrix& response,
+                                  const std::vector<BitVec>& partitions,
+                                  const std::vector<BitVec>& masks) {
+  XH_REQUIRE(partitions.size() == masks.size(),
+             "one mask per partition required");
+  for (std::size_t i = 0; i < partitions.size(); ++i) {
+    const auto cells = masks[i].set_bits();
+    for (const std::size_t p : partitions[i].set_bits()) {
+      for (const std::size_t c : cells) {
+        if (!response.is_x(p, c)) return false;
+      }
+    }
+  }
+  return true;
+}
+
+std::uint64_t XMaskingOnly::control_bits(const ScanGeometry& geometry,
+                                         std::size_t num_patterns) {
+  return static_cast<std::uint64_t>(geometry.num_cells()) * num_patterns;
+}
+
+void XMaskingOnly::apply(ResponseMatrix& response) {
+  for (std::size_t p = 0; p < response.num_patterns(); ++p) {
+    const BitVec xs = response.x_row(p);
+    for (const std::size_t c : xs.set_bits()) {
+      response.set(p, c, Lv::k0);
+    }
+  }
+}
+
+}  // namespace xh

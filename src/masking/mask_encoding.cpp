@@ -1,0 +1,150 @@
+#include "masking/mask_encoding.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <vector>
+
+#include "util/check.hpp"
+
+namespace xh {
+namespace {
+
+std::size_t gamma_bits(std::uint64_t n) {
+  XH_ASSERT(n >= 1, "Elias gamma encodes positive integers");
+  const int b = static_cast<int>(std::bit_width(n)) - 1;
+  return 2 * static_cast<std::size_t>(b) + 1;
+}
+
+/// Bit-stream writer/reader over BitVec (MSB-first codewords).
+class Writer {
+ public:
+  void gamma(std::uint64_t n) {
+    const int b = static_cast<int>(std::bit_width(n)) - 1;
+    for (int i = 0; i < b; ++i) bits_.push_back(false);
+    for (int i = b; i >= 0; --i) bits_.push_back(((n >> i) & 1) != 0);
+  }
+  BitVec finish() const {
+    BitVec out(bits_.size());
+    for (std::size_t i = 0; i < bits_.size(); ++i) {
+      if (bits_[i]) out.set(i);
+    }
+    return out;
+  }
+
+ private:
+  std::vector<bool> bits_;
+};
+
+class Reader {
+ public:
+  explicit Reader(const BitVec& bits) : bits_(&bits) {}
+
+  std::uint64_t gamma() {
+    int zeros = 0;
+    while (!next()) ++zeros;
+    XH_REQUIRE(zeros < 64, "corrupt gamma codeword");
+    std::uint64_t n = 1;
+    for (int i = 0; i < zeros; ++i) {
+      n = (n << 1) | (next() ? 1u : 0u);
+    }
+    return n;
+  }
+
+  bool exhausted() const { return pos_ == bits_->size(); }
+
+ private:
+  bool next() {
+    XH_REQUIRE(pos_ < bits_->size(), "truncated mask stream");
+    return bits_->get(pos_++);
+  }
+
+  const BitVec* bits_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+namespace {
+
+/// Gamma-stream size without the escape flag.
+std::size_t gamma_stream_bits(const BitVec& mask) {
+  const auto positions = mask.set_bits();
+  std::size_t total = gamma_bits(positions.size() + 1);
+  std::size_t prev = 0;
+  bool first = true;
+  for (const std::size_t pos : positions) {
+    total += gamma_bits(first ? pos + 1 : pos - prev);
+    prev = pos;
+    first = false;
+  }
+  return total;
+}
+
+}  // namespace
+
+EncodedMask encode_mask(const BitVec& mask) {
+  XH_REQUIRE(mask.size() >= 1, "cannot encode an empty-width mask");
+  // Escape flag: if the gamma stream would exceed the raw image (dense
+  // masks), ship the raw bits instead. Guarantees bits() <= size() + 1.
+  if (gamma_stream_bits(mask) >= mask.size()) {
+    BitVec payload(mask.size() + 1);
+    payload.set(0);  // raw-escape flag
+    for (const std::size_t pos : mask.set_bits()) payload.set(pos + 1);
+    return EncodedMask{std::move(payload), mask.size()};
+  }
+  Writer w;
+  const auto positions = mask.set_bits();
+  w.gamma(positions.size() + 1);  // count (shifted so 0 is encodable)
+  std::size_t prev = 0;
+  bool first = true;
+  for (const std::size_t pos : positions) {
+    const std::uint64_t gap = first ? pos + 1 : pos - prev;
+    w.gamma(gap);
+    prev = pos;
+    first = false;
+  }
+  // Prepend the cleared escape flag.
+  const BitVec stream = w.finish();
+  BitVec payload(stream.size() + 1);
+  for (const std::size_t i : stream.set_bits()) payload.set(i + 1);
+  return EncodedMask{std::move(payload), mask.size()};
+}
+
+BitVec decode_mask(const EncodedMask& encoded) {
+  XH_REQUIRE(encoded.mask_size >= 1, "invalid decoded width");
+  XH_REQUIRE(encoded.payload.size() >= 1, "empty mask stream");
+  if (encoded.payload.get(0)) {
+    // Raw escape.
+    XH_REQUIRE(encoded.payload.size() == encoded.mask_size + 1,
+               "raw mask image width mismatch");
+    BitVec mask(encoded.mask_size);
+    for (std::size_t i = 0; i < encoded.mask_size; ++i) {
+      if (encoded.payload.get(i + 1)) mask.set(i);
+    }
+    return mask;
+  }
+  BitVec stream(encoded.payload.size() - 1);
+  for (std::size_t i = 1; i < encoded.payload.size(); ++i) {
+    if (encoded.payload.get(i)) stream.set(i - 1);
+  }
+  Reader r(stream);
+  const std::uint64_t count = r.gamma() - 1;
+  BitVec mask(encoded.mask_size);
+  std::size_t pos = 0;
+  for (std::uint64_t i = 0; i < count; ++i) {
+    const std::uint64_t gap = r.gamma();
+    pos = (i == 0) ? static_cast<std::size_t>(gap - 1)
+                   : pos + static_cast<std::size_t>(gap);
+    XH_REQUIRE(pos < encoded.mask_size, "mask position out of range");
+    mask.set(pos);
+  }
+  XH_REQUIRE(r.exhausted(), "trailing bits in mask stream");
+  return mask;
+}
+
+std::size_t encoded_mask_bits(const BitVec& mask) {
+  XH_REQUIRE(mask.size() >= 1, "cannot encode an empty-width mask");
+  return 1 + std::min(gamma_stream_bits(mask), mask.size());
+}
+
+}  // namespace xh

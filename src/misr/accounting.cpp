@@ -1,0 +1,75 @@
+#include "misr/accounting.hpp"
+
+#include <cmath>
+
+#include "util/check.hpp"
+
+namespace xh {
+
+std::uint64_t x_masking_only_bits(const ScanGeometry& geometry,
+                                  std::size_t num_patterns) {
+  XH_REQUIRE(num_patterns > 0, "need at least one pattern");
+  return static_cast<std::uint64_t>(geometry.chain_length) *
+         geometry.num_chains * num_patterns;
+}
+
+double x_canceling_only_bits(const MisrConfig& cfg, std::uint64_t total_x) {
+  cfg.validate();
+  return static_cast<double>(cfg.size) * static_cast<double>(cfg.q) *
+         static_cast<double>(total_x) /
+         static_cast<double>(cfg.size - cfg.q);
+}
+
+double x_canceling_stops(const MisrConfig& cfg, std::uint64_t total_x) {
+  cfg.validate();
+  return static_cast<double>(total_x) / static_cast<double>(cfg.size - cfg.q);
+}
+
+double hybrid_bits(const ScanGeometry& geometry, std::size_t num_partitions,
+                   const MisrConfig& cfg, std::uint64_t leaked_x) {
+  XH_REQUIRE(num_partitions > 0, "need at least one partition");
+  const double mask_bits =
+      static_cast<double>(geometry.chain_length) *
+      static_cast<double>(geometry.num_chains) *
+      static_cast<double>(num_partitions);
+  return mask_bits + x_canceling_only_bits(cfg, leaked_x);
+}
+
+std::uint64_t round_bits(double bits) {
+  XH_REQUIRE(bits >= 0.0, "bit counts cannot be negative");
+  return static_cast<std::uint64_t>(std::ceil(bits));
+}
+
+double normalized_test_time(std::size_t num_chains, double x_density,
+                            const MisrConfig& cfg) {
+  cfg.validate();
+  XH_REQUIRE(x_density >= 0.0 && x_density <= 1.0,
+             "x_density is a fraction in [0,1]");
+  return 1.0 + static_cast<double>(num_chains) * x_density *
+                   static_cast<double>(cfg.q) /
+                   static_cast<double>(cfg.size - cfg.q);
+}
+
+double measured_normalized_test_time(const XCancelResult& result,
+                                     const MisrConfig& cfg) {
+  cfg.validate();
+  XH_REQUIRE(result.shift_cycles > 0, "session shifted no cycles");
+  return 1.0 + static_cast<double>(result.stops) *
+                   static_cast<double>(cfg.q) /
+                   static_cast<double>(result.shift_cycles);
+}
+
+ShadowRegisterCost shadow_register_cost(const MisrConfig& cfg,
+                                        std::uint64_t total_x,
+                                        std::uint64_t shift_cycles) {
+  cfg.validate();
+  XH_REQUIRE(shift_cycles > 0, "need a positive cycle count");
+  ShadowRegisterCost cost;
+  cost.control_bits_per_cycle =
+      x_canceling_only_bits(cfg, total_x) / static_cast<double>(shift_cycles);
+  cost.extra_channels =
+      static_cast<std::size_t>(std::ceil(cost.control_bits_per_cycle));
+  return cost;
+}
+
+}  // namespace xh

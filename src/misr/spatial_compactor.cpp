@@ -1,0 +1,47 @@
+#include "misr/spatial_compactor.hpp"
+
+namespace xh {
+
+SpatialCompactor::SpatialCompactor(std::size_t num_chains,
+                                   std::size_t misr_size)
+    : num_chains_(num_chains), misr_size_(misr_size) {
+  XH_REQUIRE(num_chains >= 1, "need at least one chain");
+  XH_REQUIRE(misr_size >= 1, "need at least one MISR stage");
+}
+
+std::vector<Lv> SpatialCompactor::compact(
+    const std::vector<Lv>& chain_values) {
+  XH_REQUIRE(chain_values.size() == num_chains_,
+             "chain value vector width mismatch");
+  std::vector<Lv> out(misr_size_, Lv::k0);
+  std::vector<std::size_t> x_per_stage(misr_size_, 0);
+  std::vector<std::size_t> def_per_stage(misr_size_, 0);
+  for (std::size_t c = 0; c < num_chains_; ++c) {
+    const Lv v = chain_values[c];
+    XH_REQUIRE(v != Lv::kZ, "chain outputs cannot be Z");
+    const std::size_t stage = c % misr_size_;
+    out[stage] = lv_xor(out[stage], v);
+    if (v == Lv::kX) {
+      ++x_in_;
+      ++x_per_stage[stage];
+    } else {
+      ++def_per_stage[stage];
+    }
+  }
+  for (std::size_t s = 0; s < misr_size_; ++s) {
+    if (x_per_stage[s] > 0) {
+      ++x_out_;
+      // Every deterministic bit folded into an X-carrying stage is lost.
+      absorbed_ += def_per_stage[s];
+    }
+  }
+  return out;
+}
+
+void SpatialCompactor::reset_counters() {
+  x_in_ = 0;
+  x_out_ = 0;
+  absorbed_ = 0;
+}
+
+}  // namespace xh

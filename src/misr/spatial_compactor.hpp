@@ -1,0 +1,48 @@
+// Spatial compaction: folding C scan-chain outputs onto m MISR inputs.
+//
+// When a design has more chains than MISR stages (CKT-A drives 1050 chains
+// into a 32-bit MISR), chains are XOR-folded. XOR folding is X-transparent in
+// the bad direction — an X on any folded chain makes the whole stage input X —
+// but two X's folding into the same stage in the same cycle merge into ONE
+// unknown, which slightly reduces the X count the canceling stage sees. This
+// class makes that effect explicit and measurable.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "sim/logic.hpp"
+#include "util/check.hpp"
+
+namespace xh {
+
+/// Round-robin XOR tree: chain c feeds MISR stage (c mod m).
+class SpatialCompactor {
+ public:
+  SpatialCompactor(std::size_t num_chains, std::size_t misr_size);
+
+  std::size_t num_chains() const { return num_chains_; }
+  std::size_t misr_size() const { return misr_size_; }
+
+  /// Folds one cycle's chain outputs (size num_chains) into a MISR slice
+  /// (size misr_size). Z is rejected — chain outputs are captured values.
+  std::vector<Lv> compact(const std::vector<Lv>& chain_values);
+
+  /// X's that arrived on the chains across all compact() calls.
+  std::size_t x_in() const { return x_in_; }
+  /// X's that left toward the MISR (<= x_in(); the difference is X merging).
+  std::size_t x_out() const { return x_out_; }
+  /// Deterministic chain bits destroyed by sharing a stage with an X.
+  std::size_t definite_bits_absorbed() const { return absorbed_; }
+
+  void reset_counters();
+
+ private:
+  std::size_t num_chains_;
+  std::size_t misr_size_;
+  std::size_t x_in_ = 0;
+  std::size_t x_out_ = 0;
+  std::size_t absorbed_ = 0;
+};
+
+}  // namespace xh

@@ -1,0 +1,72 @@
+#include "misr/symbolic_misr.hpp"
+
+#include "util/check.hpp"
+
+namespace xh {
+
+SymbolicMisr::SymbolicMisr(FeedbackPolynomial poly, std::size_t num_symbols)
+    : size_(poly.degree()),
+      num_symbols_(num_symbols),
+      poly_(std::move(poly)),
+      dep_(size_, BitVec(num_symbols)) {}
+
+void SymbolicMisr::reset() {
+  for (auto& d : dep_) d.fill(false);
+}
+
+void SymbolicMisr::step(
+    const std::vector<std::optional<SymbolId>>& inputs) {
+  XH_REQUIRE(inputs.size() == size_, "MISR input width mismatch");
+  // next = A * state (same structure as Lfsr::next_state, applied to the
+  // dependency vectors), then XOR the injected symbols.
+  std::vector<BitVec> next(size_, BitVec(num_symbols_));
+  const BitVec& feedback = dep_[size_ - 1];
+  next[0] = feedback;
+  for (std::size_t i = 1; i < size_; ++i) next[i] = dep_[i - 1];
+  for (const std::size_t t : poly_.taps()) next[t] ^= feedback;
+  for (std::size_t i = 0; i < size_; ++i) {
+    if (inputs[i]) {
+      XH_REQUIRE(*inputs[i] < num_symbols_, "symbol id out of range");
+      next[i].flip(*inputs[i]);
+    }
+  }
+  dep_ = std::move(next);
+}
+
+const BitVec& SymbolicMisr::dependency(std::size_t bit) const {
+  XH_REQUIRE(bit < size_, "state bit out of range");
+  return dep_[bit];
+}
+
+BitVec SymbolicMisr::combination_dependency(
+    const BitVec& bit_selection) const {
+  XH_REQUIRE(bit_selection.size() == size_, "bit selection width mismatch");
+  BitVec acc(num_symbols_);
+  for (const std::size_t b : bit_selection.set_bits()) acc ^= dep_[b];
+  return acc;
+}
+
+Gf2Matrix SymbolicMisr::x_dependency_matrix(
+    const std::vector<SymbolId>& x_symbols) const {
+  Gf2Matrix m(size_, x_symbols.size());
+  for (std::size_t r = 0; r < size_; ++r) {
+    for (std::size_t c = 0; c < x_symbols.size(); ++c) {
+      XH_REQUIRE(x_symbols[c] < num_symbols_, "symbol id out of range");
+      if (dep_[r].get(x_symbols[c])) m.set(r, c);
+    }
+  }
+  return m;
+}
+
+bool SymbolicMisr::evaluate_combination(const BitVec& bit_selection,
+                                        const BitVec& values,
+                                        const BitVec& known) const {
+  XH_REQUIRE(values.size() == num_symbols_, "values width mismatch");
+  XH_REQUIRE(known.size() == num_symbols_, "known width mismatch");
+  const BitVec deps = combination_dependency(bit_selection);
+  XH_REQUIRE(deps.is_subset_of(known),
+             "combination depends on an unknown (X) symbol");
+  return ((deps & values).count() % 2) != 0;
+}
+
+}  // namespace xh

@@ -1,0 +1,68 @@
+// Symbolic MISR simulation (paper Figure 2).
+//
+// The MISR is a linear machine over GF(2); after any number of cycles each
+// state bit equals the XOR of a fixed subset of everything ever shifted in.
+// This class tracks that subset per state bit over a caller-defined symbol
+// universe (one symbol per scan-cell capture). Feeding the real values of the
+// deterministic symbols later evaluates any state bit or row combination —
+// and restricting attention to the X symbols yields the dependency matrix
+// that Gaussian elimination reduces (Figure 3).
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <vector>
+
+#include "gf2/lfsr.hpp"
+#include "gf2/matrix.hpp"
+#include "util/bitvec.hpp"
+
+namespace xh {
+
+using SymbolId = std::size_t;
+
+/// Linear-dependency simulation of an m-bit internal-XOR MISR.
+class SymbolicMisr {
+ public:
+  /// @p num_symbols fixes the symbol universe width up front.
+  SymbolicMisr(FeedbackPolynomial poly, std::size_t num_symbols);
+
+  std::size_t size() const { return size_; }
+  std::size_t num_symbols() const { return num_symbols_; }
+
+  /// Clears the register to the zero state (no dependencies).
+  void reset();
+
+  /// One MISR clock. @p inputs[i] is the symbol injected into stage i this
+  /// cycle (std::nullopt → that stage receives 0). A symbol may be injected
+  /// at multiple stages or cycles; dependencies XOR-accumulate.
+  void step(const std::vector<std::optional<SymbolId>>& inputs);
+
+  /// Symbol dependency of state bit @p bit (BitVec over the symbol universe).
+  const BitVec& dependency(std::size_t bit) const;
+
+  /// Dependency of an arbitrary XOR of state bits; @p bit_selection has
+  /// size() == size().
+  BitVec combination_dependency(const BitVec& bit_selection) const;
+
+  /// The m × |x_symbols| dependency matrix restricted to @p x_symbols
+  /// (column order follows the argument order) — the Figure 3 input.
+  Gf2Matrix x_dependency_matrix(const std::vector<SymbolId>& x_symbols) const;
+
+  /// Evaluates the XOR of state bits selected by @p bit_selection given
+  /// concrete symbol values. Throws if the combination depends on a symbol
+  /// marked unknown (value not provided).
+  ///
+  /// @p values holds a value for every symbol; @p known flags which entries
+  /// are valid (unknown symbols are X's).
+  bool evaluate_combination(const BitVec& bit_selection,
+                            const BitVec& values, const BitVec& known) const;
+
+ private:
+  std::size_t size_;
+  std::size_t num_symbols_;
+  FeedbackPolynomial poly_;
+  std::vector<BitVec> dep_;  // per state bit
+};
+
+}  // namespace xh

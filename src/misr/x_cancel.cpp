@@ -1,0 +1,139 @@
+#include "misr/x_cancel.hpp"
+
+#include "gf2/matrix.hpp"
+#include "misr/spatial_compactor.hpp"
+
+namespace xh {
+
+XCancelSession::XCancelSession(MisrConfig cfg)
+    : cfg_(cfg),
+      taps_(FeedbackPolynomial::primitive(cfg.size).taps()),
+      concrete_(FeedbackPolynomial::primitive(cfg.size)) {
+  cfg_.validate();
+  concrete_.reset();
+  xdep_.assign(cfg_.size, BitVec(cfg_.size * 4));
+}
+
+void XCancelSession::reset() {
+  concrete_.reset();
+  const std::size_t cap = xdep_.front().size();
+  xdep_.assign(cfg_.size, BitVec(cap));
+  segment_x_ = 0;
+  result_ = {};
+  finished_ = false;
+}
+
+void XCancelSession::shift(const std::vector<Lv>& slice) {
+  XH_REQUIRE(!finished_, "session already finished; call reset()");
+  XH_REQUIRE(slice.size() == cfg_.size, "slice width must equal MISR size");
+
+  // Concrete step with X read as 0 — sound because extracted combinations
+  // are X-independent, so the substituted value cancels out.
+  BitVec input(cfg_.size);
+  std::size_t x_in_slice = 0;
+  for (std::size_t i = 0; i < cfg_.size; ++i) {
+    XH_REQUIRE(slice[i] != Lv::kZ, "Z cannot be captured into the MISR");
+    if (slice[i] == Lv::k1) input.set(i);
+    if (slice[i] == Lv::kX) ++x_in_slice;
+  }
+  concrete_.step(input);
+
+  // Symbolic step: dep' = A·dep, then inject fresh symbols for X inputs.
+  const std::size_t cap = xdep_.front().size();
+  if (segment_x_ + x_in_slice > cap) {
+    const std::size_t grown = std::max(cap * 2, segment_x_ + x_in_slice);
+    for (auto& row : xdep_) row.resize(grown);
+  }
+  std::vector<BitVec> next(cfg_.size);
+  const BitVec feedback = xdep_[cfg_.size - 1];
+  next[0] = feedback;
+  for (std::size_t i = 1; i < cfg_.size; ++i) next[i] = std::move(xdep_[i - 1]);
+  // Same feedback taps as the concrete LFSR so both sides stay in lock-step.
+  for (const std::size_t t : taps_) next[t] ^= feedback;
+  for (std::size_t i = 0; i < cfg_.size; ++i) {
+    if (slice[i] == Lv::kX) next[i].flip(segment_x_++);
+  }
+  xdep_ = std::move(next);
+
+  ++result_.shift_cycles;
+  result_.total_x_seen += x_in_slice;
+
+  if (segment_x_ >= cfg_.size - cfg_.q) extract(/*final_flush=*/false);
+}
+
+void XCancelSession::extract(bool final_flush) {
+  if (segment_x_ == 0) {
+    if (final_flush && result_.shift_cycles > 0) {
+      // Fully deterministic signature: read all m bits directly. No stop,
+      // no selective-XOR control data.
+      for (std::size_t b = 0; b < cfg_.size; ++b) {
+        SignatureBit sig;
+        sig.stop_index = result_.stops;
+        sig.combination = BitVec(cfg_.size);
+        sig.combination.set(b);
+        sig.value = concrete_.state().get(b);
+        result_.signature.push_back(std::move(sig));
+      }
+    }
+    return;
+  }
+
+  Gf2Matrix xmat(cfg_.size, segment_x_);
+  for (std::size_t r = 0; r < cfg_.size; ++r) {
+    for (std::size_t c = 0; c < segment_x_; ++c) {
+      if (xdep_[r].get(c)) xmat.set(r, c);
+    }
+  }
+  const auto combos = x_free_combinations(xmat);
+  const std::size_t take = std::min(cfg_.q, combos.size());
+  for (std::size_t k = 0; k < take; ++k) {
+    // Defensive re-check of the X-freeness invariant.
+    BitVec acc(segment_x_);
+    for (const std::size_t r : combos[k].set_bits()) acc ^= xmat.row(r);
+    XH_ASSERT(acc.none(), "extracted combination is not X-free");
+
+    SignatureBit sig;
+    sig.stop_index = result_.stops;
+    sig.combination = combos[k];
+    bool value = false;
+    for (const std::size_t r : combos[k].set_bits()) {
+      value ^= concrete_.state().get(r);
+    }
+    sig.value = value;
+    result_.signature.push_back(std::move(sig));
+  }
+
+  ++result_.stops;
+  result_.stop_cycles.push_back(result_.shift_cycles);
+  concrete_.reset();
+  const std::size_t cap = xdep_.front().size();
+  xdep_.assign(cfg_.size, BitVec(cap));
+  segment_x_ = 0;
+}
+
+const XCancelResult& XCancelSession::finish() {
+  if (!finished_) {
+    extract(/*final_flush=*/true);
+    finished_ = true;
+  }
+  return result_;
+}
+
+XCancelResult run_x_canceling(const ResponseMatrix& response, MisrConfig cfg) {
+  cfg.validate();
+  XCancelSession session(cfg);
+  const ScanGeometry& geo = response.geometry();
+  SpatialCompactor compactor(geo.num_chains, cfg.size);
+  std::vector<Lv> chain_values(geo.num_chains);
+  for (std::size_t p = 0; p < response.num_patterns(); ++p) {
+    for (std::size_t pos = 0; pos < geo.chain_length; ++pos) {
+      for (std::size_t chain = 0; chain < geo.num_chains; ++chain) {
+        chain_values[chain] = response.get(p, geo.cell_index(chain, pos));
+      }
+      session.shift(compactor.compact(chain_values));
+    }
+  }
+  return session.finish();
+}
+
+}  // namespace xh

@@ -1,0 +1,95 @@
+// X-canceling MISR session (Yang & Touba [12,13], time-multiplexed variant).
+//
+// Captured slices stream into the MISR. X values are tracked symbolically;
+// whenever the number of distinct X's accumulated since the last stop reaches
+// m − q, scan shifting halts, Gaussian elimination finds q X-free
+// combinations of the m signature bits, their values are read out, and the
+// MISR restarts. Each stop costs m·q control bits from the tester (the q
+// selection vectors) and one halt of the scan clock (test-time overhead).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "gf2/lfsr.hpp"
+#include "response/response_matrix.hpp"
+#include "sim/logic.hpp"
+#include "util/bitvec.hpp"
+
+namespace xh {
+
+/// MISR configuration shared by simulation and accounting.
+struct MisrConfig {
+  std::size_t size = 32;  // m
+  std::size_t q = 7;      // X-free combinations extracted per stop
+
+  void validate() const {
+    XH_REQUIRE(size >= 2 && size <= 64, "MISR size must be in [2,64]");
+    XH_REQUIRE(q >= 1 && q < size, "q must satisfy 1 <= q < m");
+  }
+};
+
+/// One extracted X-free signature bit.
+struct SignatureBit {
+  std::size_t stop_index = 0;
+  BitVec combination;  // selection over the m MISR bits
+  bool value = false;  // the X-canceled observation
+};
+
+/// Session outcome.
+struct XCancelResult {
+  std::size_t stops = 0;
+  std::size_t shift_cycles = 0;
+  std::size_t total_x_seen = 0;
+  /// Shift-cycle index after which each stop occurred (size() == stops);
+  /// lets callers replay segmentation and model halt timing.
+  std::vector<std::size_t> stop_cycles;
+  std::vector<SignatureBit> signature;
+
+  /// Tester data for the selective-XOR network: m·q bits per stop.
+  std::size_t control_bits(const MisrConfig& cfg) const {
+    return stops * cfg.size * cfg.q;
+  }
+};
+
+/// Streaming X-canceling MISR simulator.
+///
+/// Feed captured slices (one Lv per MISR input stage) with shift(); call
+/// finish() once at the end to flush the final partial segment. The extracted
+/// signature bits are provably X-free: each combination's dependency on every
+/// X symbol cancels, which the session asserts internally.
+class XCancelSession {
+ public:
+  explicit XCancelSession(MisrConfig cfg);
+
+  const MisrConfig& config() const { return cfg_; }
+
+  /// One scan shift cycle. @p slice must have cfg.size entries; Z is not a
+  /// capturable value.
+  void shift(const std::vector<Lv>& slice);
+
+  /// Flushes the trailing segment (extracts final combinations) and returns
+  /// the result. The session can keep shifting afterwards only after reset().
+  const XCancelResult& finish();
+
+  void reset();
+
+ private:
+  void extract(bool final_flush);
+
+  MisrConfig cfg_;
+  std::vector<std::size_t> taps_;  // feedback taps, cached for the hot loop
+  Lfsr concrete_;                  // X treated as 0 — sound for X-free combos
+  std::vector<BitVec> xdep_;      // per MISR bit, over segment X symbols
+  std::size_t segment_x_ = 0;     // symbols allocated in current segment
+  XCancelResult result_;
+  bool finished_ = false;
+};
+
+/// Convenience driver: shifts an entire response matrix through an
+/// X-canceling MISR. Chains map to MISR stages round-robin
+/// (stage = chain mod m, a spatial XOR compactor when chains > m); cells
+/// shift out position 0 first.
+XCancelResult run_x_canceling(const ResponseMatrix& response, MisrConfig cfg);
+
+}  // namespace xh

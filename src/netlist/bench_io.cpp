@@ -1,0 +1,267 @@
+#include "netlist/bench_io.hpp"
+
+#include <cctype>
+#include <istream>
+#include <map>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+#include "util/check.hpp"
+
+namespace xh {
+namespace {
+
+struct Definition {
+  std::string op;
+  std::vector<std::string> operands;
+  int line = 0;
+};
+
+[[noreturn]] void parse_error(int line, const std::string& msg) {
+  throw std::invalid_argument("bench parse error at line " +
+                              std::to_string(line) + ": " + msg);
+}
+
+std::string trim(const std::string& s) {
+  std::size_t b = 0;
+  std::size_t e = s.size();
+  while (b < e && std::isspace(static_cast<unsigned char>(s[b]))) ++b;
+  while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1]))) --e;
+  return s.substr(b, e - b);
+}
+
+std::string upper(std::string s) {
+  for (auto& c : s) c = static_cast<char>(std::toupper(static_cast<unsigned char>(c)));
+  return s;
+}
+
+/// Parses "OP(a, b, c)" into op + operand list.
+bool parse_call(const std::string& text, std::string& op,
+                std::vector<std::string>& operands) {
+  const std::size_t open = text.find('(');
+  const std::size_t close = text.rfind(')');
+  if (open == std::string::npos || close == std::string::npos || close < open) {
+    return false;
+  }
+  op = upper(trim(text.substr(0, open)));
+  operands.clear();
+  const std::string args = text.substr(open + 1, close - open - 1);
+  std::string cur;
+  for (const char c : args) {
+    if (c == ',') {
+      operands.push_back(trim(cur));
+      cur.clear();
+    } else {
+      cur.push_back(c);
+    }
+  }
+  cur = trim(cur);
+  if (!cur.empty()) operands.push_back(cur);
+  for (const auto& o : operands) {
+    if (o.empty()) return false;
+  }
+  return true;
+}
+
+GateType combinational_op(const std::string& op, int line) {
+  if (op == "AND") return GateType::kAnd;
+  if (op == "NAND") return GateType::kNand;
+  if (op == "OR") return GateType::kOr;
+  if (op == "NOR") return GateType::kNor;
+  if (op == "XOR") return GateType::kXor;
+  if (op == "XNOR") return GateType::kXnor;
+  if (op == "NOT" || op == "INV") return GateType::kNot;
+  if (op == "BUF" || op == "BUFF") return GateType::kBuf;
+  if (op == "MUX") return GateType::kMux;
+  if (op == "TRISTATE") return GateType::kTristate;
+  if (op == "BUS") return GateType::kBus;
+  if (op == "CONST0" || op == "GND") return GateType::kConst0;
+  if (op == "CONST1" || op == "VDD") return GateType::kConst1;
+  parse_error(line, "unknown gate type '" + op + "'");
+}
+
+}  // namespace
+
+Netlist read_bench(std::istream& in, std::string name) {
+  std::vector<std::string> input_names;
+  std::vector<std::string> output_names;
+  std::map<std::string, Definition> defs;
+  int output_decl_line = 0;
+
+  std::string raw;
+  int line_no = 0;
+  while (std::getline(in, raw)) {
+    ++line_no;
+    const std::size_t hash = raw.find('#');
+    if (hash != std::string::npos) raw.erase(hash);
+    const std::string line = trim(raw);
+    if (line.empty()) continue;
+
+    const std::size_t eq = line.find('=');
+    if (eq == std::string::npos) {
+      std::string op;
+      std::vector<std::string> operands;
+      if (!parse_call(line, op, operands) || operands.size() != 1) {
+        parse_error(line_no, "expected INPUT(x) / OUTPUT(x) / name = GATE(...)");
+      }
+      if (op == "INPUT") {
+        input_names.push_back(operands[0]);
+      } else if (op == "OUTPUT") {
+        output_names.push_back(operands[0]);
+        output_decl_line = line_no;
+      } else {
+        parse_error(line_no, "unknown declaration '" + op + "'");
+      }
+      continue;
+    }
+
+    const std::string lhs = trim(line.substr(0, eq));
+    Definition def;
+    def.line = line_no;
+    if (lhs.empty()) parse_error(line_no, "missing signal name before '='");
+    if (!parse_call(line.substr(eq + 1), def.op, def.operands)) {
+      parse_error(line_no, "malformed gate expression");
+    }
+    if (!defs.emplace(lhs, std::move(def)).second) {
+      parse_error(line_no, "signal '" + lhs + "' defined twice");
+    }
+  }
+
+  Netlist nl(std::move(name));
+  std::map<std::string, GateId> ids;
+
+  for (const auto& in_name : input_names) {
+    if (ids.count(in_name) != 0) {
+      parse_error(0, "input '" + in_name + "' declared twice");
+    }
+    if (defs.count(in_name) != 0) {
+      parse_error(defs.at(in_name).line,
+                  "signal '" + in_name + "' is both INPUT and gate output");
+    }
+    ids.emplace(in_name, nl.add_input(in_name));
+  }
+
+  // DFF placeholders first so sequential feedback resolves.
+  for (const auto& [sig, def] : defs) {
+    if (def.op == "DFF" || def.op == "NDFF") {
+      if (def.operands.size() != 1) {
+        parse_error(def.line, "DFF takes exactly one operand");
+      }
+      ids.emplace(sig, nl.add_dff_placeholder(sig, def.op == "DFF"));
+    }
+  }
+
+  // Emit combinational gates by iterative DFS over the dependency graph.
+  enum class Mark { kUnseen, kVisiting, kDone };
+  std::map<std::string, Mark> marks;
+
+  auto resolve = [&](const std::string& root) -> GateId {
+    struct Frame {
+      std::string sig;
+      std::size_t next_operand = 0;
+    };
+    std::vector<Frame> stack{{root, 0}};
+    while (!stack.empty()) {
+      Frame& top = stack.back();
+      const auto known = ids.find(top.sig);
+      if (known != ids.end()) {
+        stack.pop_back();
+        continue;
+      }
+      const auto def_it = defs.find(top.sig);
+      if (def_it == defs.end()) {
+        parse_error(0, "signal '" + top.sig + "' is used but never defined");
+      }
+      const Definition& def = def_it->second;
+      if (top.next_operand == 0) {
+        Mark& m = marks[top.sig];
+        if (m == Mark::kVisiting) {
+          parse_error(def.line, "combinational cycle through '" + top.sig + "'");
+        }
+        m = Mark::kVisiting;
+      }
+      if (top.next_operand < def.operands.size()) {
+        const std::string& dep = def.operands[top.next_operand++];
+        if (ids.find(dep) == ids.end()) stack.push_back({dep, 0});
+        continue;
+      }
+      // All operands available: create the gate.
+      std::vector<GateId> fanin;
+      fanin.reserve(def.operands.size());
+      for (const auto& dep : def.operands) fanin.push_back(ids.at(dep));
+      const GateType type = combinational_op(def.op, def.line);
+      try {
+        ids.emplace(top.sig, nl.add_gate(type, std::move(fanin), top.sig));
+      } catch (const std::invalid_argument& e) {
+        parse_error(def.line, e.what());
+      }
+      marks[top.sig] = Mark::kDone;
+      stack.pop_back();
+    }
+    return ids.at(root);
+  };
+
+  for (const auto& [sig, def] : defs) {
+    if (def.op == "DFF" || def.op == "NDFF") continue;
+    resolve(sig);
+  }
+  for (const auto& [sig, def] : defs) {
+    if (def.op == "DFF" || def.op == "NDFF") {
+      nl.connect_dff(ids.at(sig), resolve(def.operands[0]));
+    }
+  }
+  for (const auto& out_name : output_names) {
+    const auto it = ids.find(out_name);
+    if (it == ids.end()) {
+      parse_error(output_decl_line,
+                  "output '" + out_name + "' is never defined");
+    }
+    nl.mark_output(it->second);
+  }
+
+  nl.finalize();
+  return nl;
+}
+
+Netlist read_bench_string(const std::string& text, std::string name) {
+  std::istringstream is(text);
+  return read_bench(is, std::move(name));
+}
+
+void write_bench(const Netlist& nl, std::ostream& out) {
+  out << "# " << nl.name() << " — written by xhybrid\n";
+  for (const GateId id : nl.inputs()) {
+    out << "INPUT(" << nl.gate(id).name << ")\n";
+  }
+  for (const GateId id : nl.outputs()) {
+    out << "OUTPUT(" << nl.gate(id).name << ")\n";
+  }
+  for (GateId id = 0; id < nl.gate_count(); ++id) {
+    const Gate& g = nl.gate(id);
+    if (g.type == GateType::kInput) continue;
+    std::string op;
+    switch (g.type) {
+      case GateType::kDff: op = g.scanned ? "DFF" : "NDFF"; break;
+      case GateType::kNot: op = "NOT"; break;
+      case GateType::kBuf: op = "BUF"; break;
+      case GateType::kConst0: op = "CONST0"; break;
+      case GateType::kConst1: op = "CONST1"; break;
+      default: op = upper(std::string(gate_type_name(g.type))); break;
+    }
+    out << g.name << " = " << op << '(';
+    for (std::size_t i = 0; i < g.fanin.size(); ++i) {
+      if (i > 0) out << ", ";
+      out << nl.gate(g.fanin[i]).name;
+    }
+    out << ")\n";
+  }
+}
+
+std::string write_bench_string(const Netlist& nl) {
+  std::ostringstream os;
+  write_bench(nl, os);
+  return os.str();
+}
+
+}  // namespace xh

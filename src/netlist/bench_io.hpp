@@ -1,0 +1,38 @@
+// Reader/writer for the ISCAS-89 ".bench" netlist format, with two small
+// extensions: NDFF (a DFF excluded from the scan chain — an X-source) and
+// TRISTATE/BUS for the bus-contention X-source.
+//
+//   # comment
+//   INPUT(G0)
+//   OUTPUT(G17)
+//   G10 = DFF(G14)
+//   G11 = NAND(G0, G10)
+//   G12 = NDFF(G11)          # unscanned flop (extension)
+//   T1  = TRISTATE(EN1, D1)  # extension
+//   B1  = BUS(T1, T2)        # extension
+//
+// Signals may be referenced before they are defined; sequential feedback
+// through DFFs is supported.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "netlist/netlist.hpp"
+
+namespace xh {
+
+/// Parses a .bench description. Throws std::invalid_argument with a
+/// line-numbered message on malformed input. The returned netlist is
+/// finalized.
+Netlist read_bench(std::istream& in, std::string name = "bench");
+
+/// Convenience overload for in-memory text.
+Netlist read_bench_string(const std::string& text, std::string name = "bench");
+
+/// Serializes @p nl in .bench form (round-trips through read_bench).
+void write_bench(const Netlist& nl, std::ostream& out);
+
+std::string write_bench_string(const Netlist& nl);
+
+}  // namespace xh

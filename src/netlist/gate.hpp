@@ -1,0 +1,85 @@
+// Gate-level primitives for the structural netlist IR.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+namespace xh {
+
+/// Structural gate kinds.
+///
+/// kTristate models an enable-gated driver (output Z when disabled); kBus
+/// resolves multiple tristate drivers and yields X on contention or when all
+/// drivers float — the two classic silicon X-sources the paper cites.
+/// kDff is an edge-triggered state element; whether it is scanned (and thus
+/// deterministic) or unscanned (an X-source at capture) is a property of the
+/// gate, not the type.
+enum class GateType : std::uint8_t {
+  kInput,     // primary input (no fanin)
+  kConst0,    // constant 0
+  kConst1,    // constant 1
+  kBuf,       // 1 fanin
+  kNot,       // 1 fanin
+  kAnd,       // >= 2 fanin
+  kNand,      // >= 2 fanin
+  kOr,        // >= 2 fanin
+  kNor,       // >= 2 fanin
+  kXor,       // >= 2 fanin
+  kXnor,      // >= 2 fanin
+  kMux,       // 3 fanin: select, in0, in1
+  kTristate,  // 2 fanin: enable, data
+  kBus,       // >= 1 fanin, all kTristate drivers
+  kDff,       // 1 fanin: D
+};
+
+/// Canonical lower-case mnemonic, e.g. "nand".
+std::string_view gate_type_name(GateType type);
+
+/// True for types whose output depends only on current-cycle inputs.
+constexpr bool is_combinational(GateType type) {
+  return type != GateType::kDff && type != GateType::kInput;
+}
+
+/// Fanin arity contract: returns minimum fanin count for the type.
+constexpr std::size_t min_fanin(GateType type) {
+  switch (type) {
+    case GateType::kInput:
+    case GateType::kConst0:
+    case GateType::kConst1:
+      return 0;
+    case GateType::kBuf:
+    case GateType::kNot:
+    case GateType::kDff:
+    case GateType::kBus:
+      return 1;
+    case GateType::kAnd:
+    case GateType::kNand:
+    case GateType::kOr:
+    case GateType::kNor:
+    case GateType::kXor:
+    case GateType::kXnor:
+    case GateType::kTristate:
+      return 2;
+    case GateType::kMux:
+      return 3;
+  }
+  return 0;
+}
+
+/// Fanin arity contract: true when more than min_fanin inputs are allowed.
+constexpr bool variadic_fanin(GateType type) {
+  switch (type) {
+    case GateType::kAnd:
+    case GateType::kNand:
+    case GateType::kOr:
+    case GateType::kNor:
+    case GateType::kXor:
+    case GateType::kXnor:
+    case GateType::kBus:
+      return true;
+    default:
+      return false;
+  }
+}
+
+}  // namespace xh

@@ -1,0 +1,142 @@
+#include "netlist/generator.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+#include "util/rng.hpp"
+
+namespace xh {
+namespace {
+
+const GateType kRandomTypes[] = {
+    GateType::kAnd,  GateType::kNand, GateType::kOr,  GateType::kNor,
+    GateType::kXor,  GateType::kXnor, GateType::kNot, GateType::kBuf,
+    GateType::kMux,
+};
+
+}  // namespace
+
+Netlist generate_circuit(const GeneratorConfig& cfg) {
+  XH_REQUIRE(cfg.num_inputs >= 2, "need at least two primary inputs");
+  XH_REQUIRE(cfg.num_outputs >= 1, "need at least one primary output");
+  XH_REQUIRE(cfg.num_gates >= 1, "need at least one gate");
+  XH_REQUIRE(cfg.nonscan_fraction >= 0.0 && cfg.nonscan_fraction <= 1.0,
+             "nonscan_fraction must be in [0,1]");
+  XH_REQUIRE(cfg.num_buses == 0 || cfg.drivers_per_bus >= 1,
+             "buses need at least one driver");
+
+  Rng rng(cfg.seed);
+  Netlist nl("gen_seed" + std::to_string(cfg.seed));
+
+  std::vector<GateId> signals;  // everything usable as a fanin
+  for (std::size_t i = 0; i < cfg.num_inputs; ++i) {
+    signals.push_back(nl.add_input("pi" + std::to_string(i)));
+  }
+
+  // DFF placeholders up front: their outputs feed logic, their D inputs are
+  // wired to late gates afterwards, giving genuine sequential feedback.
+  std::vector<GateId> dffs;
+  const std::size_t nonscan_target = static_cast<std::size_t>(
+      static_cast<double>(cfg.num_dffs) * cfg.nonscan_fraction + 0.5);
+  for (std::size_t i = 0; i < cfg.num_dffs; ++i) {
+    const bool scanned = i >= nonscan_target;
+    std::string ff_name = scanned ? "ff" : "xff";
+    ff_name += std::to_string(i);
+    const GateId id = nl.add_dff_placeholder(std::move(ff_name), scanned);
+    dffs.push_back(id);
+    signals.push_back(id);
+  }
+
+  auto pick_signal = [&]() -> GateId {
+    if (signals.size() > cfg.locality_window && rng.chance(cfg.locality)) {
+      const std::size_t lo = signals.size() - cfg.locality_window;
+      return signals[lo + static_cast<std::size_t>(
+                              rng.below(cfg.locality_window))];
+    }
+    return signals[static_cast<std::size_t>(rng.below(signals.size()))];
+  };
+
+  auto pick_distinct_pair = [&](GateId& a, GateId& b) {
+    a = pick_signal();
+    b = pick_signal();
+    for (int tries = 0; b == a && tries < 8; ++tries) b = pick_signal();
+  };
+
+  std::size_t gate_seq = 0;
+  auto fresh_name = [&] { return "g" + std::to_string(gate_seq++); };
+
+  for (std::size_t i = 0; i < cfg.num_gates; ++i) {
+    const GateType type =
+        kRandomTypes[rng.below(std::size(kRandomTypes))];
+    std::vector<GateId> fanin;
+    switch (min_fanin(type)) {
+      case 1:
+        fanin = {pick_signal()};
+        break;
+      case 2: {
+        GateId a = kNoGate;
+        GateId b = kNoGate;
+        pick_distinct_pair(a, b);
+        fanin = {a, b};
+        // Occasionally widen variadic gates to 3 inputs.
+        if (variadic_fanin(type) && rng.chance(0.25)) {
+          fanin.push_back(pick_signal());
+        }
+        break;
+      }
+      case 3:
+        fanin = {pick_signal(), pick_signal(), pick_signal()};
+        break;
+      default:
+        XH_ASSERT(false, "unexpected arity in generator");
+    }
+    signals.push_back(nl.add_gate(type, std::move(fanin), fresh_name()));
+  }
+
+  // Tri-state buses: enable/data drawn from the logic, resolver becomes a
+  // new signal (and a realistic X-source under contention).
+  for (std::size_t b = 0; b < cfg.num_buses; ++b) {
+    std::vector<GateId> drivers;
+    for (std::size_t d = 0; d < cfg.drivers_per_bus; ++d) {
+      GateId en = kNoGate;
+      GateId data = kNoGate;
+      pick_distinct_pair(en, data);
+      drivers.push_back(nl.add_gate(
+          GateType::kTristate, {en, data},
+          "tsd" + std::to_string(b) + "_" + std::to_string(d)));
+    }
+    signals.push_back(
+        nl.add_gate(GateType::kBus, std::move(drivers),
+                    "bus" + std::to_string(b)));
+  }
+
+  // Connect DFF D inputs, preferring late (deep) signals.
+  for (const GateId dff : dffs) {
+    const std::size_t half = signals.size() / 2;
+    const GateId d = signals[half + static_cast<std::size_t>(
+                                        rng.below(signals.size() - half))];
+    nl.connect_dff(dff, d);
+  }
+
+  // Primary outputs from late signals; keep them distinct when possible.
+  std::vector<GateId> candidates(signals.end() - static_cast<std::ptrdiff_t>(
+                                     std::min(signals.size(),
+                                              cfg.num_outputs * 4)),
+                                 signals.end());
+  rng.shuffle(candidates);
+  for (const GateId id : candidates) {
+    if (nl.outputs().size() == cfg.num_outputs) break;
+    if (nl.gate(id).type == GateType::kInput) continue;
+    nl.mark_output(id);
+  }
+  // Deterministic backstop if the shuffled window was too input-heavy.
+  for (GateId id = static_cast<GateId>(nl.gate_count());
+       id-- > 0 && nl.outputs().size() < cfg.num_outputs;) {
+    if (nl.gate(id).type != GateType::kInput) nl.mark_output(id);
+  }
+
+  nl.finalize();
+  return nl;
+}
+
+}  // namespace xh

@@ -1,0 +1,41 @@
+// Pseudo-random synthetic circuit generation.
+//
+// The paper evaluates on proprietary industrial designs; this generator is
+// the open substitute. It emits structurally valid sequential netlists with
+// controllable amounts of the X-sources the paper names: unscanned flops
+// (uninitialized state) and tri-state buses (contention / floating).
+#pragma once
+
+#include <cstdint>
+
+#include "netlist/netlist.hpp"
+
+namespace xh {
+
+/// Knobs for generate_circuit(). Defaults give a small but non-trivial
+/// sequential circuit with a few X-sources.
+struct GeneratorConfig {
+  std::size_t num_inputs = 8;
+  std::size_t num_outputs = 8;
+  /// Combinational gate count (excludes tri-state/bus structures).
+  std::size_t num_gates = 200;
+  std::size_t num_dffs = 32;
+  /// Fraction of DFFs left out of the scan chain (X-sources at capture).
+  double nonscan_fraction = 0.10;
+  /// Tri-state bus groups; each adds drivers_per_bus TRISTATE gates + 1 BUS.
+  std::size_t num_buses = 2;
+  std::size_t drivers_per_bus = 3;
+  /// Locality: fanins are drawn from the most recent `locality_window`
+  /// signals with this probability, giving realistic logic depth.
+  double locality = 0.7;
+  std::size_t locality_window = 24;
+  std::uint64_t seed = 1;
+};
+
+/// Generates a finalized netlist. Deterministic in cfg (including seed).
+/// Guarantees: every DFF is connected, every declared output exists, at
+/// least one gate lies between inputs and outputs, and bus fanins are all
+/// tri-state drivers.
+Netlist generate_circuit(const GeneratorConfig& cfg);
+
+}  // namespace xh

@@ -1,0 +1,280 @@
+#include "netlist/library.hpp"
+
+#include <string>
+
+#include "util/check.hpp"
+
+namespace xh {
+namespace {
+
+std::string idx_name(const char* base, std::size_t i) {
+  return std::string(base) + std::to_string(i);
+}
+
+/// Builds a ripple-carry full adder over the given operand bits; returns the
+/// sum bits and writes the final carry to @p carry_out.
+std::vector<GateId> ripple_adder(Netlist& nl, const std::vector<GateId>& a,
+                                 const std::vector<GateId>& b,
+                                 GateId carry_in, GateId* carry_out,
+                                 const char* prefix) {
+  XH_REQUIRE(a.size() == b.size(), "adder operand width mismatch");
+  std::vector<GateId> sum;
+  GateId carry = carry_in;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const std::string p = std::string(prefix) + std::to_string(i);
+    const GateId axb = nl.add_gate(GateType::kXor, {a[i], b[i]}, p + "_axb");
+    sum.push_back(nl.add_gate(GateType::kXor, {axb, carry}, p + "_sum"));
+    const GateId and1 = nl.add_gate(GateType::kAnd, {a[i], b[i]}, p + "_c1");
+    const GateId and2 = nl.add_gate(GateType::kAnd, {axb, carry}, p + "_c2");
+    carry = nl.add_gate(GateType::kOr, {and1, and2}, p + "_cout");
+  }
+  if (carry_out != nullptr) *carry_out = carry;
+  return sum;
+}
+
+}  // namespace
+
+Netlist make_counter(std::size_t bits) {
+  XH_REQUIRE(bits >= 1 && bits <= 64, "counter width must be 1..64");
+  Netlist nl("counter" + std::to_string(bits));
+  const GateId en = nl.add_input("en");
+
+  std::vector<GateId> q;
+  for (std::size_t i = 0; i < bits; ++i) {
+    q.push_back(nl.add_dff_placeholder(idx_name("q", i)));
+  }
+  // q'[i] = q[i] ^ (en & q[0] & ... & q[i-1]); carry chain.
+  GateId carry = en;
+  for (std::size_t i = 0; i < bits; ++i) {
+    const GateId next =
+        nl.add_gate(GateType::kXor, {q[i], carry}, idx_name("d", i));
+    nl.connect_dff(q[i], next);
+    nl.mark_output(q[i]);
+    if (i + 1 < bits) {
+      carry = nl.add_gate(GateType::kAnd, {carry, q[i]}, idx_name("c", i));
+    } else {
+      carry = nl.add_gate(GateType::kAnd, {carry, q[i]}, "carry_out");
+    }
+  }
+  nl.mark_output(carry);
+  nl.finalize();
+  return nl;
+}
+
+Netlist make_crc(std::size_t bits, std::size_t tap_mask) {
+  XH_REQUIRE(bits >= 2 && bits <= 64, "CRC width must be 2..64");
+  Netlist nl("crc" + std::to_string(bits));
+  const GateId din = nl.add_input("din");
+  const GateId en = nl.add_input("en");
+
+  std::vector<GateId> q;
+  for (std::size_t i = 0; i < bits; ++i) {
+    q.push_back(nl.add_dff_placeholder(idx_name("q", i)));
+  }
+  // Galois form: feedback = q[msb] ^ din, gated by enable.
+  const GateId fb_raw =
+      nl.add_gate(GateType::kXor, {q[bits - 1], din}, "fb_raw");
+  const GateId fb = nl.add_gate(GateType::kAnd, {fb_raw, en}, "fb");
+  const GateId hold0 = nl.add_gate(GateType::kNot, {en}, "hold_n");
+  for (std::size_t i = 0; i < bits; ++i) {
+    const GateId prev = (i == 0)
+                            ? nl.add_gate(GateType::kConst0, {}, "zero")
+                            : q[i - 1];
+    GateId shifted = prev;
+    if (i == 0 || ((tap_mask >> i) & 1u) != 0) {
+      shifted = nl.add_gate(GateType::kXor, {prev, fb}, idx_name("t", i));
+    }
+    // d = en ? shifted : q (hold when disabled).
+    const GateId keep =
+        nl.add_gate(GateType::kAnd, {q[i], hold0}, idx_name("k", i));
+    const GateId load =
+        nl.add_gate(GateType::kAnd, {shifted, en}, idx_name("l", i));
+    const GateId d =
+        nl.add_gate(GateType::kOr, {keep, load}, idx_name("d", i));
+    nl.connect_dff(q[i], d);
+    nl.mark_output(q[i]);
+  }
+  nl.finalize();
+  return nl;
+}
+
+Netlist make_alu(std::size_t width) {
+  XH_REQUIRE(width >= 1 && width <= 32, "ALU width must be 1..32");
+  Netlist nl("alu" + std::to_string(width));
+
+  const GateId op0 = nl.add_input("op0");
+  const GateId op1 = nl.add_input("op1");
+  std::vector<GateId> a_in;
+  std::vector<GateId> b_in;
+  for (std::size_t i = 0; i < width; ++i) {
+    a_in.push_back(nl.add_input(idx_name("a", i)));
+    b_in.push_back(nl.add_input(idx_name("b", i)));
+  }
+
+  // Input registers.
+  std::vector<GateId> a;
+  std::vector<GateId> b;
+  for (std::size_t i = 0; i < width; ++i) {
+    a.push_back(nl.add_dff(a_in[i], idx_name("ra", i)));
+    b.push_back(nl.add_dff(b_in[i], idx_name("rb", i)));
+  }
+
+  const GateId zero = nl.add_gate(GateType::kConst0, {}, "zero");
+  GateId carry_out = kNoGate;
+  const std::vector<GateId> sum =
+      ripple_adder(nl, a, b, zero, &carry_out, "add");
+
+  // Result mux: op = 00 ADD, 01 AND, 10 OR, 11 XOR.
+  for (std::size_t i = 0; i < width; ++i) {
+    const GateId g_and =
+        nl.add_gate(GateType::kAnd, {a[i], b[i]}, idx_name("fand", i));
+    const GateId g_or =
+        nl.add_gate(GateType::kOr, {a[i], b[i]}, idx_name("for", i));
+    const GateId g_xor =
+        nl.add_gate(GateType::kXor, {a[i], b[i]}, idx_name("fxor", i));
+    const GateId lo =
+        nl.add_gate(GateType::kMux, {op0, sum[i], g_and}, idx_name("mlo", i));
+    const GateId hi =
+        nl.add_gate(GateType::kMux, {op0, g_or, g_xor}, idx_name("mhi", i));
+    const GateId res =
+        nl.add_gate(GateType::kMux, {op1, lo, hi}, idx_name("res", i));
+    const GateId reg = nl.add_dff(res, idx_name("rr", i));
+    nl.mark_output(reg);
+  }
+  const GateId carry_reg = nl.add_dff(carry_out, "rcarry");
+  nl.mark_output(carry_reg);
+  nl.finalize();
+  return nl;
+}
+
+Netlist make_pipeline(std::size_t width, std::size_t stages) {
+  XH_REQUIRE(width >= 2 && width <= 64, "pipeline width must be 2..64");
+  XH_REQUIRE(stages >= 2 && stages <= 16, "pipeline depth must be 2..16");
+  Netlist nl("pipe" + std::to_string(width) + "x" + std::to_string(stages));
+
+  std::vector<GateId> data;
+  for (std::size_t i = 0; i < width; ++i) {
+    data.push_back(nl.add_input(idx_name("in", i)));
+  }
+
+  // The middle stage is unscanned — the X-source.
+  const std::size_t x_stage = stages / 2;
+  for (std::size_t s = 0; s < stages; ++s) {
+    std::vector<GateId> next;
+    for (std::size_t i = 0; i < width; ++i) {
+      // Mix: bit i XOR (bit i+1 AND bit i+2), wrap-around.
+      const GateId mixed = nl.add_gate(
+          GateType::kAnd, {data[(i + 1) % width], data[(i + 2) % width]},
+          "s" + std::to_string(s) + "_m" + std::to_string(i));
+      const GateId d = nl.add_gate(
+          GateType::kXor, {data[i], mixed},
+          "s" + std::to_string(s) + "_d" + std::to_string(i));
+      next.push_back(nl.add_dff(
+          d, "s" + std::to_string(s) + "_r" + std::to_string(i),
+          /*scanned=*/s != x_stage));
+    }
+    data = std::move(next);
+  }
+  for (const GateId out : data) nl.mark_output(out);
+  nl.finalize();
+  return nl;
+}
+
+Netlist make_bus_fabric(std::size_t masters, std::size_t width) {
+  XH_REQUIRE(masters >= 2 && masters <= 8, "need 2..8 bus masters");
+  XH_REQUIRE(width >= 1 && width <= 32, "bus width must be 1..32");
+  Netlist nl("bus" + std::to_string(masters) + "x" + std::to_string(width));
+
+  std::vector<GateId> enables;
+  for (std::size_t m = 0; m < masters; ++m) {
+    enables.push_back(nl.add_input(idx_name("en", m)));
+  }
+  std::vector<std::vector<GateId>> payload(masters);
+  for (std::size_t m = 0; m < masters; ++m) {
+    for (std::size_t i = 0; i < width; ++i) {
+      payload[m].push_back(
+          nl.add_input("m" + std::to_string(m) + "_d" + std::to_string(i)));
+    }
+  }
+
+  for (std::size_t i = 0; i < width; ++i) {
+    std::vector<GateId> drivers;
+    for (std::size_t m = 0; m < masters; ++m) {
+      drivers.push_back(nl.add_gate(
+          GateType::kTristate, {enables[m], payload[m][i]},
+          "t" + std::to_string(m) + "_" + std::to_string(i)));
+    }
+    const GateId bus =
+        nl.add_gate(GateType::kBus, std::move(drivers), idx_name("bus", i));
+    const GateId obs = nl.add_dff(bus, idx_name("obs", i));
+    nl.mark_output(obs);
+  }
+  nl.finalize();
+  return nl;
+}
+
+Netlist make_multiplier(std::size_t width) {
+  XH_REQUIRE(width >= 2 && width <= 16, "multiplier width must be 2..16");
+  Netlist nl("mul" + std::to_string(width));
+
+  std::vector<GateId> a;
+  std::vector<GateId> b;
+  for (std::size_t i = 0; i < width; ++i) {
+    a.push_back(nl.add_dff(nl.add_input(idx_name("a", i)),
+                           idx_name("ra", i)));
+  }
+  for (std::size_t i = 0; i < width; ++i) {
+    b.push_back(nl.add_dff(nl.add_input(idx_name("b", i)),
+                           idx_name("rb", i)));
+  }
+
+  // Row-by-row accumulation of partial products with ripple adders.
+  const GateId zero = nl.add_gate(GateType::kConst0, {}, "zero");
+  std::vector<GateId> acc(2 * width, zero);
+  for (std::size_t row = 0; row < width; ++row) {
+    // Partial product row: a[i] & b[row], aligned at bit `row`.
+    std::vector<GateId> addend(2 * width, zero);
+    for (std::size_t i = 0; i < width; ++i) {
+      addend[row + i] = nl.add_gate(
+          GateType::kAnd, {a[i], b[row]},
+          "pp" + std::to_string(row) + "_" + std::to_string(i));
+    }
+    GateId carry_out = kNoGate;
+    acc = ripple_adder(nl, acc, addend, zero, &carry_out,
+                       ("acc" + std::to_string(row)).c_str());
+  }
+  for (std::size_t i = 0; i < 2 * width; ++i) {
+    nl.mark_output(nl.add_dff(acc[i], idx_name("p", i)));
+  }
+  nl.finalize();
+  return nl;
+}
+
+Netlist make_gray_counter(std::size_t bits) {
+  XH_REQUIRE(bits >= 2 && bits <= 32, "gray counter width must be 2..32");
+  Netlist nl("gray" + std::to_string(bits));
+  const GateId en = nl.add_input("en");
+
+  // Binary core counter; Gray outputs g[i] = q[i] ^ q[i+1].
+  std::vector<GateId> q;
+  for (std::size_t i = 0; i < bits; ++i) {
+    q.push_back(nl.add_dff_placeholder(idx_name("q", i)));
+  }
+  GateId carry = en;
+  for (std::size_t i = 0; i < bits; ++i) {
+    nl.connect_dff(q[i], nl.add_gate(GateType::kXor, {q[i], carry},
+                                     idx_name("d", i)));
+    carry = nl.add_gate(GateType::kAnd, {carry, q[i]}, idx_name("c", i));
+  }
+  for (std::size_t i = 0; i < bits; ++i) {
+    const GateId g =
+        (i + 1 < bits)
+            ? nl.add_gate(GateType::kXor, {q[i], q[i + 1]}, idx_name("g", i))
+            : nl.add_gate(GateType::kBuf, {q[i]}, idx_name("g", i));
+    nl.mark_output(g);
+  }
+  nl.finalize();
+  return nl;
+}
+
+}  // namespace xh

@@ -1,0 +1,48 @@
+// A small library of structured, hand-designed circuits with known behavior.
+//
+// The random generator covers breadth; these cover realism: datapath,
+// control and bus structures with verifiable function, used by tests,
+// examples and the circuit-flow benchmarks. All are full- or partial-scan
+// sequential designs; the partial-scan and bus variants carry the X-sources
+// the paper targets.
+#pragma once
+
+#include <cstddef>
+
+#include "netlist/netlist.hpp"
+
+namespace xh {
+
+/// n-bit synchronous binary counter with enable: q' = q + en.
+/// All flops scanned. Output: the n state bits plus a carry-out.
+Netlist make_counter(std::size_t bits);
+
+/// Galois LFSR/CRC register of the given width with serial data input and
+/// enable. All flops scanned.
+Netlist make_crc(std::size_t bits, std::size_t tap_mask = 0xB);
+
+/// Registered ALU: two w-bit operands from input registers, 2-bit opcode
+/// selecting among ADD, AND, OR, XOR, result register on the output.
+/// All flops scanned.
+Netlist make_alu(std::size_t width);
+
+/// w-bit, d-stage register pipeline with XOR/AND mixing between stages.
+/// One stage's registers are UNSCANNED (an uninitialized-state X-source
+/// polluting everything downstream).
+Netlist make_pipeline(std::size_t width, std::size_t stages);
+
+/// Shared tri-state bus fabric: @p masters drivers on a @p width-bit bus,
+/// one-hot enables from primary inputs (contention and floating are
+/// reachable!), bus values captured into scanned observation registers.
+Netlist make_bus_fabric(std::size_t masters, std::size_t width);
+
+/// Registered w×w array multiplier (unsigned): operands latched, 2w-bit
+/// product register. All flops scanned. Quadratic gate count — the stress
+/// datapath for ATPG/fault-sim scaling.
+Netlist make_multiplier(std::size_t width);
+
+/// n-bit Gray-code counter with enable: exactly one output bit toggles per
+/// enabled clock. All flops scanned.
+Netlist make_gray_counter(std::size_t bits);
+
+}  // namespace xh

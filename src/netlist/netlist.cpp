@@ -1,0 +1,256 @@
+#include "netlist/netlist.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+
+namespace xh {
+
+std::string_view gate_type_name(GateType type) {
+  switch (type) {
+    case GateType::kInput: return "input";
+    case GateType::kConst0: return "const0";
+    case GateType::kConst1: return "const1";
+    case GateType::kBuf: return "buf";
+    case GateType::kNot: return "not";
+    case GateType::kAnd: return "and";
+    case GateType::kNand: return "nand";
+    case GateType::kOr: return "or";
+    case GateType::kNor: return "nor";
+    case GateType::kXor: return "xor";
+    case GateType::kXnor: return "xnor";
+    case GateType::kMux: return "mux";
+    case GateType::kTristate: return "tristate";
+    case GateType::kBus: return "bus";
+    case GateType::kDff: return "dff";
+  }
+  return "?";
+}
+
+Netlist::Netlist(std::string name) : name_(std::move(name)) {}
+
+void Netlist::check_mutable() const {
+  XH_REQUIRE(!finalized_, "netlist is finalized and immutable");
+}
+
+GateId Netlist::add_node(Gate g) {
+  check_mutable();
+  XH_REQUIRE(gates_.size() < kNoGate, "netlist too large");
+  if (g.name.empty()) {
+    g.name = std::string(gate_type_name(g.type)) + "_n" +
+             std::to_string(anon_counter_++);
+  }
+  XH_REQUIRE(by_name_.find(g.name) == by_name_.end(),
+             "duplicate gate name: " + g.name);
+  const GateId id = static_cast<GateId>(gates_.size());
+  for (const GateId f : g.fanin) {
+    XH_REQUIRE(f < id, "fanin must reference an already-created gate");
+  }
+  by_name_.emplace(g.name, id);
+  gates_.push_back(std::move(g));
+  output_flag_.push_back(false);
+  return id;
+}
+
+GateId Netlist::add_input(std::string gate_name) {
+  Gate g;
+  g.type = GateType::kInput;
+  g.name = std::move(gate_name);
+  const GateId id = add_node(std::move(g));
+  inputs_.push_back(id);
+  return id;
+}
+
+GateId Netlist::add_gate(GateType type, std::vector<GateId> fanin,
+                         std::string gate_name) {
+  XH_REQUIRE(type != GateType::kInput && type != GateType::kDff,
+             "use add_input/add_dff for sources");
+  XH_REQUIRE(fanin.size() >= min_fanin(type),
+             "too few fanins for gate type");
+  XH_REQUIRE(variadic_fanin(type) || fanin.size() == min_fanin(type),
+             "too many fanins for gate type");
+  Gate g;
+  g.type = type;
+  g.fanin = std::move(fanin);
+  g.name = std::move(gate_name);
+  return add_node(std::move(g));
+}
+
+GateId Netlist::add_dff(GateId d_input, std::string gate_name, bool scanned) {
+  XH_REQUIRE(d_input < gates_.size(), "DFF D input does not exist");
+  const GateId id = add_dff_placeholder(std::move(gate_name), scanned);
+  gates_[id].fanin = {d_input};
+  return id;
+}
+
+GateId Netlist::add_dff_placeholder(std::string gate_name, bool scanned) {
+  Gate g;
+  g.type = GateType::kDff;
+  g.name = std::move(gate_name);
+  g.scanned = scanned;
+  const GateId id = add_node(std::move(g));
+  dffs_.push_back(id);
+  return id;
+}
+
+void Netlist::connect_dff(GateId dff, GateId d_input) {
+  check_mutable();
+  XH_REQUIRE(dff < gates_.size() && gates_[dff].type == GateType::kDff,
+             "connect_dff target is not a DFF");
+  XH_REQUIRE(d_input < gates_.size(), "DFF D input does not exist");
+  XH_REQUIRE(gates_[dff].fanin.empty(), "DFF D input already connected");
+  gates_[dff].fanin = {d_input};
+}
+
+void Netlist::mark_output(GateId id) {
+  check_mutable();
+  XH_REQUIRE(id < gates_.size(), "output gate does not exist");
+  if (!output_flag_[id]) {
+    output_flag_[id] = true;
+    outputs_.push_back(id);
+  }
+}
+
+void Netlist::set_scanned(GateId dff, bool scanned) {
+  check_mutable();
+  XH_REQUIRE(dff < gates_.size() && gates_[dff].type == GateType::kDff,
+             "set_scanned target is not a DFF");
+  gates_[dff].scanned = scanned;
+}
+
+void Netlist::finalize() {
+  check_mutable();
+
+  // Structural checks.
+  for (GateId id = 0; id < gates_.size(); ++id) {
+    const Gate& g = gates_[id];
+    if (g.type == GateType::kDff) {
+      XH_REQUIRE(g.fanin.size() == 1,
+                 "DFF left unconnected: " + g.name);
+    }
+    if (g.type == GateType::kBus) {
+      for (const GateId f : g.fanin) {
+        XH_REQUIRE(gates_[f].type == GateType::kTristate,
+                   "bus fanin must be tristate drivers: " + g.name);
+      }
+    }
+  }
+
+  // add_node enforces fanin-id < gate-id, so ids are already topological;
+  // record the combinational order (sources first, in id order).
+  topo_.clear();
+  topo_.reserve(gates_.size());
+  for (GateId id = 0; id < gates_.size(); ++id) topo_.push_back(id);
+
+  // Fanout adjacency. DFF D-input edges are included: fault simulation and
+  // scan capture both need to know who observes a net.
+  fanout_.assign(gates_.size(), {});
+  for (GateId id = 0; id < gates_.size(); ++id) {
+    for (const GateId f : gates_[id].fanin) fanout_[f].push_back(id);
+  }
+
+  // Levelization over combinational edges only.
+  level_.assign(gates_.size(), 0);
+  depth_ = 0;
+  for (const GateId id : topo_) {
+    const Gate& g = gates_[id];
+    if (!is_combinational(g.type)) continue;
+    std::size_t lvl = 0;
+    for (const GateId f : g.fanin) {
+      const std::size_t src_level =
+          is_combinational(gates_[f].type) ? level_[f] + 1 : 1;
+      lvl = std::max(lvl, src_level);
+    }
+    level_[id] = lvl;
+    depth_ = std::max(depth_, lvl);
+  }
+
+  finalized_ = true;
+}
+
+const Gate& Netlist::gate(GateId id) const {
+  XH_REQUIRE(id < gates_.size(), "gate id out of range");
+  return gates_[id];
+}
+
+std::vector<GateId> Netlist::scan_dffs() const {
+  std::vector<GateId> out;
+  for (const GateId id : dffs_) {
+    if (gates_[id].scanned) out.push_back(id);
+  }
+  return out;
+}
+
+std::vector<GateId> Netlist::nonscan_dffs() const {
+  std::vector<GateId> out;
+  for (const GateId id : dffs_) {
+    if (!gates_[id].scanned) out.push_back(id);
+  }
+  return out;
+}
+
+const std::vector<GateId>& Netlist::topo_order() const {
+  XH_REQUIRE(finalized_, "topo_order requires finalize()");
+  return topo_;
+}
+
+const std::vector<GateId>& Netlist::fanout(GateId id) const {
+  XH_REQUIRE(finalized_, "fanout requires finalize()");
+  XH_REQUIRE(id < gates_.size(), "gate id out of range");
+  return fanout_[id];
+}
+
+std::vector<GateId> Netlist::fanout_cone(GateId start) const {
+  XH_REQUIRE(finalized_, "fanout_cone requires finalize()");
+  std::vector<bool> seen(gates_.size(), false);
+  std::vector<GateId> stack = {start};
+  std::vector<GateId> cone;
+  while (!stack.empty()) {
+    const GateId id = stack.back();
+    stack.pop_back();
+    for (const GateId next : fanout_[id]) {
+      if (!seen[next]) {
+        seen[next] = true;
+        cone.push_back(next);
+        // Do not cross state elements: the cone is combinational.
+        if (gates_[next].type != GateType::kDff) stack.push_back(next);
+      }
+    }
+  }
+  std::sort(cone.begin(), cone.end());
+  return cone;
+}
+
+std::size_t Netlist::level(GateId id) const {
+  XH_REQUIRE(finalized_, "level requires finalize()");
+  XH_REQUIRE(id < gates_.size(), "gate id out of range");
+  return level_[id];
+}
+
+GateId Netlist::find(const std::string& gate_name) const {
+  const auto it = by_name_.find(gate_name);
+  return it == by_name_.end() ? kNoGate : it->second;
+}
+
+bool Netlist::is_output(GateId id) const {
+  XH_REQUIRE(id < gates_.size(), "gate id out of range");
+  return output_flag_[id];
+}
+
+NetlistStats compute_stats(const Netlist& nl) {
+  NetlistStats s;
+  s.inputs = nl.inputs().size();
+  s.outputs = nl.outputs().size();
+  s.dffs = nl.dffs().size();
+  s.nonscan_dffs = nl.nonscan_dffs().size();
+  s.depth = nl.depth();
+  for (GateId id = 0; id < nl.gate_count(); ++id) {
+    const Gate& g = nl.gate(id);
+    if (is_combinational(g.type)) ++s.gates;
+    if (g.type == GateType::kTristate) ++s.tristate_drivers;
+    if (g.type == GateType::kBus) ++s.buses;
+  }
+  return s;
+}
+
+}  // namespace xh

@@ -1,0 +1,123 @@
+// Structural gate-level netlist with sequential elements and X-source
+// modeling (unscanned flops, tri-state buses).
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "netlist/gate.hpp"
+
+namespace xh {
+
+using GateId = std::uint32_t;
+inline constexpr GateId kNoGate = std::numeric_limits<GateId>::max();
+
+/// One node of the netlist graph. The gate's output net is identified with
+/// the gate itself (single-output gates only, as in .bench).
+struct Gate {
+  GateType type = GateType::kBuf;
+  std::vector<GateId> fanin;
+  std::string name;
+  /// For kDff only: participates in the scan chain (deterministic at capture)
+  /// or free-running (an X-source when uninitialized).
+  bool scanned = true;
+};
+
+/// A gate-level circuit: combinational cloud + DFFs + primary I/O.
+///
+/// Construction is incremental via the add_* methods; `finalize()` validates
+/// the structure and computes the topological order used by all simulators.
+/// After finalize() the netlist is immutable.
+class Netlist {
+ public:
+  explicit Netlist(std::string name = "netlist");
+
+  const std::string& name() const { return name_; }
+
+  // ---- construction -------------------------------------------------------
+  GateId add_input(std::string gate_name);
+  GateId add_gate(GateType type, std::vector<GateId> fanin,
+                  std::string gate_name = "");
+  GateId add_dff(GateId d_input, std::string gate_name = "",
+                 bool scanned = true);
+  /// Creates a DFF whose D input is wired later with connect_dff(); this is
+  /// how sequential feedback loops are built (the D cone may read the DFF's
+  /// own output). finalize() rejects still-dangling DFFs.
+  GateId add_dff_placeholder(std::string gate_name = "", bool scanned = true);
+  void connect_dff(GateId dff, GateId d_input);
+  void mark_output(GateId gate);
+  /// Changes whether a DFF is scanned; only valid before finalize().
+  void set_scanned(GateId dff, bool scanned);
+
+  /// Validates arity/acyclicity and freezes the netlist. Throws on malformed
+  /// structure (dangling fanin, combinational cycle, bad bus wiring).
+  void finalize();
+  bool finalized() const { return finalized_; }
+
+  // ---- topology -----------------------------------------------------------
+  std::size_t gate_count() const { return gates_.size(); }
+  const Gate& gate(GateId id) const;
+  const std::vector<GateId>& inputs() const { return inputs_; }
+  const std::vector<GateId>& outputs() const { return outputs_; }
+  const std::vector<GateId>& dffs() const { return dffs_; }
+
+  /// DFFs that are scanned / not scanned (available after finalize()).
+  std::vector<GateId> scan_dffs() const;
+  std::vector<GateId> nonscan_dffs() const;
+
+  /// Combinational evaluation order: every gate appears after its fanins,
+  /// with kInput/kDff/kConst treated as sources. Available after finalize().
+  const std::vector<GateId>& topo_order() const;
+
+  /// Gates in the transitive fanout of @p id (excluding @p id itself).
+  std::vector<GateId> fanout_cone(GateId id) const;
+
+  /// Fanout adjacency (computed at finalize()).
+  const std::vector<GateId>& fanout(GateId id) const;
+
+  /// Logic level (longest path from a source), 0 for sources.
+  std::size_t level(GateId id) const;
+  std::size_t depth() const { return depth_; }
+
+  /// Lookup by name; returns kNoGate when absent.
+  GateId find(const std::string& gate_name) const;
+
+  bool is_output(GateId id) const;
+
+ private:
+  GateId add_node(Gate g);
+  void check_mutable() const;
+
+  std::string name_;
+  std::vector<Gate> gates_;
+  std::vector<GateId> inputs_;
+  std::vector<GateId> outputs_;
+  std::vector<GateId> dffs_;
+  std::vector<bool> output_flag_;
+  std::unordered_map<std::string, GateId> by_name_;
+  std::vector<GateId> topo_;
+  std::vector<std::vector<GateId>> fanout_;
+  std::vector<std::size_t> level_;
+  std::size_t depth_ = 0;
+  bool finalized_ = false;
+  std::uint64_t anon_counter_ = 0;
+};
+
+/// Summary statistics for reports and tests.
+struct NetlistStats {
+  std::size_t inputs = 0;
+  std::size_t outputs = 0;
+  std::size_t gates = 0;  // combinational gates only
+  std::size_t dffs = 0;
+  std::size_t nonscan_dffs = 0;
+  std::size_t tristate_drivers = 0;
+  std::size_t buses = 0;
+  std::size_t depth = 0;
+};
+
+NetlistStats compute_stats(const Netlist& nl);
+
+}  // namespace xh

@@ -1,0 +1,47 @@
+// Scan geometry: how scan cells are arranged into chains.
+//
+// Cell indices are chain-major: cell = chain * chain_length + position, with
+// position 0 closest to the chain output (shifted out first). The X-masking
+// control-bit count of the paper — longest chain length × number of chains —
+// is a direct function of this geometry.
+#pragma once
+
+#include <cstddef>
+
+#include "util/check.hpp"
+
+namespace xh {
+
+/// Rectangular scan configuration (all chains share one length, as in the
+/// paper's designs; a ragged design is padded to the longest chain, which is
+/// exactly how the paper counts control bits).
+struct ScanGeometry {
+  std::size_t num_chains = 0;
+  std::size_t chain_length = 0;
+
+  std::size_t num_cells() const { return num_chains * chain_length; }
+
+  std::size_t cell_index(std::size_t chain, std::size_t position) const {
+    XH_REQUIRE(chain < num_chains, "chain index out of range");
+    XH_REQUIRE(position < chain_length, "scan position out of range");
+    return chain * chain_length + position;
+  }
+
+  std::size_t chain_of(std::size_t cell) const {
+    XH_REQUIRE(cell < num_cells(), "cell index out of range");
+    return cell / chain_length;
+  }
+
+  std::size_t position_of(std::size_t cell) const {
+    XH_REQUIRE(cell < num_cells(), "cell index out of range");
+    return cell % chain_length;
+  }
+
+  /// Per-pattern X-masking control data in the conventional scheme [5]:
+  /// one bit per scan cell per pattern.
+  std::size_t mask_bits_per_pattern() const { return num_cells(); }
+
+  bool operator==(const ScanGeometry&) const = default;
+};
+
+}  // namespace xh

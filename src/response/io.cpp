@@ -1,0 +1,118 @@
+#include "response/io.hpp"
+
+#include <istream>
+#include <ostream>
+#include <sstream>
+
+#include "util/check.hpp"
+
+namespace xh {
+namespace {
+
+[[noreturn]] void format_error(const std::string& what) {
+  throw std::invalid_argument("response io: " + what);
+}
+
+ScanGeometry read_header(std::istream& in, const char* magic,
+                         std::size_t& num_patterns) {
+  std::string word;
+  std::string version;
+  ScanGeometry geo;
+  if (!(in >> word >> version >> geo.num_chains >> geo.chain_length >>
+        num_patterns)) {
+    format_error("truncated header");
+  }
+  if (word != magic) format_error("expected '" + std::string(magic) + "'");
+  if (version != "v1") format_error("unsupported version " + version);
+  if (geo.num_chains == 0 || geo.chain_length == 0 || num_patterns == 0) {
+    format_error("degenerate geometry");
+  }
+  return geo;
+}
+
+}  // namespace
+
+void write_x_matrix(const XMatrix& xm, std::ostream& out) {
+  out << "xmatrix v1 " << xm.geometry().num_chains << ' '
+      << xm.geometry().chain_length << ' ' << xm.num_patterns() << '\n';
+  for (const std::size_t cell : xm.x_cells()) {
+    out << cell;
+    for (const std::size_t p : xm.patterns_of(cell).set_bits()) {
+      out << ' ' << p;
+    }
+    out << '\n';
+  }
+}
+
+XMatrix read_x_matrix(std::istream& in) {
+  std::size_t num_patterns = 0;
+  const ScanGeometry geo = read_header(in, "xmatrix", num_patterns);
+  XMatrix xm(geo, num_patterns);
+  std::string line;
+  std::getline(in, line);  // finish the header line
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    std::istringstream row(line);
+    std::size_t cell = 0;
+    if (!(row >> cell)) format_error("malformed cell line: " + line);
+    std::size_t pattern = 0;
+    bool any = false;
+    while (row >> pattern) {
+      xm.add_x(cell, pattern);  // bounds-checked by XMatrix
+      any = true;
+    }
+    if (!any) format_error("cell with no patterns: " + line);
+    if (!row.eof()) format_error("trailing garbage: " + line);
+  }
+  return xm;
+}
+
+void write_response(const ResponseMatrix& rm, std::ostream& out) {
+  out << "response v1 " << rm.geometry().num_chains << ' '
+      << rm.geometry().chain_length << ' ' << rm.num_patterns() << '\n';
+  for (std::size_t p = 0; p < rm.num_patterns(); ++p) {
+    out << rm.row_string(p) << '\n';
+  }
+}
+
+ResponseMatrix read_response(std::istream& in) {
+  std::size_t num_patterns = 0;
+  const ScanGeometry geo = read_header(in, "response", num_patterns);
+  ResponseMatrix rm(geo, num_patterns);
+  std::string line;
+  std::getline(in, line);
+  for (std::size_t p = 0; p < num_patterns; ++p) {
+    if (!std::getline(in, line)) format_error("missing pattern row");
+    if (line.size() != geo.num_cells()) {
+      format_error("row width mismatch at pattern " + std::to_string(p));
+    }
+    for (std::size_t c = 0; c < line.size(); ++c) {
+      rm.set(p, c, lv_from_char(line[c]));  // throws on bad characters
+    }
+  }
+  return rm;
+}
+
+std::string x_matrix_to_string(const XMatrix& xm) {
+  std::ostringstream os;
+  write_x_matrix(xm, os);
+  return os.str();
+}
+
+XMatrix x_matrix_from_string(const std::string& text) {
+  std::istringstream is(text);
+  return read_x_matrix(is);
+}
+
+std::string response_to_string(const ResponseMatrix& rm) {
+  std::ostringstream os;
+  write_response(rm, os);
+  return os.str();
+}
+
+ResponseMatrix response_from_string(const std::string& text) {
+  std::istringstream is(text);
+  return read_response(is);
+}
+
+}  // namespace xh

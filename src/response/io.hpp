@@ -1,0 +1,35 @@
+// Plain-text serialization for response data, so X-location matrices and
+// captured responses can move between tools (and into/out of the CLI).
+//
+// XMatrix format (sparse; one line per X-capturing cell):
+//   xmatrix v1 <num_chains> <chain_length> <num_patterns>
+//   <cell> <pattern> <pattern> ...
+//   ...
+//
+// ResponseMatrix format (dense; one row string per pattern, chars 0/1/X):
+//   response v1 <num_chains> <chain_length> <num_patterns>
+//   01X10...
+//   ...
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "response/response_matrix.hpp"
+#include "response/x_matrix.hpp"
+
+namespace xh {
+
+void write_x_matrix(const XMatrix& xm, std::ostream& out);
+XMatrix read_x_matrix(std::istream& in);
+
+void write_response(const ResponseMatrix& rm, std::ostream& out);
+ResponseMatrix read_response(std::istream& in);
+
+/// String conveniences (used by tests and the CLI).
+std::string x_matrix_to_string(const XMatrix& xm);
+XMatrix x_matrix_from_string(const std::string& text);
+std::string response_to_string(const ResponseMatrix& rm);
+ResponseMatrix response_from_string(const std::string& text);
+
+}  // namespace xh

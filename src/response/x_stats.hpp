@@ -1,0 +1,78 @@
+// X-value correlation analysis (paper Section 3).
+//
+// Quantifies how concentrated and inter-correlated X captures are:
+//   * histogram of cells by X count ("177 scan cells have the same number
+//     of X's, 406"),
+//   * concentration ("90% of X's are captured in 4.9% of the scan cells"),
+//   * clusters of cells with *identical* pattern sets (the inter-correlation
+//     the partitioning algorithm exploits).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "response/x_matrix.hpp"
+#include "util/bitvec.hpp"
+
+namespace xh {
+
+/// One histogram bucket: how many cells capture exactly x_count X's.
+struct XHistogramBucket {
+  std::size_t x_count = 0;
+  std::size_t num_cells = 0;
+};
+
+/// A maximal group of cells whose X pattern sets are bit-identical.
+struct XCluster {
+  BitVec patterns;                  // the shared pattern set
+  std::vector<std::size_t> cells;   // ascending cell indices
+  std::size_t x_count() const { return patterns.count(); }
+  /// Total X's the cluster accounts for.
+  std::size_t total_x() const { return x_count() * cells.size(); }
+};
+
+struct XStatistics {
+  std::size_t num_cells = 0;
+  std::size_t num_patterns = 0;
+  std::size_t total_x = 0;
+  std::size_t x_capturing_cells = 0;
+  double x_density = 0.0;
+  /// Buckets sorted by descending x_count.
+  std::vector<XHistogramBucket> histogram;
+
+  /// Smallest fraction of all cells whose X counts sum to at least
+  /// @p x_fraction of all X's (cells taken greedily, most-X first).
+  double cell_fraction_covering(double x_fraction) const;
+
+  /// The bucket with the most cells (ties → larger x_count); the "largest
+  /// number of scan cells having the same number of X's" of Section 4.
+  XHistogramBucket largest_bucket() const;
+
+ private:
+  friend XStatistics compute_x_statistics(const XMatrix& xm);
+  /// Descending per-cell X counts, for concentration queries.
+  std::vector<std::size_t> sorted_counts_;
+};
+
+XStatistics compute_x_statistics(const XMatrix& xm);
+
+/// Groups X-capturing cells by identical pattern sets; clusters sorted by
+/// descending cell count (ties → descending X count, then first cell id).
+std::vector<XCluster> find_x_clusters(const XMatrix& xm);
+
+/// Intra-correlation (spatial) statistics — [13,14]'s observation that X's
+/// cluster in contiguous scan-chain segments within a single response.
+/// A "run" is a maximal block of consecutive X cells in one chain under one
+/// pattern.
+struct IntraCorrelation {
+  std::size_t total_runs = 0;
+  std::size_t longest_run = 0;
+  double mean_run_length = 0.0;
+  /// Fraction of X's that have at least one X neighbour in their chain
+  /// (0 for fully scattered X's, → 1 for fully blocked X's).
+  double adjacency_fraction = 0.0;
+};
+
+IntraCorrelation analyze_intra_correlation(const XMatrix& xm);
+
+}  // namespace xh

@@ -1,0 +1,47 @@
+#include "scan/scan_plan.hpp"
+
+#include "util/check.hpp"
+
+namespace xh {
+
+ScanPlan ScanPlan::build(const Netlist& nl, std::size_t num_chains) {
+  XH_REQUIRE(nl.finalized(), "scan planning requires a finalized netlist");
+  XH_REQUIRE(num_chains >= 1, "need at least one scan chain");
+  const std::vector<GateId> dffs = nl.scan_dffs();
+  XH_REQUIRE(!dffs.empty(), "netlist has no scanned DFFs");
+
+  ScanPlan plan;
+  plan.geometry_.num_chains = num_chains;
+  plan.geometry_.chain_length = (dffs.size() + num_chains - 1) / num_chains;
+  plan.cell_to_dff_.assign(plan.geometry_.num_cells(), kNoGate);
+  plan.dff_to_cell_.assign(nl.gate_count(),
+                           std::numeric_limits<std::size_t>::max());
+
+  // Round-robin: DFF k → chain k % C, position k / C. This interleaves
+  // neighbouring flops across chains, the common stitching for balanced
+  // chains.
+  for (std::size_t k = 0; k < dffs.size(); ++k) {
+    const std::size_t chain = k % num_chains;
+    const std::size_t pos = k / num_chains;
+    const std::size_t cell = plan.geometry_.cell_index(chain, pos);
+    plan.cell_to_dff_[cell] = dffs[k];
+    plan.dff_to_cell_[dffs[k]] = cell;
+  }
+  plan.dff_of_cell_count_ = dffs.size();
+  return plan;
+}
+
+GateId ScanPlan::dff_at(std::size_t cell) const {
+  XH_REQUIRE(cell < cell_to_dff_.size(), "cell index out of range");
+  return cell_to_dff_[cell];
+}
+
+std::size_t ScanPlan::cell_of(GateId dff) const {
+  XH_REQUIRE(dff < dff_to_cell_.size(), "gate id out of range");
+  const std::size_t cell = dff_to_cell_[dff];
+  XH_REQUIRE(cell != std::numeric_limits<std::size_t>::max(),
+             "gate is not a planned scan cell");
+  return cell;
+}
+
+}  // namespace xh

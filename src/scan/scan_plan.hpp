@@ -1,0 +1,45 @@
+// Scan-chain planning: distributing the scanned flops of a netlist over a
+// fixed number of equal-length chains.
+//
+// The plan is the bridge between the structural world (DFF gate ids) and the
+// response world (ScanGeometry cell indices used by masking/partitioning):
+// cell index = chain · chain_length + position. Chains are padded to equal
+// length with inert cells (index space exists, never captures anything),
+// mirroring how the paper counts control bits by the LONGEST chain.
+#pragma once
+
+#include <vector>
+
+#include "netlist/netlist.hpp"
+#include "response/geometry.hpp"
+
+namespace xh {
+
+class ScanPlan {
+ public:
+  /// Distributes nl.scan_dffs() round-robin over @p num_chains chains.
+  /// Requires at least one scanned DFF.
+  static ScanPlan build(const Netlist& nl, std::size_t num_chains);
+
+  const ScanGeometry& geometry() const { return geometry_; }
+
+  /// Number of real (non-padding) scan cells.
+  std::size_t num_scan_dffs() const { return dff_of_cell_count_; }
+
+  /// DFF at a cell index, or kNoGate for a padding cell.
+  GateId dff_at(std::size_t cell) const;
+
+  /// Cell index of a scanned DFF; throws if the gate is not in the plan.
+  std::size_t cell_of(GateId dff) const;
+
+  /// All (cell, dff) pairs, ascending by cell.
+  const std::vector<GateId>& cells() const { return cell_to_dff_; }
+
+ private:
+  ScanGeometry geometry_;
+  std::vector<GateId> cell_to_dff_;        // kNoGate = padding
+  std::vector<std::size_t> dff_to_cell_;   // indexed by GateId
+  std::size_t dff_of_cell_count_ = 0;
+};
+
+}  // namespace xh

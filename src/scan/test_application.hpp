@@ -1,0 +1,54 @@
+// Test application: drive patterns through the scan architecture and capture
+// responses.
+//
+// Test protocol per pattern (standard stuck-at scan test):
+//   1. shift the pattern's scan data into the scanned flops,
+//   2. apply the primary-input vector,
+//   3. let the combinational cloud settle,
+//   4. capture every scanned flop's D input.
+// Unscanned flops hold UNKNOWN state during capture (they are never
+// initialized by the tester) — together with tri-state buses these are the
+// X-sources whose captures pollute the response.
+#pragma once
+
+#include <vector>
+
+#include "netlist/netlist.hpp"
+#include "response/response_matrix.hpp"
+#include "scan/scan_plan.hpp"
+#include "sim/parallel_sim.hpp"
+#include "util/rng.hpp"
+
+namespace xh {
+
+/// One deterministic test: primary-input values (order of netlist.inputs())
+/// and scan-in values (indexed by scan CELL index; padding cells ignored).
+struct TestPattern {
+  std::vector<Lv> pi;
+  std::vector<Lv> scan_in;
+};
+
+/// Fully random pattern over a plan's inputs (fault-independent fill).
+TestPattern random_pattern(const Netlist& nl, const ScanPlan& plan, Rng& rng);
+
+/// Captures responses for a pattern set, 64 patterns per simulation sweep.
+///
+/// The optional stuck-at fault is injected for every pattern (single-fault
+/// assumption). Padding cells capture deterministic 0.
+class TestApplicator {
+ public:
+  TestApplicator(const Netlist& nl, const ScanPlan& plan);
+
+  ResponseMatrix capture(const std::vector<TestPattern>& patterns) const;
+  ResponseMatrix capture_faulty(const std::vector<TestPattern>& patterns,
+                                GateId fault_gate, bool stuck_at_one) const;
+
+ private:
+  ResponseMatrix run(const std::vector<TestPattern>& patterns,
+                     std::optional<ParallelSim::Fault> fault) const;
+
+  const Netlist* nl_;
+  const ScanPlan* plan_;
+};
+
+}  // namespace xh

@@ -1,0 +1,91 @@
+#include "sim/comb_sim.hpp"
+
+#include "sim/gate_eval.hpp"
+
+#include "util/check.hpp"
+
+namespace xh {
+
+CombSim::CombSim(const Netlist& nl) : nl_(&nl) {
+  XH_REQUIRE(nl.finalized(), "CombSim requires a finalized netlist");
+  values_.assign(nl.gate_count(), Lv::kX);
+  state_.assign(nl.gate_count(), Lv::kX);
+  next_state_.assign(nl.gate_count(), Lv::kX);
+}
+
+void CombSim::set_input(GateId input, Lv value) {
+  XH_REQUIRE(nl_->gate(input).type == GateType::kInput,
+             "set_input target is not a primary input");
+  values_[input] = value;
+  evaluated_ = false;
+}
+
+void CombSim::set_inputs(const std::vector<Lv>& values) {
+  XH_REQUIRE(values.size() == nl_->inputs().size(),
+             "input vector size mismatch");
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    values_[nl_->inputs()[i]] = values[i];
+  }
+  evaluated_ = false;
+}
+
+void CombSim::set_state(GateId dff, Lv value) {
+  XH_REQUIRE(nl_->gate(dff).type == GateType::kDff,
+             "set_state target is not a DFF");
+  state_[dff] = value;
+  evaluated_ = false;
+}
+
+void CombSim::set_all_state(Lv value) {
+  for (const GateId dff : nl_->dffs()) state_[dff] = value;
+  evaluated_ = false;
+}
+
+Lv CombSim::eval_gate(GateId id) const {
+  const Gate& g = nl_->gate(id);
+  if (g.type == GateType::kInput) return values_[id];
+  if (g.type == GateType::kDff) return state_[id];
+  return evaluate_combinational(*nl_, id, values_);
+}
+
+void CombSim::evaluate() {
+  for (const GateId id : nl_->topo_order()) {
+    const Gate& g = nl_->gate(id);
+    Lv v = (g.type == GateType::kDff) ? state_[id] : eval_gate(id);
+    if (fault_ && fault_->gate == id) v = fault_->value;
+    values_[id] = v;
+  }
+  for (const GateId dff : nl_->dffs()) {
+    next_state_[dff] = absorb_z(values_[nl_->gate(dff).fanin[0]]);
+  }
+  evaluated_ = true;
+}
+
+Lv CombSim::value(GateId id) const {
+  XH_REQUIRE(evaluated_, "call evaluate() before reading values");
+  XH_REQUIRE(id < nl_->gate_count(), "gate id out of range");
+  return values_[id];
+}
+
+Lv CombSim::next_state(GateId dff) const {
+  XH_REQUIRE(evaluated_, "call evaluate() before reading next state");
+  XH_REQUIRE(nl_->gate(dff).type == GateType::kDff, "not a DFF");
+  return next_state_[dff];
+}
+
+void CombSim::clock() {
+  XH_REQUIRE(evaluated_, "call evaluate() before clock()");
+  for (const GateId dff : nl_->dffs()) state_[dff] = next_state_[dff];
+  evaluated_ = false;
+}
+
+void CombSim::inject(std::optional<Fault> fault) {
+  if (fault) {
+    XH_REQUIRE(fault->gate < nl_->gate_count(), "fault gate out of range");
+    XH_REQUIRE(is_definite(fault->value), "stuck-at value must be 0 or 1");
+  }
+  fault_ = fault;
+  evaluated_ = false;
+}
+
+}  // namespace xh

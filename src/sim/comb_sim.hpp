@@ -1,0 +1,67 @@
+// Scalar four-valued evaluation of the combinational cloud of a netlist.
+//
+// Sources are primary inputs and DFF outputs (present state). One call to
+// evaluate() computes every net and the DFF next-state values; sequential
+// behaviour (scan shifting, capture cycles) is layered on top by the scan
+// module, which repeatedly loads state and re-evaluates.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "netlist/netlist.hpp"
+#include "sim/logic.hpp"
+
+namespace xh {
+
+/// Scalar reference simulator. Prioritizes clarity over speed; the parallel
+/// simulator is the fast path and is tested against this one.
+class CombSim {
+ public:
+  explicit CombSim(const Netlist& nl);
+
+  const Netlist& netlist() const { return *nl_; }
+
+  /// Sets a primary input value.
+  void set_input(GateId input, Lv value);
+  /// Sets all primary inputs at once (order of netlist().inputs()).
+  void set_inputs(const std::vector<Lv>& values);
+
+  /// Sets a DFF present-state value.
+  void set_state(GateId dff, Lv value);
+  /// Sets every DFF present state to @p value (e.g. all-X power-up).
+  void set_all_state(Lv value);
+
+  /// Evaluates the combinational cloud; values and next states refresh.
+  void evaluate();
+
+  /// Value of any net after evaluate(). DFFs report present state.
+  Lv value(GateId id) const;
+
+  /// DFF next state (the evaluated D input) after evaluate().
+  Lv next_state(GateId dff) const;
+
+  /// Copies every DFF next state into its present state (a capture clock
+  /// without re-evaluating). Typically followed by evaluate().
+  void clock();
+
+  /// Optional single stuck-at fault injection: forces the output of @p gate
+  /// to @p value before fanout sees it. Pass std::nullopt to clear.
+  struct Fault {
+    GateId gate;
+    Lv value;
+  };
+  void inject(std::optional<Fault> fault);
+
+ private:
+  Lv eval_gate(GateId id) const;
+
+  const Netlist* nl_;
+  std::vector<Lv> values_;
+  std::vector<Lv> state_;       // indexed by gate id, DFFs only meaningful
+  std::vector<Lv> next_state_;  // same indexing
+  std::optional<Fault> fault_;
+  bool evaluated_ = false;
+};
+
+}  // namespace xh

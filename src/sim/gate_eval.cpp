@@ -1,0 +1,67 @@
+#include "sim/gate_eval.hpp"
+
+#include "util/check.hpp"
+
+namespace xh {
+
+Lv evaluate_combinational(const Netlist& nl, GateId id,
+                          const std::vector<Lv>& values) {
+  const Gate& g = nl.gate(id);
+  XH_REQUIRE(is_combinational(g.type) && g.type != GateType::kDff,
+             "evaluate_combinational needs a combinational gate");
+  const auto in = [&](std::size_t k) { return values[g.fanin[k]]; };
+  switch (g.type) {
+    case GateType::kConst0:
+      return Lv::k0;
+    case GateType::kConst1:
+      return Lv::k1;
+    case GateType::kBuf:
+      return absorb_z(in(0));
+    case GateType::kNot:
+      return lv_not(in(0));
+    case GateType::kAnd:
+    case GateType::kNand: {
+      Lv acc = in(0);
+      for (std::size_t k = 1; k < g.fanin.size(); ++k) acc = lv_and(acc, in(k));
+      return g.type == GateType::kAnd ? absorb_z(acc) : lv_not(acc);
+    }
+    case GateType::kOr:
+    case GateType::kNor: {
+      Lv acc = in(0);
+      for (std::size_t k = 1; k < g.fanin.size(); ++k) acc = lv_or(acc, in(k));
+      return g.type == GateType::kOr ? absorb_z(acc) : lv_not(acc);
+    }
+    case GateType::kXor:
+    case GateType::kXnor: {
+      Lv acc = in(0);
+      for (std::size_t k = 1; k < g.fanin.size(); ++k) acc = lv_xor(acc, in(k));
+      return g.type == GateType::kXor ? absorb_z(acc) : lv_not(acc);
+    }
+    case GateType::kMux:
+      return lv_mux(in(0), in(1), in(2));
+    case GateType::kTristate:
+      return lv_tristate(in(0), in(1));
+    case GateType::kBus: {
+      bool has0 = false;
+      bool has1 = false;
+      bool hasx = false;
+      for (std::size_t k = 0; k < g.fanin.size(); ++k) {
+        const Lv v = in(k);
+        if (v == Lv::k0) has0 = true;
+        if (v == Lv::k1) has1 = true;
+        if (v == Lv::kX) hasx = true;
+      }
+      // One or more agreeing drivers win; contention, unknown drivers and a
+      // floating bus read X.
+      if (hasx || (has0 && has1) || (!has0 && !has1)) return Lv::kX;
+      return has1 ? Lv::k1 : Lv::k0;
+    }
+    case GateType::kInput:
+    case GateType::kDff:
+      break;
+  }
+  XH_ASSERT(false, "unhandled gate type");
+  return Lv::kX;
+}
+
+}  // namespace xh

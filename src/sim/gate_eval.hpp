@@ -1,0 +1,17 @@
+// Single-gate four-valued evaluation from precomputed fanin values.
+// Shared by the scalar simulator and by ATPG's dual-machine implication.
+#pragma once
+
+#include <vector>
+
+#include "netlist/netlist.hpp"
+#include "sim/logic.hpp"
+
+namespace xh {
+
+/// Output of combinational gate @p id given net values indexed by GateId.
+/// Must not be called for kInput/kDff (their values are state, not logic).
+Lv evaluate_combinational(const Netlist& nl, GateId id,
+                          const std::vector<Lv>& values);
+
+}  // namespace xh

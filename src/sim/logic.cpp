@@ -1,0 +1,78 @@
+#include "sim/logic.hpp"
+
+#include "util/check.hpp"
+
+namespace xh {
+
+char to_char(Lv v) {
+  switch (v) {
+    case Lv::k0: return '0';
+    case Lv::k1: return '1';
+    case Lv::kX: return 'X';
+    case Lv::kZ: return 'Z';
+  }
+  return '?';
+}
+
+Lv lv_from_char(char c) {
+  switch (c) {
+    case '0': return Lv::k0;
+    case '1': return Lv::k1;
+    case 'x':
+    case 'X': return Lv::kX;
+    case 'z':
+    case 'Z': return Lv::kZ;
+    default:
+      XH_REQUIRE(false, std::string("invalid logic character '") + c + "'");
+  }
+  return Lv::kX;
+}
+
+Lv lv_not(Lv a) {
+  a = absorb_z(a);
+  if (a == Lv::k0) return Lv::k1;
+  if (a == Lv::k1) return Lv::k0;
+  return Lv::kX;
+}
+
+Lv lv_and(Lv a, Lv b) {
+  a = absorb_z(a);
+  b = absorb_z(b);
+  if (a == Lv::k0 || b == Lv::k0) return Lv::k0;
+  if (a == Lv::k1 && b == Lv::k1) return Lv::k1;
+  return Lv::kX;
+}
+
+Lv lv_or(Lv a, Lv b) {
+  a = absorb_z(a);
+  b = absorb_z(b);
+  if (a == Lv::k1 || b == Lv::k1) return Lv::k1;
+  if (a == Lv::k0 && b == Lv::k0) return Lv::k0;
+  return Lv::kX;
+}
+
+Lv lv_xor(Lv a, Lv b) {
+  a = absorb_z(a);
+  b = absorb_z(b);
+  if (!is_definite(a) || !is_definite(b)) return Lv::kX;
+  return a == b ? Lv::k0 : Lv::k1;
+}
+
+Lv lv_mux(Lv select, Lv in0, Lv in1) {
+  select = absorb_z(select);
+  in0 = absorb_z(in0);
+  in1 = absorb_z(in1);
+  if (select == Lv::k0) return in0;
+  if (select == Lv::k1) return in1;
+  if (is_definite(in0) && in0 == in1) return in0;
+  return Lv::kX;
+}
+
+Lv lv_tristate(Lv enable, Lv data) {
+  enable = absorb_z(enable);
+  if (enable == Lv::k0) return Lv::kZ;
+  if (enable == Lv::k1) return absorb_z(data);
+  return Lv::kX;
+}
+
+}  // namespace xh

@@ -1,0 +1,42 @@
+// Four-valued logic (0, 1, X, Z) and its gate semantics.
+//
+// X is "unknown": the classic pessimistic three-valued algebra, extended with
+// Z ("not driven") which only tri-state structures produce. Any ordinary gate
+// consuming Z treats it as X (an undriven net reads an unknown voltage).
+#pragma once
+
+#include <cstdint>
+
+namespace xh {
+
+/// Logic value. The numeric codes match the packed 2-bit plane encoding used
+/// by the parallel simulator: bit0 = p0, bit1 = p1 with 00=0, 01=1, 10=X, 11=Z.
+enum class Lv : std::uint8_t {
+  k0 = 0,
+  k1 = 1,
+  kX = 2,
+  kZ = 3,
+};
+
+constexpr bool is_definite(Lv v) { return v == Lv::k0 || v == Lv::k1; }
+
+/// Z degrades to X at the input of any ordinary gate.
+constexpr Lv absorb_z(Lv v) { return v == Lv::kZ ? Lv::kX : v; }
+
+char to_char(Lv v);
+Lv lv_from_char(char c);  // '0' '1' 'x'/'X' 'z'/'Z'
+
+Lv lv_not(Lv a);
+Lv lv_and(Lv a, Lv b);
+Lv lv_or(Lv a, Lv b);
+Lv lv_xor(Lv a, Lv b);
+
+/// MUX(select, in0, in1): select==X yields the common definite value of the
+/// data inputs if they agree, else X.
+Lv lv_mux(Lv select, Lv in0, Lv in1);
+
+/// TRISTATE(enable, data): Z when disabled, data (Z→X) when enabled, X when
+/// the enable is unknown (could be driving or not).
+Lv lv_tristate(Lv enable, Lv data);
+
+}  // namespace xh

@@ -1,0 +1,211 @@
+#include "sim/parallel_sim.hpp"
+
+#include "util/check.hpp"
+
+namespace xh {
+namespace {
+
+constexpr std::uint64_t kAll = ~0ULL;
+
+// Lane classification helpers (Z absorbed to X where noted).
+std::uint64_t def0(const LvPlane& a) { return ~a.p1 & ~a.p0; }
+std::uint64_t def1(const LvPlane& a) { return ~a.p1 & a.p0; }
+std::uint64_t unk(const LvPlane& a) { return a.p1; }  // X or Z
+std::uint64_t x_lanes(const LvPlane& a) { return a.p1 & ~a.p0; }
+
+LvPlane make(std::uint64_t ones, std::uint64_t xs) {
+  // ones and xs must be disjoint; remaining lanes are 0.
+  return LvPlane{ones, xs};
+}
+
+}  // namespace
+
+void LvPlane::set(std::size_t slot, Lv v) {
+  XH_REQUIRE(slot < 64, "plane slot out of range");
+  const std::uint64_t bit = 1ULL << slot;
+  const auto code = static_cast<std::uint8_t>(v);
+  p0 = (p0 & ~bit) | ((code & 1U) ? bit : 0U);
+  p1 = (p1 & ~bit) | ((code & 2U) ? bit : 0U);
+}
+
+Lv LvPlane::get(std::size_t slot) const {
+  XH_REQUIRE(slot < 64, "plane slot out of range");
+  const std::uint64_t bit = 1ULL << slot;
+  const std::uint8_t code = static_cast<std::uint8_t>(((p1 & bit) ? 2 : 0) |
+                                                      ((p0 & bit) ? 1 : 0));
+  return static_cast<Lv>(code);
+}
+
+LvPlane LvPlane::splat(Lv v) {
+  const auto code = static_cast<std::uint8_t>(v);
+  return LvPlane{(code & 1U) ? kAll : 0U, (code & 2U) ? kAll : 0U};
+}
+
+ParallelSim::ParallelSim(const Netlist& nl) : nl_(&nl) {
+  XH_REQUIRE(nl.finalized(), "ParallelSim requires a finalized netlist");
+  planes_.assign(nl.gate_count(), LvPlane::splat(Lv::kX));
+  state_.assign(nl.gate_count(), LvPlane::splat(Lv::kX));
+  next_state_.assign(nl.gate_count(), LvPlane::splat(Lv::kX));
+}
+
+void ParallelSim::set_input(GateId input, const LvPlane& plane) {
+  XH_REQUIRE(nl_->gate(input).type == GateType::kInput,
+             "set_input target is not a primary input");
+  planes_[input] = plane;
+  evaluated_ = false;
+}
+
+void ParallelSim::set_state(GateId dff, const LvPlane& plane) {
+  XH_REQUIRE(nl_->gate(dff).type == GateType::kDff,
+             "set_state target is not a DFF");
+  state_[dff] = plane;
+  evaluated_ = false;
+}
+
+void ParallelSim::set_all_state(Lv v) {
+  for (const GateId dff : nl_->dffs()) state_[dff] = LvPlane::splat(v);
+  evaluated_ = false;
+}
+
+void ParallelSim::inject(std::optional<Fault> fault) {
+  if (fault) {
+    XH_REQUIRE(fault->gate < nl_->gate_count(), "fault gate out of range");
+    XH_REQUIRE(is_definite(fault->value), "stuck-at value must be 0 or 1");
+  }
+  fault_ = fault;
+  evaluated_ = false;
+}
+
+void ParallelSim::evaluate() {
+  for (const GateId id : nl_->topo_order()) {
+    const Gate& g = nl_->gate(id);
+    const auto in = [&](std::size_t k) -> const LvPlane& {
+      return planes_[g.fanin[k]];
+    };
+    LvPlane out;
+    switch (g.type) {
+      case GateType::kInput:
+        out = planes_[id];
+        break;
+      case GateType::kDff:
+        out = state_[id];
+        break;
+      case GateType::kConst0:
+        out = LvPlane::splat(Lv::k0);
+        break;
+      case GateType::kConst1:
+        out = LvPlane::splat(Lv::k1);
+        break;
+      case GateType::kBuf:
+        out = make(def1(in(0)), unk(in(0)));
+        break;
+      case GateType::kNot:
+        out = make(def0(in(0)), unk(in(0)));
+        break;
+      case GateType::kAnd:
+      case GateType::kNand: {
+        std::uint64_t all1 = kAll;
+        std::uint64_t any0 = 0;
+        for (std::size_t k = 0; k < g.fanin.size(); ++k) {
+          all1 &= def1(in(k));
+          any0 |= def0(in(k));
+        }
+        const std::uint64_t xs = ~all1 & ~any0;
+        out = (g.type == GateType::kAnd) ? make(all1, xs) : make(any0, xs);
+        break;
+      }
+      case GateType::kOr:
+      case GateType::kNor: {
+        std::uint64_t any1 = 0;
+        std::uint64_t all0 = kAll;
+        for (std::size_t k = 0; k < g.fanin.size(); ++k) {
+          any1 |= def1(in(k));
+          all0 &= def0(in(k));
+        }
+        const std::uint64_t xs = ~any1 & ~all0;
+        out = (g.type == GateType::kOr) ? make(any1, xs) : make(all0, xs);
+        break;
+      }
+      case GateType::kXor:
+      case GateType::kXnor: {
+        std::uint64_t parity = 0;
+        std::uint64_t anyx = 0;
+        for (std::size_t k = 0; k < g.fanin.size(); ++k) {
+          parity ^= def1(in(k));
+          anyx |= unk(in(k));
+        }
+        if (g.type == GateType::kXnor) parity = ~parity;
+        out = make(parity & ~anyx, anyx);
+        break;
+      }
+      case GateType::kMux: {
+        const LvPlane& s = in(0);
+        const LvPlane& a = in(1);
+        const LvPlane& b = in(2);
+        const std::uint64_t out1 = (def0(s) & def1(a)) | (def1(s) & def1(b)) |
+                                   (unk(s) & def1(a) & def1(b));
+        const std::uint64_t out0 = (def0(s) & def0(a)) | (def1(s) & def0(b)) |
+                                   (unk(s) & def0(a) & def0(b));
+        out = make(out1, ~(out1 | out0));
+        break;
+      }
+      case GateType::kTristate: {
+        const LvPlane& en = in(0);
+        const LvPlane& d = in(1);
+        out.p0 = def0(en) | (def1(en) & def1(d));
+        out.p1 = def0(en) | unk(en) | (def1(en) & unk(d));
+        break;
+      }
+      case GateType::kBus: {
+        std::uint64_t has0 = 0;
+        std::uint64_t has1 = 0;
+        std::uint64_t hasx = 0;
+        for (std::size_t k = 0; k < g.fanin.size(); ++k) {
+          has0 |= def0(in(k));
+          has1 |= def1(in(k));
+          hasx |= x_lanes(in(k));
+        }
+        const std::uint64_t out1 = has1 & ~has0 & ~hasx;
+        const std::uint64_t out0 = has0 & ~has1 & ~hasx;
+        // Everything else — contention, unknown driver, floating — is X.
+        out = make(out1, ~(out1 | out0));
+        break;
+      }
+    }
+    if (fault_ && fault_->gate == id) {
+      const LvPlane forced = LvPlane::splat(fault_->value);
+      out.p0 = (out.p0 & ~fault_->lanes) | (forced.p0 & fault_->lanes);
+      out.p1 = (out.p1 & ~fault_->lanes) | (forced.p1 & fault_->lanes);
+    }
+    planes_[id] = out;
+  }
+  for (const GateId dff : nl_->dffs()) {
+    const LvPlane& d = planes_[nl_->gate(dff).fanin[0]];
+    next_state_[dff] = make(def1(d), unk(d));  // Z absorbed at the D pin
+  }
+  evaluated_ = true;
+}
+
+const LvPlane& ParallelSim::plane(GateId id) const {
+  XH_REQUIRE(evaluated_, "call evaluate() before reading planes");
+  XH_REQUIRE(id < nl_->gate_count(), "gate id out of range");
+  return planes_[id];
+}
+
+Lv ParallelSim::value(GateId id, std::size_t slot) const {
+  return plane(id).get(slot);
+}
+
+const LvPlane& ParallelSim::next_state_plane(GateId dff) const {
+  XH_REQUIRE(evaluated_, "call evaluate() before reading next state");
+  XH_REQUIRE(nl_->gate(dff).type == GateType::kDff, "not a DFF");
+  return next_state_[dff];
+}
+
+void ParallelSim::clock() {
+  XH_REQUIRE(evaluated_, "call evaluate() before clock()");
+  for (const GateId dff : nl_->dffs()) state_[dff] = next_state_[dff];
+  evaluated_ = false;
+}
+
+}  // namespace xh

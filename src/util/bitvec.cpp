@@ -1,0 +1,178 @@
+#include "util/bitvec.hpp"
+
+#include <bit>
+
+#include "util/check.hpp"
+
+namespace xh {
+namespace {
+constexpr std::size_t kWordBits = 64;
+
+std::size_t words_for(std::size_t bits) {
+  return (bits + kWordBits - 1) / kWordBits;
+}
+}  // namespace
+
+BitVec::BitVec(std::size_t size, bool value)
+    : size_(size), words_(words_for(size), value ? ~0ULL : 0ULL) {
+  mask_tail();
+}
+
+void BitVec::mask_tail() {
+  const std::size_t rem = size_ % kWordBits;
+  if (rem != 0 && !words_.empty()) {
+    words_.back() &= (1ULL << rem) - 1;
+  }
+}
+
+bool BitVec::get(std::size_t i) const {
+  XH_REQUIRE(i < size_, "BitVec::get index out of range");
+  return (words_[i / kWordBits] >> (i % kWordBits)) & 1ULL;
+}
+
+void BitVec::set(std::size_t i, bool value) {
+  XH_REQUIRE(i < size_, "BitVec::set index out of range");
+  const std::uint64_t mask = 1ULL << (i % kWordBits);
+  if (value) {
+    words_[i / kWordBits] |= mask;
+  } else {
+    words_[i / kWordBits] &= ~mask;
+  }
+}
+
+void BitVec::flip(std::size_t i) {
+  XH_REQUIRE(i < size_, "BitVec::flip index out of range");
+  words_[i / kWordBits] ^= 1ULL << (i % kWordBits);
+}
+
+void BitVec::fill(bool value) {
+  for (auto& w : words_) w = value ? ~0ULL : 0ULL;
+  mask_tail();
+}
+
+std::size_t BitVec::count() const {
+  std::size_t total = 0;
+  for (const auto w : words_) total += static_cast<std::size_t>(std::popcount(w));
+  return total;
+}
+
+bool BitVec::any() const {
+  for (const auto w : words_) {
+    if (w != 0) return true;
+  }
+  return false;
+}
+
+std::size_t BitVec::find_first() const { return find_next(0); }
+
+std::size_t BitVec::find_next(std::size_t from) const {
+  if (from >= size_) return size_;
+  std::size_t w = from / kWordBits;
+  std::uint64_t cur = words_[w] & (~0ULL << (from % kWordBits));
+  for (;;) {
+    if (cur != 0) {
+      const std::size_t bit =
+          w * kWordBits + static_cast<std::size_t>(std::countr_zero(cur));
+      return bit < size_ ? bit : size_;
+    }
+    if (++w >= words_.size()) return size_;
+    cur = words_[w];
+  }
+}
+
+std::vector<std::size_t> BitVec::set_bits() const {
+  std::vector<std::size_t> out;
+  out.reserve(count());
+  for (std::size_t i = find_first(); i < size_; i = find_next(i + 1)) {
+    out.push_back(i);
+  }
+  return out;
+}
+
+BitVec& BitVec::operator^=(const BitVec& other) {
+  XH_REQUIRE(size_ == other.size_, "BitVec size mismatch in ^=");
+  for (std::size_t w = 0; w < words_.size(); ++w) words_[w] ^= other.words_[w];
+  return *this;
+}
+
+BitVec& BitVec::operator&=(const BitVec& other) {
+  XH_REQUIRE(size_ == other.size_, "BitVec size mismatch in &=");
+  for (std::size_t w = 0; w < words_.size(); ++w) words_[w] &= other.words_[w];
+  return *this;
+}
+
+BitVec& BitVec::operator|=(const BitVec& other) {
+  XH_REQUIRE(size_ == other.size_, "BitVec size mismatch in |=");
+  for (std::size_t w = 0; w < words_.size(); ++w) words_[w] |= other.words_[w];
+  return *this;
+}
+
+BitVec& BitVec::and_not(const BitVec& other) {
+  XH_REQUIRE(size_ == other.size_, "BitVec size mismatch in and_not");
+  for (std::size_t w = 0; w < words_.size(); ++w) words_[w] &= ~other.words_[w];
+  return *this;
+}
+
+bool BitVec::intersects(const BitVec& other) const {
+  XH_REQUIRE(size_ == other.size_, "BitVec size mismatch in intersects");
+  for (std::size_t w = 0; w < words_.size(); ++w) {
+    if ((words_[w] & other.words_[w]) != 0) return true;
+  }
+  return false;
+}
+
+bool BitVec::is_subset_of(const BitVec& other) const {
+  XH_REQUIRE(size_ == other.size_, "BitVec size mismatch in is_subset_of");
+  for (std::size_t w = 0; w < words_.size(); ++w) {
+    if ((words_[w] & ~other.words_[w]) != 0) return false;
+  }
+  return true;
+}
+
+bool BitVec::operator==(const BitVec& other) const {
+  return size_ == other.size_ && words_ == other.words_;
+}
+
+void BitVec::resize(std::size_t size) {
+  const bool shrinking_within_word = size < size_;
+  size_ = size;
+  words_.resize(words_for(size), 0ULL);
+  if (shrinking_within_word) mask_tail();
+}
+
+std::string BitVec::to_string() const {
+  std::string out;
+  out.reserve(size_);
+  for (std::size_t i = 0; i < size_; ++i) out.push_back(get(i) ? '1' : '0');
+  return out;
+}
+
+BitVec BitVec::from_string(const std::string& bits) {
+  std::string compact;
+  compact.reserve(bits.size());
+  for (const char c : bits) {
+    if (c == '0' || c == '1') {
+      compact.push_back(c);
+    } else {
+      XH_REQUIRE(c == ' ' || c == '\t' || c == '\n' || c == '_',
+                 "BitVec::from_string: invalid character");
+    }
+  }
+  BitVec out(compact.size());
+  for (std::size_t i = 0; i < compact.size(); ++i) {
+    if (compact[i] == '1') out.set(i);
+  }
+  return out;
+}
+
+void BitVec::set_word(std::size_t w, std::uint64_t value) {
+  XH_REQUIRE(w < words_.size(), "BitVec::set_word index out of range");
+  words_[w] = value;
+  if (w + 1 == words_.size()) mask_tail();
+}
+
+BitVec operator^(BitVec lhs, const BitVec& rhs) { return lhs ^= rhs; }
+BitVec operator&(BitVec lhs, const BitVec& rhs) { return lhs &= rhs; }
+BitVec operator|(BitVec lhs, const BitVec& rhs) { return lhs |= rhs; }
+
+}  // namespace xh

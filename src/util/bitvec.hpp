@@ -1,0 +1,93 @@
+// Packed bit vector used throughout the library for mask vectors, GF(2)
+// matrix rows, pattern-membership sets and parallel-pattern simulation planes.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace xh {
+
+/// Fixed-size packed vector of bits with word-level bulk operations.
+///
+/// Semantics follow a mathematical bit vector rather than std::vector<bool>:
+/// out-of-range access is a checked error, and binary operations require equal
+/// sizes. Bits beyond size() inside the last word are kept zero at all times
+/// so popcount/scan operations never need masking on read.
+class BitVec {
+ public:
+  BitVec() = default;
+
+  /// Creates a vector of @p size bits, all cleared (or all set if @p value).
+  explicit BitVec(std::size_t size, bool value = false);
+
+  std::size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+  bool get(std::size_t i) const;
+  void set(std::size_t i, bool value = true);
+  void clear(std::size_t i) { set(i, false); }
+  void flip(std::size_t i);
+
+  /// Sets every bit to @p value.
+  void fill(bool value);
+
+  /// Number of set bits.
+  std::size_t count() const;
+
+  bool any() const;
+  bool none() const { return !any(); }
+
+  /// Index of the first set bit, or size() if none.
+  std::size_t find_first() const;
+
+  /// Index of the first set bit at or after @p from, or size() if none.
+  std::size_t find_next(std::size_t from) const;
+
+  /// Indices of all set bits, ascending.
+  std::vector<std::size_t> set_bits() const;
+
+  /// In-place bulk logic; all require other.size() == size().
+  BitVec& operator^=(const BitVec& other);
+  BitVec& operator&=(const BitVec& other);
+  BitVec& operator|=(const BitVec& other);
+
+  /// andnot: this &= ~other.
+  BitVec& and_not(const BitVec& other);
+
+  /// True when (*this & other) has at least one set bit.
+  bool intersects(const BitVec& other) const;
+
+  /// True when every set bit of *this is also set in @p other.
+  bool is_subset_of(const BitVec& other) const;
+
+  bool operator==(const BitVec& other) const;
+
+  /// Grows or shrinks to @p size, clearing any newly exposed bits.
+  void resize(std::size_t size);
+
+  /// "0"/"1" string, index 0 first — handy for tests and dumps.
+  std::string to_string() const;
+
+  /// Parses a "01" string (whitespace ignored).
+  static BitVec from_string(const std::string& bits);
+
+  /// Direct word access for performance-sensitive consumers (simulation).
+  std::size_t word_count() const { return words_.size(); }
+  std::uint64_t word(std::size_t w) const { return words_[w]; }
+  void set_word(std::size_t w, std::uint64_t value);
+
+ private:
+  void mask_tail();
+
+  std::size_t size_ = 0;
+  std::vector<std::uint64_t> words_;
+};
+
+/// Value-returning convenience operators.
+BitVec operator^(BitVec lhs, const BitVec& rhs);
+BitVec operator&(BitVec lhs, const BitVec& rhs);
+BitVec operator|(BitVec lhs, const BitVec& rhs);
+
+}  // namespace xh

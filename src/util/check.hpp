@@ -1,0 +1,42 @@
+// Lightweight precondition / invariant checking.
+//
+// XH_REQUIRE is for argument validation on public API boundaries: it is always
+// on and throws std::invalid_argument so callers can test misuse.
+// XH_ASSERT is for internal invariants: always on as well (the library is not
+// performance-critical enough to justify silent corruption), but throws
+// std::logic_error to distinguish library bugs from caller bugs.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace xh {
+
+[[noreturn]] inline void throw_requirement(const char* expr, const char* file,
+                                           int line, const std::string& msg) {
+  std::ostringstream os;
+  os << "requirement failed: " << expr << " at " << file << ':' << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw std::invalid_argument(os.str());
+}
+
+[[noreturn]] inline void throw_assertion(const char* expr, const char* file,
+                                         int line, const std::string& msg) {
+  std::ostringstream os;
+  os << "internal invariant failed: " << expr << " at " << file << ':' << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw std::logic_error(os.str());
+}
+
+}  // namespace xh
+
+#define XH_REQUIRE(cond, msg)                                      \
+  do {                                                             \
+    if (!(cond)) ::xh::throw_requirement(#cond, __FILE__, __LINE__, (msg)); \
+  } while (false)
+
+#define XH_ASSERT(cond, msg)                                       \
+  do {                                                             \
+    if (!(cond)) ::xh::throw_assertion(#cond, __FILE__, __LINE__, (msg)); \
+  } while (false)

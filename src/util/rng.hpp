@@ -1,0 +1,56 @@
+// Deterministic pseudo-random number generation.
+//
+// All stochastic components of the library (circuit generation, workload
+// synthesis, random-fill ATPG) take an explicit Rng so experiments are
+// reproducible from a single seed. The generator is xoshiro256** seeded
+// through splitmix64, which is both fast and statistically strong enough
+// for workload synthesis.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace xh {
+
+/// xoshiro256** PRNG with convenience sampling helpers.
+class Rng {
+ public:
+  /// Seeds the full 256-bit state from @p seed via splitmix64.
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL);
+
+  /// Next raw 64-bit value.
+  std::uint64_t next_u64();
+
+  /// Uniform integer in [0, bound) — @p bound must be > 0.
+  std::uint64_t below(std::uint64_t bound);
+
+  /// Uniform integer in [lo, hi] inclusive — requires lo <= hi.
+  std::int64_t range(std::int64_t lo, std::int64_t hi);
+
+  /// Uniform double in [0, 1).
+  double uniform();
+
+  /// Bernoulli trial with probability @p p (clamped to [0,1]).
+  bool chance(double p);
+
+  /// Approximately Gaussian sample (sum of uniforms), mean 0, stddev 1.
+  double gaussian();
+
+  /// Fisher–Yates shuffle of @p items.
+  template <typename T>
+  void shuffle(std::vector<T>& items) {
+    for (std::size_t i = items.size(); i > 1; --i) {
+      const std::size_t j = static_cast<std::size_t>(below(i));
+      std::swap(items[i - 1], items[j]);
+    }
+  }
+
+  /// Samples @p k distinct values from [0, n) in increasing order.
+  std::vector<std::size_t> sample_without_replacement(std::size_t n,
+                                                      std::size_t k);
+
+ private:
+  std::uint64_t s_[4];
+};
+
+}  // namespace xh

@@ -1,0 +1,58 @@
+#include "util/table.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+
+#include "util/check.hpp"
+
+namespace xh {
+
+TextTable::TextTable(std::vector<std::string> header)
+    : header_(std::move(header)) {
+  XH_REQUIRE(!header_.empty(), "table needs at least one column");
+}
+
+void TextTable::add_row(std::vector<std::string> row) {
+  XH_REQUIRE(row.size() <= header_.size(), "row has more cells than header");
+  row.resize(header_.size());
+  rows_.push_back(std::move(row));
+}
+
+std::string TextTable::render() const {
+  std::vector<std::size_t> width(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) width[c] = header_[c].size();
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      width[c] = std::max(width[c], row[c].size());
+    }
+  }
+
+  std::ostringstream os;
+  auto emit = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      os << (c == 0 ? "| " : " | ");
+      os << row[c] << std::string(width[c] - row[c].size(), ' ');
+    }
+    os << " |\n";
+  };
+  emit(header_);
+  for (std::size_t c = 0; c < header_.size(); ++c) {
+    os << (c == 0 ? "|-" : "-|-") << std::string(width[c], '-');
+  }
+  os << "-|\n";
+  for (const auto& row : rows_) emit(row);
+  return os.str();
+}
+
+std::string TextTable::num(double value, int digits) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*f", digits, value);
+  return buf;
+}
+
+std::string TextTable::millions(double value) {
+  return num(value / 1e6, 2) + "M";
+}
+
+}  // namespace xh

@@ -1,0 +1,114 @@
+#include "atpg/test_generation.hpp"
+
+#include <gtest/gtest.h>
+
+#include "netlist/bench_io.hpp"
+#include "netlist/generator.hpp"
+
+namespace xh {
+namespace {
+
+TEST(TestGeneration, FullCoverageOnCleanCircuit) {
+  const Netlist nl = read_bench_string(
+      "INPUT(a)\nINPUT(b)\nINPUT(c)\nOUTPUT(q)\n"
+      "g1 = AND(a, b)\ng2 = OR(g1, c)\nq = DFF(g2)\n");
+  const ScanPlan plan = ScanPlan::build(nl, 1);
+  AtpgConfig cfg;
+  cfg.random_patterns = 4;
+  const AtpgResult r = generate_test_set(nl, plan, cfg);
+  EXPECT_DOUBLE_EQ(r.coverage(), 1.0);
+  EXPECT_EQ(r.num_untestable, 0u);
+  EXPECT_EQ(r.num_aborted, 0u);
+  EXPECT_FALSE(r.patterns.empty());
+}
+
+TEST(TestGeneration, CountsRedundantFaults) {
+  const Netlist nl = read_bench_string(
+      "INPUT(a)\nOUTPUT(q)\nn = NOT(a)\nr = AND(a, n)\n"
+      "q = DFF(d)\nd = OR(r, a)\n");
+  const ScanPlan plan = ScanPlan::build(nl, 1);
+  AtpgConfig cfg;
+  cfg.random_patterns = 8;
+  const AtpgResult r = generate_test_set(nl, plan, cfg);
+  EXPECT_GT(r.num_untestable, 0u) << "r s-a-0 is redundant";
+  EXPECT_LT(r.coverage(), 1.0);
+  EXPECT_EQ(r.num_detected + r.num_untestable + r.num_aborted,
+            r.faults.size());
+}
+
+TEST(TestGeneration, DeterministicPhaseImprovesOnRandom) {
+  GeneratorConfig gcfg;
+  gcfg.seed = 13;
+  gcfg.num_gates = 150;
+  gcfg.num_dffs = 12;
+  const Netlist nl = generate_circuit(gcfg);
+  const ScanPlan plan = ScanPlan::build(nl, 2);
+
+  AtpgConfig random_only;
+  random_only.random_patterns = 16;
+  random_only.backtrack_limit = 0;  // cripple PODEM: abort instantly
+  const AtpgResult ro = generate_test_set(nl, plan, random_only);
+
+  AtpgConfig full;
+  full.random_patterns = 16;
+  const AtpgResult f = generate_test_set(nl, plan, full);
+  EXPECT_GE(f.num_detected, ro.num_detected);
+  EXPECT_GT(f.coverage(), 0.5);
+}
+
+TEST(TestGeneration, CompactionKeepsCoverage) {
+  GeneratorConfig gcfg;
+  gcfg.seed = 17;
+  gcfg.num_gates = 100;
+  gcfg.num_dffs = 8;
+  const Netlist nl = generate_circuit(gcfg);
+  const ScanPlan plan = ScanPlan::build(nl, 2);
+
+  AtpgConfig compacted;
+  compacted.random_patterns = 64;
+  AtpgConfig uncompacted = compacted;
+  uncompacted.compact_random_phase = false;
+
+  const AtpgResult a = generate_test_set(nl, plan, compacted);
+  const AtpgResult b = generate_test_set(nl, plan, uncompacted);
+  EXPECT_EQ(a.num_detected, b.num_detected);
+  EXPECT_LE(a.patterns.size(), b.patterns.size());
+}
+
+TEST(TestGeneration, WorksWithXSources) {
+  GeneratorConfig gcfg;
+  gcfg.seed = 23;
+  gcfg.num_gates = 120;
+  gcfg.num_dffs = 12;
+  gcfg.nonscan_fraction = 0.25;
+  gcfg.num_buses = 2;
+  const Netlist nl = generate_circuit(gcfg);
+  const ScanPlan plan = ScanPlan::build(nl, 3);
+  AtpgConfig cfg;
+  cfg.random_patterns = 32;
+  const AtpgResult r = generate_test_set(nl, plan, cfg);
+  // X-sources cost real coverage (many cones are only observable through
+  // X-poisoned paths); the flow must stay functional, detect a meaningful
+  // share, and account for every fault.
+  EXPECT_GT(r.coverage(), 0.15);
+  EXPECT_EQ(r.num_detected + r.num_untestable + r.num_aborted,
+            r.faults.size());
+}
+
+TEST(TestGeneration, DeterministicForFixedSeed) {
+  GeneratorConfig gcfg;
+  gcfg.seed = 29;
+  gcfg.num_gates = 60;
+  const Netlist nl = generate_circuit(gcfg);
+  const ScanPlan plan = ScanPlan::build(nl, 2);
+  AtpgConfig cfg;
+  cfg.random_patterns = 16;
+  cfg.seed = 99;
+  const AtpgResult a = generate_test_set(nl, plan, cfg);
+  const AtpgResult b = generate_test_set(nl, plan, cfg);
+  EXPECT_EQ(a.patterns.size(), b.patterns.size());
+  EXPECT_EQ(a.num_detected, b.num_detected);
+}
+
+}  // namespace
+}  // namespace xh

@@ -1,0 +1,112 @@
+#include "baseline/superset.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "core/paper_example.hpp"
+#include "misr/accounting.hpp"
+#include "workload/industrial.hpp"
+
+namespace xh {
+namespace {
+
+TEST(Superset, GroupsCoverAllPatternsOnce) {
+  SupersetConfig cfg;
+  cfg.misr = {10, 2};
+  const SupersetResult r =
+      superset_x_canceling(paper_example_x_matrix(), cfg);
+  std::vector<bool> seen(8, false);
+  for (const auto& g : r.groups) {
+    for (const std::size_t p : g.patterns) {
+      EXPECT_FALSE(seen[p]);
+      seen[p] = true;
+    }
+  }
+  for (const bool s : seen) EXPECT_TRUE(s);
+}
+
+TEST(Superset, ZeroGrowthKeepsIdenticalPatternsTogetherOnly) {
+  SupersetConfig cfg;
+  cfg.misr = {10, 2};
+  cfg.max_growth = 0.0;
+  const SupersetResult r =
+      superset_x_canceling(paper_example_x_matrix(), cfg);
+  // A new pattern joins only if it adds no new X location; consecutive
+  // identical-or-subset X-sets merge.
+  for (const auto& g : r.groups) {
+    EXPECT_GE(g.patterns.size(), 1u);
+  }
+  // No observability may be lost beyond subset slack when growth is zero.
+  for (const auto& g : r.groups) {
+    EXPECT_EQ(g.lost_observations,
+              g.superset_x * g.patterns.size() -
+                  [&] {
+                    std::size_t sum = 0;
+                    const XMatrix xm = paper_example_x_matrix();
+                    for (const std::size_t p : g.patterns) {
+                      for (const std::size_t cell : xm.x_cells()) {
+                        if (xm.is_x(cell, p)) ++sum;
+                      }
+                    }
+                    return sum;
+                  }());
+  }
+}
+
+TEST(Superset, InfiniteGrowthMakesOneGroup) {
+  SupersetConfig cfg;
+  cfg.misr = {10, 2};
+  cfg.max_growth = 1e9;
+  const SupersetResult r =
+      superset_x_canceling(paper_example_x_matrix(), cfg);
+  ASSERT_EQ(r.groups.size(), 1u);
+  // Union of all X locations = 7 X-capturing cells.
+  EXPECT_EQ(r.groups[0].superset_x, 7u);
+  // Control bits: one schedule for the whole set.
+  EXPECT_DOUBLE_EQ(r.control_bits,
+                   x_canceling_only_bits(cfg.misr, 7));
+  // Lost observations = 7·8 − 28 = 28 deterministic bits sacrificed.
+  EXPECT_EQ(r.lost_observations, 28u);
+}
+
+TEST(Superset, ControlBitsVsLostObservationsTradeoff) {
+  // Growing the merge budget must not increase control bits, and must not
+  // decrease lost observations.
+  const XMatrix xm =
+      generate_workload(scaled_profile(ckt_b_profile(), 0.06));
+  SupersetConfig tight;
+  tight.misr = {32, 7};
+  tight.max_growth = 0.05;
+  SupersetConfig loose = tight;
+  loose.max_growth = 2.0;
+  const SupersetResult a = superset_x_canceling(xm, tight);
+  const SupersetResult b = superset_x_canceling(xm, loose);
+  EXPECT_LE(b.control_bits, a.control_bits);
+  EXPECT_GE(b.lost_observations, a.lost_observations);
+  EXPECT_GE(a.groups.size(), b.groups.size());
+}
+
+TEST(Superset, RejectsBadConfig) {
+  SupersetConfig cfg;
+  cfg.misr = {10, 2};
+  cfg.max_growth = -0.1;
+  EXPECT_THROW(superset_x_canceling(paper_example_x_matrix(), cfg),
+               std::invalid_argument);
+}
+
+TEST(Superset, HybridBeatsSupersetOnClusteredWorkloads) {
+  // The paper's pitch versus [17,18]: on strongly inter-correlated X's the
+  // partitioning hybrid reduces control data without losing observations.
+  const XMatrix xm =
+      generate_workload(scaled_profile(ckt_b_profile(), 0.06));
+  SupersetConfig scfg;
+  scfg.misr = {32, 7};
+  scfg.max_growth = 0.25;
+  const SupersetResult superset = superset_x_canceling(xm, scfg);
+  EXPECT_GT(superset.lost_observations, 0u)
+      << "superset merging sacrifices observability";
+}
+
+}  // namespace
+}  // namespace xh

@@ -1,0 +1,81 @@
+#include "core/tester_payload.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "core/paper_example.hpp"
+
+namespace xh {
+namespace {
+
+HybridSimulation worked_example_sim() {
+  HybridConfig cfg;
+  cfg.partitioner.misr = {10, 2};
+  return run_hybrid_simulation(paper_example_response(3), cfg);
+}
+
+TEST(TesterPayload, SectionsMatchPartitions) {
+  const HybridSimulation sim = worked_example_sim();
+  const TesterPayload payload = build_tester_payload(sim);
+  ASSERT_EQ(payload.partitions.size(),
+            sim.report.partitioning.num_partitions());
+  for (std::size_t i = 0; i < payload.partitions.size(); ++i) {
+    EXPECT_TRUE(payload.partitions[i].patterns ==
+                sim.report.partitioning.partitions[i]);
+    // Decoding the shipped mask reproduces the planner's mask exactly.
+    EXPECT_TRUE(decode_mask(payload.partitions[i].mask) ==
+                sim.report.partitioning.masks[i]);
+  }
+}
+
+TEST(TesterPayload, RawMaskBitsMatchPaperAccounting) {
+  const HybridSimulation sim = worked_example_sim();
+  const TesterPayload payload = build_tester_payload(sim);
+  // 3 partitions × 15 cells = 45 raw mask bits (the paper's number).
+  EXPECT_EQ(payload.raw_mask_bits, 45u);
+  EXPECT_DOUBLE_EQ(static_cast<double>(payload.raw_mask_bits),
+                   sim.report.partitioning.masking_bits);
+}
+
+TEST(TesterPayload, PatternOrderIsAPermutationGroupedByPartition) {
+  const HybridSimulation sim = worked_example_sim();
+  const TesterPayload payload = build_tester_payload(sim);
+  ASSERT_EQ(payload.pattern_order.size(), 8u);
+  auto sorted = payload.pattern_order;
+  std::sort(sorted.begin(), sorted.end());
+  for (std::size_t i = 0; i < 8; ++i) EXPECT_EQ(sorted[i], i);
+  // Grouped: each partition's patterns appear contiguously.
+  std::size_t cursor = 0;
+  for (const auto& section : payload.partitions) {
+    for (const std::size_t p : section.patterns.set_bits()) {
+      EXPECT_EQ(payload.pattern_order[cursor++], p);
+    }
+  }
+}
+
+TEST(TesterPayload, CancelVectorsComeFromRealStops) {
+  const HybridSimulation sim = worked_example_sim();
+  const TesterPayload payload = build_tester_payload(sim);
+  // 5 leaked X's, m=10, q=2: one stop → up to 2 vectors of 10 bits.
+  EXPECT_EQ(sim.cancel.stops, 1u);
+  EXPECT_EQ(payload.cancel_vectors.size(), 2u);
+  EXPECT_EQ(payload.cancel_bits, 20u);
+  for (const auto& v : payload.cancel_vectors) {
+    EXPECT_EQ(v.size(), 10u);
+    EXPECT_TRUE(v.any());
+  }
+}
+
+TEST(TesterPayload, CodedBoundedByRawPlusFlagBits) {
+  const HybridSimulation sim = worked_example_sim();
+  const TesterPayload payload = build_tester_payload(sim);
+  // The raw escape bounds each coded mask at raw + 1 flag bit.
+  EXPECT_LE(payload.total_bits_coded(),
+            payload.total_bits_raw() + payload.partitions.size());
+  EXPECT_EQ(payload.total_bits_raw(),
+            payload.raw_mask_bits + payload.cancel_bits);
+}
+
+}  // namespace
+}  // namespace xh

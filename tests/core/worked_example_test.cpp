@@ -1,0 +1,168 @@
+// Golden reproduction of the paper's Section 4 worked example
+// (Figures 4, 5 and 6) and both cost-function walk-throughs.
+#include <gtest/gtest.h>
+
+#include "core/paper_example.hpp"
+#include "core/partitioner.hpp"
+#include "misr/accounting.hpp"
+
+namespace xh {
+namespace {
+
+using C = PaperExampleCells;
+
+BitVec pats(std::initializer_list<std::size_t> set) {
+  BitVec v(8);
+  for (const std::size_t p : set) v.set(p);
+  return v;
+}
+
+TEST(WorkedExample, Figure4XCountsAreExact) {
+  const XMatrix xm = paper_example_x_matrix();
+  EXPECT_EQ(xm.total_x(), 28u);
+  EXPECT_EQ(xm.x_count(C::sc1_c0), 4u);
+  EXPECT_EQ(xm.x_count(C::sc2_c0), 4u);
+  EXPECT_EQ(xm.x_count(C::sc3_c0), 4u);
+  EXPECT_EQ(xm.x_count(C::sc2_c2), 2u);
+  EXPECT_EQ(xm.x_count(C::sc4_c2), 7u);
+  EXPECT_EQ(xm.x_count(C::sc5_c1), 6u);
+  EXPECT_EQ(xm.x_count(C::sc5_c2), 1u);
+  EXPECT_EQ(xm.x_cells().size(), 7u);
+}
+
+TEST(WorkedExample, TheFourXCellsShareTheirPatterns) {
+  // The inter-correlation the paper highlights: the three 4-X cells capture
+  // X under the SAME four patterns P1, P4, P5, P6.
+  const XMatrix xm = paper_example_x_matrix();
+  const BitVec expected = pats({0, 3, 4, 5});
+  EXPECT_TRUE(xm.patterns_of(C::sc1_c0) == expected);
+  EXPECT_TRUE(xm.patterns_of(C::sc2_c0) == expected);
+  EXPECT_TRUE(xm.patterns_of(C::sc3_c0) == expected);
+}
+
+// Full Figure 5 trace with the m=10, q=2 configuration: two rounds accepted,
+// final partitions {P2,P3,P7,P8}, {P1,P4,P5}, {P6}.
+class Figure5 : public ::testing::Test {
+ protected:
+  static PartitionResult run() {
+    PartitionerConfig cfg;
+    cfg.misr = {10, 2};
+    return partition_patterns(paper_example_x_matrix(), cfg);
+  }
+};
+
+TEST_F(Figure5, ProducesThePaperPartitions) {
+  const PartitionResult r = run();
+  ASSERT_EQ(r.num_partitions(), 3u);
+  // Order-independent comparison.
+  std::vector<BitVec> expected = {pats({1, 2, 6, 7}), pats({0, 3, 4}),
+                                  pats({5})};
+  for (const auto& want : expected) {
+    bool found = false;
+    for (const auto& got : r.partitions) {
+      if (got == want) found = true;
+    }
+    EXPECT_TRUE(found) << "missing partition " << want.to_string();
+  }
+}
+
+TEST_F(Figure5, PartitionsAreDisjointAndCoverAllPatterns) {
+  const PartitionResult r = run();
+  BitVec unionv(8);
+  std::size_t total = 0;
+  for (const auto& p : r.partitions) {
+    EXPECT_FALSE(unionv.intersects(p));
+    unionv |= p;
+    total += p.count();
+  }
+  EXPECT_EQ(total, 8u);
+  EXPECT_EQ(unionv.count(), 8u);
+}
+
+TEST_F(Figure5, MasksRemove23AndLeak5) {
+  const PartitionResult r = run();
+  EXPECT_EQ(r.masked_x, 23u);
+  EXPECT_EQ(r.leaked_x, 5u);
+}
+
+TEST_F(Figure5, MaskingControlBitsDrop120To45) {
+  const PartitionResult r = run();
+  // Conventional X-masking: 3 · 5 · 8 = 120 bits. Proposed: 15 per partition.
+  EXPECT_DOUBLE_EQ(r.masking_bits, 45.0);
+  EXPECT_EQ(x_masking_only_bits(paper_example_geometry(), 8), 120u);
+}
+
+TEST_F(Figure5, CostTrajectoryIs85Then60Then57point5) {
+  const PartitionResult r = run();
+  // history[0] = unsplit, [1] = round 1, [2] = round 2.
+  ASSERT_GE(r.history.size(), 3u);
+  EXPECT_DOUBLE_EQ(r.history[0].total_bits, 85.0);  // 15 + 20·28/8
+  EXPECT_DOUBLE_EQ(r.history[1].total_bits, 60.0);  // 30 + 20·12/8
+  EXPECT_DOUBLE_EQ(r.history[2].total_bits, 57.5);  // 45 + 20·5/8
+  EXPECT_EQ(round_bits(r.history[2].total_bits), 58u);
+  EXPECT_TRUE(r.history[1].accepted);
+  EXPECT_TRUE(r.history[2].accepted);
+  EXPECT_EQ(r.history[1].masked_x, 16u);
+  EXPECT_EQ(r.history[1].leaked_x, 12u);
+}
+
+TEST_F(Figure5, StopsBecauseNoGroupRemains) {
+  // After round 2 no partition has >= 2 candidate cells with equal X counts,
+  // exactly as the paper narrates — the search ends without a rejected probe.
+  const PartitionResult r = run();
+  EXPECT_EQ(r.history.size(), 3u);
+  for (const auto& h : r.history) EXPECT_TRUE(h.accepted);
+}
+
+TEST_F(Figure5, Round2SplitsOnSc4Cell3) {
+  const PartitionResult r = run();
+  // Round 1 splits on one of the three 4-X cells (lowest index = SC1 cell 0);
+  // round 2 on SC4 cell 3 — matching the paper's choices.
+  EXPECT_EQ(r.history[1].split_cell, C::sc1_c0);
+  EXPECT_EQ(r.history[2].split_cell, C::sc4_c2);
+}
+
+TEST(WorkedExample, Q1ConfigurationStopsAfterRound1) {
+  // Section 4: with m=10, q=1 round 1 costs 43.3 → 44 bits but round 2 would
+  // cost 50.5 → 51, so partitioning stops at two partitions.
+  PartitionerConfig cfg;
+  cfg.misr = {10, 1};
+  const PartitionResult r =
+      partition_patterns(paper_example_x_matrix(), cfg);
+  EXPECT_EQ(r.num_partitions(), 2u);
+  ASSERT_EQ(r.history.size(), 3u);  // round 0, accepted round 1, rejected probe
+  EXPECT_NEAR(r.history[1].total_bits, 43.333, 1e-3);
+  EXPECT_EQ(round_bits(r.history[1].total_bits), 44u);
+  EXPECT_FALSE(r.history[2].accepted);
+  EXPECT_NEAR(r.history[2].total_bits, 50.555, 1e-3);
+  EXPECT_EQ(round_bits(r.history[2].total_bits), 51u);
+  // Round 1 of the paper: masks 16 X's, leaks 12.
+  EXPECT_EQ(r.masked_x, 16u);
+  EXPECT_EQ(r.leaked_x, 12u);
+}
+
+TEST(WorkedExample, Figure6MasksMatchPartitionContents) {
+  PartitionerConfig cfg;
+  cfg.misr = {10, 2};
+  const PartitionResult r =
+      partition_patterns(paper_example_x_matrix(), cfg);
+  ASSERT_EQ(r.masks.size(), r.partitions.size());
+  for (std::size_t i = 0; i < r.partitions.size(); ++i) {
+    if (r.partitions[i] == pats({1, 2, 6, 7})) {
+      EXPECT_EQ(r.masks[i].set_bits(),
+                (std::vector<std::size_t>{C::sc4_c2}));
+    } else if (r.partitions[i] == pats({0, 3, 4})) {
+      EXPECT_EQ(r.masks[i].set_bits(),
+                (std::vector<std::size_t>{C::sc1_c0, C::sc2_c0, C::sc3_c0,
+                                          C::sc4_c2, C::sc5_c1}));
+    } else {
+      EXPECT_TRUE(r.partitions[i] == pats({5}));
+      EXPECT_EQ(r.masks[i].set_bits(),
+                (std::vector<std::size_t>{C::sc1_c0, C::sc2_c0, C::sc3_c0,
+                                          C::sc5_c2}));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace xh

@@ -1,0 +1,62 @@
+#include "fault/fault_model.hpp"
+
+#include <gtest/gtest.h>
+
+#include "netlist/bench_io.hpp"
+
+namespace xh {
+namespace {
+
+TEST(FaultModel, EnumerateCountsTwoPerSite) {
+  const Netlist nl = read_bench_string(
+      "INPUT(a)\nINPUT(b)\nOUTPUT(q)\ng = AND(a, b)\nq = DFF(g)\n");
+  const auto faults = enumerate_faults(nl);
+  // Sites: a, b, g, q → 8 faults.
+  EXPECT_EQ(faults.size(), 8u);
+}
+
+TEST(FaultModel, ConstantsSkipped) {
+  const Netlist nl = read_bench_string(
+      "INPUT(a)\nOUTPUT(q)\nc = CONST1()\nq = AND(a, c)\n");
+  const auto faults = enumerate_faults(nl);
+  for (const auto& f : faults) {
+    EXPECT_NE(nl.gate(f.gate).type, GateType::kConst1);
+  }
+  EXPECT_EQ(faults.size(), 4u);  // a and q
+}
+
+TEST(FaultModel, FaultNames) {
+  const Netlist nl = read_bench_string("INPUT(a)\nOUTPUT(q)\nq = NOT(a)\n");
+  EXPECT_EQ(fault_name(nl, {nl.find("q"), true}), "q/1");
+  EXPECT_EQ(fault_name(nl, {nl.find("a"), false}), "a/0");
+}
+
+TEST(FaultModel, CollapseDropsSingleFanoutBufferChains) {
+  const Netlist nl = read_bench_string(
+      "INPUT(a)\nOUTPUT(q)\nb1 = BUF(a)\nn1 = NOT(b1)\nq = BUF(n1)\n");
+  const auto all = enumerate_faults(nl);
+  const auto kept = collapse_faults(nl, all);
+  // a drives only b1, b1 drives only n1, n1 drives only q: the three
+  // follower faults pairs collapse onto a's pair.
+  EXPECT_EQ(all.size(), 8u);
+  EXPECT_EQ(kept.size(), 2u);
+  for (const auto& f : kept) EXPECT_EQ(f.gate, nl.find("a"));
+}
+
+TEST(FaultModel, CollapseKeepsFanoutBranches) {
+  const Netlist nl = read_bench_string(
+      "INPUT(a)\nOUTPUT(x)\nOUTPUT(y)\nx = NOT(a)\ny = BUF(a)\n");
+  const auto kept = collapse_faults(nl, enumerate_faults(nl));
+  // a has fanout 2: branch faults are NOT equivalent to the stem.
+  EXPECT_EQ(kept.size(), 6u);
+}
+
+TEST(FaultModel, CollapseKeepsNonInverterGates) {
+  const Netlist nl = read_bench_string(
+      "INPUT(a)\nINPUT(b)\nOUTPUT(q)\nq = AND(a, b)\n");
+  const auto all = enumerate_faults(nl);
+  EXPECT_EQ(collapse_faults(nl, all).size(), all.size());
+}
+
+}  // namespace
+}  // namespace xh

@@ -1,0 +1,112 @@
+#include "fault/testability.hpp"
+
+#include <gtest/gtest.h>
+
+#include "netlist/bench_io.hpp"
+
+namespace xh {
+namespace {
+
+TEST(Scoap, InputsAndScannedFlopsCostOne) {
+  const Netlist nl = read_bench_string(
+      "INPUT(a)\nOUTPUT(q)\nq = DFF(a)\n");
+  const Testability t = compute_scoap(nl);
+  EXPECT_EQ(t.cc0[nl.find("a")], 1u);
+  EXPECT_EQ(t.cc1[nl.find("a")], 1u);
+  EXPECT_EQ(t.cc0[nl.find("q")], 1u);
+}
+
+TEST(Scoap, UnscannedFlopIsUncontrollable) {
+  const Netlist nl = read_bench_string(
+      "INPUT(a)\nOUTPUT(q)\nu = NDFF(a)\nq = DFF(u)\n");
+  const Testability t = compute_scoap(nl);
+  EXPECT_EQ(t.cc0[nl.find("u")], kScoapInf);
+  EXPECT_EQ(t.cc1[nl.find("u")], kScoapInf);
+}
+
+TEST(Scoap, AndGateAsymmetry) {
+  const Netlist nl = read_bench_string(
+      "INPUT(a)\nINPUT(b)\nINPUT(c)\nOUTPUT(q)\n"
+      "g = AND(a, b, c)\nq = DFF(g)\n");
+  const Testability t = compute_scoap(nl);
+  const GateId g = nl.find("g");
+  EXPECT_EQ(t.cc1[g], 4u) << "all three inputs to 1, +1";
+  EXPECT_EQ(t.cc0[g], 2u) << "any single input to 0, +1";
+}
+
+TEST(Scoap, NotInvertsControllability) {
+  const Netlist nl = read_bench_string(
+      "INPUT(a)\nOUTPUT(q)\ng0 = AND(a, a)\nn = NOT(g0)\nq = DFF(n)\n");
+  const Testability t = compute_scoap(nl);
+  EXPECT_EQ(t.cc0[nl.find("n")], t.cc1[nl.find("g0")] + 1);
+  EXPECT_EQ(t.cc1[nl.find("n")], t.cc0[nl.find("g0")] + 1);
+}
+
+TEST(Scoap, XorCosts) {
+  const Netlist nl = read_bench_string(
+      "INPUT(a)\nINPUT(b)\nOUTPUT(q)\ng = XOR(a, b)\nq = DFF(g)\n");
+  const Testability t = compute_scoap(nl);
+  const GateId g = nl.find("g");
+  EXPECT_EQ(t.cc1[g], 3u);  // one input 0, other 1, +1
+  EXPECT_EQ(t.cc0[g], 3u);
+}
+
+TEST(Scoap, ObservationPointIsScanDInput) {
+  const Netlist nl = read_bench_string(
+      "INPUT(a)\nINPUT(b)\nOUTPUT(q)\ng = AND(a, b)\nq = DFF(g)\n");
+  const Testability t = compute_scoap(nl);
+  EXPECT_EQ(t.co[nl.find("g")], 0u) << "feeds a scanned flop";
+  // a observable through the AND: needs b=1 plus the gate depth.
+  EXPECT_EQ(t.co[nl.find("a")], 0u + 1u + 1u);
+}
+
+TEST(Scoap, PrimaryOutputsNotObserved) {
+  const Netlist nl = read_bench_string(
+      "INPUT(a)\nOUTPUT(n)\nn = NOT(a)\n");
+  const Testability t = compute_scoap(nl);
+  EXPECT_EQ(t.co[nl.find("n")], kScoapInf) << "POs are not observation points";
+  EXPECT_EQ(t.co[nl.find("a")], kScoapInf);
+}
+
+TEST(Scoap, ObservabilityThroughXSourceIsInfinite) {
+  // Only observation path XORs with an unscanned flop: the side input has
+  // infinite controllability, so CO saturates.
+  const Netlist nl = read_bench_string(
+      "INPUT(a)\nOUTPUT(q)\nu = NDFF(a)\nd = XOR(a, u)\nq = DFF(d)\n");
+  const Testability t = compute_scoap(nl);
+  EXPECT_EQ(t.co[nl.find("a")], kScoapInf);
+}
+
+TEST(Scoap, MuxSelectAndDataCosts) {
+  const Netlist nl = read_bench_string(
+      "INPUT(s)\nINPUT(a)\nINPUT(b)\nOUTPUT(q)\n"
+      "m = MUX(s, a, b)\nq = DFF(m)\n");
+  const Testability t = compute_scoap(nl);
+  const GateId m = nl.find("m");
+  EXPECT_EQ(t.cc1[m], 3u);  // s=0 and a=1 (or s=1 and b=1), +1
+  // Data input a observable when s = 0.
+  EXPECT_EQ(t.co[nl.find("a")], 0u + 1u + 1u);
+}
+
+TEST(Scoap, TristateNeedsEnable) {
+  const Netlist nl = read_bench_string(
+      "INPUT(en)\nINPUT(d)\nOUTPUT(q)\n"
+      "t = TRISTATE(en, d)\nb = BUS(t)\nq = DFF(b)\n");
+  const Testability t = compute_scoap(nl);
+  const GateId tg = nl.find("t");
+  EXPECT_EQ(t.cc1[tg], 1u + 1u + 1u);  // en=1, d=1, +1
+  // d observable only with en = 1.
+  EXPECT_EQ(t.co[nl.find("d")], 0u + 1u /*bus*/ + 1u + 1u /*en*/);
+}
+
+TEST(Scoap, DeeperLogicCostsMore) {
+  const Netlist nl = read_bench_string(
+      "INPUT(a)\nINPUT(b)\nOUTPUT(q)\n"
+      "g1 = AND(a, b)\ng2 = AND(g1, a)\ng3 = AND(g2, b)\nq = DFF(g3)\n");
+  const Testability t = compute_scoap(nl);
+  EXPECT_LT(t.cc1[nl.find("g1")], t.cc1[nl.find("g2")]);
+  EXPECT_LT(t.cc1[nl.find("g2")], t.cc1[nl.find("g3")]);
+}
+
+}  // namespace
+}  // namespace xh

@@ -1,0 +1,136 @@
+#include "fault/transition.hpp"
+
+#include <gtest/gtest.h>
+
+#include "netlist/bench_io.hpp"
+#include "netlist/generator.hpp"
+
+namespace xh {
+namespace {
+
+// s0 captures NOT(s0): the flop toggles every functional clock — the
+// canonical transition-launch structure (launch frame value != capture
+// frame value whenever s0 is loaded).
+const char* kToggler =
+    "INPUT(a)\nOUTPUT(q)\n"
+    "n = NOT(s0)\n"
+    "s0 = DFF(n)\n"
+    "q = BUF(n)\n";
+
+TEST(TransitionFaults, EnumerationPairsWithStuckUniverse) {
+  const Netlist nl = read_bench_string(kToggler);
+  const auto tf = enumerate_transition_faults(nl);
+  const auto sf = enumerate_faults(nl);
+  EXPECT_EQ(tf.size(), sf.size());
+  EXPECT_EQ(transition_fault_name(nl, {nl.find("n"), true}), "n/str");
+  EXPECT_EQ(transition_fault_name(nl, {nl.find("n"), false}), "n/stf");
+}
+
+TEST(TransitionFaults, TogglerDetectsSlowToRiseOnN) {
+  const Netlist nl = read_bench_string(kToggler);
+  const ScanPlan plan = ScanPlan::build(nl, 1);
+  TransitionFaultSimulator sim(nl, plan);
+
+  // Load s0 = 1: launch frame has n = 0, functional clock captures 0 into
+  // s0, capture frame has n = 1 — a rising transition at n that a
+  // slow-to-rise fault holds at 0, captured as 0 instead of 1.
+  TestPattern p;
+  p.pi = {Lv::k0};
+  p.scan_in = {Lv::k1};
+  const TransitionSimResult r =
+      sim.run({p}, {{nl.find("n"), true}, {nl.find("n"), false}});
+  EXPECT_TRUE(r.detected[0]) << "slow-to-rise launched and observed";
+  EXPECT_FALSE(r.detected[1]) << "no falling transition was launched at n";
+  EXPECT_EQ(r.never_launched, 1u);
+}
+
+TEST(TransitionFaults, OppositeLoadLaunchesTheFall) {
+  const Netlist nl = read_bench_string(kToggler);
+  const ScanPlan plan = ScanPlan::build(nl, 1);
+  TransitionFaultSimulator sim(nl, plan);
+  TestPattern p;
+  p.pi = {Lv::k0};
+  p.scan_in = {Lv::k0};  // n: 1 in launch, 0 in capture — falling edge
+  const TransitionSimResult r =
+      sim.run({p}, {{nl.find("n"), true}, {nl.find("n"), false}});
+  EXPECT_FALSE(r.detected[0]);
+  EXPECT_TRUE(r.detected[1]);
+}
+
+TEST(TransitionFaults, BothPatternsCoverBothPolarities) {
+  const Netlist nl = read_bench_string(kToggler);
+  const ScanPlan plan = ScanPlan::build(nl, 1);
+  TransitionFaultSimulator sim(nl, plan);
+  TestPattern up;
+  up.pi = {Lv::k0};
+  up.scan_in = {Lv::k1};
+  TestPattern down;
+  down.pi = {Lv::k0};
+  down.scan_in = {Lv::k0};
+  const TransitionSimResult r = sim.run(
+      {up, down}, {{nl.find("n"), true}, {nl.find("n"), false}});
+  EXPECT_EQ(r.num_detected, 2u);
+  EXPECT_EQ(r.never_launched, 0u);
+}
+
+TEST(TransitionFaults, UnlaunchedFaultIsNotDetected) {
+  // Combinational feed-through with constant inputs: no transitions at all.
+  const Netlist nl = read_bench_string(
+      "INPUT(a)\nOUTPUT(q)\ng = BUF(a)\nq = DFF(g)\n");
+  const ScanPlan plan = ScanPlan::build(nl, 1);
+  TransitionFaultSimulator sim(nl, plan);
+  TestPattern p;
+  p.pi = {Lv::k1};
+  p.scan_in = {Lv::k1};
+  // g is 1 in both frames: neither polarity launches.
+  const TransitionSimResult r =
+      sim.run({p}, {{nl.find("g"), true}, {nl.find("g"), false}});
+  EXPECT_EQ(r.num_detected, 0u);
+  EXPECT_EQ(r.never_launched, 2u);
+}
+
+TEST(TransitionFaults, FunctionalClockInitializesUnscannedFlop) {
+  // The functional launch clock loads the unscanned flop with definite data
+  // (u captures the PI), so the LOC capture frame reads deterministic where
+  // the single-frame stuck-at capture reads X. (The converse also happens in
+  // general circuits — scanned flops lose their loaded values — so only this
+  // targeted structure gives a guaranteed inequality.)
+  const Netlist nl = read_bench_string(
+      "INPUT(a)\nOUTPUT(q)\nu = NDFF(a)\nd = XOR(u, a)\nq = DFF(d)\n");
+  const ScanPlan plan = ScanPlan::build(nl, 1);
+  TestPattern p;
+  p.pi = {Lv::k1};
+  p.scan_in = {Lv::k0};
+
+  TestApplicator app(nl, plan);
+  const ResponseMatrix stuck_frame = app.capture({p});
+  EXPECT_EQ(stuck_frame.total_x(), 1u) << "u is X in the stuck-at frame";
+
+  TransitionFaultSimulator sim(nl, plan);
+  const ResponseMatrix loc_frame = sim.capture_frame_response({p});
+  EXPECT_EQ(loc_frame.total_x(), 0u)
+      << "after the functional clock u == a == 1, so q captures XOR(1,1)=0";
+  EXPECT_EQ(loc_frame.get(0, 0), Lv::k0);
+}
+
+TEST(TransitionFaults, RandomPatternsAchieveCoverageOnRealCircuit) {
+  GeneratorConfig cfg;
+  cfg.seed = 71;
+  cfg.num_gates = 150;
+  cfg.num_dffs = 16;
+  const Netlist nl = generate_circuit(cfg);
+  const ScanPlan plan = ScanPlan::build(nl, 2);
+  Rng rng(9);
+  std::vector<TestPattern> patterns;
+  for (int i = 0; i < 96; ++i) patterns.push_back(random_pattern(nl, plan, rng));
+
+  TransitionFaultSimulator sim(nl, plan);
+  const auto faults = enumerate_transition_faults(nl);
+  const TransitionSimResult r = sim.run(patterns, faults);
+  EXPECT_GT(r.coverage(), 0.10) << "some TDF coverage from random LOC pairs";
+  EXPECT_LT(r.coverage(), 1.0) << "TDF coverage is harder than stuck-at";
+  EXPECT_EQ(r.faults.size(), r.detected.size());
+}
+
+}  // namespace
+}  // namespace xh

@@ -1,0 +1,139 @@
+#include "gf2/lfsr.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "util/rng.hpp"
+
+namespace xh {
+namespace {
+
+TEST(FeedbackPolynomial, RejectsBadDegreesAndTaps) {
+  EXPECT_THROW(FeedbackPolynomial(1, {}), std::invalid_argument);
+  EXPECT_THROW(FeedbackPolynomial(4, {0}), std::invalid_argument);
+  EXPECT_THROW(FeedbackPolynomial(4, {4}), std::invalid_argument);
+  EXPECT_THROW(FeedbackPolynomial(4, {2, 2}), std::invalid_argument);
+  EXPECT_THROW(FeedbackPolynomial::primitive(1), std::invalid_argument);
+  EXPECT_THROW(FeedbackPolynomial::primitive(65), std::invalid_argument);
+}
+
+TEST(FeedbackPolynomial, TapsSortedAndInRange) {
+  const FeedbackPolynomial p(8, {6, 4, 5});
+  EXPECT_EQ(p.taps(), (std::vector<std::size_t>{4, 5, 6}));
+  EXPECT_EQ(p.degree(), 8u);
+}
+
+TEST(FeedbackPolynomial, TableCoversAllSupportedDegrees) {
+  for (std::size_t d = 2; d <= 64; ++d) {
+    const auto p = FeedbackPolynomial::primitive(d);
+    EXPECT_EQ(p.degree(), d);
+    EXPECT_FALSE(p.taps().empty());
+  }
+}
+
+// Maximality check: a primitive polynomial's autonomous LFSR cycles through
+// all 2^d - 1 nonzero states.
+class PrimitivePeriod : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(PrimitivePeriod, IsMaximal) {
+  const std::size_t d = GetParam();
+  Lfsr lfsr(FeedbackPolynomial::primitive(d));
+  const std::uint64_t expected = (1ULL << d) - 1;
+  EXPECT_EQ(lfsr.measure_period(expected), expected);
+}
+
+INSTANTIATE_TEST_SUITE_P(Degrees2To16, PrimitivePeriod,
+                         ::testing::Range<std::size_t>(2, 17));
+
+TEST(Lfsr, ZeroStateIsFixedPointAutonomously) {
+  Lfsr lfsr(FeedbackPolynomial::primitive(8));
+  lfsr.reset();
+  lfsr.step();
+  EXPECT_TRUE(lfsr.state().none());
+}
+
+TEST(Lfsr, StateWidthMismatchThrows) {
+  Lfsr lfsr(FeedbackPolynomial::primitive(8));
+  EXPECT_THROW(lfsr.set_state(BitVec(7)), std::invalid_argument);
+  EXPECT_THROW(lfsr.step(BitVec(9)), std::invalid_argument);
+}
+
+TEST(Lfsr, MisrStepInjectsInput) {
+  Lfsr lfsr(FeedbackPolynomial::primitive(8));
+  lfsr.reset();
+  BitVec in(8);
+  in.set(3);
+  lfsr.step(in);
+  EXPECT_EQ(lfsr.state(), in) << "from zero state, one step loads the input";
+}
+
+// Superposition: the MISR is a linear machine, so compaction of the XOR of
+// two input streams equals the XOR of the separate compactions (from state 0).
+TEST(LfsrProperty, MisrIsLinearInInputStream) {
+  Rng rng(77);
+  for (int iter = 0; iter < 20; ++iter) {
+    const std::size_t m = 4 + static_cast<std::size_t>(rng.below(20));
+    const std::size_t cycles = 1 + static_cast<std::size_t>(rng.below(40));
+    std::vector<BitVec> sa;
+    std::vector<BitVec> sb;
+    for (std::size_t c = 0; c < cycles; ++c) {
+      BitVec a(m);
+      BitVec b(m);
+      for (std::size_t i = 0; i < m; ++i) {
+        if (rng.chance(0.5)) a.set(i);
+        if (rng.chance(0.5)) b.set(i);
+      }
+      sa.push_back(a);
+      sb.push_back(b);
+    }
+    Lfsr la(FeedbackPolynomial::primitive(m));
+    Lfsr lb(FeedbackPolynomial::primitive(m));
+    Lfsr lx(FeedbackPolynomial::primitive(m));
+    la.reset();
+    lb.reset();
+    lx.reset();
+    for (std::size_t c = 0; c < cycles; ++c) {
+      la.step(sa[c]);
+      lb.step(sb[c]);
+      lx.step(sa[c] ^ sb[c]);
+    }
+    EXPECT_EQ(la.state() ^ lb.state(), lx.state());
+  }
+}
+
+TEST(LfsrProperty, DistinctStreamsGiveDistinctSignaturesUsually) {
+  // Aliasing is possible but should be rare (~2^-m); with m=16 and 50 pairs,
+  // a collision would indicate a broken implementation.
+  Rng rng(123);
+  const std::size_t m = 16;
+  int collisions = 0;
+  for (int iter = 0; iter < 50; ++iter) {
+    Lfsr a(FeedbackPolynomial::primitive(m));
+    Lfsr b(FeedbackPolynomial::primitive(m));
+    a.reset();
+    b.reset();
+    bool differed = false;
+    for (int c = 0; c < 20; ++c) {
+      BitVec va(m);
+      BitVec vb(m);
+      for (std::size_t i = 0; i < m; ++i) {
+        const bool bit = rng.chance(0.5);
+        va.set(i, bit);
+        vb.set(i, bit);
+      }
+      if (c == 10) {
+        vb.flip(static_cast<std::size_t>(rng.below(m)));  // inject one error
+        differed = true;
+      }
+      a.step(va);
+      b.step(vb);
+    }
+    ASSERT_TRUE(differed);
+    if (a.state() == b.state()) ++collisions;
+  }
+  EXPECT_EQ(collisions, 0);
+}
+
+}  // namespace
+}  // namespace xh

@@ -1,0 +1,249 @@
+#include "gf2/matrix.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "util/rng.hpp"
+
+namespace xh {
+namespace {
+
+TEST(Gf2Matrix, ConstructAndAccess) {
+  Gf2Matrix m(3, 4);
+  EXPECT_EQ(m.rows(), 3u);
+  EXPECT_EQ(m.cols(), 4u);
+  EXPECT_FALSE(m.get(1, 2));
+  m.set(1, 2);
+  EXPECT_TRUE(m.get(1, 2));
+}
+
+TEST(Gf2Matrix, FromStringsAndToString) {
+  const Gf2Matrix m = Gf2Matrix::from_strings({"101", "010"});
+  EXPECT_EQ(m.rows(), 2u);
+  EXPECT_EQ(m.cols(), 3u);
+  EXPECT_EQ(m.to_string(), "101\n010\n");
+}
+
+TEST(Gf2Matrix, MismatchedRowWidthThrows) {
+  EXPECT_THROW(Gf2Matrix::from_strings({"101", "01"}), std::invalid_argument);
+}
+
+TEST(Gf2Matrix, AppendRowSetsWidth) {
+  Gf2Matrix m;
+  m.append_row(BitVec::from_string("0110"));
+  EXPECT_EQ(m.cols(), 4u);
+  EXPECT_THROW(m.append_row(BitVec(3)), std::invalid_argument);
+}
+
+TEST(Gf2Matrix, RankOfIdentity) {
+  const Gf2Matrix m = Gf2Matrix::from_strings({"100", "010", "001"});
+  EXPECT_EQ(m.rank(), 3u);
+}
+
+TEST(Gf2Matrix, RankWithDependentRows) {
+  const Gf2Matrix m = Gf2Matrix::from_strings({"110", "011", "101"});
+  // row0 ^ row1 = row2, so rank 2.
+  EXPECT_EQ(m.rank(), 2u);
+}
+
+TEST(Gf2Matrix, RankOfZeroMatrix) {
+  EXPECT_EQ(Gf2Matrix(4, 3).rank(), 0u);
+}
+
+TEST(Elimination, CombinationReproducesReducedRows) {
+  const Gf2Matrix m = Gf2Matrix::from_strings(
+      {"1101", "0110", "1011", "0001", "1100"});
+  const Elimination e = eliminate(m);
+  ASSERT_EQ(e.combination.size(), m.rows());
+  for (std::size_t i = 0; i < m.rows(); ++i) {
+    BitVec acc(m.cols());
+    for (const std::size_t r : e.combination[i].set_bits()) {
+      acc ^= m.row(r);
+    }
+    EXPECT_EQ(acc, e.reduced.row(i)) << "row " << i;
+  }
+}
+
+TEST(Elimination, NullRowsAreBelowRank) {
+  const Gf2Matrix m = Gf2Matrix::from_strings({"11", "11", "11"});
+  const Elimination e = eliminate(m);
+  EXPECT_EQ(e.rank, 1u);
+  EXPECT_EQ(e.null_rows().size(), 2u);
+}
+
+TEST(XFreeCombinations, EmptyForFullRankSquare) {
+  const Gf2Matrix m = Gf2Matrix::from_strings({"10", "01"});
+  EXPECT_TRUE(x_free_combinations(m).empty());
+}
+
+TEST(XFreeCombinations, EachCombinationCancelsAllColumns) {
+  const Gf2Matrix m = Gf2Matrix::from_strings(
+      {"100", "110", "010", "100", "111", "001"});
+  const auto combos = x_free_combinations(m);
+  EXPECT_EQ(combos.size(), m.rows() - m.rank());
+  for (const auto& combo : combos) {
+    BitVec acc(m.cols());
+    for (const std::size_t r : combo.set_bits()) acc ^= m.row(r);
+    EXPECT_TRUE(acc.none());
+    EXPECT_TRUE(combo.any()) << "a combination must select at least one row";
+  }
+}
+
+// ---- Figure 3 golden test ---------------------------------------------------
+// MISR bit X-dependencies from the paper's Figure 2 (columns X1..X4):
+//   M1:{X1} M2:{X1,X2,X3} M3:{X3} M4:{X1} M5:{X1,X3} M6:{X3,X4}
+// The paper extracts exactly two X-free rows: M1^M3^M5 and M1^M4.
+class Figure3 : public ::testing::Test {
+ protected:
+  const Gf2Matrix m_ = Gf2Matrix::from_strings({
+      "1000",  // M1
+      "1110",  // M2
+      "0010",  // M3
+      "1000",  // M4
+      "1010",  // M5
+      "0011",  // M6
+  });
+};
+
+TEST_F(Figure3, RankIsFourSoTwoXFreeRowsExist) {
+  EXPECT_EQ(m_.rank(), 4u);
+  EXPECT_EQ(x_free_combinations(m_).size(), 2u);
+}
+
+TEST_F(Figure3, PaperCombinationsCancel) {
+  // M1 ^ M3 ^ M5
+  BitVec a = m_.row(0) ^ m_.row(2) ^ m_.row(4);
+  EXPECT_TRUE(a.none());
+  // M1 ^ M4
+  BitVec b = m_.row(0) ^ m_.row(3);
+  EXPECT_TRUE(b.none());
+}
+
+TEST_F(Figure3, PaperCombinationsLieInExtractedNullSpace) {
+  // The returned basis must span {M1^M3^M5, M1^M4}: check by eliminating the
+  // basis with each paper combo appended — rank must not grow.
+  const auto basis = x_free_combinations(m_);
+  ASSERT_EQ(basis.size(), 2u);
+  Gf2Matrix span(basis);
+  const std::size_t base_rank = span.rank();
+  Gf2Matrix with_a(basis);
+  with_a.append_row(BitVec::from_string("101010"));  // rows M1,M3,M5
+  Gf2Matrix with_b(basis);
+  with_b.append_row(BitVec::from_string("100100"));  // rows M1,M4
+  EXPECT_EQ(with_a.rank(), base_rank);
+  EXPECT_EQ(with_b.rank(), base_rank);
+}
+
+// ---- properties -------------------------------------------------------------
+
+TEST(Gf2Property, NullSpaceDimensionEqualsRowsMinusRank) {
+  Rng rng(99);
+  for (int iter = 0; iter < 30; ++iter) {
+    const std::size_t rows = 1 + static_cast<std::size_t>(rng.below(24));
+    const std::size_t cols = 1 + static_cast<std::size_t>(rng.below(16));
+    Gf2Matrix m(rows, cols);
+    for (std::size_t r = 0; r < rows; ++r) {
+      for (std::size_t c = 0; c < cols; ++c) {
+        if (rng.chance(0.4)) m.set(r, c);
+      }
+    }
+    const auto combos = x_free_combinations(m);
+    EXPECT_EQ(combos.size(), rows - m.rank());
+    for (const auto& combo : combos) {
+      BitVec acc(cols);
+      for (const std::size_t r : combo.set_bits()) acc ^= m.row(r);
+      EXPECT_TRUE(acc.none());
+    }
+  }
+}
+
+TEST(Gf2Property, RankInvariantUnderRowShuffle) {
+  Rng rng(123);
+  for (int iter = 0; iter < 10; ++iter) {
+    const std::size_t rows = 2 + static_cast<std::size_t>(rng.below(12));
+    const std::size_t cols = 2 + static_cast<std::size_t>(rng.below(12));
+    std::vector<BitVec> r(rows, BitVec(cols));
+    for (auto& row : r) {
+      for (std::size_t c = 0; c < cols; ++c) {
+        if (rng.chance(0.5)) row.set(c);
+      }
+    }
+    const Gf2Matrix m(r);
+    rng.shuffle(r);
+    const Gf2Matrix shuffled(r);
+    EXPECT_EQ(m.rank(), shuffled.rank());
+  }
+}
+
+}  // namespace
+}  // namespace xh
+
+namespace xh {
+namespace {
+
+TEST(Gf2Solve, UniqueSolution) {
+  const Gf2Matrix m = Gf2Matrix::from_strings({"110", "011", "001"});
+  const BitVec b = BitVec::from_string("101");
+  const auto x = solve(m, b);
+  ASSERT_TRUE(x.has_value());
+  for (std::size_t r = 0; r < 3; ++r) {
+    EXPECT_EQ((m.row(r) & *x).count() % 2 != 0, b.get(r));
+  }
+}
+
+TEST(Gf2Solve, InconsistentSystem) {
+  // Rows 0 and 1 identical but different rhs.
+  const Gf2Matrix m = Gf2Matrix::from_strings({"101", "101"});
+  EXPECT_FALSE(solve(m, BitVec::from_string("10")).has_value());
+  EXPECT_TRUE(solve(m, BitVec::from_string("11")).has_value());
+}
+
+TEST(Gf2Solve, UnderdeterminedPicksASolution) {
+  const Gf2Matrix m = Gf2Matrix::from_strings({"1100"});
+  const auto x = solve(m, BitVec::from_string("1"));
+  ASSERT_TRUE(x.has_value());
+  EXPECT_EQ((m.row(0) & *x).count() % 2, 1u);
+}
+
+TEST(Gf2Solve, ZeroRhsGivesZeroSolution) {
+  const Gf2Matrix m = Gf2Matrix::from_strings({"110", "011"});
+  const auto x = solve(m, BitVec(2));
+  ASSERT_TRUE(x.has_value());
+  EXPECT_TRUE(x->none());
+}
+
+TEST(Gf2Solve, WidthChecked) {
+  const Gf2Matrix m = Gf2Matrix::from_strings({"110"});
+  EXPECT_THROW(solve(m, BitVec(2)), std::invalid_argument);
+}
+
+TEST(Gf2SolveProperty, ConsistentSystemsAlwaysSolved) {
+  Rng rng(404);
+  for (int iter = 0; iter < 40; ++iter) {
+    const std::size_t rows = 1 + rng.below(20);
+    const std::size_t cols = 1 + rng.below(24);
+    Gf2Matrix m(rows, cols);
+    BitVec secret(cols);
+    for (std::size_t c = 0; c < cols; ++c) {
+      if (rng.chance(0.5)) secret.set(c);
+    }
+    for (std::size_t r = 0; r < rows; ++r) {
+      for (std::size_t c = 0; c < cols; ++c) {
+        if (rng.chance(0.4)) m.set(r, c);
+      }
+    }
+    BitVec b(rows);
+    for (std::size_t r = 0; r < rows; ++r) {
+      b.set(r, (m.row(r) & secret).count() % 2 != 0);
+    }
+    const auto x = solve(m, b);  // constructed consistent
+    ASSERT_TRUE(x.has_value()) << "iteration " << iter;
+    for (std::size_t r = 0; r < rows; ++r) {
+      EXPECT_EQ((m.row(r) & *x).count() % 2 != 0, b.get(r));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace xh

@@ -1,0 +1,123 @@
+// The complete compressed-test loop the paper's introduction frames:
+// ATPG with don't-cares → LFSR-reseeding stimulus compression → expansion →
+// scan application → X-polluted responses → pattern-partitioned hybrid
+// X-handling → verified detection of the targeted faults.
+#include <gtest/gtest.h>
+
+#include "atpg/test_generation.hpp"
+#include "core/hybrid.hpp"
+#include "fault/fault_sim.hpp"
+#include "netlist/generator.hpp"
+#include "scan/test_application.hpp"
+#include "stimulus/decompressor.hpp"
+
+namespace xh {
+namespace {
+
+TEST(DftFlow, CompressedStimulusPreservesTargetedDetections) {
+  GeneratorConfig gcfg;
+  gcfg.seed = 77;
+  gcfg.num_gates = 400;
+  gcfg.num_dffs = 200;  // compression needs cells >> seed bits
+  gcfg.nonscan_fraction = 0.1;
+  const Netlist nl = generate_circuit(gcfg);
+  const ScanPlan plan = ScanPlan::build(nl, 4);
+
+  // Deterministic-only ATPG keeping don't-cares.
+  AtpgConfig acfg;
+  acfg.random_patterns = 0;
+  acfg.fill_dont_cares = false;
+  acfg.seed = 5;
+  const AtpgResult atpg = generate_test_set(nl, plan, acfg);
+  ASSERT_FALSE(atpg.patterns.empty());
+
+  // Compress. Seed length must exceed the max care-bit count; 64 is ample
+  // for this circuit size.
+  const StimulusDecompressor decomp(FeedbackPolynomial::primitive(64),
+                                    plan.geometry(), 99);
+  const CompressionResult comp = compress_patterns(decomp, atpg.patterns);
+  // Encodability: virtually every pattern's care bits fit in a 64-bit seed.
+  EXPECT_LE(comp.failed_patterns.size(), atpg.patterns.size() / 5);
+  EXPECT_GT(comp.compression_ratio(), 1.5)
+      << "200 scan cells per pattern vs 64 seed bits";
+
+  // Expand and re-simulate: every fault detected by the don't-care pattern
+  // set must still be detected by the expanded set (expansion only turns X
+  // fills into definite values — strictly more detection potential). Only
+  // the encodable patterns are compared.
+  std::vector<TestPattern> kept;
+  std::size_t fail_cursor = 0;
+  for (std::size_t i = 0; i < atpg.patterns.size(); ++i) {
+    if (fail_cursor < comp.failed_patterns.size() &&
+        comp.failed_patterns[fail_cursor] == i) {
+      ++fail_cursor;
+      continue;
+    }
+    kept.push_back(atpg.patterns[i]);
+  }
+  std::vector<TestPattern> expanded;
+  for (const auto& cp : comp.seeds) {
+    expanded.push_back(decompress_pattern(decomp, cp));
+  }
+  ASSERT_EQ(kept.size(), expanded.size());
+  FaultSimulator fsim(nl, plan);
+  const FaultSimResult sparse = fsim.run(kept, atpg.faults);
+  const FaultSimResult dense = fsim.run(expanded, atpg.faults);
+  for (std::size_t fi = 0; fi < atpg.faults.size(); ++fi) {
+    if (sparse.detected[fi]) {
+      EXPECT_TRUE(dense.detected[fi])
+          << "lost " << fault_name(nl, atpg.faults[fi]);
+    }
+  }
+}
+
+TEST(DftFlow, EndToEndWithHybridResponseSide) {
+  GeneratorConfig gcfg;
+  gcfg.seed = 88;
+  gcfg.num_gates = 200;
+  gcfg.num_dffs = 24;
+  gcfg.nonscan_fraction = 0.15;
+  gcfg.num_buses = 1;
+  const Netlist nl = generate_circuit(gcfg);
+  const ScanPlan plan = ScanPlan::build(nl, 4);
+
+  AtpgConfig acfg;
+  acfg.random_patterns = 0;
+  acfg.fill_dont_cares = false;
+  const AtpgResult atpg = generate_test_set(nl, plan, acfg);
+  ASSERT_FALSE(atpg.patterns.empty());
+
+  const StimulusDecompressor decomp(FeedbackPolynomial::primitive(64),
+                                    plan.geometry(), 3);
+  const CompressionResult comp = compress_patterns(decomp, atpg.patterns);
+  std::vector<TestPattern> expanded;
+  for (const auto& cp : comp.seeds) {
+    expanded.push_back(decompress_pattern(decomp, cp));
+  }
+  ASSERT_FALSE(expanded.empty());
+
+  TestApplicator app(nl, plan);
+  const ResponseMatrix response = app.capture(expanded);
+
+  HybridConfig hcfg;
+  hcfg.partitioner.misr = {16, 4};
+  const HybridSimulation sim = run_hybrid_simulation(response, hcfg);
+  EXPECT_TRUE(sim.observability_preserved);
+  // The hybrid carries an L·C floor for its (at least one) mask; the cost
+  // function guarantees it never exceeds the unsplit hybrid.
+  EXPECT_LE(sim.report.proposed_bits,
+            sim.report.canceling_only_bits +
+                static_cast<double>(response.num_cells()) + 1e-9);
+
+  // Coverage under the hybrid's observation filter is identical to ideal.
+  FaultSimulator fsim(nl, plan);
+  const FaultSimResult ideal = fsim.run(expanded, atpg.faults, observe_all());
+  const FaultSimResult masked = fsim.run(
+      expanded, atpg.faults,
+      observe_with_partition_masks(sim.report.partitioning.partitions,
+                                   sim.report.partitioning.masks));
+  EXPECT_EQ(ideal.num_detected, masked.num_detected);
+}
+
+}  // namespace
+}  // namespace xh

@@ -1,0 +1,121 @@
+#include "masking/mask_encoding.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/paper_example.hpp"
+#include "core/partitioner.hpp"
+#include "util/rng.hpp"
+
+namespace xh {
+namespace {
+
+TEST(MaskEncoding, EmptyMaskRoundTrip) {
+  const BitVec mask(100);
+  const EncodedMask enc = encode_mask(mask);
+  EXPECT_TRUE(decode_mask(enc) == mask);
+  EXPECT_LE(enc.bits(), 3u) << "empty mask is flag + one tiny codeword";
+}
+
+TEST(MaskEncoding, SingleBitRoundTrip) {
+  for (const std::size_t pos : {0u, 1u, 63u, 64u, 99u}) {
+    BitVec mask(100);
+    mask.set(pos);
+    const EncodedMask enc = encode_mask(mask);
+    EXPECT_TRUE(decode_mask(enc) == mask) << "pos " << pos;
+  }
+}
+
+TEST(MaskEncoding, DenseMaskRoundTrip) {
+  BitVec mask(64, true);
+  const EncodedMask enc = encode_mask(mask);
+  EXPECT_TRUE(decode_mask(enc) == mask);
+}
+
+TEST(MaskEncoding, SparseMasksCompress) {
+  // 3 set bits in half a million cells must land far below raw size.
+  BitVec mask(505050);
+  mask.set(100);
+  mask.set(250000);
+  mask.set(505049);
+  EXPECT_LT(encoded_mask_bits(mask), 150u);
+  EXPECT_TRUE(decode_mask(encode_mask(mask)) == mask);
+}
+
+TEST(MaskEncoding, SizeShortcutMatchesPayload) {
+  Rng rng(5);
+  for (int iter = 0; iter < 30; ++iter) {
+    const std::size_t n = 1 + rng.below(3000);
+    BitVec mask(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      if (rng.chance(0.02)) mask.set(i);
+    }
+    const EncodedMask enc = encode_mask(mask);
+    EXPECT_EQ(enc.bits(), encoded_mask_bits(mask));
+  }
+}
+
+TEST(MaskEncodingProperty, RandomRoundTrip) {
+  Rng rng(17);
+  for (int iter = 0; iter < 50; ++iter) {
+    const std::size_t n = 1 + rng.below(5000);
+    const double density = rng.uniform() * 0.2;
+    BitVec mask(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      if (rng.chance(density)) mask.set(i);
+    }
+    const EncodedMask enc = encode_mask(mask);
+    EXPECT_TRUE(decode_mask(enc) == mask)
+        << "n=" << n << " bits=" << mask.count();
+  }
+}
+
+TEST(MaskEncoding, CorruptStreamsRejected) {
+  BitVec mask(50);
+  mask.set(10);
+  mask.set(20);
+  EncodedMask enc = encode_mask(mask);
+  // Truncate the payload.
+  EncodedMask truncated = enc;
+  truncated.payload.resize(enc.payload.size() - 3);
+  EXPECT_THROW(decode_mask(truncated), std::invalid_argument);
+  // Wrong decoded width → out-of-range position.
+  EncodedMask narrow = enc;
+  narrow.mask_size = 15;
+  EXPECT_THROW(decode_mask(narrow), std::invalid_argument);
+}
+
+TEST(MaskEncoding, PaperExampleMasksShrink) {
+  PartitionerConfig cfg;
+  cfg.misr = {10, 2};
+  const PartitionResult r =
+      partition_patterns(paper_example_x_matrix(), cfg);
+  for (const BitVec& mask : r.masks) {
+    EXPECT_TRUE(decode_mask(encode_mask(mask)) == mask);
+  }
+}
+
+TEST(MaskEncoding, WorstCaseBoundedByRawPlusFlag) {
+  // Alternating bits — pathological for gap coding; the raw escape caps the
+  // damage at size + 1.
+  BitVec mask(1000);
+  for (std::size_t i = 0; i < 1000; i += 2) mask.set(i);
+  EXPECT_LE(encoded_mask_bits(mask), 1001u);
+  EXPECT_TRUE(decode_mask(encode_mask(mask)) == mask);
+}
+
+TEST(MaskEncoding, NeverExceedsRawPlusFlag) {
+  Rng rng(23);
+  for (int iter = 0; iter < 40; ++iter) {
+    const std::size_t n = 1 + rng.below(600);
+    BitVec mask(n);
+    const double density = rng.uniform();
+    for (std::size_t i = 0; i < n; ++i) {
+      if (rng.chance(density)) mask.set(i);
+    }
+    EXPECT_LE(encoded_mask_bits(mask), n + 1);
+    EXPECT_TRUE(decode_mask(encode_mask(mask)) == mask);
+  }
+}
+
+}  // namespace
+}  // namespace xh

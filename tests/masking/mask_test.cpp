@@ -1,0 +1,129 @@
+#include "masking/mask.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "core/paper_example.hpp"
+
+namespace xh {
+namespace {
+
+BitVec patterns_of(std::size_t width, std::initializer_list<std::size_t> set) {
+  BitVec v(width);
+  for (const std::size_t p : set) v.set(p);
+  return v;
+}
+
+TEST(PartitionMask, OnlyAllXCellsMasked) {
+  const XMatrix xm = paper_example_x_matrix();
+  // Partition 2 of the paper = patterns {2,3,7,8} (indices {1,2,6,7}):
+  // only SC4 cell 3 is X in all four.
+  const BitVec mask = partition_mask(xm, patterns_of(8, {1, 2, 6, 7}));
+  EXPECT_EQ(mask.count(), 1u);
+  EXPECT_TRUE(mask.get(PaperExampleCells::sc4_c2));
+}
+
+TEST(PartitionMask, Partition3MasksFiveCells) {
+  const XMatrix xm = paper_example_x_matrix();
+  // Partition 3 = paper patterns {1,4,5} (indices {0,3,4}).
+  const BitVec mask = partition_mask(xm, patterns_of(8, {0, 3, 4}));
+  EXPECT_EQ(mask.count(), 5u);
+  EXPECT_TRUE(mask.get(PaperExampleCells::sc1_c0));
+  EXPECT_TRUE(mask.get(PaperExampleCells::sc2_c0));
+  EXPECT_TRUE(mask.get(PaperExampleCells::sc3_c0));
+  EXPECT_TRUE(mask.get(PaperExampleCells::sc4_c2));
+  EXPECT_TRUE(mask.get(PaperExampleCells::sc5_c1));
+  // The paper's explicit negative example: SC5 cell 2 must NOT be masked in
+  // Partition 2 (it would destroy a non-X value).
+  EXPECT_FALSE(
+      partition_mask(xm, patterns_of(8, {1, 2, 6, 7})).get(
+          PaperExampleCells::sc5_c1));
+}
+
+TEST(PartitionMask, SingletonPartitionMasksAllItsXs) {
+  const XMatrix xm = paper_example_x_matrix();
+  // Partition 4 = paper pattern {6} (index {5}).
+  const BitVec mask = partition_mask(xm, patterns_of(8, {5}));
+  EXPECT_EQ(mask.count(), 4u);
+  EXPECT_TRUE(mask.get(PaperExampleCells::sc1_c0));
+  EXPECT_TRUE(mask.get(PaperExampleCells::sc2_c0));
+  EXPECT_TRUE(mask.get(PaperExampleCells::sc3_c0));
+  EXPECT_TRUE(mask.get(PaperExampleCells::sc5_c2));
+}
+
+TEST(PartitionMask, EmptyPartitionRejected) {
+  const XMatrix xm = paper_example_x_matrix();
+  EXPECT_THROW(partition_mask(xm, BitVec(8)), std::invalid_argument);
+  EXPECT_THROW(partition_mask(xm, BitVec(5, true)), std::invalid_argument);
+}
+
+TEST(MaskedXCount, MatchesPaperNumbers) {
+  const XMatrix xm = paper_example_x_matrix();
+  EXPECT_EQ(masked_x_count(xm, patterns_of(8, {1, 2, 6, 7})), 4u);
+  EXPECT_EQ(masked_x_count(xm, patterns_of(8, {0, 3, 4})), 15u);
+  EXPECT_EQ(masked_x_count(xm, patterns_of(8, {5})), 4u);
+  // Total masked = 23, leaked = 5 — the Section 4 result.
+  EXPECT_EQ(xm.total_x() - 23u, 5u);
+}
+
+TEST(ApplyMask, MaskedCellsBecomeZero) {
+  ResponseMatrix rm = paper_example_response(7);
+  const XMatrix xm = XMatrix::from_response(rm);
+  const BitVec partition = patterns_of(8, {0, 3, 4});
+  const BitVec mask = partition_mask(xm, partition);
+  apply_mask(rm, partition, mask);
+  for (const std::size_t p : partition.set_bits()) {
+    for (const std::size_t c : mask.set_bits()) {
+      EXPECT_EQ(rm.get(p, c), Lv::k0);
+    }
+  }
+  // Untouched patterns keep their X's.
+  EXPECT_TRUE(rm.is_x(1, PaperExampleCells::sc4_c2));
+}
+
+TEST(ApplyMask, WidthChecked) {
+  ResponseMatrix rm = paper_example_response(7);
+  EXPECT_THROW(apply_mask(rm, BitVec(9), BitVec(15)), std::invalid_argument);
+  EXPECT_THROW(apply_mask(rm, BitVec(8), BitVec(14)), std::invalid_argument);
+}
+
+TEST(ObservabilityCheck, AcceptsSafeMasks) {
+  const ResponseMatrix rm = paper_example_response(3);
+  const XMatrix xm = XMatrix::from_response(rm);
+  const std::vector<BitVec> partitions = {patterns_of(8, {0, 3, 4}),
+                                          patterns_of(8, {5}),
+                                          patterns_of(8, {1, 2, 6, 7})};
+  std::vector<BitVec> masks;
+  for (const auto& p : partitions) masks.push_back(partition_mask(xm, p));
+  EXPECT_TRUE(masks_preserve_observability(rm, partitions, masks));
+}
+
+TEST(ObservabilityCheck, RejectsUnsafeMask) {
+  const ResponseMatrix rm = paper_example_response(3);
+  // Masking SC5 cell 2 across Partition 2 kills a non-X (the paper's own
+  // counter-example).
+  BitVec mask(15);
+  mask.set(PaperExampleCells::sc5_c1);
+  EXPECT_FALSE(masks_preserve_observability(
+      rm, {patterns_of(8, {1, 2, 6, 7})}, {mask}));
+}
+
+TEST(ObservabilityCheck, SizeMismatchRejected) {
+  const ResponseMatrix rm = paper_example_response(3);
+  EXPECT_THROW(
+      masks_preserve_observability(rm, {BitVec(8, true)}, {}),
+      std::invalid_argument);
+}
+
+TEST(XMaskingOnly, ControlBitsAndFullCleaning) {
+  ResponseMatrix rm = paper_example_response(5);
+  EXPECT_EQ(XMaskingOnly::control_bits(rm.geometry(), rm.num_patterns()),
+            120u);  // 3 · 5 · 8 — the paper's "120 control bits"
+  EXPECT_EQ(rm.total_x(), 28u);
+  XMaskingOnly::apply(rm);
+  EXPECT_EQ(rm.total_x(), 0u);
+}
+
+}  // namespace
+}  // namespace xh

@@ -1,0 +1,96 @@
+#include "misr/accounting.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace xh {
+namespace {
+
+// Table 1 geometries (reverse-engineered: chain length 481 for all three).
+const ScanGeometry kCktA{1050, 481};
+const ScanGeometry kCktB{75, 481};
+const ScanGeometry kCktC{203, 481};
+const MisrConfig kPaperMisr{32, 7};
+
+TEST(Accounting, XMaskingOnlyMatchesTable1) {
+  // Column 2 of Table 1: L · C · P with P = 3000.
+  EXPECT_EQ(x_masking_only_bits(kCktA, 3000), 1515150000u);  // 1515.15M
+  EXPECT_EQ(x_masking_only_bits(kCktB, 3000), 108225000u);   // 108.23M
+  EXPECT_EQ(x_masking_only_bits(kCktC, 3000), 292929000u);   // 292.93M
+}
+
+TEST(Accounting, GeometriesMatchPaperCellCounts) {
+  EXPECT_EQ(kCktA.num_cells(), 505050u);
+  EXPECT_EQ(kCktB.num_cells(), 36075u);
+  EXPECT_EQ(kCktC.num_cells(), 97643u);
+}
+
+TEST(Accounting, XCancelingBitsFormula) {
+  // m·q·X/(m−q) with m=32, q=7 → 8.96 bits per X.
+  EXPECT_DOUBLE_EQ(x_canceling_only_bits(kPaperMisr, 100), 896.0);
+  EXPECT_DOUBLE_EQ(x_canceling_only_bits(kPaperMisr, 0), 0.0);
+}
+
+TEST(Accounting, XCancelingBitsSection4Examples) {
+  // Section 4 example: m=10, q=2, 12 leaked X's → 10*2*12/8 = 30 bits.
+  const MisrConfig m10q2{10, 2};
+  EXPECT_DOUBLE_EQ(x_canceling_only_bits(m10q2, 12), 30.0);
+  // m=10, q=1, 12 X's → 120/9 = 13.33…
+  const MisrConfig m10q1{10, 1};
+  EXPECT_NEAR(x_canceling_only_bits(m10q1, 12), 13.333, 1e-3);
+}
+
+TEST(Accounting, HybridBitsSection4Examples) {
+  const ScanGeometry geo{5, 3};  // Figure 4: 5 chains × 3 cells
+  // Round 1: 2 partitions, 12 leaked, m=10 q=2 → 3*5*2 + 30 = 60.
+  EXPECT_DOUBLE_EQ(hybrid_bits(geo, 2, {10, 2}, 12), 60.0);
+  // Round 2: 3 partitions, 5 leaked → 45 + 12.5 = 57.5 → 58 rounded.
+  EXPECT_DOUBLE_EQ(hybrid_bits(geo, 3, {10, 2}, 5), 57.5);
+  EXPECT_EQ(round_bits(hybrid_bits(geo, 3, {10, 2}, 5)), 58u);
+  // q=1 variants: 43.33… → 44 and 50.55… → 51.
+  EXPECT_EQ(round_bits(hybrid_bits(geo, 2, {10, 1}, 12)), 44u);
+  EXPECT_EQ(round_bits(hybrid_bits(geo, 3, {10, 1}, 5)), 51u);
+}
+
+TEST(Accounting, StopsFormula) {
+  EXPECT_DOUBLE_EQ(x_canceling_stops(kPaperMisr, 250), 10.0);
+  EXPECT_DOUBLE_EQ(x_canceling_stops({10, 2}, 28), 3.5);
+}
+
+TEST(Accounting, NormalizedTestTimeMatchesTable1) {
+  // Column 7 of Table 1: 1 + n·x·q/(m−q).
+  EXPECT_NEAR(normalized_test_time(1050, 0.0005, kPaperMisr), 1.14, 0.01);
+  EXPECT_NEAR(normalized_test_time(75, 0.0275, kPaperMisr), 1.58, 0.01);
+  EXPECT_NEAR(normalized_test_time(203, 0.0238, kPaperMisr), 2.35, 0.02);
+}
+
+TEST(Accounting, TestTimeMonotoneInDensityAndQ) {
+  const double base = normalized_test_time(100, 0.01, {32, 7});
+  EXPECT_GT(normalized_test_time(100, 0.02, {32, 7}), base);
+  EXPECT_GT(normalized_test_time(100, 0.01, {32, 14}), base);
+  EXPECT_DOUBLE_EQ(normalized_test_time(100, 0.0, {32, 7}), 1.0);
+}
+
+TEST(Accounting, ArgumentValidation) {
+  EXPECT_THROW(x_masking_only_bits(kCktA, 0), std::invalid_argument);
+  EXPECT_THROW(x_canceling_only_bits({32, 32}, 5), std::invalid_argument);
+  EXPECT_THROW(hybrid_bits(kCktA, 0, kPaperMisr, 5), std::invalid_argument);
+  EXPECT_THROW(normalized_test_time(10, 1.5, kPaperMisr),
+               std::invalid_argument);
+  EXPECT_THROW(round_bits(-1.0), std::invalid_argument);
+}
+
+TEST(Accounting, HybridBeatsCancelingWhenMaskingIsCheapEnough) {
+  // If one extra partition (L·C bits) removes more than L·C/8.96 X's, the
+  // hybrid wins — the paper's core trade-off, stated as an inequality.
+  const ScanGeometry geo{10, 10};
+  const std::uint64_t total_x = 1000;
+  const double cancel_only = x_canceling_only_bits(kPaperMisr, total_x);
+  const std::uint64_t removed = 500;  // one partition removing 500 X's
+  const double hybrid = hybrid_bits(geo, 2, kPaperMisr, total_x - removed);
+  EXPECT_LT(hybrid, cancel_only);
+}
+
+}  // namespace
+}  // namespace xh

@@ -1,0 +1,66 @@
+#include "misr/spatial_compactor.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace xh {
+namespace {
+
+TEST(SpatialCompactor, IdentityWhenChainsFit) {
+  SpatialCompactor sc(4, 8);
+  const auto out = sc.compact({Lv::k1, Lv::k0, Lv::kX, Lv::k1});
+  ASSERT_EQ(out.size(), 8u);
+  EXPECT_EQ(out[0], Lv::k1);
+  EXPECT_EQ(out[1], Lv::k0);
+  EXPECT_EQ(out[2], Lv::kX);
+  EXPECT_EQ(out[3], Lv::k1);
+  EXPECT_EQ(out[4], Lv::k0) << "unused stages read 0";
+  EXPECT_EQ(sc.x_in(), 1u);
+  EXPECT_EQ(sc.x_out(), 1u);
+  EXPECT_EQ(sc.definite_bits_absorbed(), 0u);
+}
+
+TEST(SpatialCompactor, XorFoldsDefiniteValues) {
+  SpatialCompactor sc(4, 2);
+  // stage0 = c0 ^ c2, stage1 = c1 ^ c3.
+  const auto out = sc.compact({Lv::k1, Lv::k0, Lv::k1, Lv::k1});
+  EXPECT_EQ(out[0], Lv::k0);
+  EXPECT_EQ(out[1], Lv::k1);
+}
+
+TEST(SpatialCompactor, XPoisonsItsStage) {
+  SpatialCompactor sc(4, 2);
+  const auto out = sc.compact({Lv::kX, Lv::k0, Lv::k1, Lv::k0});
+  EXPECT_EQ(out[0], Lv::kX);
+  EXPECT_EQ(out[1], Lv::k0);
+  EXPECT_EQ(sc.definite_bits_absorbed(), 1u) << "c2's value is unreadable";
+}
+
+TEST(SpatialCompactor, TwoXsMergeIntoOne) {
+  SpatialCompactor sc(4, 2);
+  sc.compact({Lv::kX, Lv::k0, Lv::kX, Lv::k0});
+  EXPECT_EQ(sc.x_in(), 2u);
+  EXPECT_EQ(sc.x_out(), 1u) << "folded X's merge";
+}
+
+TEST(SpatialCompactor, CountersAccumulateAndReset) {
+  SpatialCompactor sc(2, 2);
+  sc.compact({Lv::kX, Lv::k0});
+  sc.compact({Lv::kX, Lv::kX});
+  EXPECT_EQ(sc.x_in(), 3u);
+  EXPECT_EQ(sc.x_out(), 3u);
+  sc.reset_counters();
+  EXPECT_EQ(sc.x_in(), 0u);
+  EXPECT_EQ(sc.x_out(), 0u);
+}
+
+TEST(SpatialCompactor, RejectsBadInput) {
+  SpatialCompactor sc(3, 2);
+  EXPECT_THROW(sc.compact({Lv::k0, Lv::k1}), std::invalid_argument);
+  EXPECT_THROW(sc.compact({Lv::k0, Lv::kZ, Lv::k1}), std::invalid_argument);
+  EXPECT_THROW(SpatialCompactor(0, 2), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace xh

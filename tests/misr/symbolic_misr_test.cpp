@@ -1,0 +1,155 @@
+#include "misr/symbolic_misr.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "util/rng.hpp"
+
+namespace xh {
+namespace {
+
+std::vector<std::optional<SymbolId>> slice(
+    std::initializer_list<int> symbols) {
+  std::vector<std::optional<SymbolId>> out;
+  for (const int s : symbols) {
+    if (s < 0) {
+      out.emplace_back(std::nullopt);
+    } else {
+      out.emplace_back(static_cast<SymbolId>(s));
+    }
+  }
+  return out;
+}
+
+TEST(SymbolicMisr, SingleCycleDependencies) {
+  SymbolicMisr misr(FeedbackPolynomial::primitive(4), 8);
+  misr.step(slice({0, 1, -1, 2}));
+  EXPECT_EQ(misr.dependency(0).set_bits(), (std::vector<std::size_t>{0}));
+  EXPECT_EQ(misr.dependency(1).set_bits(), (std::vector<std::size_t>{1}));
+  EXPECT_TRUE(misr.dependency(2).none());
+  EXPECT_EQ(misr.dependency(3).set_bits(), (std::vector<std::size_t>{2}));
+}
+
+TEST(SymbolicMisr, DependenciesShiftThroughRegister) {
+  SymbolicMisr misr(FeedbackPolynomial::primitive(4), 8);
+  misr.step(slice({0, -1, -1, -1}));
+  misr.step(slice({-1, -1, -1, -1}));
+  // Symbol 0 moved from stage 0 to stage 1; no feedback fired yet.
+  EXPECT_TRUE(misr.dependency(0).none());
+  EXPECT_EQ(misr.dependency(1).set_bits(), (std::vector<std::size_t>{0}));
+}
+
+TEST(SymbolicMisr, FeedbackFoldsDependencies) {
+  // Inject at the last stage; next cycle the feedback spreads it to stage 0
+  // and every tap.
+  const FeedbackPolynomial poly = FeedbackPolynomial::primitive(4);  // taps {3}
+  SymbolicMisr misr(poly, 4);
+  misr.step(slice({-1, -1, -1, 0}));
+  misr.step(slice({-1, -1, -1, -1}));
+  EXPECT_EQ(misr.dependency(0).set_bits(), (std::vector<std::size_t>{0}));
+  // Stage 3 receives old stage 2 (empty) XOR feedback (tap at 3).
+  EXPECT_EQ(misr.dependency(3).set_bits(), (std::vector<std::size_t>{0}));
+}
+
+TEST(SymbolicMisr, RepeatedSymbolCancels) {
+  SymbolicMisr misr(FeedbackPolynomial::primitive(4), 4);
+  misr.step(slice({0, -1, -1, -1}));
+  misr.step(slice({-1, 0, -1, -1}));  // symbol 0 lands on its shifted self
+  EXPECT_TRUE(misr.dependency(1).none()) << "x ^ x = 0 over GF(2)";
+}
+
+TEST(SymbolicMisr, ResetClearsDependencies) {
+  SymbolicMisr misr(FeedbackPolynomial::primitive(4), 4);
+  misr.step(slice({0, 1, 2, 3}));
+  misr.reset();
+  for (std::size_t b = 0; b < 4; ++b) {
+    EXPECT_TRUE(misr.dependency(b).none());
+  }
+}
+
+TEST(SymbolicMisr, InputWidthChecked) {
+  SymbolicMisr misr(FeedbackPolynomial::primitive(4), 4);
+  EXPECT_THROW(misr.step(slice({0, 1})), std::invalid_argument);
+  EXPECT_THROW(misr.step(slice({9, -1, -1, -1})), std::invalid_argument);
+}
+
+TEST(SymbolicMisr, CombinationDependencyIsXorOfRows) {
+  SymbolicMisr misr(FeedbackPolynomial::primitive(6), 10);
+  misr.step(slice({0, 1, -1, 2, -1, 3}));
+  misr.step(slice({4, -1, 5, -1, 6, -1}));
+  BitVec sel(6);
+  sel.set(0);
+  sel.set(1);
+  const BitVec combo = misr.combination_dependency(sel);
+  EXPECT_EQ(combo, misr.dependency(0) ^ misr.dependency(1));
+}
+
+TEST(SymbolicMisr, XDependencyMatrixSelectsColumns) {
+  SymbolicMisr misr(FeedbackPolynomial::primitive(4), 6);
+  misr.step(slice({0, 1, 2, 3}));
+  const Gf2Matrix m = misr.x_dependency_matrix({1, 3});
+  EXPECT_EQ(m.rows(), 4u);
+  EXPECT_EQ(m.cols(), 2u);
+  EXPECT_TRUE(m.get(1, 0));   // stage 1 depends on symbol 1
+  EXPECT_TRUE(m.get(3, 1));   // stage 3 depends on symbol 3
+  EXPECT_FALSE(m.get(0, 0));
+}
+
+// Cross-validation: symbolic dependencies evaluated with concrete symbol
+// values must reproduce a concrete Lfsr-based MISR run.
+TEST(SymbolicMisrProperty, MatchesConcreteMisr) {
+  Rng rng(31);
+  for (int iter = 0; iter < 20; ++iter) {
+    const std::size_t m = 4 + static_cast<std::size_t>(rng.below(12));
+    const std::size_t cycles = 1 + static_cast<std::size_t>(rng.below(12));
+    const std::size_t num_symbols = m * cycles;
+
+    SymbolicMisr symbolic(FeedbackPolynomial::primitive(m), num_symbols);
+    Lfsr concrete(FeedbackPolynomial::primitive(m));
+    concrete.reset();
+
+    BitVec values(num_symbols);
+    SymbolId next_symbol = 0;
+    for (std::size_t c = 0; c < cycles; ++c) {
+      std::vector<std::optional<SymbolId>> symbols(m);
+      BitVec input(m);
+      for (std::size_t i = 0; i < m; ++i) {
+        const bool bit = rng.chance(0.5);
+        symbols[i] = next_symbol;
+        values.set(next_symbol, bit);
+        input.set(i, bit);
+        ++next_symbol;
+      }
+      symbolic.step(symbols);
+      concrete.step(input);
+    }
+
+    const BitVec known(num_symbols, true);
+    for (std::size_t b = 0; b < m; ++b) {
+      BitVec sel(m);
+      sel.set(b);
+      EXPECT_EQ(symbolic.evaluate_combination(sel, values, known),
+                concrete.state().get(b))
+          << "bit " << b;
+    }
+  }
+}
+
+TEST(SymbolicMisr, EvaluateRejectsUnknownDependency) {
+  SymbolicMisr misr(FeedbackPolynomial::primitive(4), 4);
+  misr.step(slice({0, -1, -1, -1}));
+  BitVec sel(4);
+  sel.set(0);
+  BitVec values(4);
+  BitVec known(4, true);
+  known.clear(0);  // symbol 0 is an X
+  EXPECT_THROW(misr.evaluate_combination(sel, values, known),
+               std::invalid_argument);
+  sel.clear(0);
+  sel.set(1);  // stage 1 has no dependencies — evaluates fine
+  EXPECT_FALSE(misr.evaluate_combination(sel, values, known));
+}
+
+}  // namespace
+}  // namespace xh

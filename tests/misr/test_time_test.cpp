@@ -1,0 +1,81 @@
+// Tests for the measured (simulated) test-time model and its convergence to
+// the paper's closed-form equation, plus the shadow-register cost model.
+#include <gtest/gtest.h>
+
+#include "misr/accounting.hpp"
+#include "util/rng.hpp"
+
+namespace xh {
+namespace {
+
+TEST(MeasuredTestTime, NoStopsMeansNoOverhead) {
+  XCancelResult r;
+  r.shift_cycles = 1000;
+  r.stops = 0;
+  EXPECT_DOUBLE_EQ(measured_normalized_test_time(r, {32, 7}), 1.0);
+}
+
+TEST(MeasuredTestTime, EachStopCostsQCycles) {
+  XCancelResult r;
+  r.shift_cycles = 100;
+  r.stops = 5;
+  EXPECT_DOUBLE_EQ(measured_normalized_test_time(r, {16, 4}),
+                   1.0 + 5.0 * 4.0 / 100.0);
+}
+
+TEST(MeasuredTestTime, ZeroCyclesRejected) {
+  XCancelResult r;
+  EXPECT_THROW(measured_normalized_test_time(r, {16, 4}),
+               std::invalid_argument);
+}
+
+TEST(MeasuredTestTime, ConvergesToClosedFormOnUniformStream) {
+  // Closed form: T = 1 + n·x·q/(m−q) assumes one MISR input per chain
+  // (n == m) and a uniform X stream. Simulate exactly that and compare.
+  const MisrConfig cfg{16, 4};
+  Rng rng(11);
+  XCancelSession session(cfg);
+  const double density = 0.02;
+  std::size_t cycles = 20000;
+  for (std::size_t c = 0; c < cycles; ++c) {
+    std::vector<Lv> slice(cfg.size, Lv::k0);
+    for (auto& v : slice) {
+      if (rng.chance(density)) {
+        v = Lv::kX;
+      } else if (rng.chance(0.5)) {
+        v = Lv::k1;
+      }
+    }
+    session.shift(slice);
+  }
+  const XCancelResult& r = session.finish();
+  const double measured = measured_normalized_test_time(r, cfg);
+  const double closed = normalized_test_time(cfg.size, density, cfg);
+  EXPECT_NEAR(measured, closed, 0.01 * closed);
+}
+
+TEST(ShadowRegister, NoTimeOverheadButChannelCost) {
+  const ShadowRegisterCost c =
+      shadow_register_cost({32, 7}, /*total_x=*/100000,
+                           /*shift_cycles=*/200000);
+  EXPECT_DOUBLE_EQ(c.normalized_test_time, 1.0);
+  // 8.96 bits/X * 100k X / 200k cycles = 4.48 bits/cycle.
+  EXPECT_NEAR(c.control_bits_per_cycle, 4.48, 1e-9);
+  EXPECT_EQ(c.extra_channels, 5u);
+}
+
+TEST(ShadowRegister, ChannelCostScalesWithDensity) {
+  const ShadowRegisterCost lo =
+      shadow_register_cost({32, 7}, 1000, 1000000);
+  const ShadowRegisterCost hi =
+      shadow_register_cost({32, 7}, 100000, 1000000);
+  EXPECT_LT(lo.control_bits_per_cycle, hi.control_bits_per_cycle);
+  EXPECT_DOUBLE_EQ(lo.normalized_test_time, hi.normalized_test_time);
+}
+
+TEST(ShadowRegister, RejectsZeroCycles) {
+  EXPECT_THROW(shadow_register_cost({32, 7}, 10, 0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace xh

@@ -1,0 +1,146 @@
+#include "netlist/bench_io.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace xh {
+namespace {
+
+// The classic ISCAS-89 s27 benchmark.
+const char* kS27 = R"(
+# s27
+INPUT(G0)
+INPUT(G1)
+INPUT(G2)
+INPUT(G3)
+OUTPUT(G17)
+G5 = DFF(G10)
+G6 = DFF(G11)
+G7 = DFF(G13)
+G14 = NOT(G0)
+G8 = AND(G14, G6)
+G15 = OR(G12, G8)
+G16 = OR(G3, G8)
+G9 = NAND(G16, G15)
+G10 = NOR(G14, G11)
+G11 = OR(G5, G9)
+G12 = NOR(G1, G7)
+G13 = NAND(G2, G12)
+G17 = NOT(G11)
+)";
+
+TEST(BenchIo, ParsesS27) {
+  const Netlist nl = read_bench_string(kS27, "s27");
+  EXPECT_EQ(nl.inputs().size(), 4u);
+  EXPECT_EQ(nl.outputs().size(), 1u);
+  EXPECT_EQ(nl.dffs().size(), 3u);
+  const NetlistStats s = compute_stats(nl);
+  EXPECT_EQ(s.gates, 10u);
+  EXPECT_TRUE(nl.finalized());
+}
+
+TEST(BenchIo, HandlesForwardReferences) {
+  // G9 uses G12 before G12 is defined.
+  const Netlist nl = read_bench_string(
+      "INPUT(a)\nOUTPUT(g9)\ng9 = NOT(g12)\ng12 = BUF(a)\n");
+  EXPECT_EQ(nl.gate(nl.find("g9")).type, GateType::kNot);
+}
+
+TEST(BenchIo, SequentialFeedbackLoop) {
+  // ff feeds logic that feeds ff — must parse.
+  const Netlist nl = read_bench_string(
+      "INPUT(a)\nOUTPUT(q)\nq = DFF(d)\nd = XOR(a, q)\n");
+  EXPECT_EQ(nl.dffs().size(), 1u);
+}
+
+TEST(BenchIo, CombinationalCycleRejected) {
+  EXPECT_THROW(read_bench_string(
+                   "INPUT(a)\nOUTPUT(x)\nx = NOT(y)\ny = NOT(x)\n"),
+               std::invalid_argument);
+}
+
+TEST(BenchIo, UndefinedSignalRejected) {
+  EXPECT_THROW(read_bench_string("INPUT(a)\nOUTPUT(x)\nx = NOT(ghost)\n"),
+               std::invalid_argument);
+}
+
+TEST(BenchIo, UndefinedOutputRejected) {
+  EXPECT_THROW(read_bench_string("INPUT(a)\nOUTPUT(ghost)\nx = NOT(a)\n"),
+               std::invalid_argument);
+}
+
+TEST(BenchIo, DuplicateDefinitionRejected) {
+  EXPECT_THROW(read_bench_string(
+                   "INPUT(a)\nOUTPUT(x)\nx = NOT(a)\nx = BUF(a)\n"),
+               std::invalid_argument);
+}
+
+TEST(BenchIo, InputRedefinedAsGateRejected) {
+  EXPECT_THROW(read_bench_string("INPUT(a)\nOUTPUT(a)\na = NOT(a)\n"),
+               std::invalid_argument);
+}
+
+TEST(BenchIo, MalformedLineRejected) {
+  EXPECT_THROW(read_bench_string("INPUT(a)\nwhatever\n"),
+               std::invalid_argument);
+  EXPECT_THROW(read_bench_string("INPUT(a)\nx = NOT(\n"),
+               std::invalid_argument);
+  EXPECT_THROW(read_bench_string("INPUT(a)\nx = FROB(a)\n"),
+               std::invalid_argument);
+}
+
+TEST(BenchIo, NdffExtensionMarksUnscanned) {
+  const Netlist nl = read_bench_string(
+      "INPUT(a)\nOUTPUT(q)\nq = NDFF(a)\np = DFF(a)\n");
+  EXPECT_EQ(nl.nonscan_dffs().size(), 1u);
+  EXPECT_EQ(nl.scan_dffs().size(), 1u);
+  EXPECT_FALSE(nl.gate(nl.find("q")).scanned);
+}
+
+TEST(BenchIo, TristateBusExtension) {
+  const Netlist nl = read_bench_string(
+      "INPUT(en)\nINPUT(d)\nOUTPUT(b)\n"
+      "t1 = TRISTATE(en, d)\nt2 = TRISTATE(d, en)\nb = BUS(t1, t2)\n");
+  EXPECT_EQ(nl.gate(nl.find("b")).type, GateType::kBus);
+}
+
+TEST(BenchIo, ConstantsAndAliases) {
+  const Netlist nl = read_bench_string(
+      "INPUT(a)\nOUTPUT(x)\nc0 = CONST0()\nc1 = VDD()\n"
+      "n = INV(a)\nbf = BUFF(a)\nx = AND(n, bf, c1)\n");
+  EXPECT_EQ(nl.gate(nl.find("c0")).type, GateType::kConst0);
+  EXPECT_EQ(nl.gate(nl.find("c1")).type, GateType::kConst1);
+  EXPECT_EQ(nl.gate(nl.find("n")).type, GateType::kNot);
+}
+
+TEST(BenchIo, RoundTripS27) {
+  const Netlist original = read_bench_string(kS27, "s27");
+  const std::string text = write_bench_string(original);
+  const Netlist reparsed = read_bench_string(text, "s27rt");
+  EXPECT_EQ(original.gate_count(), reparsed.gate_count());
+  EXPECT_EQ(original.inputs().size(), reparsed.inputs().size());
+  EXPECT_EQ(original.outputs().size(), reparsed.outputs().size());
+  EXPECT_EQ(original.dffs().size(), reparsed.dffs().size());
+  // Same names resolve to gates of the same type.
+  for (GateId id = 0; id < original.gate_count(); ++id) {
+    const Gate& g = original.gate(id);
+    const GateId rid = reparsed.find(g.name);
+    ASSERT_NE(rid, kNoGate) << g.name;
+    EXPECT_EQ(reparsed.gate(rid).type, g.type) << g.name;
+  }
+}
+
+TEST(BenchIo, RoundTripPreservesNdffAndBus) {
+  const char* text =
+      "INPUT(en)\nINPUT(d)\nOUTPUT(b)\n"
+      "t1 = TRISTATE(en, d)\nt2 = TRISTATE(d, en)\nb = BUS(t1, t2)\n"
+      "q = NDFF(b)\n";
+  const Netlist nl = read_bench_string(text);
+  const Netlist rt = read_bench_string(write_bench_string(nl));
+  EXPECT_EQ(rt.nonscan_dffs().size(), 1u);
+  EXPECT_EQ(rt.gate(rt.find("b")).type, GateType::kBus);
+}
+
+}  // namespace
+}  // namespace xh

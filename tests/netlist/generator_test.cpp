@@ -1,0 +1,107 @@
+#include "netlist/generator.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <stdexcept>
+
+#include "netlist/bench_io.hpp"
+
+namespace xh {
+namespace {
+
+TEST(Generator, DefaultConfigProducesValidNetlist) {
+  const Netlist nl = generate_circuit({});
+  EXPECT_TRUE(nl.finalized());
+  const NetlistStats s = compute_stats(nl);
+  EXPECT_EQ(s.inputs, 8u);
+  EXPECT_EQ(s.outputs, 8u);
+  EXPECT_EQ(s.dffs, 32u);
+  EXPECT_GT(s.depth, 2u);
+}
+
+TEST(Generator, DeterministicInSeed) {
+  GeneratorConfig cfg;
+  cfg.seed = 42;
+  const Netlist a = generate_circuit(cfg);
+  const Netlist b = generate_circuit(cfg);
+  EXPECT_EQ(write_bench_string(a), write_bench_string(b));
+}
+
+TEST(Generator, SeedsProduceDifferentCircuits) {
+  GeneratorConfig cfg;
+  cfg.seed = 1;
+  const Netlist a = generate_circuit(cfg);
+  cfg.seed = 2;
+  const Netlist b = generate_circuit(cfg);
+  EXPECT_NE(write_bench_string(a), write_bench_string(b));
+}
+
+TEST(Generator, HonorsNonscanFraction) {
+  GeneratorConfig cfg;
+  cfg.num_dffs = 40;
+  cfg.nonscan_fraction = 0.25;
+  const Netlist nl = generate_circuit(cfg);
+  EXPECT_EQ(nl.nonscan_dffs().size(), 10u);
+  EXPECT_EQ(nl.scan_dffs().size(), 30u);
+}
+
+TEST(Generator, HonorsBusConfig) {
+  GeneratorConfig cfg;
+  cfg.num_buses = 3;
+  cfg.drivers_per_bus = 4;
+  const Netlist nl = generate_circuit(cfg);
+  const NetlistStats s = compute_stats(nl);
+  EXPECT_EQ(s.buses, 3u);
+  EXPECT_EQ(s.tristate_drivers, 12u);
+}
+
+TEST(Generator, ZeroBusesAndNoNonscan) {
+  GeneratorConfig cfg;
+  cfg.num_buses = 0;
+  cfg.nonscan_fraction = 0.0;
+  const Netlist nl = generate_circuit(cfg);
+  const NetlistStats s = compute_stats(nl);
+  EXPECT_EQ(s.buses, 0u);
+  EXPECT_EQ(s.nonscan_dffs, 0u);
+}
+
+TEST(Generator, RejectsBadConfig) {
+  GeneratorConfig cfg;
+  cfg.num_inputs = 1;
+  EXPECT_THROW(generate_circuit(cfg), std::invalid_argument);
+  cfg = {};
+  cfg.nonscan_fraction = 1.5;
+  EXPECT_THROW(generate_circuit(cfg), std::invalid_argument);
+  cfg = {};
+  cfg.num_outputs = 0;
+  EXPECT_THROW(generate_circuit(cfg), std::invalid_argument);
+}
+
+TEST(Generator, GeneratedCircuitRoundTripsThroughBench) {
+  GeneratorConfig cfg;
+  cfg.num_gates = 60;
+  cfg.num_buses = 2;
+  cfg.nonscan_fraction = 0.2;
+  cfg.seed = 7;
+  const Netlist nl = generate_circuit(cfg);
+  const Netlist rt = read_bench_string(write_bench_string(nl));
+  EXPECT_EQ(rt.gate_count(), nl.gate_count());
+  EXPECT_EQ(rt.nonscan_dffs().size(), nl.nonscan_dffs().size());
+}
+
+TEST(Generator, ScalesToLargerCircuits) {
+  GeneratorConfig cfg;
+  cfg.num_gates = 5000;
+  cfg.num_dffs = 400;
+  cfg.num_inputs = 64;
+  cfg.num_outputs = 64;
+  const Netlist nl = generate_circuit(cfg);
+  const NetlistStats s = compute_stats(nl);
+  EXPECT_GE(s.gates, 5000u);
+  EXPECT_EQ(s.dffs, 400u);
+  EXPECT_EQ(s.outputs, 64u);
+}
+
+}  // namespace
+}  // namespace xh

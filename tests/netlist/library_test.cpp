@@ -1,0 +1,294 @@
+#include "netlist/library.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "sim/comb_sim.hpp"
+
+namespace xh {
+namespace {
+
+// Helper: run a full sequential clock on a CombSim.
+void tick(CombSim& sim) {
+  sim.evaluate();
+  sim.clock();
+}
+
+TEST(CircuitLibrary, CounterCountsThrough16States) {
+  const Netlist nl = make_counter(4);
+  CombSim sim(nl);
+  sim.set_all_state(Lv::k0);
+  sim.set_input(nl.find("en"), Lv::k1);
+
+  const GateId q0 = nl.find("q0");
+  const GateId q1 = nl.find("q1");
+  const GateId q2 = nl.find("q2");
+  const GateId q3 = nl.find("q3");
+  for (int step = 0; step < 16; ++step) {
+    sim.evaluate();
+    const int value = (sim.value(q0) == Lv::k1 ? 1 : 0) |
+                      (sim.value(q1) == Lv::k1 ? 2 : 0) |
+                      (sim.value(q2) == Lv::k1 ? 4 : 0) |
+                      (sim.value(q3) == Lv::k1 ? 8 : 0);
+    EXPECT_EQ(value, step);
+    sim.clock();
+  }
+  sim.evaluate();
+  EXPECT_EQ(sim.value(q0), Lv::k0) << "wraps to zero";
+}
+
+TEST(CircuitLibrary, CounterHoldsWhenDisabled) {
+  const Netlist nl = make_counter(3);
+  CombSim sim(nl);
+  sim.set_all_state(Lv::k0);
+  sim.set_input(nl.find("en"), Lv::k1);
+  tick(sim);
+  tick(sim);  // counter = 2
+  sim.set_input(nl.find("en"), Lv::k0);
+  tick(sim);
+  sim.evaluate();
+  EXPECT_EQ(sim.value(nl.find("q0")), Lv::k0);
+  EXPECT_EQ(sim.value(nl.find("q1")), Lv::k1);
+}
+
+TEST(CircuitLibrary, CounterCarryOutFiresAtMax) {
+  const Netlist nl = make_counter(2);
+  CombSim sim(nl);
+  sim.set_all_state(Lv::k1);  // state 3
+  sim.set_input(nl.find("en"), Lv::k1);
+  sim.evaluate();
+  EXPECT_EQ(sim.value(nl.find("carry_out")), Lv::k1);
+}
+
+TEST(CircuitLibrary, CrcShiftsAndHolds) {
+  const Netlist nl = make_crc(8);
+  CombSim sim(nl);
+  sim.set_all_state(Lv::k0);
+  sim.set_input(nl.find("din"), Lv::k1);
+  sim.set_input(nl.find("en"), Lv::k1);
+  tick(sim);
+  sim.evaluate();
+  EXPECT_EQ(sim.value(nl.find("q0")), Lv::k1) << "feedback injects at bit 0";
+  // Disable: state must hold.
+  const Lv q0_before = sim.value(nl.find("q0"));
+  sim.set_input(nl.find("en"), Lv::k0);
+  sim.set_input(nl.find("din"), Lv::k0);
+  tick(sim);
+  sim.evaluate();
+  EXPECT_EQ(sim.value(nl.find("q0")), q0_before);
+}
+
+TEST(CircuitLibrary, CrcIsLinearInItsInputStream) {
+  // CRC(a) ^ CRC(b) == CRC(a^b) from the zero state.
+  const auto run = [](const std::vector<bool>& stream) {
+    const Netlist nl = make_crc(8);
+    CombSim sim(nl);
+    sim.set_all_state(Lv::k0);
+    sim.set_input(nl.find("en"), Lv::k1);
+    for (const bool bit : stream) {
+      sim.set_input(nl.find("din"), bit ? Lv::k1 : Lv::k0);
+      sim.evaluate();
+      sim.clock();
+    }
+    sim.evaluate();
+    std::vector<bool> state;
+    for (std::size_t i = 0; i < 8; ++i) {
+      state.push_back(sim.value(nl.find("q" + std::to_string(i))) == Lv::k1);
+    }
+    return state;
+  };
+  const std::vector<bool> a = {1, 0, 1, 1, 0, 0, 1, 0, 1, 1};
+  const std::vector<bool> b = {0, 1, 1, 0, 1, 0, 0, 1, 1, 0};
+  std::vector<bool> axb;
+  for (std::size_t i = 0; i < a.size(); ++i) axb.push_back(a[i] != b[i]);
+  const auto ra = run(a);
+  const auto rb = run(b);
+  const auto rx = run(axb);
+  for (std::size_t i = 0; i < 8; ++i) {
+    EXPECT_EQ(ra[i] != rb[i], rx[i]) << "bit " << i;
+  }
+}
+
+class AluOps : public ::testing::TestWithParam<int> {};
+
+TEST_P(AluOps, ComputesAllFourFunctions) {
+  const int op = GetParam();
+  const Netlist nl = make_alu(4);
+  CombSim sim(nl);
+
+  const unsigned av = 0b1011;
+  const unsigned bv = 0b0110;
+  sim.set_input(nl.find("op0"), (op & 1) ? Lv::k1 : Lv::k0);
+  sim.set_input(nl.find("op1"), (op & 2) ? Lv::k1 : Lv::k0);
+  // Load operands into the input registers (cycle 1), then read the result
+  // register (cycle 2).
+  for (std::size_t i = 0; i < 4; ++i) {
+    sim.set_input(nl.find("a" + std::to_string(i)),
+                  ((av >> i) & 1) ? Lv::k1 : Lv::k0);
+    sim.set_input(nl.find("b" + std::to_string(i)),
+                  ((bv >> i) & 1) ? Lv::k1 : Lv::k0);
+  }
+  sim.set_all_state(Lv::k0);
+  tick(sim);  // operands captured
+  tick(sim);  // result captured
+  sim.evaluate();
+
+  unsigned expected = 0;
+  switch (op) {
+    case 0: expected = (av + bv) & 0xF; break;
+    case 1: expected = av & bv; break;
+    case 2: expected = av | bv; break;
+    case 3: expected = av ^ bv; break;
+    default: FAIL();
+  }
+  unsigned got = 0;
+  for (std::size_t i = 0; i < 4; ++i) {
+    if (sim.value(nl.find("rr" + std::to_string(i))) == Lv::k1) {
+      got |= 1u << i;
+    }
+  }
+  EXPECT_EQ(got, expected) << "op " << op;
+  if (op == 0) {
+    EXPECT_EQ(sim.value(nl.find("rcarry")),
+              ((av + bv) > 0xF) ? Lv::k1 : Lv::k0);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AddAndOrXor, AluOps, ::testing::Values(0, 1, 2, 3));
+
+TEST(CircuitLibrary, PipelineHasUnscannedStage) {
+  const Netlist nl = make_pipeline(8, 4);
+  EXPECT_EQ(nl.nonscan_dffs().size(), 8u);
+  EXPECT_EQ(nl.scan_dffs().size(), 24u);
+}
+
+TEST(CircuitLibrary, PipelineUnknownStatePoisonsOutputs) {
+  const Netlist nl = make_pipeline(4, 3);
+  CombSim sim(nl);
+  // All inputs driven, all state unknown (power-up).
+  for (const GateId pi : nl.inputs()) sim.set_input(pi, Lv::k0);
+  sim.evaluate();
+  std::size_t x_outputs = 0;
+  for (const GateId out : nl.outputs()) {
+    if (sim.value(out) == Lv::kX) ++x_outputs;
+  }
+  EXPECT_GT(x_outputs, 0u);
+}
+
+TEST(CircuitLibrary, BusFabricSingleMasterDrives) {
+  const Netlist nl = make_bus_fabric(3, 2);
+  CombSim sim(nl);
+  sim.set_all_state(Lv::k0);
+  for (const GateId pi : nl.inputs()) sim.set_input(pi, Lv::k0);
+  sim.set_input(nl.find("en1"), Lv::k1);
+  sim.set_input(nl.find("m1_d0"), Lv::k1);
+  sim.set_input(nl.find("m1_d1"), Lv::k0);
+  sim.evaluate();
+  EXPECT_EQ(sim.value(nl.find("bus0")), Lv::k1);
+  EXPECT_EQ(sim.value(nl.find("bus1")), Lv::k0);
+}
+
+TEST(CircuitLibrary, BusFabricContentionAndFloatAreX) {
+  const Netlist nl = make_bus_fabric(2, 1);
+  CombSim sim(nl);
+  sim.set_all_state(Lv::k0);
+  for (const GateId pi : nl.inputs()) sim.set_input(pi, Lv::k0);
+  sim.evaluate();
+  EXPECT_EQ(sim.value(nl.find("bus0")), Lv::kX) << "floating bus";
+  sim.set_input(nl.find("en0"), Lv::k1);
+  sim.set_input(nl.find("en1"), Lv::k1);
+  sim.set_input(nl.find("m0_d0"), Lv::k1);
+  sim.set_input(nl.find("m1_d0"), Lv::k0);
+  sim.evaluate();
+  EXPECT_EQ(sim.value(nl.find("bus0")), Lv::kX) << "contention";
+}
+
+class Multiplier : public ::testing::TestWithParam<std::pair<int, int>> {};
+
+TEST_P(Multiplier, ComputesProduct) {
+  const auto [av, bv] = GetParam();
+  const Netlist nl = make_multiplier(4);
+  CombSim sim(nl);
+  sim.set_all_state(Lv::k0);
+  for (std::size_t i = 0; i < 4; ++i) {
+    sim.set_input(nl.find("a" + std::to_string(i)),
+                  ((static_cast<unsigned>(av) >> i) & 1) ? Lv::k1 : Lv::k0);
+    sim.set_input(nl.find("b" + std::to_string(i)),
+                  ((static_cast<unsigned>(bv) >> i) & 1) ? Lv::k1 : Lv::k0);
+  }
+  tick(sim);  // latch operands
+  tick(sim);  // latch product
+  sim.evaluate();
+  unsigned got = 0;
+  for (std::size_t i = 0; i < 8; ++i) {
+    if (sim.value(nl.find("p" + std::to_string(i))) == Lv::k1) {
+      got |= 1u << i;
+    }
+  }
+  EXPECT_EQ(got, static_cast<unsigned>(av * bv))
+      << av << " * " << bv;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Products, Multiplier,
+    ::testing::Values(std::pair{0, 0}, std::pair{1, 1}, std::pair{3, 5},
+                      std::pair{7, 7}, std::pair{15, 15}, std::pair{12, 9},
+                      std::pair{2, 14}));
+
+TEST(CircuitLibrary, GrayCounterTogglesOneBitPerStep) {
+  const Netlist nl = make_gray_counter(4);
+  CombSim sim(nl);
+  sim.set_all_state(Lv::k0);
+  sim.set_input(nl.find("en"), Lv::k1);
+  unsigned prev = 0;
+  for (int step = 0; step < 20; ++step) {
+    sim.evaluate();
+    unsigned gray = 0;
+    for (std::size_t i = 0; i < 4; ++i) {
+      if (sim.value(nl.find("g" + std::to_string(i))) == Lv::k1) {
+        gray |= 1u << i;
+      }
+    }
+    if (step > 0) {
+      const unsigned diff = gray ^ prev;
+      EXPECT_EQ(diff & (diff - 1), 0u) << "more than one bit changed";
+      EXPECT_NE(diff, 0u) << "no bit changed while enabled";
+    }
+    prev = gray;
+    sim.clock();
+  }
+}
+
+TEST(CircuitLibrary, GrayCounterVisitsAllCodes) {
+  const Netlist nl = make_gray_counter(3);
+  CombSim sim(nl);
+  sim.set_all_state(Lv::k0);
+  sim.set_input(nl.find("en"), Lv::k1);
+  std::set<unsigned> seen;
+  for (int step = 0; step < 8; ++step) {
+    sim.evaluate();
+    unsigned gray = 0;
+    for (std::size_t i = 0; i < 3; ++i) {
+      if (sim.value(nl.find("g" + std::to_string(i))) == Lv::k1) {
+        gray |= 1u << i;
+      }
+    }
+    seen.insert(gray);
+    sim.clock();
+  }
+  EXPECT_EQ(seen.size(), 8u);
+}
+
+TEST(CircuitLibrary, ParameterValidation) {
+  EXPECT_THROW(make_counter(0), std::invalid_argument);
+  EXPECT_THROW(make_crc(1), std::invalid_argument);
+  EXPECT_THROW(make_alu(40), std::invalid_argument);
+  EXPECT_THROW(make_pipeline(1, 4), std::invalid_argument);
+  EXPECT_THROW(make_bus_fabric(1, 4), std::invalid_argument);
+  EXPECT_THROW(make_multiplier(1), std::invalid_argument);
+  EXPECT_THROW(make_gray_counter(1), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace xh

@@ -1,0 +1,185 @@
+#include "netlist/netlist.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace xh {
+namespace {
+
+Netlist small_sequential() {
+  Netlist nl("small");
+  const GateId a = nl.add_input("a");
+  const GateId b = nl.add_input("b");
+  const GateId ff = nl.add_dff_placeholder("ff");
+  const GateId g1 = nl.add_gate(GateType::kAnd, {a, b}, "g1");
+  const GateId g2 = nl.add_gate(GateType::kXor, {g1, ff}, "g2");
+  nl.connect_dff(ff, g2);
+  nl.mark_output(g2);
+  nl.finalize();
+  return nl;
+}
+
+TEST(Netlist, BasicConstruction) {
+  const Netlist nl = small_sequential();
+  EXPECT_EQ(nl.gate_count(), 5u);
+  EXPECT_EQ(nl.inputs().size(), 2u);
+  EXPECT_EQ(nl.outputs().size(), 1u);
+  EXPECT_EQ(nl.dffs().size(), 1u);
+}
+
+TEST(Netlist, FindByName) {
+  const Netlist nl = small_sequential();
+  EXPECT_NE(nl.find("g2"), kNoGate);
+  EXPECT_EQ(nl.gate(nl.find("g2")).type, GateType::kXor);
+  EXPECT_EQ(nl.find("nope"), kNoGate);
+}
+
+TEST(Netlist, DuplicateNameThrows) {
+  Netlist nl;
+  nl.add_input("a");
+  EXPECT_THROW(nl.add_input("a"), std::invalid_argument);
+}
+
+TEST(Netlist, ArityEnforced) {
+  Netlist nl;
+  const GateId a = nl.add_input("a");
+  EXPECT_THROW(nl.add_gate(GateType::kAnd, {a}), std::invalid_argument);
+  EXPECT_THROW(nl.add_gate(GateType::kNot, {a, a}), std::invalid_argument);
+  EXPECT_THROW(nl.add_gate(GateType::kMux, {a, a}), std::invalid_argument);
+  EXPECT_NO_THROW(nl.add_gate(GateType::kAnd, {a, a, a}));
+}
+
+TEST(Netlist, DanglingFaninRejected) {
+  Netlist nl;
+  nl.add_input("a");
+  EXPECT_THROW(nl.add_gate(GateType::kNot, {7}), std::invalid_argument);
+}
+
+TEST(Netlist, UnconnectedDffFailsFinalize) {
+  Netlist nl;
+  nl.add_input("a");
+  nl.add_dff_placeholder("ff");
+  EXPECT_THROW(nl.finalize(), std::invalid_argument);
+}
+
+TEST(Netlist, DoubleConnectDffThrows) {
+  Netlist nl;
+  const GateId a = nl.add_input("a");
+  const GateId ff = nl.add_dff_placeholder("ff");
+  nl.connect_dff(ff, a);
+  EXPECT_THROW(nl.connect_dff(ff, a), std::invalid_argument);
+}
+
+TEST(Netlist, ImmutableAfterFinalize) {
+  Netlist nl = small_sequential();
+  EXPECT_THROW(nl.add_input("z"), std::invalid_argument);
+  EXPECT_THROW(nl.mark_output(0), std::invalid_argument);
+}
+
+TEST(Netlist, BusRequiresTristateDrivers) {
+  Netlist nl;
+  const GateId a = nl.add_input("a");
+  const GateId b = nl.add_input("b");
+  nl.add_gate(GateType::kBus, {a, b}, "badbus");
+  EXPECT_THROW(nl.finalize(), std::invalid_argument);
+}
+
+TEST(Netlist, BusWithTristateDriversFinalizes) {
+  Netlist nl;
+  const GateId en = nl.add_input("en");
+  const GateId d = nl.add_input("d");
+  const GateId t1 = nl.add_gate(GateType::kTristate, {en, d}, "t1");
+  const GateId t2 = nl.add_gate(GateType::kTristate, {d, en}, "t2");
+  const GateId bus = nl.add_gate(GateType::kBus, {t1, t2}, "bus");
+  nl.mark_output(bus);
+  EXPECT_NO_THROW(nl.finalize());
+}
+
+TEST(Netlist, LevelsAndDepth) {
+  Netlist nl;
+  const GateId a = nl.add_input("a");
+  const GateId b = nl.add_input("b");
+  const GateId g1 = nl.add_gate(GateType::kAnd, {a, b}, "g1");
+  const GateId g2 = nl.add_gate(GateType::kOr, {g1, a}, "g2");
+  const GateId g3 = nl.add_gate(GateType::kNot, {g2}, "g3");
+  nl.mark_output(g3);
+  nl.finalize();
+  EXPECT_EQ(nl.level(a), 0u);
+  EXPECT_EQ(nl.level(g1), 1u);
+  EXPECT_EQ(nl.level(g2), 2u);
+  EXPECT_EQ(nl.level(g3), 3u);
+  EXPECT_EQ(nl.depth(), 3u);
+}
+
+TEST(Netlist, TopoOrderRespectsFanin) {
+  const Netlist nl = small_sequential();
+  std::vector<std::size_t> position(nl.gate_count());
+  const auto& topo = nl.topo_order();
+  for (std::size_t i = 0; i < topo.size(); ++i) position[topo[i]] = i;
+  for (GateId id = 0; id < nl.gate_count(); ++id) {
+    const Gate& g = nl.gate(id);
+    if (g.type == GateType::kDff) continue;  // sequential edges may go back
+    for (const GateId f : g.fanin) {
+      EXPECT_LT(position[f], position[id]);
+    }
+  }
+}
+
+TEST(Netlist, FanoutEdges) {
+  const Netlist nl = small_sequential();
+  const GateId a = nl.find("a");
+  const GateId g1 = nl.find("g1");
+  const auto& fo = nl.fanout(a);
+  EXPECT_NE(std::find(fo.begin(), fo.end(), g1), fo.end());
+}
+
+TEST(Netlist, FanoutConeStopsAtDff) {
+  const Netlist nl = small_sequential();
+  const GateId g1 = nl.find("g1");
+  const auto cone = nl.fanout_cone(g1);
+  // g1 → g2 → ff (ff included as an observation point, not crossed).
+  EXPECT_EQ(cone.size(), 2u);
+}
+
+TEST(Netlist, ScanPartition) {
+  Netlist nl;
+  const GateId a = nl.add_input("a");
+  nl.add_dff(a, "s0", /*scanned=*/true);
+  const GateId x0 = nl.add_dff(a, "x0", /*scanned=*/false);
+  nl.set_scanned(x0, false);
+  nl.mark_output(a);
+  nl.finalize();
+  EXPECT_EQ(nl.scan_dffs().size(), 1u);
+  EXPECT_EQ(nl.nonscan_dffs().size(), 1u);
+}
+
+TEST(Netlist, StatsCounts) {
+  Netlist nl;
+  const GateId en = nl.add_input("en");
+  const GateId d = nl.add_input("d");
+  const GateId t1 = nl.add_gate(GateType::kTristate, {en, d}, "t1");
+  const GateId bus = nl.add_gate(GateType::kBus, {t1}, "bus");
+  nl.add_dff(bus, "ff", true);
+  nl.add_dff(bus, "xff", false);
+  nl.mark_output(bus);
+  nl.finalize();
+  const NetlistStats s = compute_stats(nl);
+  EXPECT_EQ(s.inputs, 2u);
+  EXPECT_EQ(s.outputs, 1u);
+  EXPECT_EQ(s.dffs, 2u);
+  EXPECT_EQ(s.nonscan_dffs, 1u);
+  EXPECT_EQ(s.tristate_drivers, 1u);
+  EXPECT_EQ(s.buses, 1u);
+}
+
+TEST(Netlist, AnonymousNamesAreUnique) {
+  Netlist nl;
+  const GateId a = nl.add_input("a");
+  const GateId g1 = nl.add_gate(GateType::kNot, {a});
+  const GateId g2 = nl.add_gate(GateType::kNot, {a});
+  EXPECT_NE(nl.gate(g1).name, nl.gate(g2).name);
+}
+
+}  // namespace
+}  // namespace xh

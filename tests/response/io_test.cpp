@@ -1,0 +1,91 @@
+#include "response/io.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/paper_example.hpp"
+#include "workload/industrial.hpp"
+
+namespace xh {
+namespace {
+
+TEST(ResponseIo, XMatrixRoundTripPaperExample) {
+  const XMatrix original = paper_example_x_matrix();
+  const XMatrix loaded =
+      x_matrix_from_string(x_matrix_to_string(original));
+  EXPECT_EQ(loaded.total_x(), original.total_x());
+  EXPECT_EQ(loaded.num_patterns(), original.num_patterns());
+  EXPECT_TRUE(loaded.geometry() == original.geometry());
+  for (const std::size_t cell : original.x_cells()) {
+    EXPECT_TRUE(loaded.patterns_of(cell) == original.patterns_of(cell));
+  }
+}
+
+TEST(ResponseIo, XMatrixRoundTripWorkload) {
+  const XMatrix original =
+      generate_workload(scaled_profile(ckt_b_profile(), 0.05));
+  const XMatrix loaded =
+      x_matrix_from_string(x_matrix_to_string(original));
+  EXPECT_EQ(loaded.total_x(), original.total_x());
+  EXPECT_EQ(loaded.x_cells(), original.x_cells());
+}
+
+TEST(ResponseIo, ResponseRoundTrip) {
+  const ResponseMatrix original = paper_example_response(12);
+  const ResponseMatrix loaded =
+      response_from_string(response_to_string(original));
+  EXPECT_EQ(loaded.num_patterns(), original.num_patterns());
+  for (std::size_t p = 0; p < original.num_patterns(); ++p) {
+    EXPECT_EQ(loaded.row_string(p), original.row_string(p));
+  }
+}
+
+TEST(ResponseIo, HeaderIsHumanReadable) {
+  const std::string text = x_matrix_to_string(paper_example_x_matrix());
+  EXPECT_EQ(text.substr(0, 16), "xmatrix v1 5 3 8");
+}
+
+TEST(ResponseIo, RejectsBadMagicAndVersion) {
+  EXPECT_THROW(x_matrix_from_string("nonsense v1 2 2 2\n"),
+               std::invalid_argument);
+  EXPECT_THROW(x_matrix_from_string("xmatrix v9 2 2 2\n"),
+               std::invalid_argument);
+  EXPECT_THROW(response_from_string("xmatrix v1 2 2 2\n"),
+               std::invalid_argument);
+}
+
+TEST(ResponseIo, RejectsDegenerateGeometry) {
+  EXPECT_THROW(x_matrix_from_string("xmatrix v1 0 3 8\n"),
+               std::invalid_argument);
+  EXPECT_THROW(x_matrix_from_string("xmatrix v1 2 3 0\n"),
+               std::invalid_argument);
+}
+
+TEST(ResponseIo, RejectsOutOfRangeEntries) {
+  EXPECT_THROW(x_matrix_from_string("xmatrix v1 2 2 4\n9 0\n"),
+               std::invalid_argument);
+  EXPECT_THROW(x_matrix_from_string("xmatrix v1 2 2 4\n0 7\n"),
+               std::invalid_argument);
+}
+
+TEST(ResponseIo, RejectsMalformedRows) {
+  EXPECT_THROW(x_matrix_from_string("xmatrix v1 2 2 4\n0\n"),
+               std::invalid_argument);
+  EXPECT_THROW(x_matrix_from_string("xmatrix v1 2 2 4\n0 1 junk\n"),
+               std::invalid_argument);
+  EXPECT_THROW(response_from_string("response v1 2 2 2\n01X\n0000\n"),
+               std::invalid_argument);
+  EXPECT_THROW(response_from_string("response v1 2 2 2\n01X0\n"),
+               std::invalid_argument);
+  EXPECT_THROW(response_from_string("response v1 2 2 1\n01Q0\n"),
+               std::invalid_argument);
+}
+
+TEST(ResponseIo, EmptyXMatrixSerializes) {
+  const XMatrix empty({2, 3}, 5);
+  const XMatrix loaded = x_matrix_from_string(x_matrix_to_string(empty));
+  EXPECT_EQ(loaded.total_x(), 0u);
+  EXPECT_EQ(loaded.num_patterns(), 5u);
+}
+
+}  // namespace
+}  // namespace xh

@@ -1,0 +1,94 @@
+#include "response/response_matrix.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace xh {
+namespace {
+
+TEST(ScanGeometry, CellIndexingRoundTrip) {
+  const ScanGeometry geo{4, 10};
+  EXPECT_EQ(geo.num_cells(), 40u);
+  for (std::size_t chain = 0; chain < 4; ++chain) {
+    for (std::size_t pos = 0; pos < 10; ++pos) {
+      const std::size_t cell = geo.cell_index(chain, pos);
+      EXPECT_EQ(geo.chain_of(cell), chain);
+      EXPECT_EQ(geo.position_of(cell), pos);
+    }
+  }
+}
+
+TEST(ScanGeometry, BoundsChecked) {
+  const ScanGeometry geo{4, 10};
+  EXPECT_THROW(geo.cell_index(4, 0), std::invalid_argument);
+  EXPECT_THROW(geo.cell_index(0, 10), std::invalid_argument);
+  EXPECT_THROW(geo.chain_of(40), std::invalid_argument);
+}
+
+TEST(ResponseMatrix, SetGetAllValues) {
+  ResponseMatrix m({2, 3}, 4);
+  m.set(0, 0, Lv::k1);
+  m.set(0, 1, Lv::k0);
+  m.set(1, 2, Lv::kX);
+  EXPECT_EQ(m.get(0, 0), Lv::k1);
+  EXPECT_EQ(m.get(0, 1), Lv::k0);
+  EXPECT_EQ(m.get(1, 2), Lv::kX);
+  EXPECT_EQ(m.get(3, 5), Lv::k0) << "default is deterministic 0";
+}
+
+TEST(ResponseMatrix, ZRejected) {
+  ResponseMatrix m({2, 3}, 1);
+  EXPECT_THROW(m.set(0, 0, Lv::kZ), std::invalid_argument);
+}
+
+TEST(ResponseMatrix, OverwritingXWithValueClearsX) {
+  ResponseMatrix m({1, 2}, 1);
+  m.set(0, 0, Lv::kX);
+  EXPECT_TRUE(m.is_x(0, 0));
+  m.set(0, 0, Lv::k1);
+  EXPECT_FALSE(m.is_x(0, 0));
+  EXPECT_EQ(m.get(0, 0), Lv::k1);
+}
+
+TEST(ResponseMatrix, TotalAndPerPatternXCounts) {
+  ResponseMatrix m({2, 2}, 3);
+  m.set(0, 0, Lv::kX);
+  m.set(0, 3, Lv::kX);
+  m.set(2, 1, Lv::kX);
+  EXPECT_EQ(m.total_x(), 3u);
+  EXPECT_EQ(m.pattern_x_count(0), 2u);
+  EXPECT_EQ(m.pattern_x_count(1), 0u);
+  EXPECT_EQ(m.pattern_x_count(2), 1u);
+  EXPECT_DOUBLE_EQ(m.x_density(), 3.0 / 12.0);
+}
+
+TEST(ResponseMatrix, FromStringsAndRowString) {
+  const ResponseMatrix m =
+      ResponseMatrix::from_strings({2, 3}, {"01X10X", "111000"});
+  EXPECT_EQ(m.num_patterns(), 2u);
+  EXPECT_EQ(m.row_string(0), "01X10X");
+  EXPECT_EQ(m.row_string(1), "111000");
+  EXPECT_EQ(m.get(0, 2), Lv::kX);
+}
+
+TEST(ResponseMatrix, FromStringsRejectsBadWidth) {
+  EXPECT_THROW(ResponseMatrix::from_strings({2, 3}, {"01X"}),
+               std::invalid_argument);
+}
+
+TEST(ResponseMatrix, XRowAndValueRow) {
+  const ResponseMatrix m = ResponseMatrix::from_strings({1, 4}, {"1X01"});
+  EXPECT_EQ(m.x_row(0).to_string(), "0100");
+  EXPECT_EQ(m.value_row(0).to_string(), "1001");
+}
+
+TEST(ResponseMatrix, BoundsChecked) {
+  ResponseMatrix m({1, 2}, 2);
+  EXPECT_THROW(m.get(2, 0), std::invalid_argument);
+  EXPECT_THROW(m.get(0, 2), std::invalid_argument);
+  EXPECT_THROW(m.set(0, 9, Lv::k0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace xh

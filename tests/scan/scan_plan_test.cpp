@@ -1,0 +1,77 @@
+#include "scan/scan_plan.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "netlist/generator.hpp"
+
+namespace xh {
+namespace {
+
+Netlist circuit(std::size_t dffs, double nonscan = 0.0) {
+  GeneratorConfig cfg;
+  cfg.num_dffs = dffs;
+  cfg.nonscan_fraction = nonscan;
+  cfg.num_gates = 50;
+  cfg.seed = 11;
+  return generate_circuit(cfg);
+}
+
+TEST(ScanPlan, EvenSplit) {
+  const Netlist nl = circuit(12);
+  const ScanPlan plan = ScanPlan::build(nl, 4);
+  EXPECT_EQ(plan.geometry().num_chains, 4u);
+  EXPECT_EQ(plan.geometry().chain_length, 3u);
+  EXPECT_EQ(plan.num_scan_dffs(), 12u);
+}
+
+TEST(ScanPlan, UnevenSplitPadsToLongestChain) {
+  const Netlist nl = circuit(10);
+  const ScanPlan plan = ScanPlan::build(nl, 4);
+  EXPECT_EQ(plan.geometry().chain_length, 3u);  // ceil(10/4)
+  EXPECT_EQ(plan.geometry().num_cells(), 12u);
+  std::size_t padding = 0;
+  for (std::size_t cell = 0; cell < plan.geometry().num_cells(); ++cell) {
+    if (plan.dff_at(cell) == kNoGate) ++padding;
+  }
+  EXPECT_EQ(padding, 2u);
+}
+
+TEST(ScanPlan, CellMappingBijective) {
+  const Netlist nl = circuit(9);
+  const ScanPlan plan = ScanPlan::build(nl, 3);
+  for (const GateId dff : nl.scan_dffs()) {
+    EXPECT_EQ(plan.dff_at(plan.cell_of(dff)), dff);
+  }
+}
+
+TEST(ScanPlan, ExcludesUnscannedFlops) {
+  const Netlist nl = circuit(10, 0.3);
+  ASSERT_EQ(nl.nonscan_dffs().size(), 3u);
+  const ScanPlan plan = ScanPlan::build(nl, 2);
+  EXPECT_EQ(plan.num_scan_dffs(), 7u);
+  for (const GateId dff : nl.nonscan_dffs()) {
+    EXPECT_THROW(plan.cell_of(dff), std::invalid_argument);
+  }
+}
+
+TEST(ScanPlan, SingleChain) {
+  const Netlist nl = circuit(5);
+  const ScanPlan plan = ScanPlan::build(nl, 1);
+  EXPECT_EQ(plan.geometry().chain_length, 5u);
+  EXPECT_EQ(plan.geometry().num_chains, 1u);
+}
+
+TEST(ScanPlan, RejectsInvalidInputs) {
+  const Netlist nl = circuit(5);
+  EXPECT_THROW(ScanPlan::build(nl, 0), std::invalid_argument);
+  GeneratorConfig cfg;
+  cfg.nonscan_fraction = 1.0;  // every flop unscanned
+  cfg.num_gates = 10;
+  const Netlist no_scan = generate_circuit(cfg);
+  EXPECT_THROW(ScanPlan::build(no_scan, 2), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace xh

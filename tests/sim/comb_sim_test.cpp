@@ -1,0 +1,210 @@
+#include "sim/comb_sim.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "netlist/bench_io.hpp"
+
+namespace xh {
+namespace {
+
+TEST(CombSim, EvaluatesSimpleGateCloud) {
+  Netlist nl;
+  const GateId a = nl.add_input("a");
+  const GateId b = nl.add_input("b");
+  const GateId g_and = nl.add_gate(GateType::kAnd, {a, b}, "and");
+  const GateId g_or = nl.add_gate(GateType::kOr, {a, b}, "or");
+  const GateId g_xor = nl.add_gate(GateType::kXor, {a, b}, "xor");
+  nl.mark_output(g_xor);
+  nl.finalize();
+
+  CombSim sim(nl);
+  sim.set_input(a, Lv::k1);
+  sim.set_input(b, Lv::k0);
+  sim.evaluate();
+  EXPECT_EQ(sim.value(g_and), Lv::k0);
+  EXPECT_EQ(sim.value(g_or), Lv::k1);
+  EXPECT_EQ(sim.value(g_xor), Lv::k1);
+}
+
+TEST(CombSim, XPropagatesPessimistically) {
+  Netlist nl;
+  const GateId a = nl.add_input("a");
+  const GateId b = nl.add_input("b");
+  const GateId g_and = nl.add_gate(GateType::kAnd, {a, b}, "and");
+  const GateId g_or = nl.add_gate(GateType::kOr, {a, b}, "or");
+  nl.mark_output(g_or);
+  nl.finalize();
+
+  CombSim sim(nl);
+  sim.set_input(a, Lv::kX);
+  sim.set_input(b, Lv::k0);
+  sim.evaluate();
+  EXPECT_EQ(sim.value(g_and), Lv::k0) << "0 controls AND even with X";
+  EXPECT_EQ(sim.value(g_or), Lv::kX);
+}
+
+TEST(CombSim, ReadBeforeEvaluateThrows) {
+  Netlist nl;
+  const GateId a = nl.add_input("a");
+  nl.mark_output(a);
+  nl.finalize();
+  CombSim sim(nl);
+  EXPECT_THROW(sim.value(a), std::invalid_argument);
+}
+
+TEST(CombSim, RequiresFinalizedNetlist) {
+  Netlist nl;
+  nl.add_input("a");
+  EXPECT_THROW(CombSim{nl}, std::invalid_argument);
+}
+
+TEST(CombSim, DffStateAndClocking) {
+  // q = DFF(xor(a, q)): toggles when a=1, holds when a=0.
+  const Netlist nl = read_bench_string(
+      "INPUT(a)\nOUTPUT(q)\nq = DFF(d)\nd = XOR(a, q)\n");
+  const GateId q = nl.find("q");
+  const GateId a = nl.find("a");
+
+  CombSim sim(nl);
+  sim.set_state(q, Lv::k0);
+  sim.set_input(a, Lv::k1);
+  sim.evaluate();
+  EXPECT_EQ(sim.value(q), Lv::k0);
+  EXPECT_EQ(sim.next_state(q), Lv::k1);
+  sim.clock();
+  sim.evaluate();
+  EXPECT_EQ(sim.value(q), Lv::k1);
+  EXPECT_EQ(sim.next_state(q), Lv::k0);
+}
+
+TEST(CombSim, UninitializedStateIsX) {
+  const Netlist nl = read_bench_string(
+      "INPUT(a)\nOUTPUT(q)\nq = DFF(d)\nd = XOR(a, q)\n");
+  CombSim sim(nl);
+  sim.set_input(nl.find("a"), Lv::k1);
+  sim.evaluate();
+  EXPECT_EQ(sim.value(nl.find("q")), Lv::kX) << "power-up state unknown";
+  EXPECT_EQ(sim.next_state(nl.find("q")), Lv::kX) << "X poisons the XOR";
+}
+
+TEST(CombSim, SetAllState) {
+  const Netlist nl = read_bench_string(
+      "INPUT(a)\nOUTPUT(q)\nq = DFF(a)\np = DFF(a)\n");
+  CombSim sim(nl);
+  sim.set_all_state(Lv::k1);
+  sim.set_input(nl.find("a"), Lv::k0);
+  sim.evaluate();
+  EXPECT_EQ(sim.value(nl.find("q")), Lv::k1);
+  EXPECT_EQ(sim.value(nl.find("p")), Lv::k1);
+}
+
+TEST(CombSim, TristateBusContentionMakesX) {
+  const Netlist nl = read_bench_string(
+      "INPUT(en1)\nINPUT(en2)\nINPUT(d1)\nINPUT(d2)\nOUTPUT(b)\n"
+      "t1 = TRISTATE(en1, d1)\nt2 = TRISTATE(en2, d2)\nb = BUS(t1, t2)\n");
+  CombSim sim(nl);
+  const auto set = [&](const char* n, Lv v) { sim.set_input(nl.find(n), v); };
+
+  // Single driver wins.
+  set("en1", Lv::k1); set("en2", Lv::k0);
+  set("d1", Lv::k1);  set("d2", Lv::k0);
+  sim.evaluate();
+  EXPECT_EQ(sim.value(nl.find("b")), Lv::k1);
+
+  // Contention → X.
+  set("en2", Lv::k1);
+  sim.evaluate();
+  EXPECT_EQ(sim.value(nl.find("b")), Lv::kX);
+
+  // Agreement is not contention.
+  set("d2", Lv::k1);
+  sim.evaluate();
+  EXPECT_EQ(sim.value(nl.find("b")), Lv::k1);
+
+  // Floating bus → X.
+  set("en1", Lv::k0); set("en2", Lv::k0);
+  sim.evaluate();
+  EXPECT_EQ(sim.value(nl.find("b")), Lv::kX);
+}
+
+TEST(CombSim, MuxEvaluation) {
+  Netlist nl;
+  const GateId s = nl.add_input("s");
+  const GateId a = nl.add_input("a");
+  const GateId b = nl.add_input("b");
+  const GateId m = nl.add_gate(GateType::kMux, {s, a, b}, "m");
+  nl.mark_output(m);
+  nl.finalize();
+  CombSim sim(nl);
+  sim.set_input(s, Lv::k0);
+  sim.set_input(a, Lv::k1);
+  sim.set_input(b, Lv::k0);
+  sim.evaluate();
+  EXPECT_EQ(sim.value(m), Lv::k1);
+  sim.set_input(s, Lv::k1);
+  sim.evaluate();
+  EXPECT_EQ(sim.value(m), Lv::k0);
+  sim.set_input(s, Lv::kX);
+  sim.evaluate();
+  EXPECT_EQ(sim.value(m), Lv::kX);
+  sim.set_input(b, Lv::k1);
+  sim.evaluate();
+  EXPECT_EQ(sim.value(m), Lv::k1) << "agreeing data dominates unknown select";
+}
+
+TEST(CombSim, FaultInjectionForcesValue) {
+  Netlist nl;
+  const GateId a = nl.add_input("a");
+  const GateId b = nl.add_input("b");
+  const GateId g = nl.add_gate(GateType::kAnd, {a, b}, "g");
+  const GateId o = nl.add_gate(GateType::kNot, {g}, "o");
+  nl.mark_output(o);
+  nl.finalize();
+
+  CombSim sim(nl);
+  sim.set_input(a, Lv::k1);
+  sim.set_input(b, Lv::k1);
+  sim.inject(CombSim::Fault{g, Lv::k0});  // g stuck-at-0
+  sim.evaluate();
+  EXPECT_EQ(sim.value(g), Lv::k0);
+  EXPECT_EQ(sim.value(o), Lv::k1);
+  sim.inject(std::nullopt);
+  sim.evaluate();
+  EXPECT_EQ(sim.value(o), Lv::k0);
+}
+
+TEST(CombSim, FaultValueMustBeDefinite) {
+  Netlist nl;
+  const GateId a = nl.add_input("a");
+  nl.mark_output(a);
+  nl.finalize();
+  CombSim sim(nl);
+  EXPECT_THROW(sim.inject(CombSim::Fault{a, Lv::kX}), std::invalid_argument);
+}
+
+TEST(CombSim, S27MatchesKnownBehaviour) {
+  // Reset s27 state to all zero, drive inputs, check G17 = NOT(G11).
+  const char* s27 =
+      "INPUT(G0)\nINPUT(G1)\nINPUT(G2)\nINPUT(G3)\nOUTPUT(G17)\n"
+      "G5 = DFF(G10)\nG6 = DFF(G11)\nG7 = DFF(G13)\n"
+      "G14 = NOT(G0)\nG8 = AND(G14, G6)\nG15 = OR(G12, G8)\n"
+      "G16 = OR(G3, G8)\nG9 = NAND(G16, G15)\nG10 = NOR(G14, G11)\n"
+      "G11 = OR(G5, G9)\nG12 = NOR(G1, G7)\nG13 = NAND(G2, G12)\n"
+      "G17 = NOT(G11)\n";
+  const Netlist nl = read_bench_string(s27, "s27");
+  CombSim sim(nl);
+  sim.set_all_state(Lv::k0);
+  for (const GateId pi : nl.inputs()) sim.set_input(pi, Lv::k0);
+  sim.evaluate();
+  // G12 = NOR(0, 0) = 1; G15 = OR(1, G8); G14 = NOT(0) = 1; G8 = AND(1,0)=0;
+  // G15 = 1; G16 = OR(0,0) = 0; G9 = NAND(0,1) = 1; G11 = OR(0,1) = 1;
+  // G17 = NOT(1) = 0.
+  EXPECT_EQ(sim.value(nl.find("G17")), Lv::k0);
+  EXPECT_EQ(sim.value(nl.find("G11")), Lv::k1);
+  EXPECT_EQ(sim.next_state(nl.find("G6")), Lv::k1);
+}
+
+}  // namespace
+}  // namespace xh

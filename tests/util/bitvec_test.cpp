@@ -1,0 +1,210 @@
+#include "util/bitvec.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "util/rng.hpp"
+
+namespace xh {
+namespace {
+
+TEST(BitVec, DefaultIsEmpty) {
+  BitVec v;
+  EXPECT_EQ(v.size(), 0u);
+  EXPECT_TRUE(v.empty());
+  EXPECT_TRUE(v.none());
+  EXPECT_EQ(v.count(), 0u);
+}
+
+TEST(BitVec, ConstructClearedAndSet) {
+  BitVec cleared(100);
+  EXPECT_EQ(cleared.count(), 0u);
+  BitVec set(100, true);
+  EXPECT_EQ(set.count(), 100u);
+  EXPECT_TRUE(set.get(0));
+  EXPECT_TRUE(set.get(99));
+}
+
+TEST(BitVec, SetGetClearFlip) {
+  BitVec v(70);
+  v.set(3);
+  v.set(64);
+  EXPECT_TRUE(v.get(3));
+  EXPECT_TRUE(v.get(64));
+  EXPECT_FALSE(v.get(4));
+  v.clear(3);
+  EXPECT_FALSE(v.get(3));
+  v.flip(64);
+  EXPECT_FALSE(v.get(64));
+  v.flip(64);
+  EXPECT_TRUE(v.get(64));
+}
+
+TEST(BitVec, OutOfRangeThrows) {
+  BitVec v(10);
+  EXPECT_THROW(v.get(10), std::invalid_argument);
+  EXPECT_THROW(v.set(10), std::invalid_argument);
+  EXPECT_THROW(v.flip(11), std::invalid_argument);
+}
+
+TEST(BitVec, TailBitsStayZeroAfterFill) {
+  BitVec v(65, true);
+  EXPECT_EQ(v.count(), 65u);
+  v.fill(true);
+  EXPECT_EQ(v.count(), 65u);
+  v.fill(false);
+  EXPECT_EQ(v.count(), 0u);
+}
+
+TEST(BitVec, CountAcrossWordBoundaries) {
+  BitVec v(200);
+  for (std::size_t i = 0; i < 200; i += 7) v.set(i);
+  std::size_t expected = 0;
+  for (std::size_t i = 0; i < 200; i += 7) ++expected;
+  EXPECT_EQ(v.count(), expected);
+}
+
+TEST(BitVec, FindFirstAndNext) {
+  BitVec v(130);
+  EXPECT_EQ(v.find_first(), 130u);
+  v.set(5);
+  v.set(64);
+  v.set(129);
+  EXPECT_EQ(v.find_first(), 5u);
+  EXPECT_EQ(v.find_next(6), 64u);
+  EXPECT_EQ(v.find_next(64), 64u);
+  EXPECT_EQ(v.find_next(65), 129u);
+  EXPECT_EQ(v.find_next(130), 130u);
+}
+
+TEST(BitVec, SetBitsRoundTrip) {
+  BitVec v(300);
+  const std::vector<std::size_t> want = {0, 1, 63, 64, 65, 128, 299};
+  for (const auto i : want) v.set(i);
+  EXPECT_EQ(v.set_bits(), want);
+}
+
+TEST(BitVec, XorAndOrSemantics) {
+  BitVec a = BitVec::from_string("1100");
+  const BitVec b = BitVec::from_string("1010");
+  BitVec x = a;
+  x ^= b;
+  EXPECT_EQ(x.to_string(), "0110");
+  BitVec n = a;
+  n &= b;
+  EXPECT_EQ(n.to_string(), "1000");
+  BitVec o = a;
+  o |= b;
+  EXPECT_EQ(o.to_string(), "1110");
+}
+
+TEST(BitVec, AndNot) {
+  BitVec a = BitVec::from_string("1111");
+  a.and_not(BitVec::from_string("0101"));
+  EXPECT_EQ(a.to_string(), "1010");
+}
+
+TEST(BitVec, SizeMismatchThrows) {
+  BitVec a(4);
+  BitVec b(5);
+  EXPECT_THROW(a ^= b, std::invalid_argument);
+  EXPECT_THROW(a &= b, std::invalid_argument);
+  EXPECT_THROW(a |= b, std::invalid_argument);
+  EXPECT_THROW(a.intersects(b), std::invalid_argument);
+}
+
+TEST(BitVec, IntersectsAndSubset) {
+  const BitVec a = BitVec::from_string("1100");
+  const BitVec b = BitVec::from_string("0011");
+  const BitVec c = BitVec::from_string("1000");
+  EXPECT_FALSE(a.intersects(b));
+  EXPECT_TRUE(a.intersects(c));
+  EXPECT_TRUE(c.is_subset_of(a));
+  EXPECT_FALSE(a.is_subset_of(c));
+  EXPECT_TRUE(a.is_subset_of(a));
+}
+
+TEST(BitVec, ResizeGrowClearsNewBits) {
+  BitVec v(3, true);
+  v.resize(100);
+  EXPECT_EQ(v.count(), 3u);
+  EXPECT_FALSE(v.get(50));
+}
+
+TEST(BitVec, ResizeShrinkDropsBits) {
+  BitVec v(100, true);
+  v.resize(10);
+  EXPECT_EQ(v.size(), 10u);
+  EXPECT_EQ(v.count(), 10u);
+  v.resize(100);
+  EXPECT_EQ(v.count(), 10u) << "shrunk-away bits must not resurface";
+}
+
+TEST(BitVec, FromStringIgnoresSeparators) {
+  const BitVec v = BitVec::from_string("10 01_1\n1");
+  EXPECT_EQ(v.to_string(), "100111");
+}
+
+TEST(BitVec, FromStringRejectsGarbage) {
+  EXPECT_THROW(BitVec::from_string("10a1"), std::invalid_argument);
+}
+
+TEST(BitVec, EqualityIncludesSize) {
+  EXPECT_FALSE(BitVec(4) == BitVec(5));
+  EXPECT_TRUE(BitVec::from_string("0101") == BitVec::from_string("0101"));
+}
+
+TEST(BitVec, ValueOperators) {
+  const BitVec a = BitVec::from_string("110");
+  const BitVec b = BitVec::from_string("011");
+  EXPECT_EQ((a ^ b).to_string(), "101");
+  EXPECT_EQ((a & b).to_string(), "010");
+  EXPECT_EQ((a | b).to_string(), "111");
+}
+
+// Property: operations agree with a naive bool-vector model.
+TEST(BitVecProperty, MatchesNaiveModel) {
+  Rng rng(42);
+  for (int iter = 0; iter < 50; ++iter) {
+    const std::size_t n = 1 + static_cast<std::size_t>(rng.below(400));
+    std::vector<bool> ma(n), mb(n);
+    BitVec a(n), b(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      if (rng.chance(0.3)) { ma[i] = true; a.set(i); }
+      if (rng.chance(0.3)) { mb[i] = true; b.set(i); }
+    }
+    BitVec x = a ^ b;
+    BitVec y = a & b;
+    std::size_t count = 0;
+    bool intersects = false;
+    bool subset = true;
+    for (std::size_t i = 0; i < n; ++i) {
+      EXPECT_EQ(x.get(i), ma[i] != mb[i]);
+      EXPECT_EQ(y.get(i), ma[i] && mb[i]);
+      if (ma[i]) ++count;
+      if (ma[i] && mb[i]) intersects = true;
+      if (ma[i] && !mb[i]) subset = false;
+    }
+    EXPECT_EQ(a.count(), count);
+    EXPECT_EQ(a.intersects(b), intersects);
+    EXPECT_EQ(a.is_subset_of(b), subset);
+  }
+}
+
+TEST(BitVecProperty, FindNextEnumeratesExactlySetBits) {
+  Rng rng(7);
+  for (int iter = 0; iter < 20; ++iter) {
+    const std::size_t n = 1 + static_cast<std::size_t>(rng.below(500));
+    BitVec v(n);
+    std::vector<std::size_t> want;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (rng.chance(0.1)) { v.set(i); want.push_back(i); }
+    }
+    EXPECT_EQ(v.set_bits(), want);
+    EXPECT_EQ(v.count(), want.size());
+  }
+}
+
+}  // namespace
+}  // namespace xh

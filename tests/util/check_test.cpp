@@ -1,0 +1,61 @@
+#include "util/check.hpp"
+
+#include <gtest/gtest.h>
+
+namespace xh {
+namespace {
+
+TEST(Check, RequirePassesOnTrue) {
+  EXPECT_NO_THROW(XH_REQUIRE(1 + 1 == 2, "math works"));
+}
+
+TEST(Check, RequireThrowsInvalidArgument) {
+  try {
+    XH_REQUIRE(false, "caller error");
+    FAIL() << "should have thrown";
+  } catch (const std::invalid_argument& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("requirement failed"), std::string::npos);
+    EXPECT_NE(what.find("caller error"), std::string::npos);
+    EXPECT_NE(what.find("check_test.cpp"), std::string::npos)
+        << "message should carry the source location";
+  }
+}
+
+TEST(Check, AssertThrowsLogicError) {
+  try {
+    XH_ASSERT(false, "library bug");
+    FAIL() << "should have thrown";
+  } catch (const std::logic_error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("internal invariant failed"), std::string::npos);
+    EXPECT_NE(what.find("library bug"), std::string::npos);
+  }
+}
+
+TEST(Check, RequireAndAssertAreDistinctTypes) {
+  // Callers catch invalid_argument for misuse without swallowing logic
+  // errors (bugs) — the two must stay distinguishable.
+  bool caught_logic = false;
+  try {
+    XH_ASSERT(false, "");
+  } catch (const std::invalid_argument&) {
+    FAIL() << "assert must not be invalid_argument";
+  } catch (const std::logic_error&) {
+    caught_logic = true;
+  }
+  EXPECT_TRUE(caught_logic);
+}
+
+TEST(Check, ConditionEvaluatedExactlyOnce) {
+  int calls = 0;
+  const auto once = [&] {
+    ++calls;
+    return true;
+  };
+  XH_REQUIRE(once(), "");
+  EXPECT_EQ(calls, 1);
+}
+
+}  // namespace
+}  // namespace xh

@@ -1,0 +1,47 @@
+#include "util/table.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace xh {
+namespace {
+
+TEST(TextTable, RendersAlignedColumns) {
+  TextTable t({"circuit", "bits"});
+  t.add_row({"CKT-A", "1515.15M"});
+  t.add_row({"B", "5"});
+  const std::string out = t.render();
+  EXPECT_NE(out.find("| circuit | bits     |"), std::string::npos);
+  EXPECT_NE(out.find("| CKT-A   | 1515.15M |"), std::string::npos);
+  EXPECT_NE(out.find("| B       | 5        |"), std::string::npos);
+}
+
+TEST(TextTable, ShortRowsArePadded) {
+  TextTable t({"a", "b", "c"});
+  t.add_row({"1"});
+  EXPECT_NE(t.render().find("| 1 |   |   |"), std::string::npos);
+}
+
+TEST(TextTable, TooManyCellsThrows) {
+  TextTable t({"only"});
+  EXPECT_THROW(t.add_row({"1", "2"}), std::invalid_argument);
+}
+
+TEST(TextTable, EmptyHeaderThrows) {
+  EXPECT_THROW(TextTable({}), std::invalid_argument);
+}
+
+TEST(TextTable, NumFormatting) {
+  EXPECT_EQ(TextTable::num(3.14159, 2), "3.14");
+  EXPECT_EQ(TextTable::num(2.0, 0), "2");
+  EXPECT_EQ(TextTable::num(-1.5, 1), "-1.5");
+}
+
+TEST(TextTable, MillionsFormatting) {
+  EXPECT_EQ(TextTable::millions(1515150000.0), "1515.15M");
+  EXPECT_EQ(TextTable::millions(5350000.0), "5.35M");
+}
+
+}  // namespace
+}  // namespace xh

@@ -1,0 +1,106 @@
+#include "workload/industrial.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "response/x_stats.hpp"
+
+namespace xh {
+namespace {
+
+TEST(Workload, ProfilesMatchTable1Geometry) {
+  EXPECT_EQ(ckt_a_profile().geometry.num_cells(), 505050u);
+  EXPECT_EQ(ckt_b_profile().geometry.num_cells(), 36075u);
+  EXPECT_EQ(ckt_c_profile().geometry.num_cells(), 97643u);
+  EXPECT_EQ(ckt_a_profile().geometry.chain_length, 481u);
+  EXPECT_EQ(ckt_b_profile().geometry.chain_length, 481u);
+  EXPECT_EQ(ckt_c_profile().geometry.chain_length, 481u);
+  EXPECT_EQ(ckt_b_profile().num_patterns, 3000u);
+}
+
+TEST(Workload, ScaledProfileShrinks) {
+  const WorkloadProfile p = scaled_profile(ckt_b_profile(), 0.1);
+  EXPECT_LT(p.geometry.num_cells(), ckt_b_profile().geometry.num_cells());
+  EXPECT_LT(p.num_patterns, ckt_b_profile().num_patterns);
+  EXPECT_DOUBLE_EQ(p.x_density, ckt_b_profile().x_density);
+  EXPECT_THROW(scaled_profile(ckt_b_profile(), 0.0), std::invalid_argument);
+  EXPECT_THROW(scaled_profile(ckt_b_profile(), 2.0), std::invalid_argument);
+}
+
+class WorkloadGeneration : public ::testing::Test {
+ protected:
+  static const XMatrix& matrix() {
+    static const XMatrix xm =
+        generate_workload(scaled_profile(ckt_b_profile(), 0.12));
+    return xm;
+  }
+};
+
+TEST_F(WorkloadGeneration, HitsDensityTarget) {
+  const WorkloadProfile p = scaled_profile(ckt_b_profile(), 0.12);
+  const double realized = matrix().x_density();
+  EXPECT_NEAR(realized, p.x_density, p.x_density * 0.05);
+}
+
+TEST_F(WorkloadGeneration, DeterministicInSeed) {
+  const WorkloadProfile p = scaled_profile(ckt_b_profile(), 0.12);
+  const XMatrix a = generate_workload(p);
+  EXPECT_EQ(a.total_x(), matrix().total_x());
+  for (const std::size_t cell : a.x_cells()) {
+    EXPECT_TRUE(a.patterns_of(cell) == matrix().patterns_of(cell));
+  }
+}
+
+TEST_F(WorkloadGeneration, SeedChangesDistribution) {
+  WorkloadProfile p = scaled_profile(ckt_b_profile(), 0.12);
+  p.seed ^= 0xdeadbeef;
+  const XMatrix b = generate_workload(p);
+  // Same scale, different placement.
+  EXPECT_NEAR(static_cast<double>(b.total_x()),
+              static_cast<double>(matrix().total_x()),
+              0.1 * static_cast<double>(matrix().total_x()));
+  bool any_difference = false;
+  for (const std::size_t cell : matrix().x_cells()) {
+    if (!(b.patterns_of(cell) == matrix().patterns_of(cell))) {
+      any_difference = true;
+      break;
+    }
+  }
+  EXPECT_TRUE(any_difference);
+}
+
+TEST_F(WorkloadGeneration, ContainsRealClusters) {
+  // The generator must produce groups of cells with identical pattern sets
+  // (Section 3's inter-correlation), sized well above noise.
+  const auto clusters = find_x_clusters(matrix());
+  ASSERT_FALSE(clusters.empty());
+  EXPECT_GE(clusters.front().cells.size(), 5u);
+  EXPECT_GE(clusters.front().x_count(), 10u);
+}
+
+TEST_F(WorkloadGeneration, XsAreConcentrated) {
+  // Section 3: 90 % of X's in a small fraction of cells. With the scatter
+  // stripe + clusters, 90 % of X's should live in well under half the cells.
+  const XStatistics s = compute_x_statistics(matrix());
+  EXPECT_LT(s.cell_fraction_covering(0.9), 0.35);
+}
+
+TEST(Workload, BadProfileRejected) {
+  WorkloadProfile p = ckt_b_profile();
+  p.x_density = 0.0;
+  EXPECT_THROW(generate_workload(p), std::invalid_argument);
+  p = ckt_b_profile();
+  p.clustered_fraction = 1.5;
+  EXPECT_THROW(generate_workload(p), std::invalid_argument);
+}
+
+TEST(Workload, ZeroClusteredFractionStillHitsDensity) {
+  WorkloadProfile p = scaled_profile(ckt_b_profile(), 0.1);
+  p.clustered_fraction = 0.0;
+  const XMatrix xm = generate_workload(p);
+  EXPECT_NEAR(xm.x_density(), p.x_density, p.x_density * 0.05);
+}
+
+}  // namespace
+}  // namespace xh

@@ -1,0 +1,245 @@
+// xhybrid command-line front end.
+//
+//   xhybrid_cli example
+//       Run the paper's Section 4 worked example and print the full trace.
+//
+//   xhybrid_cli analyze --chains N --length L --patterns P --density D
+//                       [--clustered F] [--misr M] [--q Q] [--seed S]
+//                       [--save file.xm]
+//       Generate a synthetic workload and print the hybrid analysis report;
+//       optionally save the X matrix for later runs.
+//
+//   xhybrid_cli analyze --load file.xm [--misr M] [--q Q]
+//       Analyze a previously saved (or externally produced) X matrix.
+//
+//   xhybrid_cli circuit <netlist.bench> [--chains N] [--patterns P]
+//                       [--misr M] [--q Q] [--seed S]
+//       Read a .bench netlist (with NDFF/TRISTATE/BUS X-source extensions),
+//       run ATPG, capture responses, and print the hybrid analysis +
+//       verified coverage result.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <string>
+
+#include "atpg/test_generation.hpp"
+#include "core/hybrid.hpp"
+#include "core/paper_example.hpp"
+#include "fault/fault_sim.hpp"
+#include "netlist/bench_io.hpp"
+#include "response/io.hpp"
+#include "scan/test_application.hpp"
+#include "util/table.hpp"
+#include "workload/industrial.hpp"
+
+namespace xh {
+namespace {
+
+[[noreturn]] void usage(const char* argv0) {
+  std::fprintf(
+      stderr,
+      "usage:\n"
+      "  %s example\n"
+      "  %s analyze --chains N --length L --patterns P --density D\n"
+      "             [--clustered F] [--misr M] [--q Q] [--seed S]\n"
+      "  %s circuit <netlist.bench> [--chains N] [--patterns P]\n"
+      "             [--misr M] [--q Q] [--seed S]\n",
+      argv0, argv0, argv0);
+  std::exit(2);
+}
+
+struct Options {
+  std::size_t chains = 8;
+  std::size_t length = 32;
+  std::size_t patterns = 200;
+  double density = 0.02;
+  double clustered = 0.5;
+  std::size_t misr = 32;
+  std::size_t q = 7;
+  std::uint64_t seed = 1;
+  std::string positional;
+  std::string save_path;
+  std::string load_path;
+};
+
+Options parse(int argc, char** argv, int from) {
+  Options opt;
+  for (int i = from; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto next = [&]() -> const char* {
+      if (i + 1 >= argc) usage(argv[0]);
+      return argv[++i];
+    };
+    if (arg == "--chains") {
+      opt.chains = static_cast<std::size_t>(std::atoll(next()));
+    } else if (arg == "--length") {
+      opt.length = static_cast<std::size_t>(std::atoll(next()));
+    } else if (arg == "--patterns") {
+      opt.patterns = static_cast<std::size_t>(std::atoll(next()));
+    } else if (arg == "--density") {
+      opt.density = std::atof(next());
+    } else if (arg == "--clustered") {
+      opt.clustered = std::atof(next());
+    } else if (arg == "--misr") {
+      opt.misr = static_cast<std::size_t>(std::atoll(next()));
+    } else if (arg == "--q") {
+      opt.q = static_cast<std::size_t>(std::atoll(next()));
+    } else if (arg == "--seed") {
+      opt.seed = static_cast<std::uint64_t>(std::atoll(next()));
+    } else if (arg == "--save") {
+      opt.save_path = next();
+    } else if (arg == "--load") {
+      opt.load_path = next();
+    } else if (!arg.empty() && arg[0] != '-' && opt.positional.empty()) {
+      opt.positional = arg;
+    } else {
+      usage(argv[0]);
+    }
+  }
+  return opt;
+}
+
+void print_report(const HybridReport& rep) {
+  TextTable t({"metric", "value"});
+  t.add_row({"cells x patterns",
+             std::to_string(rep.num_chains * rep.chain_length) + " x " +
+                 std::to_string(rep.num_patterns)});
+  t.add_row({"total X (density)",
+             std::to_string(rep.total_x) + " (" +
+                 TextTable::num(100.0 * rep.x_density, 3) + "%)"});
+  t.add_row({"partitions",
+             std::to_string(rep.partitioning.num_partitions())});
+  t.add_row({"masked / leaked X",
+             std::to_string(rep.partitioning.masked_x) + " / " +
+                 std::to_string(rep.partitioning.leaked_x)});
+  t.add_row({"X-masking only bits [5]",
+             std::to_string(rep.masking_only_bits)});
+  t.add_row({"X-canceling only bits [12]",
+             TextTable::num(rep.canceling_only_bits, 1)});
+  t.add_row({"proposed hybrid bits",
+             TextTable::num(rep.proposed_bits, 1)});
+  t.add_row({"improvement over [5]",
+             TextTable::num(rep.improvement_over_masking, 2) + "x"});
+  t.add_row({"improvement over [12]",
+             TextTable::num(rep.improvement_over_canceling, 2) + "x"});
+  t.add_row({"test time [12] -> proposed",
+             TextTable::num(rep.test_time_canceling_only, 3) + " -> " +
+                 TextTable::num(rep.test_time_proposed, 3) + " (" +
+                 TextTable::num(rep.test_time_improvement, 2) + "x)"});
+  std::printf("%s", t.render().c_str());
+}
+
+int cmd_example() {
+  PartitionerConfig cfg;
+  cfg.misr = {10, 2};
+  const XMatrix xm = paper_example_x_matrix();
+  const PartitionResult r = partition_patterns(xm, cfg);
+  std::printf("Section 4 worked example (m=10, q=2):\n");
+  for (const auto& h : r.history) {
+    std::printf("  round %zu: %zu partitions, masked %llu, bits %.1f%s\n",
+                h.round, h.num_partitions,
+                static_cast<unsigned long long>(h.masked_x), h.total_bits,
+                h.accepted ? "" : "  (rejected)");
+  }
+  HybridConfig hcfg;
+  hcfg.partitioner = cfg;
+  print_report(run_hybrid_analysis(xm, hcfg));
+  return 0;
+}
+
+int cmd_analyze(const Options& opt) {
+  HybridConfig cfg;
+  cfg.partitioner.misr = {opt.misr, opt.q};
+  if (!opt.load_path.empty()) {
+    std::ifstream in(opt.load_path);
+    if (!in) {
+      std::fprintf(stderr, "cannot open %s\n", opt.load_path.c_str());
+      return 1;
+    }
+    print_report(run_hybrid_analysis(read_x_matrix(in), cfg));
+    return 0;
+  }
+  WorkloadProfile profile;
+  profile.name = "cli";
+  profile.geometry = {opt.chains, opt.length};
+  profile.num_patterns = opt.patterns;
+  profile.x_density = opt.density;
+  profile.clustered_fraction = opt.clustered;
+  profile.cluster_cells_mean =
+      std::max<std::size_t>(2, opt.chains * opt.length / 40);
+  profile.cluster_patterns_mean = std::max<std::size_t>(2, opt.patterns / 5);
+  profile.seed = opt.seed;
+
+  const XMatrix xm = generate_workload(profile);
+  if (!opt.save_path.empty()) {
+    std::ofstream out(opt.save_path);
+    if (!out) {
+      std::fprintf(stderr, "cannot write %s\n", opt.save_path.c_str());
+      return 1;
+    }
+    write_x_matrix(xm, out);
+    std::printf("saved X matrix to %s\n", opt.save_path.c_str());
+  }
+  print_report(run_hybrid_analysis(xm, cfg));
+  return 0;
+}
+
+int cmd_circuit(const Options& opt, const char* argv0) {
+  if (opt.positional.empty()) usage(argv0);
+  std::ifstream in(opt.positional);
+  if (!in) {
+    std::fprintf(stderr, "cannot open %s\n", opt.positional.c_str());
+    return 1;
+  }
+  const Netlist nl = read_bench(in, opt.positional);
+  const ScanPlan plan = ScanPlan::build(nl, opt.chains);
+  std::printf("netlist %s: %zu gates, %zu scanned / %zu unscanned flops\n",
+              nl.name().c_str(), nl.gate_count(), nl.scan_dffs().size(),
+              nl.nonscan_dffs().size());
+
+  AtpgConfig acfg;
+  acfg.random_patterns = std::min<std::size_t>(opt.patterns, 256);
+  acfg.seed = opt.seed;
+  const AtpgResult atpg = generate_test_set(nl, plan, acfg);
+  std::printf("ATPG: %zu patterns, coverage %.2f%%\n", atpg.patterns.size(),
+              100.0 * atpg.coverage());
+
+  TestApplicator app(nl, plan);
+  const ResponseMatrix response = app.capture(atpg.patterns);
+  HybridConfig cfg;
+  cfg.partitioner.misr = {opt.misr, opt.q};
+  const HybridSimulation sim = run_hybrid_simulation(response, cfg);
+  print_report(sim.report);
+
+  FaultSimulator fsim(nl, plan);
+  const FaultSimResult ideal =
+      fsim.run(atpg.patterns, atpg.faults, observe_all());
+  const FaultSimResult masked = fsim.run(
+      atpg.patterns, atpg.faults,
+      observe_with_partition_masks(sim.report.partitioning.partitions,
+                                   sim.report.partitioning.masks));
+  std::printf("coverage under hybrid masks: %.2f%% (ideal %.2f%%) -> %s\n",
+              100.0 * masked.coverage(), 100.0 * ideal.coverage(),
+              masked.num_detected == ideal.num_detected ? "no loss"
+                                                        : "LOSS");
+  return masked.num_detected == ideal.num_detected ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace xh
+
+int main(int argc, char** argv) {
+  if (argc < 2) xh::usage(argv[0]);
+  const std::string cmd = argv[1];
+  try {
+    if (cmd == "example") return xh::cmd_example();
+    const xh::Options opt = xh::parse(argc, argv, 2);
+    if (cmd == "analyze") return xh::cmd_analyze(opt);
+    if (cmd == "circuit") return xh::cmd_circuit(opt, argv[0]);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+  xh::usage(argv[0]);
+}
