@@ -1,0 +1,158 @@
+// Robustness overhead — what graceful degradation costs. The table sweeps
+// injected undeclared-X counts through the validating pipeline and shows how
+// stops, selection vectors, and diagnostics grow; the timings compare the
+// trusting pipeline against the validating one (cross-check + classification)
+// and price the corruption engine itself.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <string>
+
+#include "core/hybrid.hpp"
+#include "inject/corruptor.hpp"
+#include "response/response_matrix.hpp"
+#include "response/x_matrix.hpp"
+#include "util/diagnostics.hpp"
+#include "util/rng.hpp"
+#include "util/table.hpp"
+#include "workload/industrial.hpp"
+
+namespace xh {
+namespace {
+
+/// Random deterministic values everywhere, X's exactly where declared.
+ResponseMatrix materialize(const XMatrix& xm, std::uint64_t seed) {
+  ResponseMatrix r(xm.geometry(), xm.num_patterns());
+  Rng rng(seed);
+  for (std::size_t p = 0; p < r.num_patterns(); ++p) {
+    for (std::size_t c = 0; c < r.num_cells(); ++c) {
+      r.set(p, c, rng.chance(0.5) ? Lv::k1 : Lv::k0);
+    }
+  }
+  for (const std::size_t cell : xm.x_cells()) {
+    for (const std::size_t p : xm.patterns_of(cell).set_bits()) {
+      r.set(p, cell, Lv::kX);
+    }
+  }
+  return r;
+}
+
+struct Prepared {
+  HybridConfig cfg;
+  XMatrix declared;
+  ResponseMatrix response;
+};
+
+const Prepared& prepared() {
+  static const Prepared p = [] {
+    WorkloadProfile profile;
+    profile.name = "robustness";
+    profile.geometry = {8, 32};
+    profile.num_patterns = 200;
+    profile.x_density = 0.02;
+    profile.cluster_cells_mean = 6;
+    profile.cluster_patterns_mean = 40;
+    profile.seed = 17;
+    XMatrix declared = generate_workload(profile);
+    ResponseMatrix response = materialize(declared, 18);
+    return Prepared{HybridConfig{}, std::move(declared),
+                    std::move(response)};
+  }();
+  return p;
+}
+
+void print_degradation_sweep() {
+  const Prepared& p = prepared();
+  std::printf(
+      "== Robustness: validating pipeline under undeclared X's ==\n"
+      "%zu patterns x %zu cells, %llu declared X's; each row injects\n"
+      "undeclared X's and runs the validating simulation (DESIGN.md section 7).\n",
+      p.response.num_patterns(), p.response.num_cells(),
+      static_cast<unsigned long long>(p.declared.total_x()));
+
+  TextTable t({"injected", "stops", "sel vectors", "degraded", "diag errors",
+               "diag warnings"});
+  for (const std::size_t injected : {0u, 8u, 32u, 128u}) {
+    ResponseMatrix corrupted = p.response;
+    Corruptor corruptor(91);
+    corruptor.add_undeclared_x(corrupted, injected);
+    Diagnostics diags;
+    const HybridSimulation sim =
+        run_hybrid_simulation(corrupted, p.declared, p.cfg, &diags);
+    t.add_row({std::to_string(injected), std::to_string(sim.cancel.stops),
+               std::to_string(sim.cancel.selection_vectors),
+               sim.degraded ? "yes" : "no",
+               std::to_string(diags.count(DiagSeverity::kError)),
+               std::to_string(diags.count(DiagSeverity::kWarning))});
+  }
+  std::printf("%s", t.render().c_str());
+  std::printf(
+      "Expected: every undeclared X flows into the X-canceling MISR, so\n"
+      "stops and selection vectors climb while the signature stays X-free;\n"
+      "diagnostics grow linearly but retention is capped per kind.\n\n");
+}
+
+void BM_TrustingSimulation(benchmark::State& state) {
+  const Prepared& p = prepared();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(run_hybrid_simulation(p.response, p.cfg));
+  }
+}
+
+void BM_ValidatingSimulationClean(benchmark::State& state) {
+  const Prepared& p = prepared();
+  for (auto _ : state) {
+    Diagnostics diags;
+    benchmark::DoNotOptimize(
+        run_hybrid_simulation(p.response, p.declared, p.cfg, &diags));
+  }
+}
+
+void BM_ValidatingSimulationCorrupted(benchmark::State& state) {
+  const Prepared& p = prepared();
+  ResponseMatrix corrupted = p.response;
+  Corruptor corruptor(92);
+  corruptor.add_undeclared_x(corrupted,
+                             static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    Diagnostics diags;
+    benchmark::DoNotOptimize(
+        run_hybrid_simulation(corrupted, p.declared, p.cfg, &diags));
+  }
+}
+
+void BM_ValidateResponseOnly(benchmark::State& state) {
+  const Prepared& p = prepared();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        validate_response(p.response, p.declared, nullptr));
+  }
+}
+
+void BM_CorruptorInjection(benchmark::State& state) {
+  const Prepared& p = prepared();
+  Corruptor corruptor(93);
+  for (auto _ : state) {
+    ResponseMatrix copy = p.response;
+    benchmark::DoNotOptimize(corruptor.add_undeclared_x(copy, 64));
+  }
+}
+
+BENCHMARK(BM_TrustingSimulation)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_ValidatingSimulationClean)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_ValidatingSimulationCorrupted)
+    ->Arg(32)
+    ->Arg(128)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_ValidateResponseOnly)->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_CorruptorInjection)->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+}  // namespace xh
+
+int main(int argc, char** argv) {
+  xh::print_degradation_sweep();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,5 +1,8 @@
 #include "core/hybrid.hpp"
 
+#include <stdexcept>
+#include <string>
+
 #include "masking/mask.hpp"
 #include "misr/accounting.hpp"
 #include "util/check.hpp"
@@ -44,34 +47,135 @@ HybridReport run_hybrid_analysis(const XMatrix& xm, const HybridConfig& cfg) {
   return rep;
 }
 
-HybridSimulation run_hybrid_simulation(const ResponseMatrix& response,
-                                       const HybridConfig& cfg) {
-  const XMatrix xm = XMatrix::from_response(response);
+XValidation validate_response(const ResponseMatrix& response,
+                              const XMatrix& declared,
+                              Diagnostics* diags) {
+  XH_REQUIRE(declared.geometry() == response.geometry(),
+             "declared X matrix geometry must match the response");
+  XH_REQUIRE(declared.num_patterns() == response.num_patterns(),
+             "declared X matrix pattern count must match the response");
 
-  HybridSimulation sim{run_hybrid_analysis(xm, cfg),
-                       response,
-                       {},
-                       false,
-                       0};
+  // Transpose the sparse declaration into per-pattern rows once, then
+  // classify each pattern with three word-level bit operations.
+  const std::size_t num_cells = response.num_cells();
+  std::vector<BitVec> declared_rows(response.num_patterns(),
+                                    BitVec(num_cells));
+  for (const std::size_t cell : declared.x_cells()) {
+    for (const std::size_t p : declared.patterns_of(cell).set_bits()) {
+      declared_rows[p].set(cell);
+    }
+  }
 
-  // Apply the per-partition masks and check the no-loss invariant against
-  // the ORIGINAL response (a masked cell must have been X).
+  XValidation v;
+  for (std::size_t p = 0; p < response.num_patterns(); ++p) {
+    const BitVec observed = response.x_row(p);
+    const BitVec& predicted = declared_rows[p];
+    BitVec undeclared = observed;
+    undeclared.and_not(predicted);
+    BitVec missing = predicted;
+    missing.and_not(observed);
+    v.confirmed_x += (observed & predicted).count();
+    v.undeclared_x += undeclared.count();
+    v.missing_x += missing.count();
+    if (diags != nullptr) {
+      for (const std::size_t c : undeclared.set_bits()) {
+        diags->error(DiagKind::kUndeclaredX,
+                     "pattern " + std::to_string(p) + " cell " +
+                         std::to_string(c),
+                     "response captures X where the declaration predicts a "
+                     "deterministic value");
+      }
+      for (const std::size_t c : missing.set_bits()) {
+        diags->warn(DiagKind::kMissingX,
+                    "pattern " + std::to_string(p) + " cell " +
+                        std::to_string(c),
+                    "declared X resolved to a deterministic value");
+      }
+    }
+  }
+  const std::uint64_t entries =
+      static_cast<std::uint64_t>(response.num_patterns()) * num_cells;
+  v.deterministic = entries - v.confirmed_x - v.undeclared_x - v.missing_x;
+  return v;
+}
+
+namespace {
+
+/// Shared simulation core. @p trusting means @p xm was derived from the
+/// response itself, so mismatch checks degenerate to library-bug assertions.
+HybridSimulation simulate(const ResponseMatrix& response, const XMatrix& xm,
+                          const HybridConfig& cfg, Diagnostics* diags,
+                          bool trusting) {
+  HybridSimulation sim;
+  sim.report = run_hybrid_analysis(xm, cfg);
+  sim.masked_response = response;
+
+  if (trusting) {
+    sim.validation.confirmed_x = xm.total_x();
+    sim.validation.deterministic =
+        static_cast<std::uint64_t>(response.num_patterns()) *
+            response.num_cells() -
+        sim.validation.confirmed_x;
+  } else {
+    sim.validation = validate_response(response, xm, diags);
+    if (!sim.validation.clean() && diags == nullptr) {
+      throw std::runtime_error(
+          "x-validation failed: " +
+          std::to_string(sim.validation.undeclared_x) + " undeclared and " +
+          std::to_string(sim.validation.missing_x) +
+          " missing X's between response and declaration (pass a "
+          "Diagnostics collector to degrade gracefully)");
+    }
+  }
+
+  // Check the masks against what silicon actually returned BEFORE applying
+  // them: a violation means a declared X resolved deterministic and the
+  // mask will hide an observable value. Reported per cell, never absorbed.
   const PartitionResult& pr = sim.report.partitioning;
-  sim.observability_preserved =
-      masks_preserve_observability(response, pr.partitions, pr.masks);
-  XH_ASSERT(sim.observability_preserved,
-            "partition masks would destroy observable values");
+  sim.masked_observable =
+      count_mask_violations(response, pr.partitions, pr.masks, diags);
+  sim.observability_preserved = sim.masked_observable == 0;
+  if (sim.validation.clean()) {
+    XH_ASSERT(sim.observability_preserved,
+              "partition masks would destroy observable values");
+  }
   for (std::size_t i = 0; i < pr.partitions.size(); ++i) {
     apply_mask(sim.masked_response, pr.partitions[i], pr.masks[i]);
   }
 
   const std::uint64_t remaining_x = sim.masked_response.total_x();
-  XH_ASSERT(remaining_x == pr.leaked_x,
-            "leaked-X accounting disagrees with masked response");
+  if (sim.validation.clean()) {
+    XH_ASSERT(remaining_x == pr.leaked_x,
+              "leaked-X accounting disagrees with masked response");
+  } else if (remaining_x != pr.leaked_x) {
+    diag_report(diags, DiagSeverity::kWarning, DiagKind::kAccountingMismatch,
+                "masked response",
+                "declaration predicts " + std::to_string(pr.leaked_x) +
+                    " leaked X's but " + std::to_string(remaining_x) +
+                    " remain after masking");
+  }
 
-  sim.cancel = run_x_canceling(sim.masked_response, cfg.partitioner.misr);
+  sim.cancel = run_x_canceling(sim.masked_response, cfg.partitioner.misr,
+                               diags);
   sim.x_entering_misr = sim.cancel.total_x_seen;
+  sim.degraded = !sim.validation.clean() || sim.masked_observable > 0 ||
+                 !sim.cancel.healthy();
   return sim;
+}
+
+}  // namespace
+
+HybridSimulation run_hybrid_simulation(const ResponseMatrix& response,
+                                       const HybridConfig& cfg) {
+  return simulate(response, XMatrix::from_response(response), cfg,
+                  /*diags=*/nullptr, /*trusting=*/true);
+}
+
+HybridSimulation run_hybrid_simulation(const ResponseMatrix& response,
+                                       const XMatrix& declared,
+                                       const HybridConfig& cfg,
+                                       Diagnostics* diags) {
+  return simulate(response, declared, cfg, diags, /*trusting=*/false);
 }
 
 }  // namespace xh

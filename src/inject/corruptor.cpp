@@ -1,0 +1,150 @@
+#include "inject/corruptor.hpp"
+
+#include <algorithm>
+#include <memory>
+
+#include "gf2/matrix.hpp"
+#include "util/check.hpp"
+
+namespace xh {
+namespace {
+
+std::vector<CellRef> collect_cells(const ResponseMatrix& response,
+                                   bool want_x) {
+  std::vector<CellRef> out;
+  for (std::size_t p = 0; p < response.num_patterns(); ++p) {
+    for (std::size_t c = 0; c < response.num_cells(); ++c) {
+      if (response.is_x(p, c) == want_x) out.push_back({p, c});
+    }
+  }
+  return out;
+}
+
+std::vector<CellRef> pick(Rng& rng, std::vector<CellRef> candidates,
+                          std::size_t count) {
+  XH_REQUIRE(count <= candidates.size(),
+             "not enough eligible cells to corrupt");
+  std::vector<CellRef> chosen;
+  chosen.reserve(count);
+  for (const std::size_t i :
+       rng.sample_without_replacement(candidates.size(), count)) {
+    chosen.push_back(candidates[i]);
+  }
+  return chosen;
+}
+
+}  // namespace
+
+std::vector<CellRef> Corruptor::add_undeclared_x(ResponseMatrix& response,
+                                                 std::size_t count) {
+  std::vector<CellRef> chosen =
+      pick(rng_, collect_cells(response, /*want_x=*/false), count);
+  for (const CellRef& ref : chosen) {
+    response.set(ref.pattern, ref.cell, Lv::kX);
+  }
+  return chosen;
+}
+
+std::vector<CellRef> Corruptor::resolve_declared_x(ResponseMatrix& response,
+                                                   std::size_t count) {
+  std::vector<CellRef> chosen =
+      pick(rng_, collect_cells(response, /*want_x=*/true), count);
+  for (const CellRef& ref : chosen) {
+    response.set(ref.pattern, ref.cell, rng_.chance(0.5) ? Lv::k1 : Lv::k0);
+  }
+  return chosen;
+}
+
+std::vector<CellRef> Corruptor::x_burst(ResponseMatrix& response,
+                                        const MisrConfig& cfg,
+                                        std::size_t burst_size) {
+  const ScanGeometry& geo = response.geometry();
+  XH_REQUIRE(burst_size <= cfg.size,
+             "burst cannot exceed the MISR width (stages would collide)");
+  XH_REQUIRE(burst_size <= geo.num_chains,
+             "burst cannot exceed the chain count");
+  const std::size_t pattern =
+      static_cast<std::size_t>(rng_.below(response.num_patterns()));
+  const std::size_t pos =
+      static_cast<std::size_t>(rng_.below(geo.chain_length));
+  std::vector<CellRef> chosen;
+  chosen.reserve(burst_size);
+  // Chains 0..burst_size-1 map to distinct MISR stages (stage = chain mod m),
+  // so all burst_size X's enter the MISR on the same shift cycle.
+  for (std::size_t chain = 0; chain < burst_size; ++chain) {
+    const CellRef ref{pattern, geo.cell_index(chain, pos)};
+    response.set(ref.pattern, ref.cell, Lv::kX);
+    chosen.push_back(ref);
+  }
+  return chosen;
+}
+
+std::string Corruptor::truncate_text(const std::string& text,
+                                     double keep_fraction) {
+  const double f = std::clamp(keep_fraction, 0.0, 1.0);
+  const std::size_t keep =
+      static_cast<std::size_t>(static_cast<double>(text.size()) * f);
+  return text.substr(0, keep);
+}
+
+std::string Corruptor::garble_text(const std::string& text,
+                                   std::size_t edits) {
+  // None of these characters is legal anywhere in the .xm / response /
+  // .bench grammars, so every edit is detectable.
+  static constexpr char kJunk[] = {'?', '!', ';', '~', '@', '%'};
+  std::vector<std::size_t> editable;
+  for (std::size_t i = 0; i < text.size(); ++i) {
+    if (text[i] != '\n') editable.push_back(i);
+  }
+  XH_REQUIRE(edits <= editable.size(), "not enough characters to garble");
+  std::string out = text;
+  for (const std::size_t i :
+       rng_.sample_without_replacement(editable.size(), edits)) {
+    out[editable[i]] = kJunk[rng_.below(sizeof(kJunk))];
+  }
+  return out;
+}
+
+std::string Corruptor::duplicate_line(const std::string& text) {
+  std::vector<std::string> lines;
+  std::size_t start = 0;
+  while (start < text.size()) {
+    const std::size_t nl = text.find('\n', start);
+    const std::size_t end = nl == std::string::npos ? text.size() : nl;
+    lines.push_back(text.substr(start, end - start));
+    start = end + 1;
+  }
+  XH_REQUIRE(lines.size() >= 2, "need at least two lines to duplicate one");
+  const std::size_t victim =
+      1 + static_cast<std::size_t>(rng_.below(lines.size() - 1));
+  lines.insert(lines.begin() + static_cast<std::ptrdiff_t>(victim),
+               lines[victim]);
+  std::string out;
+  for (const std::string& line : lines) {
+    out += line;
+    out += '\n';
+  }
+  return out;
+}
+
+XCancelSession::CombinationTamper Corruptor::combination_tamper() {
+  // The hook outlives this Corruptor call, so it owns its own stream,
+  // forked deterministically from the parent seed.
+  auto rng = std::make_shared<Rng>(rng_.next_u64());
+  return [rng](std::vector<BitVec>& combos, const Gf2Matrix& xdeps) {
+    if (combos.empty()) return;
+    const std::size_t victim =
+        static_cast<std::size_t>(rng->below(combos.size()));
+    for (std::size_t r = 0; r < xdeps.rows(); ++r) {
+      if (xdeps.row(r).any()) {
+        // Toggling membership of a row with nonzero X dependency changes
+        // the combination's dependency sum by that row — always nonzero,
+        // so the contamination cannot slip through undetected.
+        combos[victim].flip(r);
+        return;
+      }
+    }
+  };
+}
+
+}  // namespace xh

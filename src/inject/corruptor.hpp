@@ -1,0 +1,82 @@
+// Deterministic fault-injection engine for robustness testing (DESIGN.md §7).
+//
+// Every corruption is driven by a seeded Rng, so a failing robustness test
+// reproduces from its seed alone. The engine attacks the pipeline at three
+// levels:
+//   * response level — flip deterministic cells to X (undeclared X's) or
+//     resolve declared X's to concrete values, modelling the gap between
+//     pre-silicon X prediction and what silicon actually returns;
+//   * serialization level — truncate, garble or duplicate lines of the
+//     plain-text .xm / response / .bench formats, modelling damaged files;
+//   * MISR level — concentrate an X burst into a single shift slice so
+//     Gaussian extraction starves, or tamper with extracted selection
+//     vectors so the X-freeness re-check must catch contamination.
+//
+// Each mutator returns exactly what it corrupted, so tests can assert the
+// pipeline's diagnostics identify every injected fault.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "misr/x_cancel.hpp"
+#include "response/response_matrix.hpp"
+#include "response/x_matrix.hpp"
+#include "util/rng.hpp"
+
+namespace xh {
+
+/// One corrupted (pattern, cell) coordinate.
+struct CellRef {
+  std::size_t pattern = 0;
+  std::size_t cell = 0;
+
+  bool operator==(const CellRef&) const = default;
+};
+
+class Corruptor {
+ public:
+  explicit Corruptor(std::uint64_t seed) : rng_(seed) {}
+
+  /// Flips @p count deterministic cells of @p response to X. The cells are
+  /// chosen uniformly among non-X cells; any declaration derived from the
+  /// pre-corruption response now under-reports these X's.
+  std::vector<CellRef> add_undeclared_x(ResponseMatrix& response,
+                                        std::size_t count);
+
+  /// Resolves @p count X cells of @p response to concrete random values.
+  /// A declaration derived from the pre-corruption response now over-reports
+  /// X's, and masks derived from it may hide the new observable values.
+  std::vector<CellRef> resolve_declared_x(ResponseMatrix& response,
+                                          std::size_t count);
+
+  /// Sets X in @p burst_size cells that all shift into the MISR on the SAME
+  /// cycle (one scan position, chains 0..burst_size-1 → distinct MISR
+  /// stages). With burst_size > m − q the segment overshoots the stop budget
+  /// in one step and Gaussian extraction starves at the stop.
+  std::vector<CellRef> x_burst(ResponseMatrix& response, const MisrConfig& cfg,
+                               std::size_t burst_size);
+
+  /// Keeps only the leading @p keep_fraction of @p text (clamped to [0,1]).
+  std::string truncate_text(const std::string& text, double keep_fraction);
+
+  /// Overwrites @p edits random non-newline characters with junk characters
+  /// guaranteed to be invalid in every xhybrid text format.
+  std::string garble_text(const std::string& text, std::size_t edits);
+
+  /// Duplicates one random interior line (never the first line, so headers
+  /// survive and the duplicate hits the record-level checks).
+  std::string duplicate_line(const std::string& text);
+
+  /// Returns a hook for XCancelSession::install_combination_tamper that
+  /// flips one row of one extracted selection vector per stop, choosing a
+  /// row with a nonzero X dependency so the contamination is guaranteed
+  /// to be detectable (and must be caught by the X-freeness re-check).
+  XCancelSession::CombinationTamper combination_tamper();
+
+ private:
+  Rng rng_;
+};
+
+}  // namespace xh

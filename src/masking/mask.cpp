@@ -53,6 +53,31 @@ bool masks_preserve_observability(const ResponseMatrix& response,
   return true;
 }
 
+std::uint64_t count_mask_violations(const ResponseMatrix& response,
+                                    const std::vector<BitVec>& partitions,
+                                    const std::vector<BitVec>& masks,
+                                    Diagnostics* diags) {
+  XH_REQUIRE(partitions.size() == masks.size(),
+             "one mask per partition required");
+  std::uint64_t violations = 0;
+  for (std::size_t i = 0; i < partitions.size(); ++i) {
+    const auto cells = masks[i].set_bits();
+    for (const std::size_t p : partitions[i].set_bits()) {
+      for (const std::size_t c : cells) {
+        if (response.is_x(p, c)) continue;
+        ++violations;
+        diag_report(diags, DiagSeverity::kWarning, DiagKind::kMaskHidesValue,
+                    "pattern " + std::to_string(p) + " cell " +
+                        std::to_string(c),
+                    "partition " + std::to_string(i) +
+                        " mask hides an observable value (declared X "
+                        "resolved deterministic)");
+      }
+    }
+  }
+  return violations;
+}
+
 std::uint64_t XMaskingOnly::control_bits(const ScanGeometry& geometry,
                                          std::size_t num_patterns) {
   return static_cast<std::uint64_t>(geometry.num_cells()) * num_patterns;

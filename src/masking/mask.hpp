@@ -13,6 +13,7 @@
 #include "response/response_matrix.hpp"
 #include "response/x_matrix.hpp"
 #include "util/bitvec.hpp"
+#include "util/diagnostics.hpp"
 
 namespace xh {
 
@@ -35,6 +36,17 @@ void apply_mask(ResponseMatrix& response, const BitVec& partition,
 bool masks_preserve_observability(const ResponseMatrix& response,
                                   const std::vector<BitVec>& partitions,
                                   const std::vector<BitVec>& masks);
+
+/// Counts every (pattern, cell) whose mask would hide an observable (non-X)
+/// value — the situation that arises when masks were derived from *declared*
+/// X locations and silicon resolved some of them to deterministic values.
+/// Each violation is reported (capped) into @p diags as kMaskHidesValue; the
+/// count is always exact. Never silently absorbs: callers decide whether the
+/// coverage loss is acceptable.
+std::uint64_t count_mask_violations(const ResponseMatrix& response,
+                                    const std::vector<BitVec>& partitions,
+                                    const std::vector<BitVec>& masks,
+                                    Diagnostics* diags = nullptr);
 
 /// Conventional X-masking-only baseline [5]: every X cell of every pattern is
 /// masked individually (per-cycle control data).

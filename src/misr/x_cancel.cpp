@@ -1,14 +1,18 @@
 #include "misr/x_cancel.hpp"
 
+#include <algorithm>
+#include <string>
+
 #include "gf2/matrix.hpp"
 #include "misr/spatial_compactor.hpp"
 
 namespace xh {
 
-XCancelSession::XCancelSession(MisrConfig cfg)
+XCancelSession::XCancelSession(MisrConfig cfg, Diagnostics* diags)
     : cfg_(cfg),
       taps_(FeedbackPolynomial::primitive(cfg.size).taps()),
-      concrete_(FeedbackPolynomial::primitive(cfg.size)) {
+      concrete_(FeedbackPolynomial::primitive(cfg.size)),
+      diags_(diags) {
   cfg_.validate();
   concrete_.reset();
   xdep_.assign(cfg_.size, BitVec(cfg_.size * 4));
@@ -19,8 +23,18 @@ void XCancelSession::reset() {
   const std::size_t cap = xdep_.front().size();
   xdep_.assign(cfg_.size, BitVec(cap));
   segment_x_ = 0;
+  deficit_ = 0;
   result_ = {};
   finished_ = false;
+}
+
+std::size_t XCancelSession::stop_threshold() const {
+  const std::size_t budget = cfg_.size - cfg_.q;
+  return budget > deficit_ ? budget - deficit_ : 1;
+}
+
+void XCancelSession::install_combination_tamper(CombinationTamper hook) {
+  tamper_ = std::move(hook);
 }
 
 void XCancelSession::shift(const std::vector<Lv>& slice) {
@@ -58,7 +72,7 @@ void XCancelSession::shift(const std::vector<Lv>& slice) {
   ++result_.shift_cycles;
   result_.total_x_seen += x_in_slice;
 
-  if (segment_x_ >= cfg_.size - cfg_.q) extract(/*final_flush=*/false);
+  if (segment_x_ >= stop_threshold()) extract(/*final_flush=*/false);
 }
 
 void XCancelSession::extract(bool final_flush) {
@@ -84,23 +98,66 @@ void XCancelSession::extract(bool final_flush) {
       if (xdep_[r].get(c)) xmat.set(r, c);
     }
   }
-  const auto combos = x_free_combinations(xmat);
-  const std::size_t take = std::min(cfg_.q, combos.size());
-  for (std::size_t k = 0; k < take; ++k) {
-    // Defensive re-check of the X-freeness invariant.
+  std::vector<BitVec> combos = x_free_combinations(xmat);
+  if (tamper_) tamper_(combos, xmat);
+
+  // Take q verified combinations, plus any owed from earlier starved stops
+  // — the null space is larger than q when this segment stopped below the
+  // m − q budget, so the deficit can be repaid here.
+  const std::size_t want = cfg_.q + deficit_;
+  std::size_t taken = 0;
+  for (const BitVec& combo : combos) {
+    if (taken == want) break;
+    // Re-check the X-freeness invariant before emitting the bit; a
+    // combination that fails is never allowed into the signature.
     BitVec acc(segment_x_);
-    for (const std::size_t r : combos[k].set_bits()) acc ^= xmat.row(r);
-    XH_ASSERT(acc.none(), "extracted combination is not X-free");
+    for (const std::size_t r : combo.set_bits()) acc ^= xmat.row(r);
+    if (acc.any()) {
+      // With no collector and no injection hook this is unreachable except
+      // through a library bug — keep the legacy fail-fast behavior.
+      if (diags_ == nullptr && !tamper_) {
+        XH_ASSERT(acc.none(), "extracted combination is not X-free");
+      }
+      ++result_.contaminated_dropped;
+      diag_report(diags_, DiagSeverity::kWarning,
+                  DiagKind::kContaminatedCombination,
+                  "stop " + std::to_string(result_.stops),
+                  "selection vector fails the X-freeness re-check; dropped");
+      continue;
+    }
 
     SignatureBit sig;
     sig.stop_index = result_.stops;
-    sig.combination = combos[k];
+    sig.combination = combo;
     bool value = false;
-    for (const std::size_t r : combos[k].set_bits()) {
+    for (const std::size_t r : combo.set_bits()) {
       value ^= concrete_.state().get(r);
     }
     sig.value = value;
     result_.signature.push_back(std::move(sig));
+    ++taken;
+    ++result_.selection_vectors;
+  }
+
+  if (taken > cfg_.q) result_.extra_combinations += taken - cfg_.q;
+  const std::size_t owed_before = deficit_;
+  deficit_ = want - taken;
+  if (taken < cfg_.q) {
+    ++result_.starved_stops;
+    // The grown deficit lowers stop_threshold() for the next segment, so a
+    // comparable burst cannot overshoot again and the owed bits fit in the
+    // next stop's null space.
+    diag_report(diags_, DiagSeverity::kWarning, DiagKind::kExtractionStarved,
+                "stop " + std::to_string(result_.stops),
+                "only " + std::to_string(taken) + " of " +
+                    std::to_string(cfg_.q) +
+                    " X-free combinations available (segment holds " +
+                    std::to_string(segment_x_) + " X's)");
+  } else if (owed_before > 0 && deficit_ == 0) {
+    diag_report(diags_, DiagSeverity::kInfo, DiagKind::kExtractionRecovered,
+                "stop " + std::to_string(result_.stops),
+                "repaid " + std::to_string(owed_before) +
+                    " signature bits owed from starved stops");
   }
 
   ++result_.stops;
@@ -114,14 +171,23 @@ void XCancelSession::extract(bool final_flush) {
 const XCancelResult& XCancelSession::finish() {
   if (!finished_) {
     extract(/*final_flush=*/true);
+    result_.signature_deficit = deficit_;
+    if (deficit_ > 0) {
+      diag_report(diags_, DiagSeverity::kError, DiagKind::kSignatureDeficit,
+                  "session",
+                  std::to_string(deficit_) +
+                      " signature bits lost to starved extractions; the "
+                      "emitted signature is X-free but shorter than planned");
+    }
     finished_ = true;
   }
   return result_;
 }
 
-XCancelResult run_x_canceling(const ResponseMatrix& response, MisrConfig cfg) {
+XCancelResult run_x_canceling(const ResponseMatrix& response, MisrConfig cfg,
+                              Diagnostics* diags) {
   cfg.validate();
-  XCancelSession session(cfg);
+  XCancelSession session(cfg, diags);
   const ScanGeometry& geo = response.geometry();
   SpatialCompactor compactor(geo.num_chains, cfg.size);
   std::vector<Lv> chain_values(geo.num_chains);

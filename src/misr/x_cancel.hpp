@@ -6,17 +6,32 @@
 // combinations of the m signature bits, their values are read out, and the
 // MISR restarts. Each stop costs m·q control bits from the tester (the q
 // selection vectors) and one halt of the scan clock (test-time overhead).
+//
+// Robustness (DESIGN.md §7): a burst of X's arriving in one shift cycle can
+// overshoot the m−q budget, leaving fewer than q X-free combinations at the
+// stop (*extraction starvation*); and a corrupted selection vector can fail
+// the X-freeness re-check (*contamination*). With a Diagnostics collector
+// attached the session degrades gracefully — contaminated combinations are
+// dropped (never emitted), starved stops are reported, the stop threshold is
+// lowered by the outstanding deficit so the next stop's null space has room
+// for the owed bits, and the threshold self-restores to m − q once the
+// deficit is repaid. Without a collector, contamination keeps its legacy
+// fail-fast std::logic_error.
 #pragma once
 
 #include <cstddef>
+#include <functional>
 #include <vector>
 
 #include "gf2/lfsr.hpp"
 #include "response/response_matrix.hpp"
 #include "sim/logic.hpp"
 #include "util/bitvec.hpp"
+#include "util/diagnostics.hpp"
 
 namespace xh {
+
+class Gf2Matrix;
 
 /// MISR configuration shared by simulation and accounting.
 struct MisrConfig {
@@ -46,9 +61,29 @@ struct XCancelResult {
   std::vector<std::size_t> stop_cycles;
   std::vector<SignatureBit> signature;
 
-  /// Tester data for the selective-XOR network: m·q bits per stop.
+  /// Selection vectors actually streamed from the tester (q per healthy
+  /// stop; fewer at starved stops, more at recovery stops).
+  std::size_t selection_vectors = 0;
+  /// Stops that yielded fewer than q verified X-free combinations.
+  std::size_t starved_stops = 0;
+  /// Combinations dropped because they failed the X-freeness re-check.
+  std::size_t contaminated_dropped = 0;
+  /// Combinations extracted beyond q at later stops to repay a deficit.
+  std::size_t extra_combinations = 0;
+  /// Signature bits still missing versus the q-per-stop plan at finish().
+  std::size_t signature_deficit = 0;
+
+  /// No recovery path engaged: every stop delivered its full q bits and no
+  /// combination had to be dropped.
+  bool healthy() const {
+    return starved_stops == 0 && contaminated_dropped == 0 &&
+           signature_deficit == 0;
+  }
+
+  /// Tester data for the selective-XOR network: m bits per streamed
+  /// selection vector (equals stops·m·q when no recovery path engaged).
   std::size_t control_bits(const MisrConfig& cfg) const {
-    return stops * cfg.size * cfg.q;
+    return selection_vectors * cfg.size;
   }
 };
 
@@ -57,10 +92,10 @@ struct XCancelResult {
 /// Feed captured slices (one Lv per MISR input stage) with shift(); call
 /// finish() once at the end to flush the final partial segment. The extracted
 /// signature bits are provably X-free: each combination's dependency on every
-/// X symbol cancels, which the session asserts internally.
+/// X symbol cancels, which the session verifies before emitting the bit.
 class XCancelSession {
  public:
-  explicit XCancelSession(MisrConfig cfg);
+  explicit XCancelSession(MisrConfig cfg, Diagnostics* diags = nullptr);
 
   const MisrConfig& config() const { return cfg_; }
 
@@ -74,22 +109,39 @@ class XCancelSession {
 
   void reset();
 
+  /// Fault-injection hook (src/inject): invoked at every extraction with the
+  /// candidate selection vectors and the segment's X-dependency rows, before
+  /// verification. Tampered combinations exercise the contamination-drop
+  /// recovery path deterministically. With a hook installed, contamination is
+  /// always dropped-and-reported, never thrown.
+  using CombinationTamper =
+      std::function<void(std::vector<BitVec>& combinations,
+                         const Gf2Matrix& xdeps)>;
+  void install_combination_tamper(CombinationTamper hook);
+
  private:
   void extract(bool final_flush);
+  /// Nominal m − q, lowered by the outstanding deficit so the next stop's
+  /// null space has room for the owed bits; self-restores on repayment.
+  std::size_t stop_threshold() const;
 
   MisrConfig cfg_;
   std::vector<std::size_t> taps_;  // feedback taps, cached for the hot loop
   Lfsr concrete_;                  // X treated as 0 — sound for X-free combos
   std::vector<BitVec> xdep_;      // per MISR bit, over segment X symbols
   std::size_t segment_x_ = 0;     // symbols allocated in current segment
+  std::size_t deficit_ = 0;       // signature bits owed from starved stops
   XCancelResult result_;
   bool finished_ = false;
+  Diagnostics* diags_ = nullptr;
+  CombinationTamper tamper_;
 };
 
 /// Convenience driver: shifts an entire response matrix through an
 /// X-canceling MISR. Chains map to MISR stages round-robin
 /// (stage = chain mod m, a spatial XOR compactor when chains > m); cells
 /// shift out position 0 first.
-XCancelResult run_x_canceling(const ResponseMatrix& response, MisrConfig cfg);
+XCancelResult run_x_canceling(const ResponseMatrix& response, MisrConfig cfg,
+                              Diagnostics* diags = nullptr);
 
 }  // namespace xh

@@ -44,20 +44,26 @@ bool parse_call(const std::string& text, std::string& op,
   if (open == std::string::npos || close == std::string::npos || close < open) {
     return false;
   }
+  if (trim(text.substr(close + 1)).size() != 0) return false;
   op = upper(trim(text.substr(0, open)));
   operands.clear();
   const std::string args = text.substr(open + 1, close - open - 1);
   std::string cur;
+  bool saw_comma = false;
   for (const char c : args) {
     if (c == ',') {
       operands.push_back(trim(cur));
       cur.clear();
+      saw_comma = true;
     } else {
       cur.push_back(c);
     }
   }
   cur = trim(cur);
-  if (!cur.empty()) operands.push_back(cur);
+  // A trailing comma leaves an empty final operand — push it so the
+  // emptiness check below rejects "OP(a, b,)" instead of silently
+  // parsing it as two operands. Zero-operand calls ("CONST0()") stay valid.
+  if (!cur.empty() || saw_comma) operands.push_back(cur);
   for (const auto& o : operands) {
     if (o.empty()) return false;
   }
@@ -81,13 +87,18 @@ GateType combinational_op(const std::string& op, int line) {
   parse_error(line, "unknown gate type '" + op + "'");
 }
 
-}  // namespace
+/// A declared name together with the line that declared it, so later
+/// semantic errors (duplicate input, undefined output) can cite the
+/// declaration instead of "line 0".
+struct Declared {
+  std::string name;
+  int line = 0;
+};
 
-Netlist read_bench(std::istream& in, std::string name) {
-  std::vector<std::string> input_names;
-  std::vector<std::string> output_names;
+Netlist read_bench_impl(std::istream& in, std::string name) {
+  std::vector<Declared> input_names;
+  std::vector<Declared> output_names;
   std::map<std::string, Definition> defs;
-  int output_decl_line = 0;
 
   std::string raw;
   int line_no = 0;
@@ -106,10 +117,9 @@ Netlist read_bench(std::istream& in, std::string name) {
         parse_error(line_no, "expected INPUT(x) / OUTPUT(x) / name = GATE(...)");
       }
       if (op == "INPUT") {
-        input_names.push_back(operands[0]);
+        input_names.push_back({operands[0], line_no});
       } else if (op == "OUTPUT") {
-        output_names.push_back(operands[0]);
-        output_decl_line = line_no;
+        output_names.push_back({operands[0], line_no});
       } else {
         parse_error(line_no, "unknown declaration '" + op + "'");
       }
@@ -127,13 +137,21 @@ Netlist read_bench(std::istream& in, std::string name) {
       parse_error(line_no, "signal '" + lhs + "' defined twice");
     }
   }
+  if (in.bad()) {
+    throw std::invalid_argument("bench parse error: stream I/O failure after " +
+                                std::to_string(line_no) + " lines");
+  }
+  if (input_names.empty() && output_names.empty() && defs.empty()) {
+    parse_error(line_no, "empty bench description (no declarations found)");
+  }
 
   Netlist nl(std::move(name));
   std::map<std::string, GateId> ids;
 
-  for (const auto& in_name : input_names) {
+  for (const auto& decl : input_names) {
+    const std::string& in_name = decl.name;
     if (ids.count(in_name) != 0) {
-      parse_error(0, "input '" + in_name + "' declared twice");
+      parse_error(decl.line, "input '" + in_name + "' declared twice");
     }
     if (defs.count(in_name) != 0) {
       parse_error(defs.at(in_name).line,
@@ -156,12 +174,13 @@ Netlist read_bench(std::istream& in, std::string name) {
   enum class Mark { kUnseen, kVisiting, kDone };
   std::map<std::string, Mark> marks;
 
-  auto resolve = [&](const std::string& root) -> GateId {
+  auto resolve = [&](const std::string& root, int root_ref_line) -> GateId {
     struct Frame {
       std::string sig;
       std::size_t next_operand = 0;
+      int ref_line = 0;  // the line whose expression references sig
     };
-    std::vector<Frame> stack{{root, 0}};
+    std::vector<Frame> stack{{root, 0, root_ref_line}};
     while (!stack.empty()) {
       Frame& top = stack.back();
       const auto known = ids.find(top.sig);
@@ -171,7 +190,8 @@ Netlist read_bench(std::istream& in, std::string name) {
       }
       const auto def_it = defs.find(top.sig);
       if (def_it == defs.end()) {
-        parse_error(0, "signal '" + top.sig + "' is used but never defined");
+        parse_error(top.ref_line,
+                    "signal '" + top.sig + "' is used but never defined");
       }
       const Definition& def = def_it->second;
       if (top.next_operand == 0) {
@@ -183,7 +203,7 @@ Netlist read_bench(std::istream& in, std::string name) {
       }
       if (top.next_operand < def.operands.size()) {
         const std::string& dep = def.operands[top.next_operand++];
-        if (ids.find(dep) == ids.end()) stack.push_back({dep, 0});
+        if (ids.find(dep) == ids.end()) stack.push_back({dep, 0, def.line});
         continue;
       }
       // All operands available: create the gate.
@@ -204,18 +224,17 @@ Netlist read_bench(std::istream& in, std::string name) {
 
   for (const auto& [sig, def] : defs) {
     if (def.op == "DFF" || def.op == "NDFF") continue;
-    resolve(sig);
+    resolve(sig, def.line);
   }
   for (const auto& [sig, def] : defs) {
     if (def.op == "DFF" || def.op == "NDFF") {
-      nl.connect_dff(ids.at(sig), resolve(def.operands[0]));
+      nl.connect_dff(ids.at(sig), resolve(def.operands[0], def.line));
     }
   }
-  for (const auto& out_name : output_names) {
-    const auto it = ids.find(out_name);
+  for (const auto& decl : output_names) {
+    const auto it = ids.find(decl.name);
     if (it == ids.end()) {
-      parse_error(output_decl_line,
-                  "output '" + out_name + "' is never defined");
+      parse_error(decl.line, "output '" + decl.name + "' is never defined");
     }
     nl.mark_output(it->second);
   }
@@ -224,9 +243,22 @@ Netlist read_bench(std::istream& in, std::string name) {
   return nl;
 }
 
-Netlist read_bench_string(const std::string& text, std::string name) {
+}  // namespace
+
+Netlist read_bench(std::istream& in, std::string name, Diagnostics* diags) {
+  try {
+    return read_bench_impl(in, std::move(name));
+  } catch (const std::invalid_argument& e) {
+    diag_report(diags, DiagSeverity::kError, DiagKind::kNetlistParseError,
+                "bench reader", e.what());
+    throw;
+  }
+}
+
+Netlist read_bench_string(const std::string& text, std::string name,
+                          Diagnostics* diags) {
   std::istringstream is(text);
-  return read_bench(is, std::move(name));
+  return read_bench(is, std::move(name), diags);
 }
 
 void write_bench(const Netlist& nl, std::ostream& out) {

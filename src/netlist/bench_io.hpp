@@ -19,16 +19,22 @@
 #include <string>
 
 #include "netlist/netlist.hpp"
+#include "util/diagnostics.hpp"
 
 namespace xh {
 
 /// Parses a .bench description. Throws std::invalid_argument with a
-/// line-numbered message on malformed input. The returned netlist is
-/// finalized.
-Netlist read_bench(std::istream& in, std::string name = "bench");
+/// line-numbered message on malformed input (empty files, garbled gate
+/// expressions, undefined or doubly-defined signals, trailing commas).
+/// Undefined-signal errors name the line that *references* the signal.
+/// A Diagnostics collector, when given, records every failure as a
+/// kNetlistParseError before the throw. The returned netlist is finalized.
+Netlist read_bench(std::istream& in, std::string name = "bench",
+                   Diagnostics* diags = nullptr);
 
 /// Convenience overload for in-memory text.
-Netlist read_bench_string(const std::string& text, std::string name = "bench");
+Netlist read_bench_string(const std::string& text, std::string name = "bench",
+                          Diagnostics* diags = nullptr);
 
 /// Serializes @p nl in .bench form (round-trips through read_bench).
 void write_bench(const Netlist& nl, std::ostream& out);

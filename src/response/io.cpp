@@ -3,31 +3,58 @@
 #include <istream>
 #include <ostream>
 #include <sstream>
+#include <unordered_set>
 
 #include "util/check.hpp"
 
 namespace xh {
 namespace {
 
-[[noreturn]] void format_error(const std::string& what) {
+/// Records a structured diagnostic (when a collector is attached), then
+/// throws — serialized-input damage is always a hard parse failure; the
+/// collector adds the machine-readable kind and location for callers that
+/// need to classify it.
+[[noreturn]] void format_error(Diagnostics* diags, DiagKind kind,
+                               const std::string& what) {
+  diag_report(diags, DiagSeverity::kError, kind, "response io", what);
   throw std::invalid_argument("response io: " + what);
 }
 
 ScanGeometry read_header(std::istream& in, const char* magic,
-                         std::size_t& num_patterns) {
+                         std::size_t& num_patterns, Diagnostics* diags) {
   std::string word;
   std::string version;
   ScanGeometry geo;
   if (!(in >> word >> version >> geo.num_chains >> geo.chain_length >>
         num_patterns)) {
-    format_error("truncated header");
+    if (in.bad()) {
+      format_error(diags, DiagKind::kStreamFailure,
+                   "stream I/O failure while reading header (badbit set)");
+    }
+    format_error(diags, DiagKind::kTruncatedInput, "truncated header");
   }
-  if (word != magic) format_error("expected '" + std::string(magic) + "'");
-  if (version != "v1") format_error("unsupported version " + version);
+  if (word != magic) {
+    format_error(diags, DiagKind::kGarbledInput,
+                 "expected '" + std::string(magic) + "'");
+  }
+  if (version != "v1") {
+    format_error(diags, DiagKind::kGarbledInput,
+                 "unsupported version " + version);
+  }
   if (geo.num_chains == 0 || geo.chain_length == 0 || num_patterns == 0) {
-    format_error("degenerate geometry");
+    format_error(diags, DiagKind::kGarbledInput, "degenerate geometry");
   }
   return geo;
+}
+
+/// Clean-EOF / truncation / badbit triage after a failed getline.
+[[noreturn]] void missing_data_error(std::istream& in, Diagnostics* diags,
+                                     const std::string& what) {
+  if (in.bad()) {
+    format_error(diags, DiagKind::kStreamFailure,
+                 "stream I/O failure (badbit set) — " + what);
+  }
+  format_error(diags, DiagKind::kTruncatedInput, what);
 }
 
 }  // namespace
@@ -42,27 +69,79 @@ void write_x_matrix(const XMatrix& xm, std::ostream& out) {
     }
     out << '\n';
   }
+  out << "end " << xm.total_x() << '\n';
 }
 
-XMatrix read_x_matrix(std::istream& in) {
+XMatrix read_x_matrix(std::istream& in, Diagnostics* diags) {
   std::size_t num_patterns = 0;
-  const ScanGeometry geo = read_header(in, "xmatrix", num_patterns);
+  const ScanGeometry geo = read_header(in, "xmatrix", num_patterns, diags);
   XMatrix xm(geo, num_patterns);
   std::string line;
   std::getline(in, line);  // finish the header line
+  std::unordered_set<std::size_t> seen_cells;
+  bool saw_trailer = false;
   while (std::getline(in, line)) {
     if (line.empty()) continue;
+    if (saw_trailer) {
+      format_error(diags, DiagKind::kTrailingGarbage,
+                   "content after 'end' trailer: " + line);
+    }
     std::istringstream row(line);
+    if (line.compare(0, 4, "end ") == 0 || line == "end") {
+      std::string word;
+      std::string extra;
+      std::uint64_t declared_total = 0;
+      row >> word >> declared_total;
+      if (row.fail() || (row >> extra)) {
+        format_error(diags, DiagKind::kGarbledInput,
+                     "malformed trailer: " + line);
+      }
+      if (declared_total != xm.total_x()) {
+        format_error(
+            diags, DiagKind::kTruncatedInput,
+            "trailer declares " + std::to_string(declared_total) +
+                " X's but " + std::to_string(xm.total_x()) +
+                " were read — cell records lost or duplicated in transit");
+      }
+      saw_trailer = true;
+      continue;
+    }
     std::size_t cell = 0;
-    if (!(row >> cell)) format_error("malformed cell line: " + line);
+    if (!(row >> cell)) {
+      format_error(diags, DiagKind::kGarbledInput,
+                   "malformed cell line: " + line);
+    }
+    if (!seen_cells.insert(cell).second) {
+      format_error(diags, DiagKind::kDuplicateRecord,
+                   "cell " + std::to_string(cell) + " recorded twice");
+    }
     std::size_t pattern = 0;
     bool any = false;
     while (row >> pattern) {
-      xm.add_x(cell, pattern);  // bounds-checked by XMatrix
+      try {
+        xm.add_x(cell, pattern);  // bounds-checked by XMatrix
+      } catch (const std::invalid_argument& e) {
+        format_error(diags, DiagKind::kGarbledInput, e.what());
+      }
       any = true;
     }
-    if (!any) format_error("cell with no patterns: " + line);
-    if (!row.eof()) format_error("trailing garbage: " + line);
+    if (!any) {
+      format_error(diags, DiagKind::kGarbledInput,
+                   "cell with no patterns: " + line);
+    }
+    if (!row.eof()) {
+      format_error(diags, DiagKind::kGarbledInput,
+                   "trailing garbage: " + line);
+    }
+  }
+  if (in.bad()) {
+    format_error(diags, DiagKind::kStreamFailure,
+                 "stream I/O failure while reading cell records "
+                 "(badbit set)");
+  }
+  if (!saw_trailer) {
+    format_error(diags, DiagKind::kTruncatedInput,
+                 "missing 'end' trailer — input truncated");
   }
   return xm;
 }
@@ -75,20 +154,43 @@ void write_response(const ResponseMatrix& rm, std::ostream& out) {
   }
 }
 
-ResponseMatrix read_response(std::istream& in) {
+ResponseMatrix read_response(std::istream& in, Diagnostics* diags) {
   std::size_t num_patterns = 0;
-  const ScanGeometry geo = read_header(in, "response", num_patterns);
+  const ScanGeometry geo = read_header(in, "response", num_patterns, diags);
   ResponseMatrix rm(geo, num_patterns);
   std::string line;
   std::getline(in, line);
   for (std::size_t p = 0; p < num_patterns; ++p) {
-    if (!std::getline(in, line)) format_error("missing pattern row");
+    if (!std::getline(in, line)) {
+      missing_data_error(in, diags,
+                         "expected " + std::to_string(num_patterns) +
+                             " pattern rows, got " + std::to_string(p));
+    }
     if (line.size() != geo.num_cells()) {
-      format_error("row width mismatch at pattern " + std::to_string(p));
+      format_error(diags, DiagKind::kGarbledInput,
+                   "row width mismatch at pattern " + std::to_string(p));
     }
     for (std::size_t c = 0; c < line.size(); ++c) {
-      rm.set(p, c, lv_from_char(line[c]));  // throws on bad characters
+      try {
+        rm.set(p, c, lv_from_char(line[c]));
+      } catch (const std::invalid_argument& e) {
+        format_error(diags, DiagKind::kGarbledInput,
+                     "pattern " + std::to_string(p) + ": " + e.what());
+      }
     }
+  }
+  // Anything non-empty after the last declared pattern is suspicious:
+  // either the header undercounts or rows were duplicated in transit.
+  while (std::getline(in, line)) {
+    if (!line.empty()) {
+      format_error(diags, DiagKind::kTrailingGarbage,
+                   "content after the last pattern row: " + line);
+    }
+  }
+  if (in.bad()) {
+    format_error(diags, DiagKind::kStreamFailure,
+                 "stream I/O failure while reading pattern rows "
+                 "(badbit set)");
   }
   return rm;
 }
@@ -99,9 +201,9 @@ std::string x_matrix_to_string(const XMatrix& xm) {
   return os.str();
 }
 
-XMatrix x_matrix_from_string(const std::string& text) {
+XMatrix x_matrix_from_string(const std::string& text, Diagnostics* diags) {
   std::istringstream is(text);
-  return read_x_matrix(is);
+  return read_x_matrix(is, diags);
 }
 
 std::string response_to_string(const ResponseMatrix& rm) {
@@ -110,9 +212,10 @@ std::string response_to_string(const ResponseMatrix& rm) {
   return os.str();
 }
 
-ResponseMatrix response_from_string(const std::string& text) {
+ResponseMatrix response_from_string(const std::string& text,
+                                    Diagnostics* diags) {
   std::istringstream is(text);
-  return read_response(is);
+  return read_response(is, diags);
 }
 
 }  // namespace xh

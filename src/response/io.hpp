@@ -1,15 +1,23 @@
 // Plain-text serialization for response data, so X-location matrices and
 // captured responses can move between tools (and into/out of the CLI).
 //
-// XMatrix format (sparse; one line per X-capturing cell):
+// XMatrix format (sparse; one line per X-capturing cell, then a trailer that
+// makes truncation detectable):
 //   xmatrix v1 <num_chains> <chain_length> <num_patterns>
 //   <cell> <pattern> <pattern> ...
 //   ...
+//   end <total_x>
 //
 // ResponseMatrix format (dense; one row string per pattern, chars 0/1/X):
 //   response v1 <num_chains> <chain_length> <num_patterns>
 //   01X10...
 //   ...
+//
+// Readers are strict: duplicate cell records, rows after the last pattern,
+// garbled fields and mid-file truncation all raise std::invalid_argument
+// with distinct messages, and stream-level I/O failure (badbit) is
+// distinguished from clean EOF. Passing a Diagnostics collector additionally
+// records a machine-readable kind for every failure before it is thrown.
 #pragma once
 
 #include <iosfwd>
@@ -17,19 +25,22 @@
 
 #include "response/response_matrix.hpp"
 #include "response/x_matrix.hpp"
+#include "util/diagnostics.hpp"
 
 namespace xh {
 
 void write_x_matrix(const XMatrix& xm, std::ostream& out);
-XMatrix read_x_matrix(std::istream& in);
+XMatrix read_x_matrix(std::istream& in, Diagnostics* diags = nullptr);
 
 void write_response(const ResponseMatrix& rm, std::ostream& out);
-ResponseMatrix read_response(std::istream& in);
+ResponseMatrix read_response(std::istream& in, Diagnostics* diags = nullptr);
 
 /// String conveniences (used by tests and the CLI).
 std::string x_matrix_to_string(const XMatrix& xm);
-XMatrix x_matrix_from_string(const std::string& text);
+XMatrix x_matrix_from_string(const std::string& text,
+                             Diagnostics* diags = nullptr);
 std::string response_to_string(const ResponseMatrix& rm);
-ResponseMatrix response_from_string(const std::string& text);
+ResponseMatrix response_from_string(const std::string& text,
+                                    Diagnostics* diags = nullptr);
 
 }  // namespace xh

@@ -1,0 +1,92 @@
+#include "util/diagnostics.hpp"
+
+#include <sstream>
+
+#include "util/check.hpp"
+
+namespace xh {
+
+const char* diag_kind_name(DiagKind kind) {
+  switch (kind) {
+    case DiagKind::kUndeclaredX: return "undeclared-x";
+    case DiagKind::kMissingX: return "missing-x";
+    case DiagKind::kMaskHidesValue: return "mask-hides-value";
+    case DiagKind::kAccountingMismatch: return "accounting-mismatch";
+    case DiagKind::kContaminatedCombination: return "contaminated-combination";
+    case DiagKind::kExtractionStarved: return "extraction-starved";
+    case DiagKind::kExtractionRecovered: return "extraction-recovered";
+    case DiagKind::kSignatureDeficit: return "signature-deficit";
+    case DiagKind::kTruncatedInput: return "truncated-input";
+    case DiagKind::kGarbledInput: return "garbled-input";
+    case DiagKind::kDuplicateRecord: return "duplicate-record";
+    case DiagKind::kTrailingGarbage: return "trailing-garbage";
+    case DiagKind::kStreamFailure: return "stream-failure";
+    case DiagKind::kNetlistParseError: return "netlist-parse-error";
+    case DiagKind::kBadArgument: return "bad-argument";
+    case DiagKind::kNumKinds_: break;
+  }
+  return "unknown";
+}
+
+const char* diag_severity_name(DiagSeverity severity) {
+  switch (severity) {
+    case DiagSeverity::kInfo: return "info";
+    case DiagSeverity::kWarning: return "warning";
+    case DiagSeverity::kError: return "error";
+  }
+  return "unknown";
+}
+
+std::string Diagnostic::to_string() const {
+  std::ostringstream os;
+  os << diag_severity_name(severity) << " [" << diag_kind_name(kind) << ']';
+  if (!location.empty()) os << ' ' << location;
+  os << ": " << message;
+  return os.str();
+}
+
+void Diagnostics::report(DiagSeverity severity, DiagKind kind,
+                         std::string location, std::string message) {
+  XH_REQUIRE(kind != DiagKind::kNumKinds_, "kNumKinds_ is not reportable");
+  const std::size_t k = static_cast<std::size_t>(kind);
+  ++severity_counts_[static_cast<std::size_t>(severity)];
+  if (kind_counts_[k]++ < kMaxRecordsPerKind) {
+    records_.push_back(
+        {severity, kind, std::move(location), std::move(message)});
+  }
+}
+
+std::size_t Diagnostics::count(DiagKind kind) const {
+  XH_REQUIRE(kind != DiagKind::kNumKinds_, "kNumKinds_ is not reportable");
+  return kind_counts_[static_cast<std::size_t>(kind)];
+}
+
+std::size_t Diagnostics::count(DiagSeverity severity) const {
+  return severity_counts_[static_cast<std::size_t>(severity)];
+}
+
+std::size_t Diagnostics::total() const {
+  std::size_t n = 0;
+  for (const std::size_t c : severity_counts_) n += c;
+  return n;
+}
+
+std::string Diagnostics::render() const {
+  std::ostringstream os;
+  for (const Diagnostic& d : records_) os << d.to_string() << '\n';
+  for (std::size_t k = 0; k < kind_counts_.size(); ++k) {
+    if (kind_counts_[k] > kMaxRecordsPerKind) {
+      os << "  (+" << kind_counts_[k] - kMaxRecordsPerKind << " more "
+         << diag_kind_name(static_cast<DiagKind>(k)) << " suppressed)\n";
+    }
+  }
+  return os.str();
+}
+
+void Diagnostics::clear() {
+  records_.clear();
+  kind_counts_.fill(0);
+  severity_counts_.fill(0);
+}
+
+}  // namespace xh

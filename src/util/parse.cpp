@@ -1,0 +1,60 @@
+#include "util/parse.hpp"
+
+#include <cerrno>
+#include <charconv>
+#include <cstdlib>
+#include <limits>
+#include <stdexcept>
+
+namespace xh {
+namespace {
+
+[[noreturn]] void bad_number(const std::string& text, const char* why) {
+  throw std::invalid_argument("not a valid number: '" + text + "' (" + why +
+                              ")");
+}
+
+}  // namespace
+
+std::uint64_t parse_u64(const std::string& text) {
+  if (text.empty()) bad_number(text, "empty");
+  // from_chars accepts no leading '+', whitespace or locale digits — exactly
+  // the strictness we want; '-' is rejected up front for a clearer message.
+  if (text[0] == '-' || text[0] == '+') bad_number(text, "sign not allowed");
+  std::uint64_t value = 0;
+  const char* first = text.data();
+  const char* last = first + text.size();
+  const auto [ptr, ec] = std::from_chars(first, last, value, 10);
+  if (ec == std::errc::result_out_of_range) bad_number(text, "overflow");
+  if (ec != std::errc() || ptr != last) bad_number(text, "not an integer");
+  return value;
+}
+
+std::size_t parse_size(const std::string& text) {
+  const std::uint64_t value = parse_u64(text);
+  if (value > std::numeric_limits<std::size_t>::max()) {
+    bad_number(text, "overflow");
+  }
+  return static_cast<std::size_t>(value);
+}
+
+double parse_f64(const std::string& text) {
+  if (text.empty()) bad_number(text, "empty");
+  // strtod is used instead of from_chars<double> for toolchain portability;
+  // the full-consumption and range checks restore strictness.
+  errno = 0;
+  char* end = nullptr;
+  const double value = std::strtod(text.c_str(), &end);
+  if (end != text.c_str() + text.size() || end == text.c_str()) {
+    bad_number(text, "not a number");
+  }
+  if (errno == ERANGE) bad_number(text, "out of range");
+  if (!(value == value) ||
+      value == std::numeric_limits<double>::infinity() ||
+      value == -std::numeric_limits<double>::infinity()) {
+    bad_number(text, "not finite");
+  }
+  return value;
+}
+
+}  // namespace xh

@@ -1,0 +1,25 @@
+// Strict numeric parsing for untrusted text (CLI arguments, file fields).
+//
+// The std::atoll/atof family silently maps junk to 0 and saturates on
+// overflow, which turns a typo like `--chains foo` into a degenerate-but-
+// plausible run. These helpers require the whole string to be consumed and
+// throw std::invalid_argument with the offending text on any failure.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace xh {
+
+/// Parses a non-negative decimal integer. Rejects empty strings, signs,
+/// trailing junk and values that do not fit in 64 bits.
+std::uint64_t parse_u64(const std::string& text);
+
+/// parse_u64 narrowed to std::size_t (identical on 64-bit platforms).
+std::size_t parse_size(const std::string& text);
+
+/// Parses a finite decimal floating-point value (whole string consumed;
+/// rejects NaN, infinities and out-of-range magnitudes).
+double parse_f64(const std::string& text);
+
+}  // namespace xh

@@ -1,0 +1,329 @@
+// Fault-injection suite (DESIGN.md §7): every corruption mode must end in
+// one of exactly two outcomes — the pipeline recovers and the emitted
+// signature is verified X-free, or it fails with a structured diagnostic.
+// An X-tainted signature reported as valid, or an uncaught crash, is a bug.
+#include "inject/corruptor.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "core/hybrid.hpp"
+#include "core/paper_example.hpp"
+#include "netlist/bench_io.hpp"
+#include "response/io.hpp"
+
+namespace xh {
+namespace {
+
+HybridConfig paper_cfg() {
+  HybridConfig cfg;
+  cfg.partitioner.misr = {10, 2};
+  return cfg;
+}
+
+// ---------------------------------------------------------------------------
+// Mode 1: unexpected X's (silicon captures X where the prediction says not).
+
+TEST(InjectUndeclaredX, StrictModeThrows) {
+  ResponseMatrix response = paper_example_response(21);
+  const XMatrix declared = XMatrix::from_response(response);
+  Corruptor corruptor(101);
+  corruptor.add_undeclared_x(response, 3);
+  EXPECT_THROW(
+      run_hybrid_simulation(response, declared, paper_cfg(), nullptr),
+      std::runtime_error);
+}
+
+TEST(InjectUndeclaredX, GracefulModeRecoversWithXFreeSignature) {
+  ResponseMatrix response = paper_example_response(21);
+  const XMatrix declared = XMatrix::from_response(response);
+  Corruptor corruptor(101);
+  const auto injected = corruptor.add_undeclared_x(response, 3);
+
+  Diagnostics diags;
+  const HybridSimulation sim =
+      run_hybrid_simulation(response, declared, paper_cfg(), &diags);
+  EXPECT_TRUE(sim.degraded);
+  EXPECT_EQ(sim.validation.undeclared_x, injected.size());
+  EXPECT_EQ(diags.count(DiagKind::kUndeclaredX), injected.size());
+  // The undeclared X's flowed into the X-canceling MISR, which tracks them
+  // symbolically: the signature exists and every bit passed the X-freeness
+  // re-check before emission (contaminated bits are never emitted).
+  EXPECT_FALSE(sim.cancel.signature.empty());
+  EXPECT_EQ(sim.cancel.contaminated_dropped, 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Mode 2: declared X resolves deterministic (prediction over-reports X).
+
+TEST(InjectResolvedX, MaskViolationsReportedNeverAbsorbed) {
+  // Cell 0 captures X under every pattern, so every partition masks it.
+  const ScanGeometry geo{2, 2};
+  ResponseMatrix response(geo, 4);
+  for (std::size_t p = 0; p < 4; ++p) {
+    response.set(p, 0, Lv::kX);
+    response.set(p, 1, Lv::k1);
+    response.set(p, 2, p % 2 == 0 ? Lv::kX : Lv::k0);
+    response.set(p, 3, Lv::k0);
+  }
+  const XMatrix declared = XMatrix::from_response(response);
+
+  ResponseMatrix silicon = response;
+  // Resolve one of cell 0's X's: the mask now hides an observable value.
+  silicon.set(1, 0, Lv::k1);
+
+  HybridConfig cfg;
+  cfg.partitioner.misr = {4, 1};
+  Diagnostics diags;
+  const HybridSimulation sim =
+      run_hybrid_simulation(silicon, declared, cfg, &diags);
+  EXPECT_TRUE(sim.degraded);
+  EXPECT_EQ(sim.validation.missing_x, 1u);
+  EXPECT_EQ(diags.count(DiagKind::kMissingX), 1u);
+  EXPECT_GE(sim.masked_observable, 1u);
+  EXPECT_GE(diags.count(DiagKind::kMaskHidesValue), 1u);
+  EXPECT_FALSE(sim.observability_preserved);
+}
+
+TEST(InjectResolvedX, EngineResolvesOnlyDeclaredXCells) {
+  ResponseMatrix response = paper_example_response(21);
+  const XMatrix declared = XMatrix::from_response(response);
+  Corruptor corruptor(13);
+  const auto resolved = corruptor.resolve_declared_x(response, 4);
+  ASSERT_EQ(resolved.size(), 4u);
+  for (const CellRef& ref : resolved) {
+    EXPECT_TRUE(declared.patterns_of(ref.cell).get(ref.pattern));
+    EXPECT_FALSE(response.is_x(ref.pattern, ref.cell));
+  }
+
+  Diagnostics diags;
+  const HybridSimulation sim =
+      run_hybrid_simulation(response, declared, paper_cfg(), &diags);
+  EXPECT_TRUE(sim.degraded);
+  EXPECT_EQ(sim.validation.missing_x, 4u);
+}
+
+// ---------------------------------------------------------------------------
+// Mode 3: truncated serialized inputs.
+
+TEST(InjectTruncation, XMatrixRejectedWithDiagnostic) {
+  const std::string text = x_matrix_to_string(paper_example_x_matrix());
+  Corruptor corruptor(3);
+  const std::string cut = corruptor.truncate_text(text, 0.6);
+  Diagnostics diags;
+  EXPECT_THROW(x_matrix_from_string(cut, &diags), std::invalid_argument);
+  EXPECT_TRUE(diags.has_errors());
+  EXPECT_GE(diags.count(DiagKind::kTruncatedInput) +
+                diags.count(DiagKind::kGarbledInput),
+            1u);
+}
+
+TEST(InjectTruncation, EveryPrefixOfAnXMatrixIsRejected) {
+  // The 'end <total>' trailer makes truncation detectable at ANY cut point:
+  // no strict prefix of a valid file is itself valid. (Cutting only the
+  // final newline keeps the trailer intact, so stop one byte short.)
+  const std::string text = x_matrix_to_string(paper_example_x_matrix());
+  for (std::size_t keep = 0; keep + 1 < text.size(); ++keep) {
+    EXPECT_THROW(x_matrix_from_string(text.substr(0, keep)),
+                 std::invalid_argument)
+        << "prefix of " << keep << " bytes was accepted";
+  }
+}
+
+TEST(InjectTruncation, ResponseRejectedWithDiagnostic) {
+  const std::string text =
+      response_to_string(paper_example_response(21));
+  Corruptor corruptor(5);
+  const std::string cut = corruptor.truncate_text(text, 0.5);
+  Diagnostics diags;
+  EXPECT_THROW(response_from_string(cut, &diags), std::invalid_argument);
+  EXPECT_TRUE(diags.has_errors());
+}
+
+// ---------------------------------------------------------------------------
+// Mode 4: garbled serialized inputs.
+
+TEST(InjectGarbling, ResponseRejectedWithDiagnostic) {
+  const std::string text =
+      response_to_string(paper_example_response(21));
+  Corruptor corruptor(17);
+  const std::string bad = corruptor.garble_text(text, 3);
+  Diagnostics diags;
+  EXPECT_THROW(response_from_string(bad, &diags), std::invalid_argument);
+  EXPECT_TRUE(diags.has_errors());
+}
+
+TEST(InjectGarbling, XMatrixRejectedWithDiagnostic) {
+  const std::string text = x_matrix_to_string(paper_example_x_matrix());
+  Corruptor corruptor(19);
+  const std::string bad = corruptor.garble_text(text, 3);
+  Diagnostics diags;
+  EXPECT_THROW(x_matrix_from_string(bad, &diags), std::invalid_argument);
+  EXPECT_TRUE(diags.has_errors());
+}
+
+// ---------------------------------------------------------------------------
+// Mode 5: duplicated records.
+
+TEST(InjectDuplication, XMatrixRejectedWithDiagnostic) {
+  const std::string text = x_matrix_to_string(paper_example_x_matrix());
+  Corruptor corruptor(23);
+  const std::string bad = corruptor.duplicate_line(text);
+  Diagnostics diags;
+  // A duplicated cell line trips the duplicate-record check; a duplicated
+  // trailer trips the trailing-garbage check. Either way: structured error.
+  EXPECT_THROW(x_matrix_from_string(bad, &diags), std::invalid_argument);
+  EXPECT_TRUE(diags.has_errors());
+}
+
+// ---------------------------------------------------------------------------
+// Mode 6: X burst starves Gaussian extraction; deficit repaid later.
+
+TEST(InjectBurst, StarvesExtractionAndReportsDeficit) {
+  const MisrConfig cfg{8, 3};
+  ResponseMatrix response({8, 16}, 1);
+  Corruptor corruptor(31);
+  // 7 X's in one shift slice: segment jumps 0 → 7, overshooting the m−q = 5
+  // stop budget; the null space holds only 8−7 = 1 X-free combination.
+  const auto burst = corruptor.x_burst(response, cfg, 7);
+  ASSERT_EQ(burst.size(), 7u);
+
+  Diagnostics diags;
+  const XCancelResult result = run_x_canceling(response, cfg, &diags);
+  EXPECT_EQ(result.starved_stops, 1u);
+  EXPECT_EQ(result.signature_deficit, 2u);
+  EXPECT_FALSE(result.healthy());
+  EXPECT_EQ(diags.count(DiagKind::kExtractionStarved), 1u);
+  EXPECT_EQ(diags.count(DiagKind::kSignatureDeficit), 1u);
+  EXPECT_TRUE(diags.has_errors());
+}
+
+TEST(InjectBurst, DeficitRepaidAtLaterStopsWithLargerNullSpace) {
+  const MisrConfig cfg{8, 3};
+  ResponseMatrix response({8, 16}, 1);
+  // Burst of 7 at position 0 (one shift cycle) → stop with 1 combination,
+  // deficit 2, stop threshold drops to (m−q)−2 = 3.
+  for (std::size_t chain = 0; chain < 7; ++chain) {
+    response.set(0, response.geometry().cell_index(chain, 0), Lv::kX);
+  }
+  // Three scattered X's reach the lowered threshold → stop with null-space
+  // dimension 8−3 = 5 = q + deficit: the owed bits are repaid.
+  response.set(0, response.geometry().cell_index(0, 2), Lv::kX);
+  response.set(0, response.geometry().cell_index(1, 4), Lv::kX);
+  response.set(0, response.geometry().cell_index(2, 6), Lv::kX);
+  // Two trailing X's flush through the final extraction.
+  response.set(0, response.geometry().cell_index(3, 8), Lv::kX);
+  response.set(0, response.geometry().cell_index(4, 10), Lv::kX);
+
+  Diagnostics diags;
+  const XCancelResult result = run_x_canceling(response, cfg, &diags);
+  EXPECT_EQ(result.stops, 3u);
+  EXPECT_EQ(result.starved_stops, 1u);
+  EXPECT_EQ(result.extra_combinations, 2u);
+  EXPECT_EQ(result.signature_deficit, 0u);
+  EXPECT_EQ(result.selection_vectors, 9u);  // 3 stops × q on aggregate
+  EXPECT_EQ(result.signature.size(), 9u);
+  EXPECT_EQ(diags.count(DiagKind::kExtractionStarved), 1u);
+  EXPECT_EQ(diags.count(DiagKind::kExtractionRecovered), 1u);
+  EXPECT_FALSE(diags.has_errors());  // fully recovered: warnings only
+}
+
+// ---------------------------------------------------------------------------
+// Mode 7: tampered selection vectors must be caught by the X-freeness
+// re-check and dropped — an X-tainted bit must never enter the signature.
+
+TEST(InjectTamper, ContaminatedCombinationsDroppedNeverEmitted) {
+  const MisrConfig cfg{8, 3};
+  Corruptor corruptor(43);
+  Diagnostics diags;
+  XCancelSession session(cfg, &diags);
+  session.install_combination_tamper(corruptor.combination_tamper());
+
+  for (std::size_t cycle = 0; cycle < 40; ++cycle) {
+    std::vector<Lv> slice(cfg.size, Lv::k0);
+    if (cycle % 2 == 0) slice[cycle % cfg.size] = Lv::kX;
+    session.shift(slice);
+  }
+  const XCancelResult& result = session.finish();
+  EXPECT_GE(result.contaminated_dropped, 1u);
+  EXPECT_EQ(diags.count(DiagKind::kContaminatedCombination),
+            result.contaminated_dropped);
+  // Every bit emitted at a stop passed the re-check: their count equals the
+  // verified selection vectors, with drops excluded. (Bits with
+  // stop_index == stops come from the final X-free flush, which reads the
+  // MISR directly and streams no selection vectors.)
+  std::size_t emitted_at_stops = 0;
+  for (const SignatureBit& bit : result.signature) {
+    if (bit.stop_index < result.stops) ++emitted_at_stops;
+  }
+  EXPECT_EQ(emitted_at_stops, result.selection_vectors);
+  EXPECT_FALSE(result.healthy());
+}
+
+TEST(InjectTamper, NoCollectorStillDropsInsteadOfCrashing) {
+  const MisrConfig cfg{8, 3};
+  Corruptor corruptor(47);
+  XCancelSession session(cfg);  // no Diagnostics attached
+  session.install_combination_tamper(corruptor.combination_tamper());
+  for (std::size_t cycle = 0; cycle < 40; ++cycle) {
+    std::vector<Lv> slice(cfg.size, Lv::k0);
+    if (cycle % 2 == 0) slice[cycle % cfg.size] = Lv::kX;
+    session.shift(slice);
+  }
+  EXPECT_NO_THROW(session.finish());
+  EXPECT_GE(session.finish().contaminated_dropped, 1u);
+}
+
+// ---------------------------------------------------------------------------
+// Mode 8: damaged netlist files.
+
+constexpr const char* kBench = R"(INPUT(a)
+INPUT(b)
+OUTPUT(f)
+g = NAND(a, b)
+f = AND(g, b)
+)";
+
+TEST(InjectBench, TruncationRejectedWithDiagnostic) {
+  Corruptor corruptor(53);
+  const std::string cut = corruptor.truncate_text(kBench, 0.9);
+  Diagnostics diags;
+  EXPECT_THROW(read_bench_string(cut, "cut", &diags), std::invalid_argument);
+  EXPECT_EQ(diags.count(DiagKind::kNetlistParseError), 1u);
+}
+
+TEST(InjectBench, GarblingRejectedWithDiagnostic) {
+  Corruptor corruptor(59);
+  const std::string bad = corruptor.garble_text(kBench, 3);
+  Diagnostics diags;
+  EXPECT_THROW(read_bench_string(bad, "bad", &diags), std::invalid_argument);
+  EXPECT_EQ(diags.count(DiagKind::kNetlistParseError), 1u);
+}
+
+// ---------------------------------------------------------------------------
+// Engine determinism: same seed → identical corruption; different seed →
+// different corruption (reproducibility is what makes the suite debuggable).
+
+TEST(InjectEngine, SameSeedReproducesExactCorruption) {
+  ResponseMatrix a = paper_example_response(21);
+  ResponseMatrix b = paper_example_response(21);
+  Corruptor ca(99);
+  Corruptor cb(99);
+  EXPECT_EQ(ca.add_undeclared_x(a, 5), cb.add_undeclared_x(b, 5));
+  EXPECT_EQ(ca.garble_text(kBench, 4), cb.garble_text(kBench, 4));
+}
+
+TEST(InjectEngine, RefusesImpossibleRequests) {
+  ResponseMatrix response({2, 2}, 1);
+  Corruptor corruptor(1);
+  EXPECT_THROW(corruptor.add_undeclared_x(response, 5),
+               std::invalid_argument);
+  EXPECT_THROW(corruptor.resolve_declared_x(response, 1),
+               std::invalid_argument);
+  EXPECT_THROW(corruptor.x_burst(response, {8, 3}, 7),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace xh

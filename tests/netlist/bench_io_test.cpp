@@ -90,6 +90,69 @@ TEST(BenchIo, MalformedLineRejected) {
                std::invalid_argument);
 }
 
+TEST(BenchIo, TrailingCommaRejected) {
+  EXPECT_THROW(read_bench_string(
+                   "INPUT(a)\nINPUT(b)\nOUTPUT(x)\nx = AND(a, b,)\n"),
+               std::invalid_argument);
+  EXPECT_THROW(read_bench_string("INPUT(a)\nOUTPUT(x)\nx = NOT(,a)\n"),
+               std::invalid_argument);
+}
+
+TEST(BenchIo, GarbageAfterCloseParenRejected) {
+  EXPECT_THROW(read_bench_string(
+                   "INPUT(a)\nOUTPUT(x)\nx = NOT(a) junk\n"),
+               std::invalid_argument);
+}
+
+TEST(BenchIo, EmptyFileRejected) {
+  EXPECT_THROW(read_bench_string(""), std::invalid_argument);
+  EXPECT_THROW(read_bench_string("\n\n"), std::invalid_argument);
+  EXPECT_THROW(read_bench_string("# comments only\n# nothing else\n"),
+               std::invalid_argument);
+}
+
+// Line numbers in semantic errors must point at real evidence: the line
+// referencing an undefined signal, the second of two clashing declarations.
+TEST(BenchIo, UndefinedSignalErrorNamesReferencingLine) {
+  try {
+    read_bench_string("INPUT(a)\nOUTPUT(x)\nx = NOT(ghost)\n");
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("line 3"), std::string::npos)
+        << e.what();
+    EXPECT_NE(std::string(e.what()).find("ghost"), std::string::npos);
+  }
+}
+
+TEST(BenchIo, DuplicateInputErrorNamesItsLine) {
+  try {
+    read_bench_string("INPUT(a)\nINPUT(a)\nOUTPUT(x)\nx = NOT(a)\n");
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("line 2"), std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(BenchIo, UndefinedOutputErrorNamesItsDeclaration) {
+  // 'ghost' is declared on line 2; a later OUTPUT must not steal the blame.
+  try {
+    read_bench_string("INPUT(a)\nOUTPUT(ghost)\nOUTPUT(x)\nx = NOT(a)\n");
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("line 2"), std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(BenchIo, ParseFailureRecordedAsDiagnostic) {
+  Diagnostics diags;
+  EXPECT_THROW(read_bench_string("INPUT(a)\nx = NOT(\n", "broken", &diags),
+               std::invalid_argument);
+  EXPECT_EQ(diags.count(DiagKind::kNetlistParseError), 1u);
+  EXPECT_TRUE(diags.has_errors());
+}
+
 TEST(BenchIo, NdffExtensionMarksUnscanned) {
   const Netlist nl = read_bench_string(
       "INPUT(a)\nOUTPUT(q)\nq = NDFF(a)\np = DFF(a)\n");

@@ -2,6 +2,11 @@
 
 #include <gtest/gtest.h>
 
+#include <istream>
+#include <stdexcept>
+#include <streambuf>
+#include <utility>
+
 #include "core/paper_example.hpp"
 #include "workload/industrial.hpp"
 
@@ -85,6 +90,101 @@ TEST(ResponseIo, EmptyXMatrixSerializes) {
   const XMatrix loaded = x_matrix_from_string(x_matrix_to_string(empty));
   EXPECT_EQ(loaded.total_x(), 0u);
   EXPECT_EQ(loaded.num_patterns(), 5u);
+}
+
+TEST(ResponseIo, RejectsDuplicateCellRecords) {
+  Diagnostics diags;
+  EXPECT_THROW(
+      x_matrix_from_string("xmatrix v1 2 2 4\n0 1\n0 2\nend 2\n", &diags),
+      std::invalid_argument);
+  EXPECT_EQ(diags.count(DiagKind::kDuplicateRecord), 1u);
+}
+
+TEST(ResponseIo, RejectsMissingTrailer) {
+  Diagnostics diags;
+  EXPECT_THROW(x_matrix_from_string("xmatrix v1 2 2 4\n0 1\n", &diags),
+               std::invalid_argument);
+  EXPECT_EQ(diags.count(DiagKind::kTruncatedInput), 1u);
+}
+
+TEST(ResponseIo, RejectsTrailerCountMismatch) {
+  // A lost cell record keeps the file syntactically valid line by line;
+  // only the trailer count exposes it.
+  Diagnostics diags;
+  EXPECT_THROW(
+      x_matrix_from_string("xmatrix v1 2 2 4\n0 1\nend 5\n", &diags),
+      std::invalid_argument);
+  EXPECT_EQ(diags.count(DiagKind::kTruncatedInput), 1u);
+}
+
+TEST(ResponseIo, RejectsContentAfterTrailer) {
+  Diagnostics diags;
+  EXPECT_THROW(
+      x_matrix_from_string("xmatrix v1 2 2 4\n0 1\nend 1\n1 2\n", &diags),
+      std::invalid_argument);
+  EXPECT_EQ(diags.count(DiagKind::kTrailingGarbage), 1u);
+}
+
+TEST(ResponseIo, RejectsMalformedTrailer) {
+  EXPECT_THROW(x_matrix_from_string("xmatrix v1 2 2 4\n0 1\nend\n"),
+               std::invalid_argument);
+  EXPECT_THROW(x_matrix_from_string("xmatrix v1 2 2 4\n0 1\nend 1 junk\n"),
+               std::invalid_argument);
+}
+
+TEST(ResponseIo, RejectsRowsAfterLastDeclaredPattern) {
+  Diagnostics diags;
+  EXPECT_THROW(
+      response_from_string("response v1 2 2 1\n01X0\n1100\n", &diags),
+      std::invalid_argument);
+  EXPECT_EQ(diags.count(DiagKind::kTrailingGarbage), 1u);
+}
+
+TEST(ResponseIo, AllowsTrailingBlankLines) {
+  const ResponseMatrix rm =
+      response_from_string("response v1 2 2 1\n01X0\n\n\n");
+  EXPECT_EQ(rm.num_patterns(), 1u);
+  EXPECT_EQ(rm.row_string(0), "01X0");
+}
+
+TEST(ResponseIo, RejectsTruncatedResponseAsTruncation) {
+  Diagnostics diags;
+  EXPECT_THROW(response_from_string("response v1 2 2 3\n01X0\n", &diags),
+               std::invalid_argument);
+  EXPECT_EQ(diags.count(DiagKind::kTruncatedInput), 1u);
+  EXPECT_EQ(diags.count(DiagKind::kStreamFailure), 0u);
+}
+
+/// Streambuf that yields a fixed prefix, then fails at the stream level —
+/// the shape of a mid-read disk error, as opposed to a short-but-clean file.
+class FailingBuf : public std::streambuf {
+ public:
+  explicit FailingBuf(std::string prefix) : prefix_(std::move(prefix)) {
+    setg(prefix_.data(), prefix_.data(), prefix_.data() + prefix_.size());
+  }
+
+ protected:
+  int_type underflow() override { throw std::runtime_error("disk error"); }
+
+ private:
+  std::string prefix_;
+};
+
+TEST(ResponseIo, DistinguishesStreamFailureFromCleanEof) {
+  FailingBuf buf("xmatrix v1 2 2 4\n0 1\n");
+  std::istream in(&buf);
+  Diagnostics diags;
+  EXPECT_THROW(read_x_matrix(in, &diags), std::invalid_argument);
+  EXPECT_EQ(diags.count(DiagKind::kStreamFailure), 1u);
+  EXPECT_EQ(diags.count(DiagKind::kTruncatedInput), 0u);
+}
+
+TEST(ResponseIo, DistinguishesStreamFailureInResponseRows) {
+  FailingBuf buf("response v1 2 2 2\n01X0\n");
+  std::istream in(&buf);
+  Diagnostics diags;
+  EXPECT_THROW(read_response(in, &diags), std::invalid_argument);
+  EXPECT_EQ(diags.count(DiagKind::kStreamFailure), 1u);
 }
 
 }  // namespace

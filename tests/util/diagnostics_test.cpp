@@ -1,0 +1,90 @@
+#include "util/diagnostics.hpp"
+
+#include <gtest/gtest.h>
+
+namespace xh {
+namespace {
+
+TEST(Diagnostics, StartsEmpty) {
+  Diagnostics d;
+  EXPECT_TRUE(d.empty());
+  EXPECT_FALSE(d.has_errors());
+  EXPECT_FALSE(d.has_warnings());
+  EXPECT_EQ(d.total(), 0u);
+  EXPECT_TRUE(d.render().empty());
+}
+
+TEST(Diagnostics, CountsBySeverityAndKind) {
+  Diagnostics d;
+  d.error(DiagKind::kUndeclaredX, "pattern 0 cell 1", "x");
+  d.error(DiagKind::kUndeclaredX, "pattern 2 cell 3", "x");
+  d.warn(DiagKind::kMissingX, "pattern 1 cell 0", "resolved");
+  d.info(DiagKind::kExtractionRecovered, "stop 4", "repaid");
+
+  EXPECT_EQ(d.total(), 4u);
+  EXPECT_EQ(d.count(DiagKind::kUndeclaredX), 2u);
+  EXPECT_EQ(d.count(DiagKind::kMissingX), 1u);
+  EXPECT_EQ(d.count(DiagKind::kTruncatedInput), 0u);
+  EXPECT_EQ(d.count(DiagSeverity::kError), 2u);
+  EXPECT_EQ(d.count(DiagSeverity::kWarning), 1u);
+  EXPECT_EQ(d.count(DiagSeverity::kInfo), 1u);
+  EXPECT_TRUE(d.has_errors());
+  EXPECT_TRUE(d.has_warnings());
+}
+
+TEST(Diagnostics, RecordsAreGreppableOneLiners) {
+  Diagnostics d;
+  d.error(DiagKind::kUndeclaredX, "pattern 3 cell 17", "unexpected X");
+  ASSERT_EQ(d.records().size(), 1u);
+  const std::string line = d.records()[0].to_string();
+  EXPECT_NE(line.find("error"), std::string::npos);
+  EXPECT_NE(line.find("undeclared-x"), std::string::npos);
+  EXPECT_NE(line.find("pattern 3 cell 17"), std::string::npos);
+  EXPECT_NE(line.find("unexpected X"), std::string::npos);
+}
+
+TEST(Diagnostics, RetentionCappedPerKindButCountsStayExact) {
+  Diagnostics d;
+  const std::size_t n = Diagnostics::kMaxRecordsPerKind + 40;
+  for (std::size_t i = 0; i < n; ++i) {
+    d.warn(DiagKind::kMaskHidesValue, "cell " + std::to_string(i), "hidden");
+  }
+  d.error(DiagKind::kTruncatedInput, "file", "cut");
+
+  EXPECT_EQ(d.count(DiagKind::kMaskHidesValue), n);
+  EXPECT_EQ(d.count(DiagSeverity::kWarning), n);
+  // Retained records: capped for the stormy kind, the other kind intact.
+  EXPECT_EQ(d.records().size(), Diagnostics::kMaxRecordsPerKind + 1);
+  // The render mentions the suppressed remainder.
+  EXPECT_NE(d.render().find("40"), std::string::npos);
+  EXPECT_NE(d.render().find("mask-hides-value"), std::string::npos);
+}
+
+TEST(Diagnostics, ClearResetsEverything) {
+  Diagnostics d;
+  d.error(DiagKind::kGarbledInput, "f", "junk");
+  d.clear();
+  EXPECT_TRUE(d.empty());
+  EXPECT_EQ(d.count(DiagKind::kGarbledInput), 0u);
+  EXPECT_TRUE(d.records().empty());
+}
+
+TEST(Diagnostics, NullCollectorHelperIsANoOp) {
+  EXPECT_NO_THROW(diag_report(nullptr, DiagSeverity::kError,
+                              DiagKind::kBadArgument, "loc", "msg"));
+}
+
+TEST(Diagnostics, EveryKindHasADistinctName) {
+  for (std::size_t a = 0; a < static_cast<std::size_t>(DiagKind::kNumKinds_);
+       ++a) {
+    const std::string name_a = diag_kind_name(static_cast<DiagKind>(a));
+    EXPECT_FALSE(name_a.empty());
+    for (std::size_t b = a + 1;
+         b < static_cast<std::size_t>(DiagKind::kNumKinds_); ++b) {
+      EXPECT_NE(name_a, diag_kind_name(static_cast<DiagKind>(b)));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace xh

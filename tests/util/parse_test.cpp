@@ -1,0 +1,63 @@
+#include "util/parse.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace xh {
+namespace {
+
+TEST(ParseU64, AcceptsPlainDecimals) {
+  EXPECT_EQ(parse_u64("0"), 0u);
+  EXPECT_EQ(parse_u64("42"), 42u);
+  EXPECT_EQ(parse_u64("18446744073709551615"), UINT64_MAX);
+}
+
+TEST(ParseU64, RejectsJunkThatAtollAccepts) {
+  // std::atoll("12abc") == 12 and std::atoll("foo") == 0 — exactly the
+  // silent coercions these helpers exist to kill.
+  EXPECT_THROW(parse_u64("12abc"), std::invalid_argument);
+  EXPECT_THROW(parse_u64("foo"), std::invalid_argument);
+  EXPECT_THROW(parse_u64(""), std::invalid_argument);
+  EXPECT_THROW(parse_u64(" 7"), std::invalid_argument);
+  EXPECT_THROW(parse_u64("7 "), std::invalid_argument);
+  EXPECT_THROW(parse_u64("-1"), std::invalid_argument);
+  EXPECT_THROW(parse_u64("+1"), std::invalid_argument);
+  EXPECT_THROW(parse_u64("0x10"), std::invalid_argument);
+}
+
+TEST(ParseU64, RejectsOverflow) {
+  EXPECT_THROW(parse_u64("18446744073709551616"), std::invalid_argument);
+  EXPECT_THROW(parse_u64("99999999999999999999999"), std::invalid_argument);
+}
+
+TEST(ParseU64, ErrorMessageNamesTheOffendingText) {
+  try {
+    parse_u64("12abc");
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("12abc"), std::string::npos);
+  }
+}
+
+TEST(ParseSize, MatchesU64) {
+  EXPECT_EQ(parse_size("123"), 123u);
+  EXPECT_THROW(parse_size("12.5"), std::invalid_argument);
+}
+
+TEST(ParseF64, AcceptsDecimalsAndScientific) {
+  EXPECT_DOUBLE_EQ(parse_f64("0.25"), 0.25);
+  EXPECT_DOUBLE_EQ(parse_f64("1e-3"), 1e-3);
+  EXPECT_DOUBLE_EQ(parse_f64("-2.5"), -2.5);
+}
+
+TEST(ParseF64, RejectsJunkNanAndInfinity) {
+  EXPECT_THROW(parse_f64(""), std::invalid_argument);
+  EXPECT_THROW(parse_f64("0.5x"), std::invalid_argument);
+  EXPECT_THROW(parse_f64("nan"), std::invalid_argument);
+  EXPECT_THROW(parse_f64("inf"), std::invalid_argument);
+  EXPECT_THROW(parse_f64("1e999"), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace xh

@@ -17,19 +17,36 @@
 //       Read a .bench netlist (with NDFF/TRISTATE/BUS X-source extensions),
 //       run ATPG, capture responses, and print the hybrid analysis +
 //       verified coverage result.
+//
+//   xhybrid_cli inject --mode MODE [--count N] [--seed S] [--lenient]
+//                      [--chains N] [--length L] [--patterns P]
+//                      [--misr M] [--q Q]
+//       Seeded fault-injection campaign against the pipeline (DESIGN.md §7).
+//       Modes: undeclared-x, resolved-x, burst, tamper, truncate-xm,
+//       garble-xm, duplicate-xm.
+//
+// Robustness flags (all commands): --lenient attaches a structured
+// diagnostics collector so data mismatches degrade gracefully and are
+// summarized on stderr; --strict (the default) fails fast on the first
+// mismatch. Exit codes: 0 clean, 1 diagnostics errors / runtime failure,
+// 2 usage or argument errors.
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
-#include <cstring>
 #include <fstream>
+#include <stdexcept>
 #include <string>
 
 #include "atpg/test_generation.hpp"
 #include "core/hybrid.hpp"
 #include "core/paper_example.hpp"
 #include "fault/fault_sim.hpp"
+#include "inject/corruptor.hpp"
 #include "netlist/bench_io.hpp"
 #include "response/io.hpp"
 #include "scan/test_application.hpp"
+#include "util/parse.hpp"
+#include "util/rng.hpp"
 #include "util/table.hpp"
 #include "workload/industrial.hpp"
 
@@ -43,10 +60,43 @@ namespace {
       "  %s example\n"
       "  %s analyze --chains N --length L --patterns P --density D\n"
       "             [--clustered F] [--misr M] [--q Q] [--seed S]\n"
+      "             [--save file.xm | --load file.xm] [--lenient]\n"
       "  %s circuit <netlist.bench> [--chains N] [--patterns P]\n"
-      "             [--misr M] [--q Q] [--seed S]\n",
-      argv0, argv0, argv0);
+      "             [--misr M] [--q Q] [--seed S] [--lenient]\n"
+      "  %s inject --mode MODE [--count N] [--seed S] [--lenient]\n"
+      "            (modes: undeclared-x resolved-x burst tamper\n"
+      "             truncate-xm garble-xm duplicate-xm)\n",
+      argv0, argv0, argv0, argv0);
   std::exit(2);
+}
+
+/// Strict numeric argument parsing: a typo exits with a usage error (2)
+/// instead of the silent-zero coercion of the atoll/atof family.
+std::size_t arg_size(const char* flag, const char* text) {
+  try {
+    return parse_size(text);
+  } catch (const std::invalid_argument& e) {
+    std::fprintf(stderr, "error: %s: %s\n", flag, e.what());
+    std::exit(2);
+  }
+}
+
+std::uint64_t arg_u64(const char* flag, const char* text) {
+  try {
+    return parse_u64(text);
+  } catch (const std::invalid_argument& e) {
+    std::fprintf(stderr, "error: %s: %s\n", flag, e.what());
+    std::exit(2);
+  }
+}
+
+double arg_f64(const char* flag, const char* text) {
+  try {
+    return parse_f64(text);
+  } catch (const std::invalid_argument& e) {
+    std::fprintf(stderr, "error: %s: %s\n", flag, e.what());
+    std::exit(2);
+  }
 }
 
 struct Options {
@@ -58,6 +108,9 @@ struct Options {
   std::size_t misr = 32;
   std::size_t q = 7;
   std::uint64_t seed = 1;
+  std::size_t count = 4;
+  bool lenient = false;
+  std::string mode;
   std::string positional;
   std::string save_path;
   std::string load_path;
@@ -72,21 +125,29 @@ Options parse(int argc, char** argv, int from) {
       return argv[++i];
     };
     if (arg == "--chains") {
-      opt.chains = static_cast<std::size_t>(std::atoll(next()));
+      opt.chains = arg_size("--chains", next());
     } else if (arg == "--length") {
-      opt.length = static_cast<std::size_t>(std::atoll(next()));
+      opt.length = arg_size("--length", next());
     } else if (arg == "--patterns") {
-      opt.patterns = static_cast<std::size_t>(std::atoll(next()));
+      opt.patterns = arg_size("--patterns", next());
     } else if (arg == "--density") {
-      opt.density = std::atof(next());
+      opt.density = arg_f64("--density", next());
     } else if (arg == "--clustered") {
-      opt.clustered = std::atof(next());
+      opt.clustered = arg_f64("--clustered", next());
     } else if (arg == "--misr") {
-      opt.misr = static_cast<std::size_t>(std::atoll(next()));
+      opt.misr = arg_size("--misr", next());
     } else if (arg == "--q") {
-      opt.q = static_cast<std::size_t>(std::atoll(next()));
+      opt.q = arg_size("--q", next());
     } else if (arg == "--seed") {
-      opt.seed = static_cast<std::uint64_t>(std::atoll(next()));
+      opt.seed = arg_u64("--seed", next());
+    } else if (arg == "--count") {
+      opt.count = arg_size("--count", next());
+    } else if (arg == "--mode") {
+      opt.mode = next();
+    } else if (arg == "--lenient") {
+      opt.lenient = true;
+    } else if (arg == "--strict") {
+      opt.lenient = false;
     } else if (arg == "--save") {
       opt.save_path = next();
     } else if (arg == "--load") {
@@ -130,6 +191,20 @@ void print_report(const HybridReport& rep) {
   std::printf("%s", t.render().c_str());
 }
 
+/// Dumps collected diagnostics to stderr and converts them to the exit
+/// code contract: structured errors → 1, warnings/infos alone → 0.
+int finish_with_diagnostics(const Diagnostics& diags) {
+  if (!diags.empty()) {
+    std::fprintf(stderr, "%s", diags.render().c_str());
+    std::fprintf(stderr,
+                 "diagnostics: %zu error(s), %zu warning(s), %zu info\n",
+                 diags.count(DiagSeverity::kError),
+                 diags.count(DiagSeverity::kWarning),
+                 diags.count(DiagSeverity::kInfo));
+  }
+  return diags.has_errors() ? 1 : 0;
+}
+
 int cmd_example() {
   PartitionerConfig cfg;
   cfg.misr = {10, 2};
@@ -157,8 +232,16 @@ int cmd_analyze(const Options& opt) {
       std::fprintf(stderr, "cannot open %s\n", opt.load_path.c_str());
       return 1;
     }
-    print_report(run_hybrid_analysis(read_x_matrix(in), cfg));
-    return 0;
+    Diagnostics diags;
+    try {
+      print_report(run_hybrid_analysis(
+          read_x_matrix(in, opt.lenient ? &diags : nullptr), cfg));
+    } catch (const std::invalid_argument& e) {
+      std::fprintf(stderr, "error: %s\n", e.what());
+      finish_with_diagnostics(diags);
+      return 1;
+    }
+    return finish_with_diagnostics(diags);
   }
   WorkloadProfile profile;
   profile.name = "cli";
@@ -192,7 +275,9 @@ int cmd_circuit(const Options& opt, const char* argv0) {
     std::fprintf(stderr, "cannot open %s\n", opt.positional.c_str());
     return 1;
   }
-  const Netlist nl = read_bench(in, opt.positional);
+  Diagnostics diags;
+  const Netlist nl =
+      read_bench(in, opt.positional, opt.lenient ? &diags : nullptr);
   const ScanPlan plan = ScanPlan::build(nl, opt.chains);
   std::printf("netlist %s: %zu gates, %zu scanned / %zu unscanned flops\n",
               nl.name().c_str(), nl.gate_count(), nl.scan_dffs().size(),
@@ -226,6 +311,137 @@ int cmd_circuit(const Options& opt, const char* argv0) {
   return masked.num_detected == ideal.num_detected ? 0 : 1;
 }
 
+/// Concrete response realizing @p xm: random values, X where declared.
+ResponseMatrix materialize(const XMatrix& xm, std::uint64_t seed) {
+  ResponseMatrix r(xm.geometry(), xm.num_patterns());
+  Rng rng(seed);
+  for (std::size_t p = 0; p < r.num_patterns(); ++p) {
+    for (std::size_t c = 0; c < r.num_cells(); ++c) {
+      r.set(p, c, rng.chance(0.5) ? Lv::k1 : Lv::k0);
+    }
+  }
+  for (const std::size_t cell : xm.x_cells()) {
+    for (const std::size_t p : xm.patterns_of(cell).set_bits()) {
+      r.set(p, cell, Lv::kX);
+    }
+  }
+  return r;
+}
+
+void print_sim_summary(const HybridSimulation& sim) {
+  std::printf("validation: %llu confirmed X, %llu undeclared, %llu missing\n",
+              static_cast<unsigned long long>(sim.validation.confirmed_x),
+              static_cast<unsigned long long>(sim.validation.undeclared_x),
+              static_cast<unsigned long long>(sim.validation.missing_x));
+  std::printf(
+      "misr: %zu stops, %zu starved, %zu contaminated dropped, deficit %zu\n",
+      sim.cancel.stops, sim.cancel.starved_stops,
+      sim.cancel.contaminated_dropped, sim.cancel.signature_deficit);
+  std::printf("verdict: %s\n",
+              sim.degraded ? "degraded (see diagnostics)" : "clean");
+}
+
+int cmd_inject(const Options& opt, const char* argv0) {
+  Corruptor corruptor(opt.seed);
+  Diagnostics diags;
+  Diagnostics* collector = opt.lenient ? &diags : nullptr;
+  HybridConfig cfg;
+  cfg.partitioner.misr = {opt.misr, opt.q};
+
+  WorkloadProfile profile;
+  profile.name = "inject";
+  profile.geometry = {opt.chains, opt.length};
+  profile.num_patterns = opt.patterns;
+  profile.x_density = opt.density;
+  profile.clustered_fraction = opt.clustered;
+  profile.cluster_cells_mean =
+      std::max<std::size_t>(2, opt.chains * opt.length / 40);
+  profile.cluster_patterns_mean = std::max<std::size_t>(2, opt.patterns / 5);
+  profile.seed = opt.seed;
+
+  if (opt.mode == "undeclared-x" || opt.mode == "resolved-x") {
+    const XMatrix declared = generate_workload(profile);
+    ResponseMatrix response = materialize(declared, opt.seed + 1);
+    const auto injected =
+        opt.mode == "undeclared-x"
+            ? corruptor.add_undeclared_x(response, opt.count)
+            : corruptor.resolve_declared_x(response, opt.count);
+    std::printf("injected %zu %s cells (seed %llu)\n", injected.size(),
+                opt.mode.c_str(), static_cast<unsigned long long>(opt.seed));
+    const HybridSimulation sim =
+        run_hybrid_simulation(response, declared, cfg, collector);
+    print_sim_summary(sim);
+    if (!opt.lenient) return sim.degraded ? 1 : 0;
+    return finish_with_diagnostics(diags);
+  }
+
+  if (opt.mode == "burst") {
+    // Starvation is a MISR-level phenomenon: use one chain per MISR stage
+    // so a whole slice can be corrupted in a single shift cycle.
+    ResponseMatrix response({cfg.partitioner.misr.size, opt.length},
+                            opt.patterns);
+    const std::size_t budget =
+        cfg.partitioner.misr.size - cfg.partitioner.misr.q;
+    const auto burst =
+        corruptor.x_burst(response, cfg.partitioner.misr,
+                          std::min(budget + 2, cfg.partitioner.misr.size));
+    corruptor.add_undeclared_x(response, opt.count);  // repayment fodder
+    std::printf("injected burst of %zu X in one shift slice\n", burst.size());
+    const XMatrix declared = XMatrix::from_response(response);
+    const HybridSimulation sim =
+        run_hybrid_simulation(response, declared, cfg, collector);
+    print_sim_summary(sim);
+    if (!opt.lenient) return sim.degraded ? 1 : 0;
+    return finish_with_diagnostics(diags);
+  }
+
+  if (opt.mode == "tamper") {
+    XCancelSession session(cfg.partitioner.misr, collector);
+    session.install_combination_tamper(corruptor.combination_tamper());
+    Rng rng(opt.seed + 2);
+    for (std::size_t cycle = 0; cycle < 64 * cfg.partitioner.misr.size;
+         ++cycle) {
+      std::vector<Lv> slice(cfg.partitioner.misr.size, Lv::k0);
+      if (rng.chance(0.1)) {
+        slice[static_cast<std::size_t>(
+            rng.below(cfg.partitioner.misr.size))] = Lv::kX;
+      }
+      session.shift(slice);
+    }
+    const XCancelResult& tampered = session.finish();
+    std::printf("tampered session: %zu contaminated dropped, %zu emitted\n",
+                tampered.contaminated_dropped, tampered.signature.size());
+    if (!opt.lenient) return tampered.healthy() ? 0 : 1;
+    return finish_with_diagnostics(diags);
+  }
+
+  if (opt.mode == "truncate-xm" || opt.mode == "garble-xm" ||
+      opt.mode == "duplicate-xm") {
+    const std::string text = x_matrix_to_string(generate_workload(profile));
+    std::string damaged;
+    if (opt.mode == "truncate-xm") {
+      damaged = corruptor.truncate_text(text, 0.7);
+    } else if (opt.mode == "garble-xm") {
+      damaged = corruptor.garble_text(text, opt.count);
+    } else {
+      damaged = corruptor.duplicate_line(text);
+    }
+    try {
+      x_matrix_from_string(damaged, &diags);
+      std::printf("damaged file unexpectedly accepted\n");
+      return 1;
+    } catch (const std::invalid_argument& e) {
+      std::printf("rejected damaged input: %s\n", e.what());
+      finish_with_diagnostics(diags);
+      return diags.has_errors() ? 1 : 0;
+    }
+  }
+
+  std::fprintf(stderr, "error: unknown inject mode '%s'\n",
+               opt.mode.c_str());
+  usage(argv0);
+}
+
 }  // namespace
 }  // namespace xh
 
@@ -237,6 +453,7 @@ int main(int argc, char** argv) {
     const xh::Options opt = xh::parse(argc, argv, 2);
     if (cmd == "analyze") return xh::cmd_analyze(opt);
     if (cmd == "circuit") return xh::cmd_circuit(opt, argv[0]);
+    if (cmd == "inject") return xh::cmd_inject(opt, argv[0]);
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return 1;
