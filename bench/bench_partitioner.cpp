@@ -1,0 +1,216 @@
+// Partitioner throughput: seed implementation vs incremental engine.
+//
+// Times partition_patterns_reference (the retained seed oracle: full X-cell
+// re-analysis per round) against the PartitionEngine (victim-only
+// re-analysis over an XMatrixView snapshot) on a synthetic Table-1-scale
+// workload, serially and across thread-pool sizes, and emits one JSON
+// object so CI can parse the numbers:
+//
+//   bench_partitioner [--cells N] [--patterns P] [--density D]
+//                     [--rounds R] [--threads T] [--seed S] [--smoke]
+//
+// --smoke runs a reduced-scale workload (< 10 s end to end), cross-checks
+// that both implementations produce identical results, asserts the engine
+// is at least 3x faster than the seed, and exits non-zero otherwise — the
+// CI regression gate for the engine's core performance claim.
+#include <sys/resource.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "core/partitioner.hpp"
+#include "engine/partition_engine.hpp"
+#include "engine/x_matrix_view.hpp"
+#include "util/parse.hpp"
+#include "util/thread_pool.hpp"
+#include "workload/industrial.hpp"
+
+namespace xh {
+namespace {
+
+struct BenchOptions {
+  std::size_t cells = 100'000;
+  std::size_t patterns = 3'000;
+  double density = 0.01;
+  std::size_t rounds = 40;
+  std::size_t threads = 2;  // pool size for the scaling sample
+  std::uint64_t seed = 1;
+  bool smoke = false;
+};
+
+double time_ms(const std::function<void()>& fn, int reps) {
+  double best = -1.0;
+  for (int r = 0; r < reps; ++r) {
+    const auto t0 = std::chrono::steady_clock::now();
+    fn();
+    const auto t1 = std::chrono::steady_clock::now();
+    const double ms =
+        std::chrono::duration<double, std::milli>(t1 - t0).count();
+    if (best < 0.0 || ms < best) best = ms;
+  }
+  return best;
+}
+
+long peak_rss_kb() {
+  struct rusage usage {};
+  getrusage(RUSAGE_SELF, &usage);
+  return usage.ru_maxrss;
+}
+
+bool results_identical(const PartitionResult& a, const PartitionResult& b) {
+  if (a.partitions.size() != b.partitions.size()) return false;
+  for (std::size_t i = 0; i < a.partitions.size(); ++i) {
+    if (!(a.partitions[i] == b.partitions[i])) return false;
+    if (!(a.masks[i] == b.masks[i])) return false;
+  }
+  if (a.history.size() != b.history.size()) return false;
+  for (std::size_t i = 0; i < a.history.size(); ++i) {
+    if (a.history[i].split_cell != b.history[i].split_cell) return false;
+    if (a.history[i].accepted != b.history[i].accepted) return false;
+  }
+  return a.masked_x == b.masked_x && a.leaked_x == b.leaked_x &&
+         a.total_bits == b.total_bits;
+}
+
+int run(const BenchOptions& opt) {
+  // Geometry: chains x length closest to the requested cell count, with a
+  // Table-1-like aspect ratio (hundreds of chains, hundreds of cells each).
+  const std::size_t chains = opt.smoke ? 50 : 208;
+  const std::size_t length =
+      std::max<std::size_t>(1, opt.cells / chains);
+
+  // Strongly inter-correlated X's (the paper's premise): cell clusters
+  // share narrow pattern bands, so partitioning isolates bands and the
+  // victim's member list shrinks round over round — the regime the
+  // incremental engine is built for.
+  WorkloadProfile profile;
+  profile.name = "bench";
+  profile.geometry = {chains, length};
+  profile.num_patterns = opt.patterns;
+  profile.x_density = opt.density;
+  profile.clustered_fraction = 0.95;
+  profile.cluster_cells_mean = std::max<std::size_t>(2, chains * length / 50);
+  profile.cluster_patterns_mean = std::max<std::size_t>(2, opt.patterns / 25);
+  profile.seed = opt.seed;
+  const XMatrix xm = generate_workload(profile);
+
+  // Exhaustive splitting with a round cap, so both implementations execute
+  // the same number of rounds and the comparison is rounds-for-rounds.
+  // Singleton groups keep the split tree deep past the point where the
+  // clustered correlation structure is used up — the regime where the
+  // per-round cost difference dominates.
+  PartitionerConfig cfg;
+  cfg.misr = {32, 7};
+  cfg.stop_on_cost_increase = false;
+  cfg.allow_singleton_groups = true;
+  cfg.max_rounds = opt.rounds;
+  cfg.seed = opt.seed;
+
+  const int reps = opt.smoke ? 3 : 1;
+  PartitionResult ref_result;
+  const double ref_ms = time_ms(
+      [&] { ref_result = partition_patterns_reference(xm, cfg); }, reps);
+
+  PartitionResult engine_result;
+  const double engine_ms = time_ms(
+      [&] { engine_result = partition_patterns(xm, cfg); }, reps);
+
+  double pooled_ms = 0.0;
+  if (opt.threads > 1) {
+    ThreadPool pool(opt.threads);
+    pooled_ms = time_ms(
+        [&] {
+          const XMatrixView view(xm);
+          PartitionEngine engine(view, cfg, &pool);
+          engine_result = engine.run();
+        },
+        reps);
+  }
+
+  const bool identical = results_identical(ref_result, engine_result);
+  const double speedup = engine_ms > 0.0 ? ref_ms / engine_ms : 0.0;
+  const std::size_t rounds_run =
+      ref_result.history.empty() ? 0 : ref_result.history.size() - 1;
+  const double engine_rounds_per_sec =
+      engine_ms > 0.0 ? 1000.0 * static_cast<double>(rounds_run) / engine_ms
+                      : 0.0;
+
+  std::printf(
+      "{\n"
+      "  \"workload\": {\"cells\": %zu, \"patterns\": %zu, \"total_x\": "
+      "%llu, \"rounds\": %zu, \"partitions\": %zu},\n"
+      "  \"reference_ms\": %.3f,\n"
+      "  \"engine_ms\": %.3f,\n"
+      "  \"engine_pool%zu_ms\": %.3f,\n"
+      "  \"speedup\": %.2f,\n"
+      "  \"engine_rounds_per_sec\": %.1f,\n"
+      "  \"results_identical\": %s,\n"
+      "  \"peak_rss_kb\": %ld\n"
+      "}\n",
+      chains * length, opt.patterns,
+      static_cast<unsigned long long>(xm.total_x()), rounds_run,
+      engine_result.num_partitions(), ref_ms, engine_ms, opt.threads,
+      pooled_ms, speedup, engine_rounds_per_sec,
+      identical ? "true" : "false", peak_rss_kb());
+
+  if (!identical) {
+    std::fprintf(stderr, "FAIL: engine result differs from the seed\n");
+    return 1;
+  }
+  if (opt.smoke && speedup < 3.0) {
+    std::fprintf(stderr, "FAIL: smoke speedup %.2fx below the 3x gate\n",
+                 speedup);
+    return 1;
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace xh
+
+int main(int argc, char** argv) {
+  xh::BenchOptions opt;
+  try {
+    for (int i = 1; i < argc; ++i) {
+      const std::string arg = argv[i];
+      const auto next = [&]() -> const char* {
+        if (i + 1 >= argc) {
+          std::fprintf(stderr, "error: %s needs a value\n", arg.c_str());
+          std::exit(2);
+        }
+        return argv[++i];
+      };
+      if (arg == "--cells") {
+        opt.cells = xh::parse_size(next());
+      } else if (arg == "--patterns") {
+        opt.patterns = xh::parse_size(next());
+      } else if (arg == "--density") {
+        opt.density = xh::parse_f64(next());
+      } else if (arg == "--rounds") {
+        opt.rounds = xh::parse_size(next());
+      } else if (arg == "--threads") {
+        opt.threads = xh::parse_size(next());
+      } else if (arg == "--seed") {
+        opt.seed = xh::parse_u64(next());
+      } else if (arg == "--smoke") {
+        opt.smoke = true;
+        opt.cells = 20'000;
+        opt.patterns = 1'000;
+        opt.density = 0.02;
+        opt.rounds = 16;
+      } else {
+        std::fprintf(stderr, "error: unknown flag %s\n", arg.c_str());
+        return 2;
+      }
+    }
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 2;
+  }
+  return xh::run(opt);
+}

@@ -3,13 +3,15 @@
 #include <stdexcept>
 #include <string>
 
+#include "engine/partition_engine.hpp"
+#include "engine/pipeline.hpp"
 #include "masking/mask.hpp"
 #include "misr/accounting.hpp"
 #include "util/check.hpp"
 
 namespace xh {
 
-HybridReport run_hybrid_analysis(const XMatrix& xm, const HybridConfig& cfg) {
+HybridReport run_hybrid_analysis(const XMatrix& xm, PipelineContext& ctx) {
   HybridReport rep;
   rep.num_patterns = xm.num_patterns();
   rep.num_chains = xm.geometry().num_chains;
@@ -17,9 +19,9 @@ HybridReport run_hybrid_analysis(const XMatrix& xm, const HybridConfig& cfg) {
   rep.total_x = xm.total_x();
   rep.x_density = xm.x_density();
 
-  rep.partitioning = partition_patterns(xm, cfg.partitioner);
+  rep.partitioning = run_partitioning(xm, ctx);
 
-  const MisrConfig& misr = cfg.partitioner.misr;
+  const MisrConfig& misr = ctx.misr();
   rep.masking_only_bits =
       x_masking_only_bits(xm.geometry(), xm.num_patterns());
   rep.canceling_only_bits = x_canceling_only_bits(misr, rep.total_x);
@@ -47,6 +49,11 @@ HybridReport run_hybrid_analysis(const XMatrix& xm, const HybridConfig& cfg) {
   return rep;
 }
 
+HybridReport run_hybrid_analysis(const XMatrix& xm, const HybridConfig& cfg) {
+  PipelineContext ctx(cfg.partitioner);
+  return run_hybrid_analysis(xm, ctx);
+}
+
 XValidation validate_response(const ResponseMatrix& response,
                               const XMatrix& declared,
                               Diagnostics* diags) {
@@ -70,14 +77,14 @@ XValidation validate_response(const ResponseMatrix& response,
   for (std::size_t p = 0; p < response.num_patterns(); ++p) {
     const BitVec observed = response.x_row(p);
     const BitVec& predicted = declared_rows[p];
-    BitVec undeclared = observed;
-    undeclared.and_not(predicted);
-    BitVec missing = predicted;
-    missing.and_not(observed);
-    v.confirmed_x += (observed & predicted).count();
-    v.undeclared_x += undeclared.count();
-    v.missing_x += missing.count();
+    v.confirmed_x += and_count(observed, predicted);
+    v.undeclared_x += and_not_count(observed, predicted);
+    v.missing_x += and_not_count(predicted, observed);
     if (diags != nullptr) {
+      BitVec undeclared = observed;
+      undeclared.and_not(predicted);
+      BitVec missing = predicted;
+      missing.and_not(observed);
       for (const std::size_t c : undeclared.set_bits()) {
         diags->error(DiagKind::kUndeclaredX,
                      "pattern " + std::to_string(p) + " cell " +
@@ -104,10 +111,10 @@ namespace {
 /// Shared simulation core. @p trusting means @p xm was derived from the
 /// response itself, so mismatch checks degenerate to library-bug assertions.
 HybridSimulation simulate(const ResponseMatrix& response, const XMatrix& xm,
-                          const HybridConfig& cfg, Diagnostics* diags,
-                          bool trusting) {
+                          PipelineContext& ctx, bool trusting) {
+  Diagnostics* diags = ctx.collector();
   HybridSimulation sim;
-  sim.report = run_hybrid_analysis(xm, cfg);
+  sim.report = run_hybrid_analysis(xm, ctx);
   sim.masked_response = response;
 
   if (trusting) {
@@ -133,7 +140,7 @@ HybridSimulation simulate(const ResponseMatrix& response, const XMatrix& xm,
   // mask will hide an observable value. Reported per cell, never absorbed.
   const PartitionResult& pr = sim.report.partitioning;
   sim.masked_observable =
-      count_mask_violations(response, pr.partitions, pr.masks, diags);
+      count_mask_violations(response, pr.partitions, pr.masks, ctx);
   sim.observability_preserved = sim.masked_observable == 0;
   if (sim.validation.clean()) {
     XH_ASSERT(sim.observability_preserved,
@@ -155,8 +162,7 @@ HybridSimulation simulate(const ResponseMatrix& response, const XMatrix& xm,
                     " remain after masking");
   }
 
-  sim.cancel = run_x_canceling(sim.masked_response, cfg.partitioner.misr,
-                               diags);
+  sim.cancel = run_x_canceling(sim.masked_response, ctx);
   sim.x_entering_misr = sim.cancel.total_x_seen;
   sim.degraded = !sim.validation.clean() || sim.masked_observable > 0 ||
                  !sim.cancel.healthy();
@@ -166,16 +172,30 @@ HybridSimulation simulate(const ResponseMatrix& response, const XMatrix& xm,
 }  // namespace
 
 HybridSimulation run_hybrid_simulation(const ResponseMatrix& response,
+                                       PipelineContext& ctx) {
+  return simulate(response, XMatrix::from_response(response), ctx,
+                  /*trusting=*/true);
+}
+
+HybridSimulation run_hybrid_simulation(const ResponseMatrix& response,
                                        const HybridConfig& cfg) {
-  return simulate(response, XMatrix::from_response(response), cfg,
-                  /*diags=*/nullptr, /*trusting=*/true);
+  PipelineContext ctx(cfg.partitioner);
+  return run_hybrid_simulation(response, ctx);
+}
+
+HybridSimulation run_hybrid_simulation(const ResponseMatrix& response,
+                                       const XMatrix& declared,
+                                       PipelineContext& ctx) {
+  return simulate(response, declared, ctx, /*trusting=*/false);
 }
 
 HybridSimulation run_hybrid_simulation(const ResponseMatrix& response,
                                        const XMatrix& declared,
                                        const HybridConfig& cfg,
                                        Diagnostics* diags) {
-  return simulate(response, declared, cfg, diags, /*trusting=*/false);
+  PipelineContext ctx(cfg.partitioner);
+  ctx.adopt_collector(diags);
+  return simulate(response, declared, ctx, /*trusting=*/false);
 }
 
 }  // namespace xh

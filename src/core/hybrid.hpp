@@ -14,6 +14,7 @@
 #pragma once
 
 #include "core/partitioner.hpp"
+#include "engine/pipeline_context.hpp"
 #include "misr/x_cancel.hpp"
 #include "response/response_matrix.hpp"
 #include "response/x_matrix.hpp"
@@ -21,6 +22,9 @@
 
 namespace xh {
 
+/// Legacy configuration wrapper. New code should construct a
+/// PipelineContext directly; the HybridConfig overloads below build one
+/// internally and forward.
 struct HybridConfig {
   PartitionerConfig partitioner;  // includes the MisrConfig
 };
@@ -49,7 +53,12 @@ struct HybridReport {
   double test_time_improvement = 0.0;
 };
 
-/// Analysis-only pipeline (closed-form accounting on X locations).
+/// Analysis-only pipeline (closed-form accounting on X locations). The
+/// context supplies configuration, diagnostics routing and the optional
+/// thread pool the partition engine fans out on.
+HybridReport run_hybrid_analysis(const XMatrix& xm, PipelineContext& ctx);
+
+/// Compatibility overload; builds a strict serial context from @p cfg.
 HybridReport run_hybrid_analysis(const XMatrix& xm, const HybridConfig& cfg);
 
 /// Classified cross-check of a captured response against declared X
@@ -94,6 +103,8 @@ struct HybridSimulation {
 /// declared and observed X sets agree by construction. Mask or accounting
 /// violations indicate library bugs and throw (legacy fail-fast behavior).
 HybridSimulation run_hybrid_simulation(const ResponseMatrix& response,
+                                       PipelineContext& ctx);
+HybridSimulation run_hybrid_simulation(const ResponseMatrix& response,
                                        const HybridConfig& cfg);
 
 /// Validating pipeline: partitions and masks are derived from @p declared
@@ -105,7 +116,12 @@ HybridSimulation run_hybrid_simulation(const ResponseMatrix& response,
 ///   * declared X's that resolved deterministic make masks hide observable
 ///     values — reported per cell, never silently absorbed;
 ///   * starved or contaminated extractions retry at later stops.
-/// With @p diags == nullptr the mismatches throw instead (strict mode).
+/// A strict context (ctx.collector() == nullptr) throws on mismatch; a
+/// lenient or adopting context degrades gracefully.
+HybridSimulation run_hybrid_simulation(const ResponseMatrix& response,
+                                       const XMatrix& declared,
+                                       PipelineContext& ctx);
+/// Compatibility overload: @p diags == nullptr selects strict mode.
 HybridSimulation run_hybrid_simulation(const ResponseMatrix& response,
                                        const XMatrix& declared,
                                        const HybridConfig& cfg,

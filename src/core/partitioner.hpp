@@ -13,71 +13,31 @@
 // Masks are derived per partition with the no-observable-loss rule, so the
 // trade-off is purely "more masks (more masking control data)" vs. "fewer X's
 // into the X-canceling MISR (less canceling control data + fewer halts)".
+//
+// The configuration and result types live in engine/partition_types.hpp
+// (shared with the incremental PartitionEngine) and are re-exported here.
 #pragma once
 
-#include <cstddef>
-#include <cstdint>
-#include <limits>
-#include <vector>
-
-#include "misr/x_cancel.hpp"
+#include "engine/partition_types.hpp"
 #include "response/x_matrix.hpp"
-#include "util/bitvec.hpp"
 
 namespace xh {
 
-/// How the representative split cell is chosen inside the winning same-count
-/// group. The paper picks randomly; the default here is deterministic.
-enum class SplitCellChoice {
-  kLowestIndex,
-  kRandom,
-};
-
-struct PartitionerConfig {
-  MisrConfig misr;
-  /// Stop as soon as a round fails to reduce total control bits (the paper's
-  /// cost function). Disable to run to exhaustion (ablation studies).
-  bool stop_on_cost_increase = true;
-  /// Hard cap on accepted rounds (ablation: force exactly k splits).
-  std::size_t max_rounds = std::numeric_limits<std::size_t>::max();
-  /// Also split on groups of a single cell when no >=2-cell group exists.
-  /// Off by default: the paper stops partitioning such partitions.
-  bool allow_singleton_groups = false;
-  SplitCellChoice cell_choice = SplitCellChoice::kLowestIndex;
-  std::uint64_t seed = 1;  // used when cell_choice == kRandom
-};
-
-/// One accepted (or rejected-final) round in the search.
-struct PartitionRound {
-  std::size_t round = 0;            // 0 = before any split
-  std::size_t num_partitions = 0;
-  std::uint64_t masked_x = 0;
-  std::uint64_t leaked_x = 0;
-  double total_bits = 0.0;          // hybrid closed form at this state
-  std::size_t split_cell = 0;       // cell split to REACH this state (round>0)
-  bool accepted = true;             // false only for a final rejected probe
-};
-
-struct PartitionResult {
-  /// Final disjoint pattern groups covering all patterns.
-  std::vector<BitVec> partitions;
-  /// Safe mask per partition (same indexing).
-  std::vector<BitVec> masks;
-  std::uint64_t masked_x = 0;
-  std::uint64_t leaked_x = 0;
-  /// Hybrid control-bit total for the final state (real-valued).
-  double total_bits = 0.0;
-  double masking_bits = 0.0;
-  double canceling_bits = 0.0;
-  /// Cost trajectory: entry 0 is the unsplit state; a trailing entry with
-  /// accepted == false records the probe that triggered the stop.
-  std::vector<PartitionRound> history;
-
-  std::size_t num_partitions() const { return partitions.size(); }
-};
-
-/// Runs Algorithm 1 on an X-location matrix.
+/// Runs Algorithm 1 on an X-location matrix. Since the engine restructuring
+/// this is a thin wrapper over PartitionEngine (snapshot the matrix into an
+/// XMatrixView, run rounds incrementally); the result is bit-identical to
+/// partition_patterns_reference() for every configuration and seed — the
+/// equivalence suite in tests/engine/ enforces it.
 PartitionResult partition_patterns(const XMatrix& xm,
                                    const PartitionerConfig& cfg);
+
+/// The seed implementation: re-analyzes every X cell of the whole design on
+/// every probe and clones the partition vector per round. O(rounds ×
+/// total_x_cells × pattern_words) against the engine's O(rounds ×
+/// victim_cells × pattern_words). Retained verbatim as the oracle for the
+/// equivalence suite and the baseline bench_partitioner measures against;
+/// not for production use.
+PartitionResult partition_patterns_reference(const XMatrix& xm,
+                                             const PartitionerConfig& cfg);
 
 }  // namespace xh

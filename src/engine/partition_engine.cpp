@@ -1,0 +1,258 @@
+#include "engine/partition_engine.hpp"
+
+#include <limits>
+
+#include "misr/accounting.hpp"
+#include "util/check.hpp"
+
+namespace xh {
+namespace {
+
+/// Below this many candidate rows the fan-out bookkeeping costs more than
+/// the sweep itself.
+constexpr std::size_t kParallelGrain = 2048;
+
+/// Cells provably sharing their in-partition X patterns, keyed exactly like
+/// the seed partitioner: (restricted count, restricted-pattern-set hash).
+/// std::map so group iteration order — and therefore tie-breaking — matches.
+using GroupMap =
+    std::map<std::pair<std::size_t, std::uint64_t>, std::vector<std::size_t>>;
+
+struct ChunkAccum {
+  GroupMap groups;
+  std::vector<std::uint32_t> members;
+  std::size_t masked_cells = 0;
+};
+
+}  // namespace
+
+PartitionEngine::PartitionEngine(const XMatrixView& view,
+                                 const PartitionerConfig& cfg,
+                                 ThreadPool* pool)
+    : view_(view), cfg_(cfg), pool_(pool), rng_(cfg.seed) {
+  cfg_.misr.validate();
+  XH_REQUIRE(view_.num_patterns() > 0, "X matrix has no patterns");
+  XH_ASSERT(view_.num_rows() <
+                std::numeric_limits<std::uint32_t>::max(),
+            "row index overflows the member representation");
+
+  std::vector<std::uint32_t> all(view_.num_rows());
+  for (std::size_t r = 0; r < all.size(); ++r) {
+    all[r] = static_cast<std::uint32_t>(r);
+  }
+  parts_.push_back(analyze(BitVec(view_.num_patterns(), true), all));
+  masked_total_ = parts_.front().masked_x();
+  history_.push_back(snapshot_round(0, 1, masked_total_));
+}
+
+PartitionEngine::Part PartitionEngine::analyze(
+    BitVec patterns, const std::vector<std::uint32_t>& candidates) {
+  Part part;
+  part.span = patterns.count();
+  part.patterns = std::move(patterns);
+  XH_ASSERT(part.span > 0, "empty partition");
+
+  // Sweep the candidate rows into (count, set-hash) groups. Chunk results
+  // are merged in chunk order below, so the grouped cell lists stay
+  // ascending and the outcome is independent of the pool size.
+  const std::size_t chunks =
+      pool_ != nullptr ? pool_->chunk_count(candidates.size(), kParallelGrain)
+                       : (candidates.empty() ? 0 : 1);
+  std::vector<ChunkAccum> accums(chunks);
+  const auto sweep = [&](std::size_t chunk, std::size_t begin,
+                         std::size_t end) {
+    ChunkAccum& acc = accums[chunk];
+    for (std::size_t i = begin; i < end; ++i) {
+      const std::uint32_t row = candidates[i];
+      const std::size_t count = view_.count_in(row, part.patterns);
+      if (count == 0) continue;
+      acc.members.push_back(row);
+      if (count == part.span) {
+        ++acc.masked_cells;
+      } else {
+        acc.groups[{count, view_.hash_in(row, part.patterns)}].push_back(
+            view_.cell_id(row));
+      }
+    }
+  };
+  if (pool_ != nullptr) {
+    pool_->parallel_chunks(candidates.size(), kParallelGrain, sweep);
+  } else if (chunks == 1) {
+    sweep(0, 0, candidates.size());
+  }
+
+  GroupMap groups;
+  std::size_t member_total = 0;
+  for (const ChunkAccum& acc : accums) member_total += acc.members.size();
+  part.members.reserve(member_total);
+  for (ChunkAccum& acc : accums) {
+    part.masked_cells += acc.masked_cells;
+    part.members.insert(part.members.end(), acc.members.begin(),
+                        acc.members.end());
+    for (auto& [key, cells] : acc.groups) {
+      auto& dst = groups[key];
+      if (dst.empty()) {
+        dst = std::move(cells);
+      } else {
+        dst.insert(dst.end(), cells.begin(), cells.end());
+      }
+    }
+  }
+
+  for (auto& [key, cells] : groups) {
+    // Rank by maskable X volume; break ties toward more cells, then the
+    // higher X count (same rule and same map order as the seed).
+    const std::size_t count = key.first;
+    const std::size_t score = cells.size() * count;
+    const bool better =
+        score > part.group_score() ||
+        (score == part.group_score() &&
+         (cells.size() > part.group_size ||
+          (cells.size() == part.group_size && count > part.group_xcount)));
+    if (better) {
+      part.group_size = cells.size();
+      part.group_xcount = count;
+      part.group_cells = std::move(cells);
+    }
+  }
+  return part;
+}
+
+PartitionRound PartitionEngine::snapshot_round(std::size_t round,
+                                               std::size_t num_parts,
+                                               std::uint64_t masked) const {
+  PartitionRound r;
+  r.round = round;
+  r.num_partitions = num_parts;
+  r.masked_x = masked;
+  r.leaked_x = view_.total_x() - masked;
+  r.total_bits =
+      hybrid_bits(view_.geometry(), num_parts, cfg_.misr, r.leaked_x);
+  return r;
+}
+
+PartitionEngine::StepOutcome PartitionEngine::step() {
+  if (done_ || round_ >= cfg_.max_rounds) {
+    done_ = true;
+    return StepOutcome::kExhausted;
+  }
+
+  // Candidate = partition with the strongest same-count group.
+  std::size_t best = parts_.size();
+  for (std::size_t i = 0; i < parts_.size(); ++i) {
+    if (!parts_[i].splittable(cfg_.allow_singleton_groups)) continue;
+    if (best == parts_.size() ||
+        parts_[i].group_score() > parts_[best].group_score()) {
+      best = i;
+    }
+  }
+  if (best == parts_.size()) {
+    done_ = true;
+    return StepOutcome::kExhausted;  // nothing left to split
+  }
+
+  const Part& victim = parts_[best];
+  const std::size_t pick =
+      cfg_.cell_choice == SplitCellChoice::kRandom
+          ? static_cast<std::size_t>(rng_.below(victim.group_cells.size()))
+          : 0;  // group_cells is ascending
+  const std::size_t split_cell = victim.group_cells[pick];
+
+  // Locate the split cell's view row (group_cells stores cell ids; rows are
+  // ascending by cell id, so a binary search keeps this O(log n)).
+  std::size_t row = 0;
+  {
+    std::size_t lo = 0;
+    std::size_t hi = view_.num_rows();
+    while (lo < hi) {
+      const std::size_t mid = (lo + hi) / 2;
+      if (view_.cell_id(mid) < split_cell) {
+        lo = mid + 1;
+      } else {
+        hi = mid;
+      }
+    }
+    XH_ASSERT(lo < view_.num_rows() && view_.cell_id(lo) == split_cell,
+              "split cell missing from the view");
+    row = lo;
+  }
+
+  BitVec with_x(view_.num_patterns());
+  view_.intersect_into(row, victim.patterns, &with_x);
+  BitVec without_x = victim.patterns;
+  without_x.and_not(with_x);
+  XH_ASSERT(with_x.any() && without_x.any(),
+            "split cell must divide the partition");
+
+  Part a = analyze(std::move(with_x), victim.members);
+  Part b = analyze(std::move(without_x), victim.members);
+
+  const std::uint64_t probe_masked =
+      masked_total_ - victim.masked_x() + a.masked_x() + b.masked_x();
+  PartitionRound probe =
+      snapshot_round(round_ + 1, parts_.size() + 1, probe_masked);
+  probe.split_cell = split_cell;
+
+  if (cfg_.stop_on_cost_increase &&
+      probe.total_bits >= history_.back().total_bits) {
+    probe.accepted = false;
+    history_.push_back(probe);
+    done_ = true;
+    return StepOutcome::kRejected;
+  }
+
+  // Accept: splice the victim out, append the two halves (same ordering as
+  // the seed's erase + push_back, so future best-partition scans agree).
+  parts_.erase(parts_.begin() + static_cast<std::ptrdiff_t>(best));
+  parts_.push_back(std::move(a));
+  parts_.push_back(std::move(b));
+  masked_total_ = probe_masked;
+  history_.push_back(probe);
+  ++round_;
+  return StepOutcome::kSplit;
+}
+
+PartitionResult PartitionEngine::run() {
+  while (step() == StepOutcome::kSplit) {
+  }
+  return materialize();
+}
+
+PartitionResult PartitionEngine::materialize() const {
+  PartitionResult result;
+  result.history = history_;
+  result.partitions.reserve(parts_.size());
+  result.masks.reserve(parts_.size());
+  std::uint64_t masked = 0;
+  for (const Part& p : parts_) {
+    BitVec mask(view_.num_cells());
+    for (const std::uint32_t row : p.members) {
+      // Masked ⇔ X under every pattern of the partition.
+      if (view_.count_in(row, p.patterns) == p.span) {
+        mask.set(view_.cell_id(row));
+      }
+    }
+    XH_ASSERT(mask.count() == p.masked_cells, "mask/analysis disagreement");
+    masked += p.masked_x();
+    result.partitions.push_back(p.patterns);
+    result.masks.push_back(std::move(mask));
+  }
+  result.masked_x = masked;
+  result.leaked_x = view_.total_x() - masked;
+  result.masking_bits =
+      static_cast<double>(view_.geometry().num_cells()) *
+      static_cast<double>(result.partitions.size());
+  result.canceling_bits = x_canceling_only_bits(cfg_.misr, result.leaked_x);
+  result.total_bits = result.masking_bits + result.canceling_bits;
+  return result;
+}
+
+PartitionResult run_partitioning(const XMatrix& xm, PipelineContext& ctx) {
+  ctx.partitioner.misr.validate();
+  XH_REQUIRE(xm.num_patterns() > 0, "X matrix has no patterns");
+  const XMatrixView view(xm);
+  PartitionEngine engine(view, ctx);
+  return engine.run();
+}
+
+}  // namespace xh

@@ -1,0 +1,25 @@
+#include "engine/pipeline.hpp"
+
+namespace xh {
+
+XCancelResult run_x_canceling(const ResponseMatrix& response,
+                              PipelineContext& ctx) {
+  return run_x_canceling(response, ctx.misr(), ctx.collector());
+}
+
+std::uint64_t count_mask_violations(const ResponseMatrix& response,
+                                    const std::vector<BitVec>& partitions,
+                                    const std::vector<BitVec>& masks,
+                                    PipelineContext& ctx) {
+  return count_mask_violations(response, partitions, masks, ctx.collector());
+}
+
+XMatrix read_x_matrix(std::istream& in, PipelineContext& ctx) {
+  return read_x_matrix(in, ctx.collector());
+}
+
+ResponseMatrix read_response(std::istream& in, PipelineContext& ctx) {
+  return read_response(in, ctx.collector());
+}
+
+}  // namespace xh

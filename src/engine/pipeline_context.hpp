@@ -1,0 +1,72 @@
+// Shared execution context of the analysis pipeline.
+//
+// Before the engine layer existed, every stage grew its own plumbing: a
+// HybridConfig wrapping a PartitionerConfig wrapping a MisrConfig, a raw
+// Diagnostics* threaded hand-to-hand through hybrid → partitioner →
+// x_cancel → masking → response IO, and ad-hoc Rng construction at each
+// stochastic site. PipelineContext bundles all of it once:
+//
+//   * the partitioning/cost configuration (which embeds the MISR shape),
+//   * the diagnostics routing — strict (mismatches throw, the legacy
+//     default), lenient (collected into an owned Diagnostics), or adopted
+//     (collected into a caller-owned Diagnostics),
+//   * a deterministic Rng seeded from the configured seed,
+//   * an optional ThreadPool the engine fans cell analysis out on.
+//
+// A context is one pipeline run's ambient state; it is cheap to construct
+// and not thread-safe itself (the pool parallelism happens *inside* engine
+// calls, which only read the context).
+#pragma once
+
+#include "engine/partition_types.hpp"
+#include "util/diagnostics.hpp"
+#include "util/rng.hpp"
+#include "util/thread_pool.hpp"
+
+namespace xh {
+
+class PipelineContext {
+ public:
+  PipelineContext() : rng_(partitioner.seed) {}
+  explicit PipelineContext(PartitionerConfig cfg, ThreadPool* pool = nullptr)
+      : partitioner(std::move(cfg)), pool_(pool), rng_(partitioner.seed) {}
+
+  // Non-copyable: the sink may point at the owned collector, which a
+  // default copy/move would silently re-target to the source's.
+  PipelineContext(const PipelineContext&) = delete;
+  PipelineContext& operator=(const PipelineContext&) = delete;
+
+  PartitionerConfig partitioner;
+
+  const MisrConfig& misr() const { return partitioner.misr; }
+
+  /// Collector the pipeline reports data mismatches into, or nullptr in
+  /// strict mode (the legacy throw-on-mismatch contract).
+  Diagnostics* collector() { return sink_; }
+
+  /// Lenient mode: mismatches are recorded in the owned collector and the
+  /// pipeline degrades gracefully.
+  void be_lenient() { sink_ = &owned_; }
+  /// Adopts a caller-owned collector (compatibility with the Diagnostics*
+  /// APIs). Passing nullptr returns to strict mode.
+  void adopt_collector(Diagnostics* diags) { sink_ = diags; }
+
+  /// The owned collector (meaningful after be_lenient()).
+  const Diagnostics& diagnostics() const { return owned_; }
+
+  /// Optional worker pool; nullptr runs every stage serially. Results are
+  /// identical either way. Not owned.
+  ThreadPool* pool() const { return pool_; }
+  void set_pool(ThreadPool* pool) { pool_ = pool; }
+
+  /// Context-wide deterministic generator, seeded from partitioner.seed.
+  Rng& rng() { return rng_; }
+
+ private:
+  ThreadPool* pool_ = nullptr;
+  Diagnostics owned_;
+  Diagnostics* sink_ = nullptr;
+  Rng rng_;
+};
+
+}  // namespace xh

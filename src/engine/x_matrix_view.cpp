@@ -1,0 +1,60 @@
+#include "engine/x_matrix_view.hpp"
+
+#include <bit>
+
+#include "util/check.hpp"
+
+namespace xh {
+
+XMatrixView::XMatrixView(const XMatrix& xm)
+    : geometry_(xm.geometry()),
+      num_patterns_(xm.num_patterns()),
+      total_x_(xm.total_x()),
+      cells_(xm.x_cells()) {
+  // BitVec packs 64 bits per word; every row shares one width.
+  words_per_row_ = (num_patterns_ + 63) / 64;
+  counts_.reserve(cells_.size());
+  words_.reserve(cells_.size() * words_per_row_);
+  for (const std::size_t cell : cells_) {
+    const BitVec& pats = xm.patterns_of(cell);
+    XH_ASSERT(pats.word_count() == words_per_row_,
+              "XMatrix row width disagrees with pattern count");
+    counts_.push_back(pats.count());
+    for (std::size_t w = 0; w < words_per_row_; ++w) {
+      words_.push_back(pats.word(w));
+    }
+  }
+}
+
+std::size_t XMatrixView::count_in(std::size_t row,
+                                  const BitVec& patterns) const {
+  const std::uint64_t* words = row_words(row);
+  std::size_t total = 0;
+  for (std::size_t w = 0; w < words_per_row_; ++w) {
+    total += static_cast<std::size_t>(
+        std::popcount(words[w] & patterns.word(w)));
+  }
+  return total;
+}
+
+std::uint64_t XMatrixView::hash_in(std::size_t row,
+                                   const BitVec& patterns) const {
+  const std::uint64_t* words = row_words(row);
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (std::size_t w = 0; w < words_per_row_; ++w) {
+    h ^= words[w] & patterns.word(w);
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+void XMatrixView::intersect_into(std::size_t row, const BitVec& patterns,
+                                 BitVec* out) const {
+  const std::uint64_t* words = row_words(row);
+  out->resize(num_patterns_);
+  for (std::size_t w = 0; w < words_per_row_; ++w) {
+    out->set_word(w, words[w] & patterns.word(w));
+  }
+}
+
+}  // namespace xh

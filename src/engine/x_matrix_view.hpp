@@ -1,0 +1,72 @@
+// Read-optimized snapshot of an XMatrix for the partition engine.
+//
+// XMatrix stores one heap-allocated BitVec per X-capturing cell behind an
+// unordered_map — ideal for incremental construction, hostile to the
+// partitioning hot loop, which scans the pattern sets of many cells per
+// round. XMatrixView freezes the matrix into CSR-style contiguous storage:
+//
+//   cells_   [r]                      cell id of row r (ascending)
+//   counts_  [r]                      popcount of row r (precomputed)
+//   words_   [r*W .. r*W + W)         row r's pattern-membership words
+//
+// so a sweep over rows walks one linear array instead of chasing pointers
+// through hash buckets, and per-cell X counts cost nothing. The view is an
+// immutable value: concurrent readers (the engine's thread-pool fan-out)
+// need no synchronization.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "response/geometry.hpp"
+#include "response/x_matrix.hpp"
+#include "util/bitvec.hpp"
+
+namespace xh {
+
+class XMatrixView {
+ public:
+  /// Snapshots @p xm. O(x_cells × pattern words); the source matrix can be
+  /// discarded or mutated afterwards without affecting the view.
+  explicit XMatrixView(const XMatrix& xm);
+
+  const ScanGeometry& geometry() const { return geometry_; }
+  std::size_t num_patterns() const { return num_patterns_; }
+  std::size_t num_cells() const { return geometry_.num_cells(); }
+  std::uint64_t total_x() const { return total_x_; }
+
+  /// Rows = X-capturing cells, ascending by cell id.
+  std::size_t num_rows() const { return cells_.size(); }
+  std::size_t cell_id(std::size_t row) const { return cells_[row]; }
+  /// X count of the row across all patterns (precomputed).
+  std::size_t x_count(std::size_t row) const { return counts_[row]; }
+
+  std::size_t words_per_row() const { return words_per_row_; }
+  const std::uint64_t* row_words(std::size_t row) const {
+    return words_.data() + row * words_per_row_;
+  }
+
+  /// popcount(row & patterns): the row's X count inside a pattern subset.
+  std::size_t count_in(std::size_t row, const BitVec& patterns) const;
+
+  /// FNV-1a hash of (row & patterns) over all pattern words — the group key
+  /// the partition analysis buckets cells by (identical to the seed
+  /// partitioner's set_hash, so groups match bit for bit).
+  std::uint64_t hash_in(std::size_t row, const BitVec& patterns) const;
+
+  /// Materializes (row & patterns) into @p out (resized to num_patterns).
+  void intersect_into(std::size_t row, const BitVec& patterns,
+                      BitVec* out) const;
+
+ private:
+  ScanGeometry geometry_;
+  std::size_t num_patterns_ = 0;
+  std::size_t words_per_row_ = 0;
+  std::uint64_t total_x_ = 0;
+  std::vector<std::size_t> cells_;
+  std::vector<std::size_t> counts_;
+  std::vector<std::uint64_t> words_;
+};
+
+}  // namespace xh

@@ -12,7 +12,7 @@ BitVec partition_mask(const XMatrix& xm, const BitVec& partition) {
   BitVec mask(xm.num_cells());
   for (const std::size_t cell : xm.x_cells()) {
     // Masked ⇔ X under every pattern of the partition.
-    if ((xm.patterns_of(cell) & partition).count() == span) {
+    if (and_count(xm.patterns_of(cell), partition) == span) {
       mask.set(cell);
     }
   }

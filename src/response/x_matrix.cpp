@@ -18,7 +18,6 @@ void XMatrix::add_x(std::size_t cell, std::size_t pattern) {
   XH_REQUIRE(cell < num_cells(), "cell index out of range");
   XH_REQUIRE(pattern < num_patterns_, "pattern index out of range");
   auto [it, inserted] = cells_.try_emplace(cell, BitVec(num_patterns_));
-  if (inserted) sorted_dirty_ = true;
   if (!it->second.get(pattern)) {
     it->second.set(pattern);
     ++total_x_;
@@ -31,15 +30,12 @@ bool XMatrix::is_x(std::size_t cell, std::size_t pattern) const {
   return it != cells_.end() && it->second.get(pattern);
 }
 
-const std::vector<std::size_t>& XMatrix::x_cells() const {
-  if (sorted_dirty_) {
-    sorted_cells_.clear();
-    sorted_cells_.reserve(cells_.size());
-    for (const auto& [cell, pats] : cells_) sorted_cells_.push_back(cell);
-    std::sort(sorted_cells_.begin(), sorted_cells_.end());
-    sorted_dirty_ = false;
-  }
-  return sorted_cells_;
+std::vector<std::size_t> XMatrix::x_cells() const {
+  std::vector<std::size_t> cells;
+  cells.reserve(cells_.size());
+  for (const auto& [cell, pats] : cells_) cells.push_back(cell);
+  std::sort(cells.begin(), cells.end());
+  return cells;
 }
 
 const BitVec& XMatrix::patterns_of(std::size_t cell) const {
@@ -57,7 +53,7 @@ std::size_t XMatrix::x_count_in(std::size_t cell,
   const BitVec& mine = patterns_of(cell);
   XH_REQUIRE(patterns.size() == num_patterns_,
              "pattern subset width mismatch");
-  return (mine & patterns).count();
+  return and_count(mine, patterns);
 }
 
 double XMatrix::x_density() const {
@@ -71,7 +67,7 @@ std::size_t XMatrix::total_x_in(const BitVec& patterns) const {
              "pattern subset width mismatch");
   std::size_t total = 0;
   for (const auto& [cell, pats] : cells_) {
-    total += (pats & patterns).count();
+    total += and_count(pats, patterns);
   }
   return total;
 }

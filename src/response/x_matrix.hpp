@@ -33,8 +33,12 @@ class XMatrix {
 
   bool is_x(std::size_t cell, std::size_t pattern) const;
 
-  /// Cells that capture at least one X, ascending.
-  const std::vector<std::size_t>& x_cells() const;
+  /// Cells that capture at least one X, ascending. Built fresh on every
+  /// call (O(n log n)), which keeps concurrent readers safe — the previous
+  /// lazily-sorted mutable cache raced under parallel reads. Hot loops
+  /// should snapshot once (or freeze the matrix into an XMatrixView, which
+  /// sorts exactly once at construction).
+  std::vector<std::size_t> x_cells() const;
 
   /// Pattern set of one cell (empty BitVec of num_patterns bits when the
   /// cell never captures X).
@@ -61,8 +65,6 @@ class XMatrix {
   std::size_t num_patterns_ = 0;
   std::size_t total_x_ = 0;
   std::unordered_map<std::size_t, BitVec> cells_;
-  mutable std::vector<std::size_t> sorted_cells_;
-  mutable bool sorted_dirty_ = false;
   BitVec empty_;
 };
 

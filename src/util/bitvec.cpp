@@ -175,4 +175,22 @@ BitVec operator^(BitVec lhs, const BitVec& rhs) { return lhs ^= rhs; }
 BitVec operator&(BitVec lhs, const BitVec& rhs) { return lhs &= rhs; }
 BitVec operator|(BitVec lhs, const BitVec& rhs) { return lhs |= rhs; }
 
+std::size_t and_count(const BitVec& a, const BitVec& b) {
+  XH_REQUIRE(a.size() == b.size(), "BitVec size mismatch in and_count");
+  std::size_t total = 0;
+  for (std::size_t w = 0; w < a.word_count(); ++w) {
+    total += static_cast<std::size_t>(std::popcount(a.word(w) & b.word(w)));
+  }
+  return total;
+}
+
+std::size_t and_not_count(const BitVec& a, const BitVec& b) {
+  XH_REQUIRE(a.size() == b.size(), "BitVec size mismatch in and_not_count");
+  std::size_t total = 0;
+  for (std::size_t w = 0; w < a.word_count(); ++w) {
+    total += static_cast<std::size_t>(std::popcount(a.word(w) & ~b.word(w)));
+  }
+  return total;
+}
+
 }  // namespace xh

@@ -90,4 +90,13 @@ BitVec operator^(BitVec lhs, const BitVec& rhs);
 BitVec operator&(BitVec lhs, const BitVec& rhs);
 BitVec operator|(BitVec lhs, const BitVec& rhs);
 
+/// popcount(a & b) without materializing the intersection — the hot
+/// primitive of X-correlation analysis (restricted X counts). Requires
+/// a.size() == b.size().
+std::size_t and_count(const BitVec& a, const BitVec& b);
+
+/// popcount(a & ~b) without materializing the difference. Requires
+/// a.size() == b.size().
+std::size_t and_not_count(const BitVec& a, const BitVec& b);
+
 }  // namespace xh

@@ -1,0 +1,80 @@
+// Minimal fork-join thread pool for data-parallel fan-out.
+//
+// The pool owns N-1 persistent worker threads; the caller of
+// parallel_chunks() is the N-th lane, so a pool of size 1 degenerates to a
+// plain serial loop with no synchronization at all. Work is handed out as
+// contiguous index chunks whose boundaries depend only on (n, grain, lanes) —
+// never on thread scheduling — so callers that merge per-chunk results in
+// chunk order get bit-identical output for any timing and any pool size.
+//
+// Exceptions thrown by the chunk function are caught, the first one is
+// retained, and it is rethrown on the calling thread after every chunk has
+// finished (no worker ever dies, no chunk is skipped mid-flight).
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace xh {
+
+class ThreadPool {
+ public:
+  /// Function applied to one chunk: fn(chunk_index, begin, end) with
+  /// 0 <= begin < end <= n.
+  using ChunkFn =
+      std::function<void(std::size_t, std::size_t, std::size_t)>;
+
+  /// Creates a pool with @p lanes total execution lanes (the caller counts
+  /// as one, so lanes - 1 workers are spawned). 0 picks the hardware
+  /// concurrency.
+  explicit ThreadPool(std::size_t lanes = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Total execution lanes (workers + the calling thread).
+  std::size_t lanes() const { return workers_.size() + 1; }
+
+  /// Number of chunks parallel_chunks() will split [0, n) into, given a
+  /// minimum chunk size of @p grain. Deterministic in (n, grain, lanes());
+  /// callers use it to pre-size per-chunk result slots.
+  std::size_t chunk_count(std::size_t n, std::size_t grain) const;
+
+  /// Runs fn over every chunk of [0, n) and blocks until all complete.
+  /// The calling thread participates; rethrows the first exception.
+  void parallel_chunks(std::size_t n, std::size_t grain, const ChunkFn& fn);
+
+ private:
+  struct Job {
+    const ChunkFn* fn = nullptr;
+    std::size_t n = 0;
+    std::size_t chunks = 0;
+    std::size_t next = 0;  // next chunk to hand out (under mutex)
+    std::size_t done = 0;  // chunks fully executed (under mutex)
+    std::exception_ptr error;
+  };
+
+  void worker_loop();
+  /// Executes chunks of the current job until none remain. Returns once
+  /// this thread cannot obtain further chunks (others may still run).
+  void drain_job(Job& job, std::unique_lock<std::mutex>& lock);
+  static void chunk_bounds(std::size_t n, std::size_t chunks,
+                           std::size_t chunk, std::size_t* begin,
+                           std::size_t* end);
+
+  std::mutex mu_;
+  std::condition_variable work_cv_;  // workers wait for a job / shutdown
+  std::condition_variable done_cv_;  // caller waits for job completion
+  Job* job_ = nullptr;               // active job, nullptr when idle
+  std::size_t generation_ = 0;       // bumped per job so workers re-check
+  bool stop_ = false;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace xh

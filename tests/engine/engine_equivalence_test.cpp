@@ -1,0 +1,193 @@
+// Randomized equivalence suite: the incremental PartitionEngine must be
+// bit-identical to the retained seed partitioner (the oracle) — same split
+// history, same partitions, same masks, same control-bit totals — for any
+// geometry, density, seed and split-cell policy, and for any thread-pool
+// size. This is the contract that lets partition_patterns() delegate to the
+// engine without a behavioral release note.
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/partitioner.hpp"
+#include "engine/partition_engine.hpp"
+#include "engine/pipeline_context.hpp"
+#include "engine/x_matrix_view.hpp"
+#include "util/rng.hpp"
+#include "util/thread_pool.hpp"
+#include "workload/industrial.hpp"
+
+namespace xh {
+namespace {
+
+XMatrix random_matrix(Rng& rng) {
+  WorkloadProfile profile;
+  profile.name = "equiv";
+  profile.geometry = {2 + static_cast<std::size_t>(rng.below(14)),
+                      4 + static_cast<std::size_t>(rng.below(28))};
+  profile.num_patterns = 16 + static_cast<std::size_t>(rng.below(180));
+  profile.x_density = 0.005 + 0.10 * rng.uniform();
+  profile.clustered_fraction = rng.uniform();
+  profile.cluster_cells_mean =
+      2 + static_cast<std::size_t>(rng.below(12));
+  profile.cluster_patterns_mean =
+      2 + static_cast<std::size_t>(rng.below(12));
+  profile.seed = rng.next_u64();
+  return generate_workload(profile);
+}
+
+void expect_identical(const PartitionResult& want, const PartitionResult& got,
+                      const std::string& label) {
+  SCOPED_TRACE(label);
+  ASSERT_EQ(want.partitions.size(), got.partitions.size());
+  for (std::size_t i = 0; i < want.partitions.size(); ++i) {
+    EXPECT_TRUE(want.partitions[i] == got.partitions[i]) << "partition " << i;
+    EXPECT_TRUE(want.masks[i] == got.masks[i]) << "mask " << i;
+  }
+  EXPECT_EQ(want.masked_x, got.masked_x);
+  EXPECT_EQ(want.leaked_x, got.leaked_x);
+  EXPECT_EQ(want.total_bits, got.total_bits);
+  EXPECT_EQ(want.masking_bits, got.masking_bits);
+  EXPECT_EQ(want.canceling_bits, got.canceling_bits);
+  ASSERT_EQ(want.history.size(), got.history.size());
+  for (std::size_t i = 0; i < want.history.size(); ++i) {
+    SCOPED_TRACE("round " + std::to_string(i));
+    EXPECT_EQ(want.history[i].round, got.history[i].round);
+    EXPECT_EQ(want.history[i].num_partitions, got.history[i].num_partitions);
+    EXPECT_EQ(want.history[i].masked_x, got.history[i].masked_x);
+    EXPECT_EQ(want.history[i].leaked_x, got.history[i].leaked_x);
+    EXPECT_EQ(want.history[i].total_bits, got.history[i].total_bits);
+    EXPECT_EQ(want.history[i].split_cell, got.history[i].split_cell);
+    EXPECT_EQ(want.history[i].accepted, got.history[i].accepted);
+  }
+}
+
+// The core satellite requirement: >= 50 random (geometry, density, seed,
+// SplitCellChoice) combinations, each checked field by field against the
+// seed oracle, through both the engine and the partition_patterns wrapper.
+TEST(EngineEquivalence, MatchesSeedPartitionerOnRandomWorkloads) {
+  Rng rng(20260805);
+  for (int iter = 0; iter < 56; ++iter) {
+    const XMatrix xm = random_matrix(rng);
+    PartitionerConfig cfg;
+    cfg.misr = {8 + static_cast<std::size_t>(rng.below(48)),
+                2 + static_cast<std::size_t>(rng.below(6))};
+    cfg.cell_choice = (iter % 2 == 0) ? SplitCellChoice::kLowestIndex
+                                      : SplitCellChoice::kRandom;
+    cfg.allow_singleton_groups = iter % 5 == 0;
+    cfg.seed = rng.next_u64();
+    const std::string label =
+        "iter " + std::to_string(iter) + " cells " +
+        std::to_string(xm.num_cells()) + " patterns " +
+        std::to_string(xm.num_patterns()) + " x " +
+        std::to_string(xm.total_x());
+
+    const PartitionResult want = partition_patterns_reference(xm, cfg);
+    expect_identical(want, partition_patterns(xm, cfg), label + " wrapper");
+
+    const XMatrixView view(xm);
+    PartitionEngine engine(view, cfg);
+    expect_identical(want, engine.run(), label + " engine");
+  }
+}
+
+// Exhaustive splitting (no cost-based stop) exercises deep split trees and
+// the max_rounds bound on both implementations.
+TEST(EngineEquivalence, MatchesSeedWhenSplittingExhaustively) {
+  Rng rng(777);
+  for (int iter = 0; iter < 8; ++iter) {
+    const XMatrix xm = random_matrix(rng);
+    PartitionerConfig cfg;
+    cfg.misr = {32, 7};
+    cfg.stop_on_cost_increase = false;
+    cfg.max_rounds = 1 + static_cast<std::size_t>(rng.below(30));
+    cfg.cell_choice =
+        iter % 2 == 0 ? SplitCellChoice::kRandom : SplitCellChoice::kLowestIndex;
+    cfg.seed = rng.next_u64();
+    expect_identical(partition_patterns_reference(xm, cfg),
+                     partition_patterns(xm, cfg),
+                     "exhaustive iter " + std::to_string(iter));
+  }
+}
+
+// Pool-backed analysis must produce the same bits as the serial path for
+// any lane count: chunk boundaries are deterministic and chunk results are
+// merged in chunk order.
+TEST(EngineEquivalence, PoolSizeDoesNotChangeTheResult) {
+  Rng rng(4242);
+  for (int iter = 0; iter < 6; ++iter) {
+    const XMatrix xm = random_matrix(rng);
+    PartitionerConfig cfg;
+    cfg.misr = {32, 7};
+    cfg.cell_choice = SplitCellChoice::kRandom;
+    cfg.seed = rng.next_u64();
+    const XMatrixView view(xm);
+    PartitionEngine serial(view, cfg, nullptr);
+    const PartitionResult want = serial.run();
+    for (const std::size_t lanes : {2u, 3u, 5u}) {
+      ThreadPool pool(lanes);
+      PartitionEngine engine(view, cfg, &pool);
+      expect_identical(want, engine.run(),
+                       "iter " + std::to_string(iter) + " lanes " +
+                           std::to_string(lanes));
+    }
+  }
+}
+
+// The context-routed entry point is the same computation.
+TEST(EngineEquivalence, ContextEntryPointMatchesWrapper) {
+  Rng rng(99);
+  const XMatrix xm = random_matrix(rng);
+  PartitionerConfig cfg;
+  cfg.misr = {24, 5};
+  cfg.seed = 31337;
+  PipelineContext ctx(cfg);
+  expect_identical(partition_patterns(xm, cfg), run_partitioning(xm, ctx),
+                   "context");
+}
+
+// A rejected probe must leave the engine state untouched: same partitions,
+// same masked total, and materialize() unchanged except for the recorded
+// rejection round.
+TEST(EngineEquivalence, RejectedProbeIsIdempotent) {
+  Rng rng(5150);
+  int rejected_seen = 0;
+  for (int iter = 0; iter < 40 && rejected_seen < 5; ++iter) {
+    const XMatrix xm = random_matrix(rng);
+    PartitionerConfig cfg;
+    cfg.misr = {16, 3};  // small MISR: leaking is cheap, rejections common
+    cfg.seed = rng.next_u64();
+    const XMatrixView view(xm);
+    PartitionEngine engine(view, cfg);
+    while (true) {
+      const std::size_t parts_before = engine.num_partitions();
+      const std::uint64_t masked_before = engine.masked_x();
+      std::vector<BitVec> patterns_before;
+      for (std::size_t i = 0; i < parts_before; ++i) {
+        patterns_before.push_back(engine.partition_patterns_of(i));
+      }
+      const PartitionEngine::StepOutcome out = engine.step();
+      if (out == PartitionEngine::StepOutcome::kSplit) continue;
+      if (out == PartitionEngine::StepOutcome::kRejected) {
+        ++rejected_seen;
+        EXPECT_EQ(engine.num_partitions(), parts_before);
+        EXPECT_EQ(engine.masked_x(), masked_before);
+        for (std::size_t i = 0; i < parts_before; ++i) {
+          EXPECT_TRUE(engine.partition_patterns_of(i) == patterns_before[i]);
+        }
+        EXPECT_FALSE(engine.history().back().accepted);
+        EXPECT_TRUE(engine.finished());
+        // Further stepping is inert and consumes no randomness.
+        EXPECT_EQ(engine.step(), PartitionEngine::StepOutcome::kExhausted);
+        EXPECT_EQ(engine.num_partitions(), parts_before);
+      }
+      break;
+    }
+  }
+  EXPECT_GE(rejected_seen, 1);
+}
+
+}  // namespace
+}  // namespace xh

@@ -1,0 +1,92 @@
+#include "engine/x_matrix_view.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstddef>
+
+#include "response/x_matrix.hpp"
+#include "util/bitvec.hpp"
+#include "util/rng.hpp"
+#include "workload/industrial.hpp"
+
+namespace xh {
+namespace {
+
+XMatrix random_matrix(std::uint64_t seed, std::size_t chains,
+                      std::size_t length, std::size_t patterns,
+                      double density) {
+  WorkloadProfile profile;
+  profile.name = "view-test";
+  profile.geometry = {chains, length};
+  profile.num_patterns = patterns;
+  profile.x_density = density;
+  profile.clustered_fraction = 0.5;
+  profile.cluster_cells_mean = 4;
+  profile.cluster_patterns_mean = 4;
+  profile.seed = seed;
+  return generate_workload(profile);
+}
+
+TEST(XMatrixView, SnapshotMatchesSourceMatrix) {
+  const XMatrix xm = random_matrix(11, 6, 9, 70, 0.05);
+  const XMatrixView view(xm);
+
+  EXPECT_EQ(view.geometry(), xm.geometry());
+  EXPECT_EQ(view.num_patterns(), xm.num_patterns());
+  EXPECT_EQ(view.num_cells(), xm.num_cells());
+  EXPECT_EQ(view.total_x(), xm.total_x());
+  EXPECT_EQ(view.num_rows(), xm.x_cells().size());
+
+  const auto cells = xm.x_cells();
+  std::uint64_t total = 0;
+  for (std::size_t r = 0; r < view.num_rows(); ++r) {
+    EXPECT_EQ(view.cell_id(r), cells[r]);
+    const BitVec& pats = xm.patterns_of(cells[r]);
+    EXPECT_EQ(view.x_count(r), pats.count());
+    total += view.x_count(r);
+    // Row words reproduce the source pattern set bit for bit.
+    for (std::size_t w = 0; w < view.words_per_row(); ++w) {
+      EXPECT_EQ(view.row_words(r)[w], pats.word(w));
+    }
+  }
+  EXPECT_EQ(total, view.total_x());
+}
+
+TEST(XMatrixView, CountAndHashAgreeWithBitVecFormulation) {
+  const XMatrix xm = random_matrix(23, 4, 8, 130, 0.08);
+  const XMatrixView view(xm);
+  Rng rng(99);
+  for (int iter = 0; iter < 20; ++iter) {
+    BitVec subset(xm.num_patterns());
+    for (std::size_t p = 0; p < subset.size(); ++p) {
+      if (rng.chance(0.5)) subset.set(p);
+    }
+    for (std::size_t r = 0; r < view.num_rows(); ++r) {
+      const BitVec& pats = xm.patterns_of(view.cell_id(r));
+      EXPECT_EQ(view.count_in(r, subset), and_count(pats, subset));
+      BitVec expect = pats & subset;
+      BitVec got;
+      view.intersect_into(r, subset, &got);
+      EXPECT_TRUE(got == expect);
+    }
+  }
+}
+
+TEST(XMatrixView, SnapshotIsIndependentOfSourceMutation) {
+  XMatrix xm = random_matrix(5, 3, 5, 40, 0.1);
+  const XMatrixView view(xm);
+  const std::uint64_t before = view.total_x();
+  xm.add_x(0, 0);
+  xm.add_x(1, 1);
+  EXPECT_EQ(view.total_x(), before);
+}
+
+TEST(XMatrixView, EmptyMatrixHasNoRows) {
+  const XMatrix xm({2, 4}, 10);
+  const XMatrixView view(xm);
+  EXPECT_EQ(view.num_rows(), 0u);
+  EXPECT_EQ(view.total_x(), 0u);
+}
+
+}  // namespace
+}  // namespace xh

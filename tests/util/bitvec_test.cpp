@@ -192,6 +192,34 @@ TEST(BitVecProperty, MatchesNaiveModel) {
   }
 }
 
+// Property: the allocation-free fused counts agree with the naive
+// materialize-then-count formulation on every size class (sub-word,
+// word-aligned, multi-word with a ragged tail).
+TEST(BitVecProperty, FusedCountsMatchNaiveFormulation) {
+  Rng rng(1234);
+  for (int iter = 0; iter < 50; ++iter) {
+    const std::size_t n = 1 + static_cast<std::size_t>(rng.below(300));
+    BitVec a(n);
+    BitVec b(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      if (rng.chance(0.4)) a.set(i);
+      if (rng.chance(0.4)) b.set(i);
+    }
+    EXPECT_EQ(and_count(a, b), (a & b).count());
+    BitVec diff = a;
+    diff.and_not(b);
+    EXPECT_EQ(and_not_count(a, b), diff.count());
+    BitVec rdiff = b;
+    rdiff.and_not(a);
+    EXPECT_EQ(and_not_count(b, a), rdiff.count());
+  }
+}
+
+TEST(BitVec, FusedCountsRejectMismatchedSizes) {
+  EXPECT_THROW(and_count(BitVec(4), BitVec(5)), std::invalid_argument);
+  EXPECT_THROW(and_not_count(BitVec(4), BitVec(5)), std::invalid_argument);
+}
+
 TEST(BitVecProperty, FindNextEnumeratesExactlySetBits) {
   Rng rng(7);
   for (int iter = 0; iter < 20; ++iter) {

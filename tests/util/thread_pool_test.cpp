@@ -1,0 +1,100 @@
+#include "util/thread_pool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstddef>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+namespace xh {
+namespace {
+
+TEST(ThreadPool, ZeroLanesSelectsHardwareConcurrency) {
+  ThreadPool pool(0);
+  EXPECT_GE(pool.lanes(), 1u);
+}
+
+TEST(ThreadPool, ChunkCountIsDeterministicAndBounded) {
+  ThreadPool pool(4);
+  EXPECT_EQ(pool.chunk_count(0, 100), 0u);
+  EXPECT_EQ(pool.chunk_count(1, 100), 1u);
+  EXPECT_EQ(pool.chunk_count(100, 100), 1u);
+  EXPECT_EQ(pool.chunk_count(101, 100), 2u);
+  // Large inputs are capped at a fixed multiple of the lane count, so the
+  // chunk layout depends only on (n, grain, lanes) — never on timing.
+  EXPECT_EQ(pool.chunk_count(1'000'000, 1), pool.lanes() * 4);
+  EXPECT_EQ(pool.chunk_count(1'000'000, 1), pool.chunk_count(1'000'000, 1));
+}
+
+// Every index in [0, n) is visited exactly once, chunks tile the range in
+// order, and this holds for awkward n / lane combinations.
+TEST(ThreadPool, ChunksCoverEveryIndexExactlyOnce) {
+  for (const std::size_t lanes : {1u, 2u, 3u, 8u}) {
+    ThreadPool pool(lanes);
+    for (const std::size_t n : {0u, 1u, 2u, 7u, 64u, 1000u, 4097u}) {
+      std::vector<std::atomic<int>> hits(n);
+      pool.parallel_chunks(n, 16, [&](std::size_t chunk, std::size_t begin,
+                                      std::size_t end) {
+        EXPECT_LE(begin, end);
+        EXPECT_LT(chunk, pool.chunk_count(n, 16));
+        for (std::size_t i = begin; i < end; ++i) {
+          hits[i].fetch_add(1, std::memory_order_relaxed);
+        }
+      });
+      for (std::size_t i = 0; i < n; ++i) {
+        EXPECT_EQ(hits[i].load(), 1) << "index " << i << " lanes " << lanes;
+      }
+    }
+  }
+}
+
+TEST(ThreadPool, FewerItemsThanLanesStillCoversAll) {
+  ThreadPool pool(8);
+  std::vector<std::atomic<int>> hits(3);
+  pool.parallel_chunks(3, 1, [&](std::size_t, std::size_t begin,
+                                 std::size_t end) {
+    for (std::size_t i = begin; i < end; ++i) {
+      hits[i].fetch_add(1, std::memory_order_relaxed);
+    }
+  });
+  EXPECT_EQ(hits[0].load() + hits[1].load() + hits[2].load(), 3);
+}
+
+TEST(ThreadPool, PropagatesFirstException) {
+  ThreadPool pool(4);
+  EXPECT_THROW(
+      pool.parallel_chunks(10'000, 1,
+                           [](std::size_t chunk, std::size_t, std::size_t) {
+                             if (chunk == 2) {
+                               throw std::runtime_error("chunk failure");
+                             }
+                           }),
+      std::runtime_error);
+  // The pool must stay usable after an exceptional job.
+  std::atomic<std::size_t> total{0};
+  pool.parallel_chunks(100, 10, [&](std::size_t, std::size_t begin,
+                                    std::size_t end) {
+    total.fetch_add(end - begin, std::memory_order_relaxed);
+  });
+  EXPECT_EQ(total.load(), 100u);
+}
+
+TEST(ThreadPool, ReusableAcrossManyJobs) {
+  ThreadPool pool(3);
+  for (int job = 0; job < 50; ++job) {
+    std::atomic<std::uint64_t> sum{0};
+    const std::size_t n = 257;
+    pool.parallel_chunks(n, 8, [&](std::size_t, std::size_t begin,
+                                   std::size_t end) {
+      std::uint64_t local = 0;
+      for (std::size_t i = begin; i < end; ++i) local += i;
+      sum.fetch_add(local, std::memory_order_relaxed);
+    });
+    EXPECT_EQ(sum.load(), static_cast<std::uint64_t>(n) * (n - 1) / 2);
+  }
+}
+
+}  // namespace
+}  // namespace xh

@@ -5,9 +5,11 @@
 //
 //   xhybrid_cli analyze --chains N --length L --patterns P --density D
 //                       [--clustered F] [--misr M] [--q Q] [--seed S]
-//                       [--save file.xm]
+//                       [--save file.xm] [--threads T]
 //       Generate a synthetic workload and print the hybrid analysis report;
-//       optionally save the X matrix for later runs.
+//       optionally save the X matrix for later runs. --threads T fans the
+//       partition engine's cell analysis out on T lanes (1 = serial,
+//       0 = all hardware threads); results are identical for any T.
 //
 //   xhybrid_cli analyze --load file.xm [--misr M] [--q Q]
 //       Analyze a previously saved (or externally produced) X matrix.
@@ -34,12 +36,14 @@
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
+#include <memory>
 #include <stdexcept>
 #include <string>
 
 #include "atpg/test_generation.hpp"
 #include "core/hybrid.hpp"
 #include "core/paper_example.hpp"
+#include "engine/pipeline.hpp"
 #include "fault/fault_sim.hpp"
 #include "inject/corruptor.hpp"
 #include "netlist/bench_io.hpp"
@@ -48,6 +52,7 @@
 #include "util/parse.hpp"
 #include "util/rng.hpp"
 #include "util/table.hpp"
+#include "util/thread_pool.hpp"
 #include "workload/industrial.hpp"
 
 namespace xh {
@@ -61,8 +66,10 @@ namespace {
       "  %s analyze --chains N --length L --patterns P --density D\n"
       "             [--clustered F] [--misr M] [--q Q] [--seed S]\n"
       "             [--save file.xm | --load file.xm] [--lenient]\n"
+      "             [--threads T]\n"
       "  %s circuit <netlist.bench> [--chains N] [--patterns P]\n"
       "             [--misr M] [--q Q] [--seed S] [--lenient]\n"
+      "             [--threads T]\n"
       "  %s inject --mode MODE [--count N] [--seed S] [--lenient]\n"
       "            (modes: undeclared-x resolved-x burst tamper\n"
       "             truncate-xm garble-xm duplicate-xm)\n",
@@ -109,6 +116,7 @@ struct Options {
   std::size_t q = 7;
   std::uint64_t seed = 1;
   std::size_t count = 4;
+  std::size_t threads = 1;  // pipeline lanes; 0 = hardware concurrency
   bool lenient = false;
   std::string mode;
   std::string positional;
@@ -142,6 +150,8 @@ Options parse(int argc, char** argv, int from) {
       opt.seed = arg_u64("--seed", next());
     } else if (arg == "--count") {
       opt.count = arg_size("--count", next());
+    } else if (arg == "--threads") {
+      opt.threads = arg_size("--threads", next());
     } else if (arg == "--mode") {
       opt.mode = next();
     } else if (arg == "--lenient") {
@@ -205,6 +215,13 @@ int finish_with_diagnostics(const Diagnostics& diags) {
   return diags.has_errors() ? 1 : 0;
 }
 
+/// Pool for --threads T: 1 means serial (no pool at all); anything else is
+/// handed to ThreadPool, where 0 selects the hardware concurrency.
+std::unique_ptr<ThreadPool> make_pool(std::size_t threads) {
+  if (threads == 1) return nullptr;
+  return std::make_unique<ThreadPool>(threads);
+}
+
 int cmd_example() {
   PartitionerConfig cfg;
   cfg.misr = {10, 2};
@@ -224,24 +241,25 @@ int cmd_example() {
 }
 
 int cmd_analyze(const Options& opt) {
-  HybridConfig cfg;
-  cfg.partitioner.misr = {opt.misr, opt.q};
+  const std::unique_ptr<ThreadPool> pool = make_pool(opt.threads);
+  PartitionerConfig pcfg;
+  pcfg.misr = {opt.misr, opt.q};
+  PipelineContext ctx(pcfg, pool.get());
+  if (opt.lenient) ctx.be_lenient();
   if (!opt.load_path.empty()) {
     std::ifstream in(opt.load_path);
     if (!in) {
       std::fprintf(stderr, "cannot open %s\n", opt.load_path.c_str());
       return 1;
     }
-    Diagnostics diags;
     try {
-      print_report(run_hybrid_analysis(
-          read_x_matrix(in, opt.lenient ? &diags : nullptr), cfg));
+      print_report(run_hybrid_analysis(read_x_matrix(in, ctx), ctx));
     } catch (const std::invalid_argument& e) {
       std::fprintf(stderr, "error: %s\n", e.what());
-      finish_with_diagnostics(diags);
+      finish_with_diagnostics(ctx.diagnostics());
       return 1;
     }
-    return finish_with_diagnostics(diags);
+    return finish_with_diagnostics(ctx.diagnostics());
   }
   WorkloadProfile profile;
   profile.name = "cli";
@@ -264,8 +282,8 @@ int cmd_analyze(const Options& opt) {
     write_x_matrix(xm, out);
     std::printf("saved X matrix to %s\n", opt.save_path.c_str());
   }
-  print_report(run_hybrid_analysis(xm, cfg));
-  return 0;
+  print_report(run_hybrid_analysis(xm, ctx));
+  return finish_with_diagnostics(ctx.diagnostics());
 }
 
 int cmd_circuit(const Options& opt, const char* argv0) {
@@ -292,9 +310,11 @@ int cmd_circuit(const Options& opt, const char* argv0) {
 
   TestApplicator app(nl, plan);
   const ResponseMatrix response = app.capture(atpg.patterns);
-  HybridConfig cfg;
-  cfg.partitioner.misr = {opt.misr, opt.q};
-  const HybridSimulation sim = run_hybrid_simulation(response, cfg);
+  const std::unique_ptr<ThreadPool> pool = make_pool(opt.threads);
+  PartitionerConfig pcfg;
+  pcfg.misr = {opt.misr, opt.q};
+  PipelineContext ctx(pcfg, pool.get());
+  const HybridSimulation sim = run_hybrid_simulation(response, ctx);
   print_report(sim.report);
 
   FaultSimulator fsim(nl, plan);
