@@ -126,6 +126,9 @@ HybridSimulation simulate(const ResponseMatrix& response, const XMatrix& xm,
   } else {
     sim.validation = validate_response(response, xm, diags);
     if (!sim.validation.clean() && diags == nullptr) {
+      // Strict mode with no collector attached is the one place core may
+      // throw: the caller explicitly declined graceful degradation.
+      // xh-lint: allow(XH-ERR-001)
       throw std::runtime_error(
           "x-validation failed: " +
           std::to_string(sim.validation.undeclared_x) + " undeclared and " +

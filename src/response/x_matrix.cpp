@@ -33,6 +33,8 @@ bool XMatrix::is_x(std::size_t cell, std::size_t pattern) const {
 std::vector<std::size_t> XMatrix::x_cells() const {
   std::vector<std::size_t> cells;
   cells.reserve(cells_.size());
+  // Hash order never escapes: collected then sorted before returning.
+  // xh-lint: allow(XH-DET-002)
   for (const auto& [cell, pats] : cells_) cells.push_back(cell);
   std::sort(cells.begin(), cells.end());
   return cells;
@@ -66,6 +68,8 @@ std::size_t XMatrix::total_x_in(const BitVec& patterns) const {
   XH_REQUIRE(patterns.size() == num_patterns_,
              "pattern subset width mismatch");
   std::size_t total = 0;
+  // Order-independent reduction (+ over size_t is commutative/associative),
+  // so hash order cannot affect the result. xh-lint: allow(XH-DET-002)
   for (const auto& [cell, pats] : cells_) {
     total += and_count(pats, patterns);
   }

@@ -88,6 +88,9 @@ std::vector<XCluster> find_x_clusters(const XMatrix& xm) {
   }
 
   std::vector<XCluster> clusters;
+  // Hash order never escapes: the sort below imposes a total order (size,
+  // then X count, then first cell — clusters are cell-disjoint, so the
+  // first cell is a unique tiebreak). xh-lint: allow(XH-DET-002)
   for (auto& [hash, groups] : buckets) {
     for (auto& g : groups) {
       clusters.push_back({std::move(g.patterns), std::move(g.cells)});

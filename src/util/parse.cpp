@@ -1,5 +1,6 @@
 #include "util/parse.hpp"
 
+#include <cctype>
 #include <cerrno>
 #include <charconv>
 #include <cstdlib>
@@ -40,10 +41,22 @@ std::size_t parse_size(const std::string& text) {
 
 double parse_f64(const std::string& text) {
   if (text.empty()) bad_number(text, "empty");
+  // strtod skips leading whitespace and accepts hexadecimal floats
+  // ("0x10" == 16.0); both violate the strict decimal contract, and neither
+  // is caught by the full-consumption check below.
+  if (std::isspace(static_cast<unsigned char>(text[0])) != 0) {
+    bad_number(text, "leading whitespace");
+  }
+  for (const char c : text) {
+    if (c == 'x' || c == 'X') bad_number(text, "hex not allowed");
+  }
   // strtod is used instead of from_chars<double> for toolchain portability;
   // the full-consumption and range checks restore strictness.
   errno = 0;
   char* end = nullptr;
+  // This IS the strict wrapper the rule points everyone at; the
+  // full-consumption and range checks below restore strictness.
+  // xh-lint: allow(XH-PARSE-001)
   const double value = std::strtod(text.c_str(), &end);
   if (end != text.c_str() + text.size() || end == text.c_str()) {
     bad_number(text, "not a number");

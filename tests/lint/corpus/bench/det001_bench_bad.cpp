@@ -1,0 +1,5 @@
+// corpus: host-entropy PRNGs stay banned even in bench/ — benchmarks must
+// be reproducible run to run; only *timing* queries are exempt.
+#include <cstdlib>
+
+int jitter() { return std::rand(); }

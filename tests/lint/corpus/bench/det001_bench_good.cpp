@@ -1,0 +1,8 @@
+// corpus: timing queries are the whole point of bench/ — no finding here.
+#include <chrono>
+
+double wall_seconds() {
+  const auto t0 = std::chrono::steady_clock::now();
+  const auto t1 = std::chrono::steady_clock::now();
+  return std::chrono::duration<double>(t1 - t0).count();
+}

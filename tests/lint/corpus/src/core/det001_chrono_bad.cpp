@@ -1,0 +1,4 @@
+// corpus: XH-DET-001 must fire on std::chrono clock reads outside bench/.
+#include <chrono>
+
+auto tick() { return std::chrono::steady_clock::now(); }

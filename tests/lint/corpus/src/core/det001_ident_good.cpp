@@ -1,0 +1,6 @@
+// corpus: identifiers that merely *contain* banned names must not fire —
+// `normalized_test_time(` is the real-world regression (misr/accounting).
+double normalized_test_time(int chains, double density);
+int randomize_order_label();  // declaration, no call
+
+double use() { return normalized_test_time(8, 0.01) + 1.0; }

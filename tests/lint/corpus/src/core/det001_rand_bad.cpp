@@ -1,0 +1,7 @@
+// corpus: XH-DET-001 must fire on libc PRNG calls in library code.
+#include <cstdlib>
+
+int noise() {
+  std::srand(42);
+  return std::rand();
+}

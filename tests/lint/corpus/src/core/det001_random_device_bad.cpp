@@ -1,0 +1,7 @@
+// corpus: XH-DET-001 must fire on std::random_device even without a call.
+#include <random>
+
+unsigned seed_from_host() {
+  std::random_device rd;
+  return rd();
+}

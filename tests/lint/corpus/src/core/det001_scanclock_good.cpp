@@ -1,0 +1,17 @@
+// corpus: scan-clock methods share a name with libc wall-clock queries but
+// must not fire — member calls, declarations, and out-of-line definitions.
+class CombSim {
+ public:
+  void clock();
+  long time(int frame);
+};
+
+void CombSim::clock() {}
+long CombSim::time(int frame) { return frame; }
+
+long drive(CombSim& sim) {
+  sim.clock();
+  CombSim* p = &sim;
+  p->clock();
+  return sim.time(2);
+}

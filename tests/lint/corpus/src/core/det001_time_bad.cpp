@@ -1,0 +1,4 @@
+// corpus: XH-DET-001 must fire on wall-clock queries outside bench/.
+#include <ctime>
+
+long stamp() { return time(nullptr); }

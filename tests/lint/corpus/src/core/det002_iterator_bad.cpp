@@ -1,0 +1,8 @@
+// corpus: XH-DET-002 must fire on explicit iterator walks too.
+#include <unordered_set>
+
+int total(const std::unordered_set<int>& seen) {
+  int sum = 0;
+  for (auto it = seen.begin(); it != seen.end(); ++it) sum += *it;
+  return sum;
+}

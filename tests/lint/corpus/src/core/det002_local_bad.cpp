@@ -1,0 +1,13 @@
+// corpus: XH-DET-002 must fire on range-for over a local unordered_map.
+#include <cstddef>
+#include <unordered_map>
+#include <vector>
+
+std::vector<std::size_t> keys(
+    const std::unordered_map<std::size_t, int>& histogram) {
+  std::vector<std::size_t> out;
+  for (const auto& [key, count] : histogram) {
+    out.push_back(key);
+  }
+  return out;
+}

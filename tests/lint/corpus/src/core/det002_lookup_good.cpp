@@ -1,0 +1,11 @@
+// corpus: point lookups and membership tests on unordered containers are
+// fine — only *iteration* leaks hash order.
+#include <cstddef>
+#include <unordered_map>
+#include <unordered_set>
+
+bool knows(const std::unordered_map<std::size_t, int>& index,
+           const std::unordered_set<std::size_t>& seen, std::size_t key) {
+  const auto it = index.find(key);
+  return it != index.end() && seen.count(key) != 0;
+}

@@ -1,0 +1,9 @@
+// corpus: XH-DET-002 must fire on iteration over a member whose unordered
+// type is only visible in the paired header.
+#include "det002_member_bad.hpp"
+
+std::vector<std::size_t> CellIndex::cells() const {
+  std::vector<std::size_t> out;
+  for (const auto& [cell, count] : cells_) out.push_back(cell);
+  return out;  // unsorted: hash order leaks to the caller
+}

@@ -1,0 +1,15 @@
+// corpus: header declaring the unordered member iterated in the paired .cpp
+// (mirrors XMatrix::cells_, the bug class fixed by hand in PR 2).
+#pragma once
+
+#include <cstddef>
+#include <unordered_map>
+#include <vector>
+
+class CellIndex {
+ public:
+  std::vector<std::size_t> cells() const;
+
+ private:
+  std::unordered_map<std::size_t, int> cells_;
+};

@@ -1,0 +1,6 @@
+// corpus: XH-ERR-001 must fire on process-killing calls inside src/core/.
+#include <cstdlib>
+
+void die(bool broken) {
+  if (broken) std::abort();
+}

@@ -1,0 +1,6 @@
+// corpus: XH-ERR-001 must fire on a bare throw inside src/core/.
+#include <stdexcept>
+
+void fail(int rc) {
+  if (rc != 0) throw std::runtime_error("engine failure");
+}

@@ -1,0 +1,6 @@
+// corpus: XH-HDR-001 must fire when code precedes #pragma once.
+#include <cstddef>
+
+#pragma once
+
+inline std::size_t identity(std::size_t n) { return n; }

@@ -1,0 +1,4 @@
+// corpus: XH-HDR-001 must fire when a header has no #pragma once at all.
+#include <cstddef>
+
+inline std::size_t identity(std::size_t n) { return n; }

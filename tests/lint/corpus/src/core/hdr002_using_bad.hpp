@@ -1,0 +1,8 @@
+// corpus: XH-HDR-002 must fire on using namespace at header scope.
+#pragma once
+
+#include <string>
+
+using namespace std;
+
+inline string shout(const string& s) { return s + "!"; }

@@ -1,0 +1,13 @@
+// corpus: a well-formed header — leading comment, then #pragma once, then
+// code; using-declarations (not directives) are fine.
+#pragma once
+
+#include <cstddef>
+
+namespace corpus {
+
+using size_type = std::size_t;
+
+inline size_type identity(size_type n) { return n; }
+
+}  // namespace corpus

@@ -1,0 +1,7 @@
+// corpus: banned names inside comments and string literals must not fire.
+// This comment mentions rand() and time() and std::random_device freely.
+#include <string>
+
+std::string help() {
+  return "do not call rand() or time(nullptr); throw is also mentioned";
+}

@@ -1,0 +1,11 @@
+// corpus: XH-PARSE-001 must fire on the silent-junk parsing family.
+#include <cstdlib>
+#include <string>
+
+int chains(const std::string& text) {
+  return std::atoi(text.c_str());  // "foo" silently becomes 0
+}
+
+unsigned long patterns(const std::string& text) {
+  return std::stoul(text);  // "12abc" silently becomes 12
+}

@@ -1,0 +1,9 @@
+// corpus: the util/parse strict helpers are the sanctioned path.
+#include <cstdint>
+#include <string>
+
+namespace xh {
+std::uint64_t parse_u64(const std::string& text);
+}
+
+std::uint64_t chains(const std::string& text) { return xh::parse_u64(text); }

@@ -1,0 +1,7 @@
+// corpus: an allow() on the line above covers the next line.
+#include <cstdlib>
+
+int noise() {
+  // xh-lint: allow(XH-DET-001) corpus suppression demo, line-above form
+  return std::rand();
+}

@@ -1,0 +1,6 @@
+// corpus: allow-file() suppresses a rule for the whole file.
+// xh-lint: allow-file(XH-DET-001)
+#include <cstdlib>
+
+int noise_a() { return std::rand(); }
+int noise_b() { return std::rand(); }

@@ -1,0 +1,6 @@
+// corpus: a trailing allow() suppresses exactly that rule on that line.
+#include <cstdlib>
+
+int noise() {
+  return std::rand();  // xh-lint: allow(XH-DET-001) corpus suppression demo
+}

@@ -1,0 +1,6 @@
+// corpus: an allow() for a *different* rule must not mask the finding.
+#include <cstdlib>
+
+int noise() {
+  return std::rand();  // xh-lint: allow(XH-PARSE-001) wrong rule on purpose
+}

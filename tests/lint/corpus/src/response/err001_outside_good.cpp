@@ -1,0 +1,7 @@
+// corpus: bare throw is allowed outside src/core//src/engine/ — parse
+// layers (response/io) legitimately hard-fail on damaged serialized input.
+#include <stdexcept>
+
+void reject(bool damaged) {
+  if (damaged) throw std::invalid_argument("damaged input");
+}

@@ -59,5 +59,62 @@ TEST(ParseF64, RejectsJunkNanAndInfinity) {
   EXPECT_THROW(parse_f64("1e999"), std::invalid_argument);
 }
 
+TEST(ParseF64, RejectsHexFloatsStrtodWouldAccept) {
+  // strtod("0x10") == 16.0 with full consumption — the decimal contract
+  // forbids it (a typo like "0x5" must not silently become 5 chains' worth
+  // of density).
+  EXPECT_THROW(parse_f64("0x10"), std::invalid_argument);
+  EXPECT_THROW(parse_f64("0X1p3"), std::invalid_argument);
+  EXPECT_THROW(parse_f64("x"), std::invalid_argument);
+}
+
+TEST(ParseF64, RejectsWhitespaceAndTrailingJunk) {
+  EXPECT_THROW(parse_f64(" 0.5"), std::invalid_argument);
+  EXPECT_THROW(parse_f64("0.5 "), std::invalid_argument);
+  EXPECT_THROW(parse_f64("\t1.0"), std::invalid_argument);
+  EXPECT_THROW(parse_f64("1.0\n"), std::invalid_argument);
+  EXPECT_THROW(parse_f64("1..5"), std::invalid_argument);
+  EXPECT_THROW(parse_f64("--1"), std::invalid_argument);
+}
+
+TEST(ParseU64, RejectsSignedIntoUnsignedBoundaryForms) {
+  // Every way a negative value could sneak into an unsigned parameter.
+  EXPECT_THROW(parse_u64("-0"), std::invalid_argument);
+  EXPECT_THROW(parse_u64("-9223372036854775808"), std::invalid_argument);
+  EXPECT_THROW(parse_u64("-18446744073709551615"), std::invalid_argument);
+  // atoll-style wraparound text (2^64 + 5) must not alias to 5.
+  EXPECT_THROW(parse_u64("18446744073709551621"), std::invalid_argument);
+}
+
+TEST(ParseU64, RejectsWhitespaceOnlyAndEmbeddedJunk) {
+  EXPECT_THROW(parse_u64(" "), std::invalid_argument);
+  EXPECT_THROW(parse_u64("\t"), std::invalid_argument);
+  EXPECT_THROW(parse_u64("1 2"), std::invalid_argument);
+  EXPECT_THROW(parse_u64(std::string("7\00", 2)), std::invalid_argument);
+}
+
+TEST(ParseSize, OverflowAtU64BoundaryStillThrows) {
+  // parse_size narrows through parse_u64: the first value past the 64-bit
+  // boundary must throw, and the largest in-range value must survive.
+  EXPECT_EQ(parse_size("18446744073709551615"),
+            static_cast<std::size_t>(UINT64_MAX));
+  EXPECT_THROW(parse_size("18446744073709551616"), std::invalid_argument);
+}
+
+TEST(ParseErrors, MessagesNameTheFailureMode) {
+  const auto message_of = [](const char* text) {
+    try {
+      parse_u64(text);
+    } catch (const std::invalid_argument& e) {
+      return std::string(e.what());
+    }
+    return std::string();
+  };
+  EXPECT_NE(message_of("").find("empty"), std::string::npos);
+  EXPECT_NE(message_of("-1").find("sign"), std::string::npos);
+  EXPECT_NE(message_of("99999999999999999999").find("overflow"),
+            std::string::npos);
+}
+
 }  // namespace
 }  // namespace xh

@@ -81,6 +81,72 @@ TEST(ThreadPool, PropagatesFirstException) {
   EXPECT_EQ(total.load(), 100u);
 }
 
+// Reuse after a drained (exceptional) job, alternating failing and clean
+// jobs so a stale Job pointer, unreset chunk cursor, or leaked
+// exception_ptr from the previous drain would surface immediately.
+TEST(ThreadPool, ReuseAfterDrainAlternatingFailures) {
+  for (const std::size_t lanes : {1u, 2u, 4u}) {
+    ThreadPool pool(lanes);
+    for (int round = 0; round < 8; ++round) {
+      EXPECT_THROW(
+          pool.parallel_chunks(
+              1'000, 1,
+              [](std::size_t chunk, std::size_t, std::size_t) {
+                if (chunk % 2 == 0) throw std::runtime_error("boom");
+              }),
+          std::runtime_error)
+          << "lanes " << lanes << " round " << round;
+      std::vector<std::atomic<int>> hits(97);
+      pool.parallel_chunks(hits.size(), 4,
+                           [&](std::size_t, std::size_t begin,
+                               std::size_t end) {
+                             for (std::size_t i = begin; i < end; ++i) {
+                               hits[i].fetch_add(1,
+                                                 std::memory_order_relaxed);
+                             }
+                           });
+      for (std::size_t i = 0; i < hits.size(); ++i) {
+        EXPECT_EQ(hits[i].load(), 1)
+            << "lanes " << lanes << " round " << round << " index " << i;
+      }
+    }
+  }
+}
+
+// A zero-size job is a no-op (the chunk function must never run) and must
+// leave the pool reusable.
+TEST(ThreadPool, EmptyJobThenReuse) {
+  ThreadPool pool(4);
+  pool.parallel_chunks(0, 16, [](std::size_t, std::size_t, std::size_t) {
+    FAIL() << "chunk function ran for n == 0";
+  });
+  std::atomic<std::size_t> total{0};
+  pool.parallel_chunks(64, 8, [&](std::size_t, std::size_t begin,
+                                  std::size_t end) {
+    total.fetch_add(end - begin, std::memory_order_relaxed);
+  });
+  EXPECT_EQ(total.load(), 64u);
+}
+
+// The single-lane degenerate pool (serial loop, no workers) follows the
+// same drain-and-reuse contract as the threaded configurations.
+TEST(ThreadPool, SingleLaneExceptionThenReuse) {
+  ThreadPool pool(1);
+  EXPECT_EQ(pool.lanes(), 1u);
+  EXPECT_THROW(pool.parallel_chunks(
+                   10, 1,
+                   [](std::size_t chunk, std::size_t, std::size_t) {
+                     if (chunk == 0) throw std::logic_error("first chunk");
+                   }),
+               std::logic_error);
+  std::size_t visited = 0;
+  pool.parallel_chunks(10, 1, [&](std::size_t, std::size_t begin,
+                                  std::size_t end) {
+    visited += end - begin;  // single lane: no atomics needed
+  });
+  EXPECT_EQ(visited, 10u);
+}
+
 TEST(ThreadPool, ReusableAcrossManyJobs) {
   ThreadPool pool(3);
   for (int job = 0; job < 50; ++job) {

@@ -1,0 +1,587 @@
+#include "lint/lint_core.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cctype>
+#include <cstddef>
+
+namespace xh::lint {
+namespace {
+
+bool is_ident_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+bool starts_with(const std::string& s, const std::string& prefix) {
+  return s.size() >= prefix.size() &&
+         s.compare(0, prefix.size(), prefix) == 0;
+}
+
+bool ends_with(const std::string& s, const std::string& suffix) {
+  return s.size() >= suffix.size() &&
+         s.compare(s.size() - suffix.size(), suffix.size(), suffix) == 0;
+}
+
+/// Content with comments and string/char literals blanked to spaces
+/// (positions and line structure preserved), plus the suppression
+/// directives harvested from the comments as they were erased.
+struct Cleaned {
+  std::vector<std::string> lines;
+  /// allow[i] holds rule IDs suppressed on 1-based line i+1.
+  std::vector<std::vector<std::string>> allow;
+  std::vector<std::string> allow_file;
+};
+
+/// Parses "xh-lint: allow(ID[,ID...])" / "xh-lint: allow-file(ID[,ID...])"
+/// directives out of one comment's text.
+void parse_directives(const std::string& comment, std::size_t first_line,
+                      std::size_t last_line, Cleaned& out) {
+  std::size_t pos = 0;
+  while ((pos = comment.find("xh-lint:", pos)) != std::string::npos) {
+    std::size_t p = pos + 8;
+    while (p < comment.size() && comment[p] == ' ') ++p;
+    const bool file_scope = starts_with(comment.substr(p), "allow-file(");
+    const bool line_scope = !file_scope && starts_with(comment.substr(p), "allow(");
+    if (!file_scope && !line_scope) {
+      pos = p;
+      continue;
+    }
+    const std::size_t open = comment.find('(', p);
+    const std::size_t close = comment.find(')', open);
+    if (close == std::string::npos) break;
+    // Split the comma-separated rule list.
+    std::vector<std::string> ids;
+    std::string cur;
+    for (std::size_t i = open + 1; i <= close; ++i) {
+      const char c = comment[i];
+      if (c == ',' || c == ')') {
+        if (!cur.empty()) ids.push_back(cur);
+        cur.clear();
+      } else if (c != ' ' && c != '\t') {
+        cur.push_back(c);
+      }
+    }
+    if (file_scope) {
+      out.allow_file.insert(out.allow_file.end(), ids.begin(), ids.end());
+    } else {
+      // A line-scoped allow covers every line the comment touches plus the
+      // following line, so both trailing and line-above styles work.
+      for (std::size_t ln = first_line; ln <= last_line + 1; ++ln) {
+        if (out.allow.size() < ln) out.allow.resize(ln);
+        out.allow[ln - 1].insert(out.allow[ln - 1].end(), ids.begin(),
+                                 ids.end());
+      }
+    }
+    pos = close;
+  }
+}
+
+Cleaned clean(const std::string& text) {
+  Cleaned out;
+  std::string code;
+  code.reserve(text.size());
+
+  enum class State { kCode, kLine, kBlock, kString, kChar, kRaw };
+  State state = State::kCode;
+  std::string comment;
+  std::string raw_delim;
+  std::size_t line = 1;
+  std::size_t comment_start = 1;
+
+  for (std::size_t i = 0; i < text.size(); ++i) {
+    const char c = text[i];
+    const char next = i + 1 < text.size() ? text[i + 1] : '\0';
+    switch (state) {
+      case State::kCode:
+        if (c == '/' && next == '/') {
+          state = State::kLine;
+          comment.clear();
+          comment_start = line;
+          code += "  ";
+          ++i;
+        } else if (c == '/' && next == '*') {
+          state = State::kBlock;
+          comment.clear();
+          comment_start = line;
+          code += "  ";
+          ++i;
+        } else if (c == '"' &&
+                   (i == 0 || text[i - 1] != 'R')) {
+          state = State::kString;
+          code += ' ';
+        } else if (c == '"' && i > 0 && text[i - 1] == 'R') {
+          // Raw string literal: R"delim( ... )delim"
+          state = State::kRaw;
+          raw_delim.clear();
+          std::size_t j = i + 1;
+          while (j < text.size() && text[j] != '(') {
+            raw_delim.push_back(text[j]);
+            ++j;
+          }
+          code += ' ';
+        } else if (c == '\'') {
+          state = State::kChar;
+          code += ' ';
+        } else {
+          code += c;
+        }
+        break;
+      case State::kLine:
+        if (c == '\n') {
+          parse_directives(comment, comment_start, line, out);
+          state = State::kCode;
+          code += '\n';
+        } else {
+          comment.push_back(c);
+          code += ' ';
+        }
+        break;
+      case State::kBlock:
+        if (c == '*' && next == '/') {
+          parse_directives(comment, comment_start, line, out);
+          state = State::kCode;
+          code += "  ";
+          ++i;
+        } else {
+          comment.push_back(c);
+          code += c == '\n' ? '\n' : ' ';
+        }
+        break;
+      case State::kString:
+        if (c == '\\') {
+          code += "  ";
+          ++i;
+          if (next == '\n') ++line, code.back() = '\n';
+        } else if (c == '"') {
+          state = State::kCode;
+          code += ' ';
+        } else {
+          code += c == '\n' ? '\n' : ' ';
+        }
+        break;
+      case State::kChar:
+        if (c == '\\') {
+          code += "  ";
+          ++i;
+        } else if (c == '\'') {
+          state = State::kCode;
+          code += ' ';
+        } else {
+          code += c == '\n' ? '\n' : ' ';
+        }
+        break;
+      case State::kRaw: {
+        const std::string closer = ")" + raw_delim + "\"";
+        if (c == ')' && text.compare(i, closer.size(), closer) == 0) {
+          state = State::kCode;
+          for (std::size_t k = 0; k < closer.size(); ++k) code += ' ';
+          i += closer.size() - 1;
+        } else {
+          code += c == '\n' ? '\n' : ' ';
+        }
+        break;
+      }
+    }
+    if (c == '\n') ++line;
+  }
+  if (state == State::kLine || state == State::kBlock) {
+    parse_directives(comment, comment_start, line, out);
+  }
+
+  // Split the blanked text into lines.
+  std::string cur;
+  for (const char c : code) {
+    if (c == '\n') {
+      out.lines.push_back(cur);
+      cur.clear();
+    } else {
+      cur.push_back(c);
+    }
+  }
+  if (!cur.empty()) out.lines.push_back(cur);
+  if (out.allow.size() < out.lines.size()) out.allow.resize(out.lines.size());
+  return out;
+}
+
+/// Finds the next standalone-identifier occurrence of @p name at or after
+/// @p from; returns npos when absent.
+std::size_t find_ident(const std::string& line, const std::string& name,
+                       std::size_t from = 0) {
+  std::size_t pos = from;
+  while ((pos = line.find(name, pos)) != std::string::npos) {
+    const bool left_ok = pos == 0 || !is_ident_char(line[pos - 1]);
+    const std::size_t end = pos + name.size();
+    const bool right_ok = end >= line.size() || !is_ident_char(line[end]);
+    if (left_ok && right_ok) return pos;
+    pos = end;
+  }
+  return std::string::npos;
+}
+
+bool has_ident(const std::string& line, const std::string& name) {
+  return find_ident(line, name) != std::string::npos;
+}
+
+/// True when @p name occurs as an identifier directly invoked: `name(` with
+/// optional whitespace. `normalized_test_time(` must NOT match `time`.
+///
+/// Member calls (`sim.clock()`) and declarations (`void clock();`) are not
+/// flagged: a scan-clock method shares a name with the libc wall-clock
+/// query but has nothing to do with it. The preceding token decides:
+/// `.`/`->` means member, a non-keyword identifier means declaration.
+bool has_call(const std::string& line, const std::string& name) {
+  std::size_t pos = 0;
+  while ((pos = find_ident(line, name, pos)) != std::string::npos) {
+    std::size_t p = pos + name.size();
+    while (p < line.size() && (line[p] == ' ' || line[p] == '\t')) ++p;
+    if (p >= line.size() || line[p] != '(') {
+      pos = p;
+      continue;
+    }
+    // Inspect what precedes the identifier.
+    std::size_t q = pos;
+    while (q > 0 && (line[q - 1] == ' ' || line[q - 1] == '\t')) --q;
+    const bool member_access =
+        (q >= 1 && line[q - 1] == '.') ||
+        (q >= 2 && line[q - 2] == '-' && line[q - 1] == '>');
+    bool benign = member_access;
+    if (!benign && q >= 2 && line[q - 1] == ':' && line[q - 2] == ':') {
+      // Qualified name: `std::time(` and `steady_clock::now(` are the libc /
+      // chrono queries; `CombSim::clock(` is an out-of-line member whose
+      // name merely collides (a scan clock is not a wall clock).
+      std::size_t s = q - 2;
+      while (s > 0 && is_ident_char(line[s - 1])) --s;
+      const std::string qual = line.substr(s, q - 2 - s);
+      benign = !qual.empty() && qual != "std" && !ends_with(qual, "_clock") &&
+               qual != "chrono";
+    } else if (!benign && q >= 1 && is_ident_char(line[q - 1])) {
+      // Preceding identifier: a declaration/definition (`void clock();`)
+      // unless it is a control keyword (`return time(nullptr)`).
+      std::size_t s = q;
+      while (s > 0 && is_ident_char(line[s - 1])) --s;
+      const std::string prev = line.substr(s, q - s);
+      benign = prev != "return" && prev != "else" && prev != "case" &&
+               prev != "co_return" && prev != "co_yield";
+    }
+    if (!benign) return true;
+    pos = p;
+  }
+  return false;
+}
+
+/// Finds the first single ':' (a range-for separator, not a '::' scope
+/// qualifier) at or after @p from; npos when absent.
+std::size_t find_range_colon(const std::string& line, std::size_t from) {
+  for (std::size_t i = from; i < line.size(); ++i) {
+    if (line[i] != ':') continue;
+    const bool left = i > 0 && line[i - 1] == ':';
+    const bool right = i + 1 < line.size() && line[i + 1] == ':';
+    if (!left && !right) return i;
+    if (right) ++i;  // skip the pair
+  }
+  return std::string::npos;
+}
+
+/// Collects names of variables/members declared with an unordered container
+/// type anywhere in @p cleaned full text (declarations may span lines).
+std::vector<std::string> harvest_unordered_names(
+    const std::vector<std::string>& lines) {
+  std::string text;
+  for (const auto& l : lines) {
+    text += l;
+    text += '\n';
+  }
+  std::vector<std::string> names;
+  for (const char* kind : {"unordered_map", "unordered_set",
+                           "unordered_multimap", "unordered_multiset"}) {
+    std::size_t pos = 0;
+    while ((pos = find_ident(text, kind, pos)) != std::string::npos) {
+      std::size_t p = pos + std::string(kind).size();
+      while (p < text.size() && std::isspace(static_cast<unsigned char>(text[p]))) ++p;
+      if (p >= text.size() || text[p] != '<') {
+        pos = p;
+        continue;
+      }
+      // Match the template argument list (angle brackets nest; '>>' closes
+      // two levels at once in token terms but we count characters, which is
+      // equivalent here).
+      int depth = 0;
+      while (p < text.size()) {
+        if (text[p] == '<') ++depth;
+        if (text[p] == '>') {
+          --depth;
+          if (depth == 0) {
+            ++p;
+            break;
+          }
+        }
+        ++p;
+      }
+      // Skip whitespace / reference / pointer markers, then read the
+      // declared identifier (if this was a type use in a declaration).
+      while (p < text.size() &&
+             (std::isspace(static_cast<unsigned char>(text[p])) ||
+              text[p] == '&' || text[p] == '*')) {
+        ++p;
+      }
+      std::string name;
+      while (p < text.size() && is_ident_char(text[p])) {
+        name.push_back(text[p]);
+        ++p;
+      }
+      if (!name.empty()) names.push_back(name);
+      pos = p;
+    }
+  }
+  std::sort(names.begin(), names.end());
+  names.erase(std::unique(names.begin(), names.end()), names.end());
+  return names;
+}
+
+struct RuleContext {
+  const SourceFile* file = nullptr;
+  const Cleaned* cleaned = nullptr;
+  std::vector<std::string> unordered_names;
+  bool is_header = false;
+  bool in_bench = false;
+  bool in_engine_or_core = false;
+  std::vector<Finding>* out = nullptr;
+};
+
+void report(const RuleContext& ctx, std::size_t line_idx,
+            const std::string& rule, const std::string& message) {
+  ctx.out->push_back(
+      {ctx.file->path, line_idx + 1, rule, message});
+}
+
+// ---- XH-DET-001: nondeterminism sources --------------------------------
+
+void rule_det001(const RuleContext& ctx) {
+  static const std::array<const char*, 7> kRandom = {
+      "rand", "srand", "rand_r", "drand48", "lrand48", "mrand48", "random"};
+  static const std::array<const char*, 4> kTime = {"time", "clock",
+                                                   "gettimeofday",
+                                                   "clock_gettime"};
+  for (std::size_t i = 0; i < ctx.cleaned->lines.size(); ++i) {
+    const std::string& line = ctx.cleaned->lines[i];
+    for (const char* fn : kRandom) {
+      if (has_call(line, fn)) {
+        report(ctx, i, "XH-DET-001",
+               std::string("call to '") + fn +
+                   "' — use the seeded xh::Rng so runs are reproducible");
+      }
+    }
+    if (has_ident(line, "random_device")) {
+      report(ctx, i, "XH-DET-001",
+             "std::random_device draws entropy from the host — seed xh::Rng "
+             "explicitly instead");
+    }
+    if (ctx.in_bench) continue;  // timing is the whole point of bench/
+    for (const char* fn : kTime) {
+      if (has_call(line, fn)) {
+        report(ctx, i, "XH-DET-001",
+               std::string("call to '") + fn +
+                   "' — wall-clock queries are banned outside bench/");
+      }
+    }
+    if (has_call(line, "now")) {
+      report(ctx, i, "XH-DET-001",
+             "std::chrono ...::now() is banned outside bench/ — results must "
+             "not depend on when they are computed");
+    }
+  }
+}
+
+// ---- XH-DET-002: unordered-container iteration -------------------------
+
+void rule_det002(const RuleContext& ctx) {
+  for (std::size_t i = 0; i < ctx.cleaned->lines.size(); ++i) {
+    const std::string& line = ctx.cleaned->lines[i];
+    for (const std::string& name : ctx.unordered_names) {
+      // Range-for over the container: `for (... : name)`.
+      const std::size_t for_pos = find_ident(line, "for");
+      const std::size_t colon =
+          for_pos == std::string::npos
+              ? std::string::npos
+              : find_range_colon(line, for_pos);
+      if (for_pos != std::string::npos && colon != std::string::npos &&
+          find_ident(line, name, colon) != std::string::npos) {
+        report(ctx, i, "XH-DET-002",
+               "iteration over unordered container '" + name +
+                   "' — hash order is nondeterministic across libc++/libstdc++ "
+                   "and load factors; sort before emitting");
+        continue;
+      }
+      // Iterator walk: name.begin() / name.cbegin().
+      for (const char* b : {".begin", ".cbegin"}) {
+        const std::size_t p = find_ident(line, name);
+        if (p != std::string::npos &&
+            line.compare(p + name.size(), std::string(b).size(), b) == 0) {
+          report(ctx, i, "XH-DET-002",
+                 "iterator over unordered container '" + name +
+                     "' — hash order is nondeterministic; sort before "
+                     "emitting");
+        }
+      }
+    }
+  }
+}
+
+// ---- XH-ERR-001: diagnostics routing in engine/core --------------------
+
+void rule_err001(const RuleContext& ctx) {
+  if (!ctx.in_engine_or_core) return;
+  static const std::array<const char*, 5> kAborts = {
+      "abort", "exit", "_Exit", "quick_exit", "terminate"};
+  for (std::size_t i = 0; i < ctx.cleaned->lines.size(); ++i) {
+    const std::string& line = ctx.cleaned->lines[i];
+    if (has_ident(line, "throw")) {
+      report(ctx, i, "XH-ERR-001",
+             "bare throw in src/core//src/engine/ — route through "
+             "XH_REQUIRE/XH_ASSERT or the xh::Diagnostics collector");
+    }
+    for (const char* fn : kAborts) {
+      if (has_call(line, fn)) {
+        report(ctx, i, "XH-ERR-001",
+               std::string("call to '") + fn +
+                   "' — engine/core must degrade through xh::Diagnostics, "
+                   "never kill the process");
+      }
+    }
+  }
+}
+
+// ---- XH-PARSE-001: raw numeric parsing ---------------------------------
+
+void rule_parse001(const RuleContext& ctx) {
+  static const std::array<const char*, 16> kParsers = {
+      "atoi", "atol", "atoll", "atof", "strtol", "strtoul", "strtoll",
+      "strtoull", "strtod", "strtof", "stoi", "stol", "stoll", "stoul",
+      "stoull", "stod"};
+  for (std::size_t i = 0; i < ctx.cleaned->lines.size(); ++i) {
+    for (const char* fn : kParsers) {
+      if (has_call(ctx.cleaned->lines[i], fn)) {
+        report(ctx, i, "XH-PARSE-001",
+               std::string("call to '") + fn +
+                   "' silently accepts junk/overflow — use "
+                   "xh::parse_u64/parse_size/parse_f64");
+      }
+    }
+  }
+}
+
+// ---- XH-HDR-001 / XH-HDR-002: header hygiene ---------------------------
+
+void rule_headers(const RuleContext& ctx) {
+  if (!ctx.is_header) return;
+  bool pragma_seen = false;
+  bool code_before_pragma = false;
+  std::size_t first_code_line = 0;
+  for (std::size_t i = 0; i < ctx.cleaned->lines.size(); ++i) {
+    const std::string& line = ctx.cleaned->lines[i];
+    const std::size_t nb = line.find_first_not_of(" \t");
+    if (nb == std::string::npos) continue;
+    if (line.compare(nb, 12, "#pragma once") == 0) {
+      pragma_seen = true;
+      break;
+    }
+    if (!code_before_pragma) {
+      code_before_pragma = true;
+      first_code_line = i;
+    }
+  }
+  if (!pragma_seen || code_before_pragma) {
+    report(ctx, first_code_line, "XH-HDR-001",
+           pragma_seen
+               ? "#pragma once must precede all code in a header"
+               : "header is missing #pragma once");
+  }
+  for (std::size_t i = 0; i < ctx.cleaned->lines.size(); ++i) {
+    const std::string& line = ctx.cleaned->lines[i];
+    const std::size_t u = find_ident(line, "using");
+    if (u != std::string::npos &&
+        find_ident(line, "namespace", u) != std::string::npos) {
+      report(ctx, i, "XH-HDR-002",
+             "using namespace in a header leaks into every includer");
+    }
+  }
+}
+
+}  // namespace
+
+const std::vector<RuleInfo>& rules() {
+  static const std::vector<RuleInfo> kRules = {
+      {"XH-DET-001",
+       "nondeterminism source (rand/random_device/time/chrono-now) in "
+       "library code"},
+      {"XH-DET-002",
+       "iteration over an unordered container (hash order leaks into "
+       "output)"},
+      {"XH-ERR-001",
+       "bare throw/abort/exit in src/core/ or src/engine/ (xh::Diagnostics "
+       "routing is mandated)"},
+      {"XH-PARSE-001",
+       "raw atoi/strtol/stoul-style parsing instead of util/parse strict "
+       "helpers"},
+      {"XH-HDR-001", "header missing #pragma once before any code"},
+      {"XH-HDR-002", "using namespace at header scope"},
+  };
+  return kRules;
+}
+
+std::vector<Finding> scan_file(const SourceFile& file,
+                               const std::string* sibling_header) {
+  RuleContext ctx;
+  const Cleaned cleaned = clean(file.content);
+  ctx.file = &file;
+  ctx.cleaned = &cleaned;
+  ctx.is_header = ends_with(file.path, ".hpp") || ends_with(file.path, ".h");
+  ctx.in_bench = starts_with(file.path, "bench/");
+  ctx.in_engine_or_core = starts_with(file.path, "src/core/") ||
+                          starts_with(file.path, "src/engine/");
+  ctx.unordered_names = harvest_unordered_names(cleaned.lines);
+  if (sibling_header != nullptr) {
+    const Cleaned sib = clean(*sibling_header);
+    for (const auto& n : harvest_unordered_names(sib.lines)) {
+      ctx.unordered_names.push_back(n);
+    }
+    std::sort(ctx.unordered_names.begin(), ctx.unordered_names.end());
+    ctx.unordered_names.erase(
+        std::unique(ctx.unordered_names.begin(), ctx.unordered_names.end()),
+        ctx.unordered_names.end());
+  }
+
+  std::vector<Finding> raw;
+  ctx.out = &raw;
+  rule_det001(ctx);
+  rule_det002(ctx);
+  rule_err001(ctx);
+  rule_parse001(ctx);
+  rule_headers(ctx);
+
+  // Apply suppressions and emit in (line, rule) order so output is stable
+  // regardless of rule execution order.
+  std::vector<Finding> out;
+  for (const Finding& f : raw) {
+    const auto allowed = [&](const std::vector<std::string>& ids) {
+      return std::find(ids.begin(), ids.end(), f.rule) != ids.end();
+    };
+    if (allowed(cleaned.allow_file)) continue;
+    if (f.line - 1 < cleaned.allow.size() && allowed(cleaned.allow[f.line - 1])) {
+      continue;
+    }
+    out.push_back(f);
+  }
+  std::sort(out.begin(), out.end(), [](const Finding& a, const Finding& b) {
+    if (a.line != b.line) return a.line < b.line;
+    return a.rule < b.rule;
+  });
+  return out;
+}
+
+std::string to_string(const Finding& f) {
+  return f.path + ":" + std::to_string(f.line) + ": [" + f.rule + "] " +
+         f.message;
+}
+
+}  // namespace xh::lint

@@ -1,0 +1,62 @@
+// Project-specific determinism / hygiene lint for the xhybrid tree.
+//
+// xh_lint is a token-level scanner (no full C++ parse) that enforces the
+// invariants the library relies on implicitly: bit-determinism of everything
+// that feeds emitted output, mandatory xh::Diagnostics routing in the
+// engine/core layers, strict numeric parsing, and header hygiene. Rules are
+// deliberately syntactic — the point is that they run on every line of every
+// file in milliseconds, complementing the sampled runtime tests.
+//
+// Rules (see DESIGN.md §9 for the rationale table):
+//   XH-DET-001   nondeterminism source (rand/random_device/time/chrono now)
+//   XH-DET-002   iteration over an unordered container
+//   XH-ERR-001   bare throw/abort/exit in src/core/ or src/engine/
+//   XH-PARSE-001 raw numeric parsing instead of util/parse strict helpers
+//   XH-HDR-001   header missing #pragma once before any code
+//   XH-HDR-002   using namespace at header scope
+//
+// Suppression: `// xh-lint: allow(XH-DET-002)` on the offending line or the
+// line directly above it; `// xh-lint: allow-file(XH-DET-002)` anywhere in
+// the file suppresses the rule for the whole file. Multiple rule IDs may be
+// comma-separated inside one allow(...).
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace xh::lint {
+
+struct Finding {
+  std::string path;     // repo-relative path, forward slashes
+  std::size_t line = 0; // 1-based
+  std::string rule;     // e.g. "XH-DET-001"
+  std::string message;
+};
+
+struct RuleInfo {
+  std::string id;
+  std::string summary;
+};
+
+/// Static description of every rule, for --list-rules and docs.
+const std::vector<RuleInfo>& rules();
+
+/// One file to scan. `path` is the repo-relative path (forward slashes);
+/// rule applicability keys off its leading directory (src/, tools/, bench/)
+/// and extension (.hpp/.h vs .cpp/.cc).
+struct SourceFile {
+  std::string path;
+  std::string content;
+};
+
+/// Scans one file. @p sibling_header, when non-null, is the content of the
+/// same-stem .hpp next to a .cpp: unordered-container members declared there
+/// extend XH-DET-002 detection to out-of-line member functions.
+std::vector<Finding> scan_file(const SourceFile& file,
+                               const std::string* sibling_header = nullptr);
+
+/// Formats a finding as "path:line: [RULE] message".
+std::string to_string(const Finding& f);
+
+}  // namespace xh::lint

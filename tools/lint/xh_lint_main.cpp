@@ -1,0 +1,123 @@
+// xh_lint — project lint CLI. Scans files or directory trees and exits
+// non-zero when any finding survives suppression, so CI can gate on it.
+//
+//   xh_lint [--root DIR] [--list-rules] PATH...
+//
+// Paths are reported relative to --root (default: the current directory);
+// rule applicability (src/ vs bench/, core/engine) keys off that relative
+// path, so run it from the repository root or pass --root explicitly.
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "lint/lint_core.hpp"
+
+namespace fs = std::filesystem;
+
+namespace {
+
+bool has_source_extension(const fs::path& p) {
+  const std::string ext = p.extension().string();
+  return ext == ".cpp" || ext == ".cc" || ext == ".hpp" || ext == ".h";
+}
+
+std::string read_file(const fs::path& p) {
+  std::ifstream in(p, std::ios::binary);
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+std::string relative_slash_path(const fs::path& p, const fs::path& root) {
+  std::error_code ec;
+  fs::path rel = fs::relative(p, root, ec);
+  if (ec || rel.empty()) rel = p;
+  return rel.generic_string();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  fs::path root = fs::current_path();
+  std::vector<fs::path> inputs;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--list-rules") {
+      for (const auto& r : xh::lint::rules()) {
+        std::cout << r.id << "  " << r.summary << "\n";
+      }
+      return 0;
+    }
+    if (arg == "--root") {
+      if (i + 1 >= argc) {
+        std::cerr << "error: --root requires a directory argument\n";
+        return 2;
+      }
+      root = argv[++i];
+      continue;
+    }
+    if (arg == "--help" || arg == "-h") {
+      std::cout << "usage: xh_lint [--root DIR] [--list-rules] PATH...\n";
+      return 0;
+    }
+    inputs.emplace_back(arg);
+  }
+  if (inputs.empty()) {
+    std::cerr << "usage: xh_lint [--root DIR] [--list-rules] PATH...\n";
+    return 2;
+  }
+
+  std::vector<fs::path> files;
+  for (const fs::path& in : inputs) {
+    if (fs::is_directory(in)) {
+      for (const auto& entry : fs::recursive_directory_iterator(in)) {
+        if (entry.is_regular_file() && has_source_extension(entry.path())) {
+          files.push_back(entry.path());
+        }
+      }
+    } else if (fs::is_regular_file(in)) {
+      files.push_back(in);
+    } else {
+      std::cerr << "error: no such file or directory: " << in << "\n";
+      return 2;
+    }
+  }
+  std::sort(files.begin(), files.end());
+
+  std::size_t findings = 0;
+  for (const fs::path& path : files) {
+    xh::lint::SourceFile file;
+    file.path = relative_slash_path(path, root);
+    file.content = read_file(path);
+
+    // For out-of-line members iterating containers declared in the class:
+    // harvest the same-stem header next to a .cpp.
+    std::string header_content;
+    const std::string* header = nullptr;
+    if (path.extension() == ".cpp" || path.extension() == ".cc") {
+      fs::path sib = path;
+      sib.replace_extension(".hpp");
+      if (fs::is_regular_file(sib)) {
+        header_content = read_file(sib);
+        header = &header_content;
+      }
+    }
+
+    for (const auto& f : xh::lint::scan_file(file, header)) {
+      std::cout << xh::lint::to_string(f) << "\n";
+      ++findings;
+    }
+  }
+
+  if (findings != 0) {
+    std::cout << findings << " finding" << (findings == 1 ? "" : "s")
+              << " (suppress with // xh-lint: allow(RULE) and a justification)"
+              << "\n";
+    return 1;
+  }
+  return 0;
+}
