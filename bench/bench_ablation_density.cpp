@@ -39,9 +39,9 @@ void print_density_sweep() {
     WorkloadProfile p = base_profile();
     p.x_density = density;
     const XMatrix xm = generate_workload(p);
-    HybridConfig cfg;
-    cfg.partitioner.misr = kMisr;
-    const HybridReport rep = run_hybrid_analysis(xm, cfg);
+    PipelineContext ctx;
+    ctx.partitioner.misr = kMisr;
+    const HybridReport rep = run_hybrid_analysis(xm, ctx);
     t.add_row({TextTable::num(density * 100.0, 2) + "%",
                std::to_string(rep.total_x),
                std::to_string(rep.partitioning.num_partitions()),
@@ -69,9 +69,9 @@ void print_correlation_sweep() {
     WorkloadProfile p = base_profile();
     p.clustered_fraction = frac;
     const XMatrix xm = generate_workload(p);
-    HybridConfig cfg;
-    cfg.partitioner.misr = kMisr;
-    const HybridReport rep = run_hybrid_analysis(xm, cfg);
+    PipelineContext ctx;
+    ctx.partitioner.misr = kMisr;
+    const HybridReport rep = run_hybrid_analysis(xm, ctx);
     SupersetConfig scfg;
     scfg.misr = kMisr;
     scfg.max_growth = 0.25;

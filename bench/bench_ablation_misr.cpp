@@ -26,9 +26,9 @@ void print_sweep() {
   for (const std::size_t m : {std::size_t{16}, std::size_t{32}, std::size_t{64}}) {
     for (const std::size_t q : {std::size_t{1}, m / 8, m / 4, m / 2}) {
       if (q < 1 || q >= m) continue;
-      HybridConfig cfg;
-      cfg.partitioner.misr = {m, q};
-      const HybridReport rep = run_hybrid_analysis(xm, cfg);
+      PipelineContext ctx;
+      ctx.partitioner.misr = {m, q};
+      const HybridReport rep = run_hybrid_analysis(xm, ctx);
       t.add_row({std::to_string(m), std::to_string(q),
                  TextTable::num(static_cast<double>(m * q) /
                                     static_cast<double>(m - q),
@@ -50,11 +50,11 @@ void print_sweep() {
 void BM_HybridAnalysis(benchmark::State& state) {
   const XMatrix xm =
       generate_workload(scaled_profile(ckt_b_profile(), 0.25));
-  HybridConfig cfg;
-  cfg.partitioner.misr = {static_cast<std::size_t>(state.range(0)),
+  PipelineContext ctx;
+  ctx.partitioner.misr = {static_cast<std::size_t>(state.range(0)),
                           static_cast<std::size_t>(state.range(1))};
   for (auto _ : state) {
-    benchmark::DoNotOptimize(run_hybrid_analysis(xm, cfg));
+    benchmark::DoNotOptimize(run_hybrid_analysis(xm, ctx));
   }
 }
 

@@ -67,11 +67,10 @@ void print_flow() {
       ic.total_runs, ic.mean_run_length, ic.longest_run,
       100.0 * ic.adjacency_fraction);
 
-  HybridConfig hcfg;
-  hcfg.partitioner.misr = {16, 4};
-  const HybridSimulation sim = run_hybrid_simulation(response, hcfg);
-  const XCancelResult baseline =
-      run_x_canceling(response, hcfg.partitioner.misr);
+  PipelineContext ctx;
+  ctx.partitioner.misr = {16, 4};
+  const HybridSimulation sim = run_hybrid_simulation(response, ctx);
+  const XCancelResult baseline = run_x_canceling(response, ctx.misr());
 
   TextTable t({"scheme", "control bits", "MISR stops", "X into MISR"});
   t.add_row({"X-canceling only [12]",
@@ -86,16 +85,16 @@ void print_flow() {
   // Test-time: measured halting of the real session vs the paper's closed
   // form, plus the shadow-register alternative's channel cost.
   const double measured_base =
-      measured_normalized_test_time(baseline, hcfg.partitioner.misr);
+      measured_normalized_test_time(baseline, ctx.misr());
   const double measured_hybrid =
-      measured_normalized_test_time(sim.cancel, hcfg.partitioner.misr);
+      measured_normalized_test_time(sim.cancel, ctx.misr());
   std::printf(
       "measured test time (halt simulation): %.3f -> %.3f "
       "(closed form: %.3f -> %.3f)\n",
       measured_base, measured_hybrid, sim.report.test_time_canceling_only,
       sim.report.test_time_proposed);
   const ShadowRegisterCost shadow = shadow_register_cost(
-      hcfg.partitioner.misr, baseline.total_x_seen, baseline.shift_cycles);
+      ctx.misr(), baseline.total_x_seen, baseline.shift_cycles);
   std::printf(
       "shadow-register variant [11]: time 1.000 but %.2f control bits/cycle "
       "(%zu extra tester channels) — why the paper excludes it\n",

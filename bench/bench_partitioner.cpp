@@ -8,17 +8,25 @@
 //
 //   bench_partitioner [--cells N] [--patterns P] [--density D]
 //                     [--rounds R] [--threads T] [--seed S] [--smoke]
+//                     [--telemetry file.json]
 //
 // --smoke runs a reduced-scale workload (< 10 s end to end), cross-checks
 // that both implementations produce identical results, asserts the engine
 // is at least 3x faster than the seed, and exits non-zero otherwise — the
 // CI regression gate for the engine's core performance claim.
+//
+// --telemetry writes the canonical xh-telemetry/1 document instead of each
+// bench inventing its own JSON: the engine's deterministic counters (from
+// one traced, untimed run) plus bench.* gauges for the measured numbers.
+// CI diffs the counters section against bench/telemetry_smoke_baseline.json
+// — gauges and timers are wall-clock noise and excluded from the diff.
 #include <sys/resource.h>
 
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <fstream>
 #include <functional>
 #include <string>
 #include <vector>
@@ -26,6 +34,8 @@
 #include "core/partitioner.hpp"
 #include "engine/partition_engine.hpp"
 #include "engine/x_matrix_view.hpp"
+#include "obs/telemetry_json.hpp"
+#include "obs/trace.hpp"
 #include "util/parse.hpp"
 #include "util/thread_pool.hpp"
 #include "workload/industrial.hpp"
@@ -41,6 +51,7 @@ struct BenchOptions {
   std::size_t threads = 2;  // pool size for the scaling sample
   std::uint64_t seed = 1;
   bool smoke = false;
+  std::string telemetry_path;
 };
 
 double time_ms(const std::function<void()>& fn, int reps) {
@@ -158,6 +169,48 @@ int run(const BenchOptions& opt) {
       pooled_ms, speedup, engine_rounds_per_sec,
       identical ? "true" : "false", peak_rss_kb());
 
+  if (!opt.telemetry_path.empty()) {
+    // One traced, untimed engine run: the engine.* counters are pure
+    // functions of the workload (golden-diffable), while tracing inside the
+    // timed reps above would distort the very numbers being measured.
+    Trace trace;
+    {
+      const XMatrixView view(xm);
+      PartitionEngine engine(view, cfg, nullptr, &trace);
+      const PartitionResult traced = engine.run();
+      if (!results_identical(engine_result, traced)) {
+        std::fprintf(stderr, "FAIL: traced run differs from untraced run\n");
+        return 1;
+      }
+    }
+    obs_count(&trace, "bench.cells", chains * length);
+    obs_count(&trace, "bench.patterns", opt.patterns);
+    obs_count(&trace, "bench.total_x", xm.total_x());
+    obs_count(&trace, "bench.rounds", rounds_run);
+    obs_count(&trace, "bench.partitions", engine_result.num_partitions());
+    obs_count(&trace, "bench.results_identical", identical ? 1 : 0);
+    obs_gauge(&trace, "bench.reference_ms", ref_ms);
+    obs_gauge(&trace, "bench.engine_ms", engine_ms);
+    obs_gauge(&trace, "bench.engine_pooled_ms", pooled_ms);
+    obs_gauge(&trace, "bench.speedup", speedup);
+    obs_gauge(&trace, "bench.engine_rounds_per_sec", engine_rounds_per_sec);
+    obs_gauge(&trace, "bench.peak_rss_kb",
+              static_cast<double>(peak_rss_kb()));
+    std::ofstream out(opt.telemetry_path);
+    if (!out) {
+      std::fprintf(stderr, "cannot write %s\n", opt.telemetry_path.c_str());
+      return 1;
+    }
+    TelemetryMeta meta;
+    meta.tool = "bench_partitioner";
+    meta.run = {{"smoke", opt.smoke ? "true" : "false"},
+                {"seed", std::to_string(opt.seed)},
+                {"threads", std::to_string(opt.threads)}};
+    write_telemetry_json(out, trace, meta);
+    std::fprintf(stderr, "telemetry written to %s\n",
+                 opt.telemetry_path.c_str());
+  }
+
   if (!identical) {
     std::fprintf(stderr, "FAIL: engine result differs from the seed\n");
     return 1;
@@ -197,6 +250,8 @@ int main(int argc, char** argv) {
         opt.threads = xh::parse_size(next());
       } else if (arg == "--seed") {
         opt.seed = xh::parse_u64(next());
+      } else if (arg == "--telemetry") {
+        opt.telemetry_path = next();
       } else if (arg == "--smoke") {
         opt.smoke = true;
         opt.cells = 20'000;

@@ -6,10 +6,14 @@
 #include <benchmark/benchmark.h>
 
 #include <cstdio>
+#include <fstream>
 #include <string>
+#include <vector>
 
 #include "core/hybrid.hpp"
 #include "inject/corruptor.hpp"
+#include "obs/telemetry_json.hpp"
+#include "obs/trace.hpp"
 #include "response/response_matrix.hpp"
 #include "response/x_matrix.hpp"
 #include "util/diagnostics.hpp"
@@ -38,7 +42,6 @@ ResponseMatrix materialize(const XMatrix& xm, std::uint64_t seed) {
 }
 
 struct Prepared {
-  HybridConfig cfg;
   XMatrix declared;
   ResponseMatrix response;
 };
@@ -55,13 +58,12 @@ const Prepared& prepared() {
     profile.seed = 17;
     XMatrix declared = generate_workload(profile);
     ResponseMatrix response = materialize(declared, 18);
-    return Prepared{HybridConfig{}, std::move(declared),
-                    std::move(response)};
+    return Prepared{std::move(declared), std::move(response)};
   }();
   return p;
 }
 
-void print_degradation_sweep() {
+void print_degradation_sweep(Trace* trace) {
   const Prepared& p = prepared();
   std::printf(
       "== Robustness: validating pipeline under undeclared X's ==\n"
@@ -77,8 +79,11 @@ void print_degradation_sweep() {
     Corruptor corruptor(91);
     corruptor.add_undeclared_x(corrupted, injected);
     Diagnostics diags;
+    PipelineContext ctx;
+    ctx.adopt_collector(&diags);
+    ctx.set_trace(trace);
     const HybridSimulation sim =
-        run_hybrid_simulation(corrupted, p.declared, p.cfg, &diags);
+        run_hybrid_simulation(corrupted, p.declared, ctx);
     t.add_row({std::to_string(injected), std::to_string(sim.cancel.stops),
                std::to_string(sim.cancel.selection_vectors),
                sim.degraded ? "yes" : "no",
@@ -95,7 +100,8 @@ void print_degradation_sweep() {
 void BM_TrustingSimulation(benchmark::State& state) {
   const Prepared& p = prepared();
   for (auto _ : state) {
-    benchmark::DoNotOptimize(run_hybrid_simulation(p.response, p.cfg));
+    PipelineContext ctx;
+    benchmark::DoNotOptimize(run_hybrid_simulation(p.response, ctx));
   }
 }
 
@@ -103,8 +109,10 @@ void BM_ValidatingSimulationClean(benchmark::State& state) {
   const Prepared& p = prepared();
   for (auto _ : state) {
     Diagnostics diags;
+    PipelineContext ctx;
+    ctx.adopt_collector(&diags);
     benchmark::DoNotOptimize(
-        run_hybrid_simulation(p.response, p.declared, p.cfg, &diags));
+        run_hybrid_simulation(p.response, p.declared, ctx));
   }
 }
 
@@ -116,8 +124,10 @@ void BM_ValidatingSimulationCorrupted(benchmark::State& state) {
                              static_cast<std::size_t>(state.range(0)));
   for (auto _ : state) {
     Diagnostics diags;
+    PipelineContext ctx;
+    ctx.adopt_collector(&diags);
     benchmark::DoNotOptimize(
-        run_hybrid_simulation(corrupted, p.declared, p.cfg, &diags));
+        run_hybrid_simulation(corrupted, p.declared, ctx));
   }
 }
 
@@ -151,8 +161,34 @@ BENCHMARK(BM_CorruptorInjection)->Unit(benchmark::kMicrosecond);
 }  // namespace xh
 
 int main(int argc, char** argv) {
-  xh::print_degradation_sweep();
-  benchmark::Initialize(&argc, argv);
+  // --telemetry <path> is ours, not google-benchmark's: strip it before
+  // Initialize() so the flag parser never sees it.
+  std::string telemetry_path;
+  std::vector<char*> args(argv, argv + argc);
+  for (std::size_t i = 1; i < args.size(); ++i) {
+    const std::string arg = args[i];
+    if (arg == "--telemetry" && i + 1 < args.size()) {
+      telemetry_path = args[i + 1];
+      args.erase(args.begin() + static_cast<std::ptrdiff_t>(i),
+                 args.begin() + static_cast<std::ptrdiff_t>(i) + 2);
+      break;
+    }
+  }
+  int filtered_argc = static_cast<int>(args.size());
+
+  xh::Trace trace;
+  xh::print_degradation_sweep(telemetry_path.empty() ? nullptr : &trace);
+  if (!telemetry_path.empty()) {
+    std::ofstream out(telemetry_path);
+    xh::TelemetryMeta meta;
+    meta.tool = "bench_robustness";
+    meta.run = {{"workload", "robustness"},
+                {"sweep", "undeclared-x 0/8/32/128"}};
+    xh::write_telemetry_json(out, trace, meta);
+    std::printf("telemetry written to %s\n", telemetry_path.c_str());
+  }
+
+  benchmark::Initialize(&filtered_argc, args.data());
   benchmark::RunSpecifiedBenchmarks();
   return 0;
 }

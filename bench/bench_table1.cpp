@@ -12,10 +12,15 @@
 #include <benchmark/benchmark.h>
 
 #include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
 
 #include "core/hybrid.hpp"
 #include "masking/mask_encoding.hpp"
 #include "misr/accounting.hpp"
+#include "obs/telemetry_json.hpp"
+#include "obs/trace.hpp"
 #include "util/table.hpp"
 #include "workload/industrial.hpp"
 
@@ -24,13 +29,7 @@ namespace {
 
 const MisrConfig kMisr{32, 7};  // the paper's configuration
 
-HybridConfig hybrid_cfg() {
-  HybridConfig cfg;
-  cfg.partitioner.misr = kMisr;
-  return cfg;
-}
-
-void print_table1() {
+void print_table1(Trace* trace) {
   TextTable bits({"Circuit (X-density)", "X-Masking Only [5]",
                   "X-Canceling MISR Only [12]", "Proposed Method",
                   "Impv. over [5]", "Impv. over [12]", "#Partitions"});
@@ -43,7 +42,10 @@ void print_table1() {
   for (const WorkloadProfile& profile :
        {ckt_a_profile(), ckt_b_profile(), ckt_c_profile()}) {
     const XMatrix xm = generate_workload(profile);
-    const HybridReport rep = run_hybrid_analysis(xm, hybrid_cfg());
+    PipelineContext ctx;
+    ctx.partitioner.misr = kMisr;
+    ctx.set_trace(trace);
+    const HybridReport rep = run_hybrid_analysis(xm, ctx);
     bits.add_row({profile.name + " (" +
                       TextTable::num(rep.x_density * 100.0, 2) + "%)",
                   TextTable::millions(static_cast<double>(
@@ -122,8 +124,34 @@ BENCHMARK_CAPTURE(BM_GenerateWorkload, ckt_b_scaled, ckt_b_profile())
 }  // namespace xh
 
 int main(int argc, char** argv) {
-  xh::print_table1();
-  benchmark::Initialize(&argc, argv);
+  // --telemetry <path> is ours, not google-benchmark's: strip it before
+  // Initialize() so the flag parser never sees it.
+  std::string telemetry_path;
+  std::vector<char*> args(argv, argv + argc);
+  for (std::size_t i = 1; i < args.size(); ++i) {
+    const std::string arg = args[i];
+    if (arg == "--telemetry" && i + 1 < args.size()) {
+      telemetry_path = args[i + 1];
+      args.erase(args.begin() + static_cast<std::ptrdiff_t>(i),
+                 args.begin() + static_cast<std::ptrdiff_t>(i) + 2);
+      break;
+    }
+  }
+  int filtered_argc = static_cast<int>(args.size());
+
+  xh::Trace trace;
+  xh::print_table1(telemetry_path.empty() ? nullptr : &trace);
+  if (!telemetry_path.empty()) {
+    std::ofstream out(telemetry_path);
+    xh::TelemetryMeta meta;
+    meta.tool = "bench_table1";
+    meta.run = {{"workloads", "ckt-a ckt-b ckt-c"},
+                {"misr", "m=32 q=7"}};
+    xh::write_telemetry_json(out, trace, meta);
+    std::printf("telemetry written to %s\n", telemetry_path.c_str());
+  }
+
+  benchmark::Initialize(&filtered_argc, args.data());
   benchmark::RunSpecifiedBenchmarks();
   return 0;
 }

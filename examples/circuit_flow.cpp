@@ -78,9 +78,9 @@ int main() {
               response.num_patterns() * response.num_cells(),
               100.0 * response.x_density());
 
-  HybridConfig hcfg;
-  hcfg.partitioner.misr = {8, 2};
-  const HybridSimulation sim = run_hybrid_simulation(response, hcfg);
+  PipelineContext ctx;
+  ctx.partitioner.misr = {8, 2};
+  const HybridSimulation sim = run_hybrid_simulation(response, ctx);
   std::printf("hybrid: %zu partitions, %llu X's masked, %llu leaked\n",
               sim.report.partitioning.num_partitions(),
               static_cast<unsigned long long>(sim.report.partitioning.masked_x),

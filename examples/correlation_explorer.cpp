@@ -43,9 +43,9 @@ int main(int argc, char** argv) {
     const XMatrix xm = generate_workload(profile);
     const XStatistics stats = compute_x_statistics(xm);
 
-    HybridConfig cfg;
-    cfg.partitioner.misr = {32, 7};
-    const HybridReport rep = run_hybrid_analysis(xm, cfg);
+    PipelineContext ctx;
+    ctx.partitioner.misr = {32, 7};
+    const HybridReport rep = run_hybrid_analysis(xm, ctx);
 
     char cells_buf[32];
     std::snprintf(cells_buf, sizeof cells_buf, "%zu cells",

@@ -72,9 +72,9 @@ int main() {
               100.0 * response.x_density());
 
   // 4. Hybrid response compaction.
-  HybridConfig hcfg;
-  hcfg.partitioner.misr = {16, 4};
-  const HybridSimulation sim = run_hybrid_simulation(response, hcfg);
+  PipelineContext ctx;
+  ctx.partitioner.misr = {16, 4};
+  const HybridSimulation sim = run_hybrid_simulation(response, ctx);
   const TesterPayload payload = build_tester_payload(sim);
   std::printf("response side: %zu partitions, %llu X masked / %llu leaked, "
               "%zu MISR stops\n",

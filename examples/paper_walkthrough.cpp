@@ -94,10 +94,10 @@ void figures4_6_partitioning() {
 
 void full_hybrid() {
   std::printf("\n--- Full hybrid simulation ------------------------------\n");
-  HybridConfig cfg;
-  cfg.partitioner.misr = {10, 2};
+  PipelineContext ctx;
+  ctx.partitioner.misr = {10, 2};
   const HybridSimulation sim =
-      run_hybrid_simulation(paper_example_response(5), cfg);
+      run_hybrid_simulation(paper_example_response(5), ctx);
   std::printf("  observability preserved: %s\n",
               sim.observability_preserved ? "yes" : "NO");
   std::printf("  X's entering MISR after masking: %llu (was %llu)\n",
@@ -105,7 +105,7 @@ void full_hybrid() {
               static_cast<unsigned long long>(sim.report.total_x));
   std::printf("  MISR stops: %zu, selective-XOR control bits: %zu\n",
               sim.cancel.stops,
-              sim.cancel.control_bits(cfg.partitioner.misr));
+              sim.cancel.control_bits(ctx.misr()));
   std::printf("  extracted %zu X-free signature bits\n",
               sim.cancel.signature.size());
   std::printf("  total control bits: %.1f (vs %.1f canceling-only, "

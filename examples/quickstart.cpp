@@ -28,10 +28,10 @@ int main() {
   xs.add_x(22, 10);
   xs.add_x(30, 2);
 
-  HybridConfig config;
-  config.partitioner.misr = {16, 4};  // 16-bit MISR, 4 X-free combos/stop
+  PipelineContext ctx;
+  ctx.partitioner.misr = {16, 4};  // 16-bit MISR, 4 X-free combos/stop
 
-  const HybridReport report = run_hybrid_analysis(xs, config);
+  const HybridReport report = run_hybrid_analysis(xs, ctx);
 
   std::printf("workload: %zu cells x %zu patterns, %llu X's (%.2f%%)\n",
               geometry.num_cells(), report.num_patterns,

@@ -26,9 +26,9 @@ int main() {
     }
   }
 
-  HybridConfig cfg;
-  cfg.partitioner.misr = {32, 7};
-  const HybridSimulation sim = run_hybrid_simulation(response, cfg);
+  PipelineContext ctx;
+  ctx.partitioner.misr = {32, 7};
+  const HybridSimulation sim = run_hybrid_simulation(response, ctx);
   const TesterPayload payload = build_tester_payload(sim);
 
   std::printf("workload: %zu cells x %zu patterns, %zu X's\n",

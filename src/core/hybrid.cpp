@@ -12,6 +12,7 @@
 namespace xh {
 
 HybridReport run_hybrid_analysis(const XMatrix& xm, PipelineContext& ctx) {
+  const ScopedSpan span(ctx.trace(), "analysis");
   HybridReport rep;
   rep.num_patterns = xm.num_patterns();
   rep.num_chains = xm.geometry().num_chains;
@@ -46,6 +47,19 @@ HybridReport run_hybrid_analysis(const XMatrix& xm, PipelineContext& ctx) {
     rep.test_time_improvement =
         rep.test_time_canceling_only / rep.test_time_proposed;
   }
+
+  // Headline accounting as gauges: pure functions of the input, so these
+  // are stable across runs and golden-testable (unlike the timers).
+  Trace* trace = ctx.trace();
+  obs_gauge(trace, "hybrid.partitions",
+            static_cast<double>(rep.partitioning.partitions.size()));
+  obs_gauge(trace, "hybrid.masked_x",
+            static_cast<double>(rep.partitioning.masked_x));
+  obs_gauge(trace, "hybrid.leaked_x",
+            static_cast<double>(rep.partitioning.leaked_x));
+  obs_gauge(trace, "hybrid.masking_bits", rep.partitioning.masking_bits);
+  obs_gauge(trace, "hybrid.canceling_bits", rep.partitioning.canceling_bits);
+  obs_gauge(trace, "hybrid.total_bits", rep.partitioning.total_bits);
   return rep;
 }
 
@@ -112,29 +126,33 @@ namespace {
 /// response itself, so mismatch checks degenerate to library-bug assertions.
 HybridSimulation simulate(const ResponseMatrix& response, const XMatrix& xm,
                           PipelineContext& ctx, bool trusting) {
+  const ScopedSpan sim_span(ctx.trace(), "simulation");
   Diagnostics* diags = ctx.collector();
   HybridSimulation sim;
   sim.report = run_hybrid_analysis(xm, ctx);
   sim.masked_response = response;
 
-  if (trusting) {
-    sim.validation.confirmed_x = xm.total_x();
-    sim.validation.deterministic =
-        static_cast<std::uint64_t>(response.num_patterns()) *
-            response.num_cells() -
-        sim.validation.confirmed_x;
-  } else {
-    sim.validation = validate_response(response, xm, diags);
-    if (!sim.validation.clean() && diags == nullptr) {
-      // Strict mode with no collector attached is the one place core may
-      // throw: the caller explicitly declined graceful degradation.
-      // xh-lint: allow(XH-ERR-001)
-      throw std::runtime_error(
-          "x-validation failed: " +
-          std::to_string(sim.validation.undeclared_x) + " undeclared and " +
-          std::to_string(sim.validation.missing_x) +
-          " missing X's between response and declaration (pass a "
-          "Diagnostics collector to degrade gracefully)");
+  {
+    const ScopedSpan validate_span(ctx.trace(), "validate");
+    if (trusting) {
+      sim.validation.confirmed_x = xm.total_x();
+      sim.validation.deterministic =
+          static_cast<std::uint64_t>(response.num_patterns()) *
+              response.num_cells() -
+          sim.validation.confirmed_x;
+    } else {
+      sim.validation = validate_response(response, xm, diags);
+      if (!sim.validation.clean() && diags == nullptr) {
+        // Strict mode with no collector attached is the one place core may
+        // throw: the caller explicitly declined graceful degradation.
+        // xh-lint: allow(XH-ERR-001)
+        throw std::runtime_error(
+            "x-validation failed: " +
+            std::to_string(sim.validation.undeclared_x) + " undeclared and " +
+            std::to_string(sim.validation.missing_x) +
+            " missing X's between response and declaration (pass a "
+            "Diagnostics collector to degrade gracefully)");
+      }
     }
   }
 
@@ -142,15 +160,19 @@ HybridSimulation simulate(const ResponseMatrix& response, const XMatrix& xm,
   // them: a violation means a declared X resolved deterministic and the
   // mask will hide an observable value. Reported per cell, never absorbed.
   const PartitionResult& pr = sim.report.partitioning;
-  sim.masked_observable =
-      count_mask_violations(response, pr.partitions, pr.masks, ctx);
-  sim.observability_preserved = sim.masked_observable == 0;
-  if (sim.validation.clean()) {
-    XH_ASSERT(sim.observability_preserved,
-              "partition masks would destroy observable values");
-  }
-  for (std::size_t i = 0; i < pr.partitions.size(); ++i) {
-    apply_mask(sim.masked_response, pr.partitions[i], pr.masks[i]);
+  {
+    const ScopedSpan mask_span(ctx.trace(), "mask");
+    sim.masked_observable =
+        count_mask_violations(response, pr.partitions, pr.masks, ctx);
+    sim.observability_preserved = sim.masked_observable == 0;
+    if (sim.validation.clean()) {
+      XH_ASSERT(sim.observability_preserved,
+                "partition masks would destroy observable values");
+    }
+    for (std::size_t i = 0; i < pr.partitions.size(); ++i) {
+      apply_mask(sim.masked_response, pr.partitions[i], pr.masks[i],
+                 ctx.trace());
+    }
   }
 
   const std::uint64_t remaining_x = sim.masked_response.total_x();

@@ -59,6 +59,8 @@ struct HybridReport {
 HybridReport run_hybrid_analysis(const XMatrix& xm, PipelineContext& ctx);
 
 /// Compatibility overload; builds a strict serial context from @p cfg.
+[[deprecated("construct a PipelineContext and call "
+             "run_hybrid_analysis(xm, ctx)")]]
 HybridReport run_hybrid_analysis(const XMatrix& xm, const HybridConfig& cfg);
 
 /// Classified cross-check of a captured response against declared X
@@ -104,6 +106,8 @@ struct HybridSimulation {
 /// violations indicate library bugs and throw (legacy fail-fast behavior).
 HybridSimulation run_hybrid_simulation(const ResponseMatrix& response,
                                        PipelineContext& ctx);
+[[deprecated("construct a PipelineContext and call "
+             "run_hybrid_simulation(response, ctx)")]]
 HybridSimulation run_hybrid_simulation(const ResponseMatrix& response,
                                        const HybridConfig& cfg);
 
@@ -122,6 +126,9 @@ HybridSimulation run_hybrid_simulation(const ResponseMatrix& response,
                                        const XMatrix& declared,
                                        PipelineContext& ctx);
 /// Compatibility overload: @p diags == nullptr selects strict mode.
+[[deprecated("construct a PipelineContext (adopt_collector(diags) for the "
+             "lenient path) and call run_hybrid_simulation(response, "
+             "declared, ctx)")]]
 HybridSimulation run_hybrid_simulation(const ResponseMatrix& response,
                                        const XMatrix& declared,
                                        const HybridConfig& cfg,

@@ -28,8 +28,8 @@ struct ChunkAccum {
 
 PartitionEngine::PartitionEngine(const XMatrixView& view,
                                  const PartitionerConfig& cfg,
-                                 ThreadPool* pool)
-    : view_(view), cfg_(cfg), pool_(pool), rng_(cfg.seed) {
+                                 ThreadPool* pool, Trace* trace)
+    : view_(view), cfg_(cfg), pool_(pool), trace_(trace), rng_(cfg.seed) {
   cfg_.misr.validate();
   XH_REQUIRE(view_.num_patterns() > 0, "X matrix has no patterns");
   XH_ASSERT(view_.num_rows() <
@@ -77,9 +77,15 @@ PartitionEngine::Part PartitionEngine::analyze(
   };
   if (pool_ != nullptr) {
     pool_->parallel_chunks(candidates.size(), kParallelGrain, sweep);
+    obs_count(trace_, "engine.pool_tasks", chunks);
   } else if (chunks == 1) {
     sweep(0, 0, candidates.size());
   }
+  // Counted here, after the fan-out joins: Trace is not synchronized, so
+  // instrumentation lives at the deterministic merge point, never inside
+  // the pool lambdas.
+  obs_count(trace_, "engine.cell_analyses");
+  obs_count(trace_, "engine.rows_examined", candidates.size());
 
   GroupMap groups;
   std::size_t member_total = 0;
@@ -184,6 +190,9 @@ PartitionEngine::StepOutcome PartitionEngine::step() {
   XH_ASSERT(with_x.any() && without_x.any(),
             "split cell must divide the partition");
 
+  obs_count(trace_, "engine.probes_attempted");
+  obs_record(trace_, "engine.victim_rows", victim.members.size());
+
   Part a = analyze(std::move(with_x), victim.members);
   Part b = analyze(std::move(without_x), victim.members);
 
@@ -198,6 +207,9 @@ PartitionEngine::StepOutcome PartitionEngine::step() {
     probe.accepted = false;
     history_.push_back(probe);
     done_ = true;
+    // Rejection touches no partition state: the probe was costed from
+    // running totals, so this is the zero-copy path.
+    obs_count(trace_, "engine.probes_rejected_zero_copy");
     return StepOutcome::kRejected;
   }
 
@@ -209,6 +221,7 @@ PartitionEngine::StepOutcome PartitionEngine::step() {
   masked_total_ = probe_masked;
   history_.push_back(probe);
   ++round_;
+  obs_count(trace_, "engine.probes_accepted");
   return StepOutcome::kSplit;
 }
 
@@ -250,6 +263,7 @@ PartitionResult PartitionEngine::materialize() const {
 PartitionResult run_partitioning(const XMatrix& xm, PipelineContext& ctx) {
   ctx.partitioner.misr.validate();
   XH_REQUIRE(xm.num_patterns() > 0, "X matrix has no patterns");
+  const ScopedSpan span(ctx.trace(), "partition");
   const XMatrixView view(xm);
   PartitionEngine engine(view, ctx);
   return engine.run();

@@ -42,11 +42,12 @@ class PartitionEngine {
  public:
   /// Binds the engine to a frozen view (not owned; must outlive the engine)
   /// and analyzes the unsplit root partition. Throws std::invalid_argument
-  /// on invalid configuration, like the seed partitioner.
+  /// on invalid configuration, like the seed partitioner. The optional
+  /// trace receives engine.* counters; nullptr means no instrumentation.
   PartitionEngine(const XMatrixView& view, const PartitionerConfig& cfg,
-                  ThreadPool* pool = nullptr);
+                  ThreadPool* pool = nullptr, Trace* trace = nullptr);
   PartitionEngine(const XMatrixView& view, PipelineContext& ctx)
-      : PartitionEngine(view, ctx.partitioner, ctx.pool()) {}
+      : PartitionEngine(view, ctx.partitioner, ctx.pool(), ctx.trace()) {}
 
   /// Outcome of one greedy round.
   enum class StepOutcome {
@@ -112,6 +113,7 @@ class PartitionEngine {
   const XMatrixView& view_;
   PartitionerConfig cfg_;
   ThreadPool* pool_ = nullptr;
+  Trace* trace_ = nullptr;
   Rng rng_;
   std::vector<Part> parts_;
   std::uint64_t masked_total_ = 0;

@@ -10,6 +10,8 @@
 //   * the diagnostics routing — strict (mismatches throw, the legacy
 //     default), lenient (collected into an owned Diagnostics), or adopted
 //     (collected into a caller-owned Diagnostics),
+//   * the observability routing — an optional xh::Trace every instrumented
+//     stage reports counters/spans into (nullptr = observability off),
 //   * a deterministic Rng seeded from the configured seed,
 //   * an optional ThreadPool the engine fans cell analysis out on.
 //
@@ -19,6 +21,7 @@
 #pragma once
 
 #include "engine/partition_types.hpp"
+#include "obs/trace.hpp"
 #include "util/diagnostics.hpp"
 #include "util/rng.hpp"
 #include "util/thread_pool.hpp"
@@ -46,13 +49,37 @@ class PipelineContext {
 
   /// Lenient mode: mismatches are recorded in the owned collector and the
   /// pipeline degrades gracefully.
-  void be_lenient() { sink_ = &owned_; }
+  ///
+  /// Precedence: an explicitly adopted caller-owned collector always wins.
+  /// Calling be_lenient() after adopt_collector(non-null) used to silently
+  /// re-target the sink to the owned collector, losing every later record
+  /// from the caller's view; now the adopted collector stays active and the
+  /// double-set itself is diagnosed into it as a kBadArgument warning.
+  void be_lenient() {
+    if (adopted_) {
+      sink_->warn(DiagKind::kBadArgument, "pipeline context",
+                  "be_lenient() after adopt_collector(): the adopted "
+                  "collector keeps precedence; call adopt_collector(nullptr) "
+                  "first to release it");
+      return;
+    }
+    sink_ = &owned_;
+  }
   /// Adopts a caller-owned collector (compatibility with the Diagnostics*
-  /// APIs). Passing nullptr returns to strict mode.
-  void adopt_collector(Diagnostics* diags) { sink_ = diags; }
+  /// APIs). Passing nullptr releases any adopted collector and returns to
+  /// strict mode. Explicit adoption takes precedence over be_lenient().
+  void adopt_collector(Diagnostics* diags) {
+    sink_ = diags;
+    adopted_ = diags != nullptr;
+  }
 
   /// The owned collector (meaningful after be_lenient()).
   const Diagnostics& diagnostics() const { return owned_; }
+
+  /// Observability sink every instrumented stage reports into, or nullptr
+  /// when observability is off (the zero-overhead default). Not owned.
+  Trace* trace() const { return trace_; }
+  void set_trace(Trace* trace) { trace_ = trace; }
 
   /// Optional worker pool; nullptr runs every stage serially. Results are
   /// identical either way. Not owned.
@@ -66,6 +93,8 @@ class PipelineContext {
   ThreadPool* pool_ = nullptr;
   Diagnostics owned_;
   Diagnostics* sink_ = nullptr;
+  bool adopted_ = false;  // sink_ points at a caller-owned collector
+  Trace* trace_ = nullptr;
   Rng rng_;
 };
 

@@ -24,7 +24,7 @@ std::size_t masked_x_count(const XMatrix& xm, const BitVec& partition) {
 }
 
 void apply_mask(ResponseMatrix& response, const BitVec& partition,
-                const BitVec& mask) {
+                const BitVec& mask, Trace* trace) {
   XH_REQUIRE(partition.size() == response.num_patterns(),
              "partition width must equal pattern count");
   XH_REQUIRE(mask.size() == response.num_cells(),
@@ -35,6 +35,12 @@ void apply_mask(ResponseMatrix& response, const BitVec& partition,
       response.set(p, c, Lv::k0);
     }
   }
+  obs_count(trace, "masking.partitions");
+  // L·C control bits per partition: the mask vector itself, one bit per cell.
+  obs_count(trace, "masking.control_bits", mask.size());
+  obs_count(trace, "masking.cells_masked", cells.size());
+  obs_count(trace, "masking.x_masked", cells.size() * partition.count());
+  obs_record(trace, "masking.masked_cells_per_partition", cells.size());
 }
 
 bool masks_preserve_observability(const ResponseMatrix& response,
@@ -56,7 +62,7 @@ bool masks_preserve_observability(const ResponseMatrix& response,
 std::uint64_t count_mask_violations(const ResponseMatrix& response,
                                     const std::vector<BitVec>& partitions,
                                     const std::vector<BitVec>& masks,
-                                    Diagnostics* diags) {
+                                    Diagnostics* diags, Trace* trace) {
   XH_REQUIRE(partitions.size() == masks.size(),
              "one mask per partition required");
   std::uint64_t violations = 0;
@@ -75,6 +81,7 @@ std::uint64_t count_mask_violations(const ResponseMatrix& response,
       }
     }
   }
+  obs_count(trace, "masking.violations", violations);
   return violations;
 }
 

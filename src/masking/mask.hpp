@@ -10,6 +10,7 @@
 
 #include <vector>
 
+#include "obs/trace.hpp"
 #include "response/response_matrix.hpp"
 #include "response/x_matrix.hpp"
 #include "util/bitvec.hpp"
@@ -26,9 +27,10 @@ BitVec partition_mask(const XMatrix& xm, const BitVec& partition);
 std::size_t masked_x_count(const XMatrix& xm, const BitVec& partition);
 
 /// Applies @p mask to every pattern in @p partition: masked cells become
-/// deterministic 0. Modifies @p response in place.
+/// deterministic 0. Modifies @p response in place. The optional trace
+/// receives masking.* counters (control bits emitted, cells/X masked).
 void apply_mask(ResponseMatrix& response, const BitVec& partition,
-                const BitVec& mask);
+                const BitVec& mask, Trace* trace = nullptr);
 
 /// True when every (pattern, cell) the masks cover was X — i.e. no
 /// observable value is lost. Used as a checked invariant in tests and the
@@ -46,7 +48,8 @@ bool masks_preserve_observability(const ResponseMatrix& response,
 std::uint64_t count_mask_violations(const ResponseMatrix& response,
                                     const std::vector<BitVec>& partitions,
                                     const std::vector<BitVec>& masks,
-                                    Diagnostics* diags = nullptr);
+                                    Diagnostics* diags = nullptr,
+                                    Trace* trace = nullptr);
 
 /// Conventional X-masking-only baseline [5]: every X cell of every pattern is
 /// masked individually (per-cycle control data).

@@ -8,11 +8,13 @@
 
 namespace xh {
 
-XCancelSession::XCancelSession(MisrConfig cfg, Diagnostics* diags)
+XCancelSession::XCancelSession(MisrConfig cfg, Diagnostics* diags,
+                               Trace* trace)
     : cfg_(cfg),
       taps_(FeedbackPolynomial::primitive(cfg.size).taps()),
       concrete_(FeedbackPolynomial::primitive(cfg.size)),
-      diags_(diags) {
+      diags_(diags),
+      trace_(trace) {
   cfg_.validate();
   concrete_.reset();
   xdep_.assign(cfg_.size, BitVec(cfg_.size * 4));
@@ -71,6 +73,8 @@ void XCancelSession::shift(const std::vector<Lv>& slice) {
 
   ++result_.shift_cycles;
   result_.total_x_seen += x_in_slice;
+  obs_count(trace_, "xcancel.shift_cycles");
+  obs_count(trace_, "xcancel.x_seen", x_in_slice);
 
   if (segment_x_ >= stop_threshold()) extract(/*final_flush=*/false);
 }
@@ -98,6 +102,9 @@ void XCancelSession::extract(bool final_flush) {
       if (xdep_[r].get(c)) xmat.set(r, c);
     }
   }
+  obs_count(trace_, "xcancel.eliminations");
+  obs_count(trace_, "xcancel.elimination_rows", cfg_.size);
+  obs_record(trace_, "xcancel.segment_x", segment_x_);
   std::vector<BitVec> combos = x_free_combinations(xmat);
   if (tamper_) tamper_(combos, xmat);
 
@@ -111,7 +118,10 @@ void XCancelSession::extract(bool final_flush) {
     // Re-check the X-freeness invariant before emitting the bit; a
     // combination that fails is never allowed into the signature.
     BitVec acc(segment_x_);
-    for (const std::size_t r : combo.set_bits()) acc ^= xmat.row(r);
+    for (const std::size_t r : combo.set_bits()) {
+      acc ^= xmat.row(r);
+      obs_count(trace_, "xcancel.recheck_rows");
+    }
     if (acc.any()) {
       // With no collector and no injection hook this is unreachable except
       // through a library bug — keep the legacy fail-fast behavior.
@@ -119,6 +129,7 @@ void XCancelSession::extract(bool final_flush) {
         XH_ASSERT(acc.none(), "extracted combination is not X-free");
       }
       ++result_.contaminated_dropped;
+      obs_count(trace_, "xcancel.combinations_dropped");
       diag_report(diags_, DiagSeverity::kWarning,
                   DiagKind::kContaminatedCombination,
                   "stop " + std::to_string(result_.stops),
@@ -138,12 +149,14 @@ void XCancelSession::extract(bool final_flush) {
     ++taken;
     ++result_.selection_vectors;
   }
+  obs_count(trace_, "xcancel.combinations_emitted", taken);
 
   if (taken > cfg_.q) result_.extra_combinations += taken - cfg_.q;
   const std::size_t owed_before = deficit_;
   deficit_ = want - taken;
   if (taken < cfg_.q) {
     ++result_.starved_stops;
+    obs_count(trace_, "xcancel.starved_stops");
     // The grown deficit lowers stop_threshold() for the next segment, so a
     // comparable burst cannot overshoot again and the owed bits fit in the
     // next stop's null space.
@@ -154,6 +167,7 @@ void XCancelSession::extract(bool final_flush) {
                     " X-free combinations available (segment holds " +
                     std::to_string(segment_x_) + " X's)");
   } else if (owed_before > 0 && deficit_ == 0) {
+    obs_count(trace_, "xcancel.starvation_repaid", owed_before);
     diag_report(diags_, DiagSeverity::kInfo, DiagKind::kExtractionRecovered,
                 "stop " + std::to_string(result_.stops),
                 "repaid " + std::to_string(owed_before) +
@@ -161,6 +175,7 @@ void XCancelSession::extract(bool final_flush) {
   }
 
   ++result_.stops;
+  obs_count(trace_, "xcancel.stops");
   result_.stop_cycles.push_back(result_.shift_cycles);
   concrete_.reset();
   const std::size_t cap = xdep_.front().size();
@@ -185,9 +200,10 @@ const XCancelResult& XCancelSession::finish() {
 }
 
 XCancelResult run_x_canceling(const ResponseMatrix& response, MisrConfig cfg,
-                              Diagnostics* diags) {
+                              Diagnostics* diags, Trace* trace) {
   cfg.validate();
-  XCancelSession session(cfg, diags);
+  const ScopedSpan span(trace, "cancel");
+  XCancelSession session(cfg, diags, trace);
   const ScanGeometry& geo = response.geometry();
   SpatialCompactor compactor(geo.num_chains, cfg.size);
   std::vector<Lv> chain_values(geo.num_chains);

@@ -24,6 +24,7 @@
 #include <vector>
 
 #include "gf2/lfsr.hpp"
+#include "obs/trace.hpp"
 #include "response/response_matrix.hpp"
 #include "sim/logic.hpp"
 #include "util/bitvec.hpp"
@@ -95,7 +96,11 @@ struct XCancelResult {
 /// X symbol cancels, which the session verifies before emitting the bit.
 class XCancelSession {
  public:
-  explicit XCancelSession(MisrConfig cfg, Diagnostics* diags = nullptr);
+  /// The optional trace receives xcancel.* counters (eliminations, rows
+  /// examined, combinations emitted/dropped, starvation repayments);
+  /// nullptr means no instrumentation.
+  explicit XCancelSession(MisrConfig cfg, Diagnostics* diags = nullptr,
+                          Trace* trace = nullptr);
 
   const MisrConfig& config() const { return cfg_; }
 
@@ -134,6 +139,7 @@ class XCancelSession {
   XCancelResult result_;
   bool finished_ = false;
   Diagnostics* diags_ = nullptr;
+  Trace* trace_ = nullptr;
   CombinationTamper tamper_;
 };
 
@@ -142,6 +148,7 @@ class XCancelSession {
 /// (stage = chain mod m, a spatial XOR compactor when chains > m); cells
 /// shift out position 0 first.
 XCancelResult run_x_canceling(const ResponseMatrix& response, MisrConfig cfg,
-                              Diagnostics* diags = nullptr);
+                              Diagnostics* diags = nullptr,
+                              Trace* trace = nullptr);
 
 }  // namespace xh

@@ -1,0 +1,65 @@
+// Canonical telemetry serialization: the ONE JSON schema every perf- or
+// diagnostics-emitting surface (xhybrid_cli --telemetry, bench_partitioner,
+// bench_robustness, bench_table1) converges on, instead of each bench
+// inventing its own ad-hoc document.
+//
+// Document shape (versioned; see README "Telemetry" for the field table):
+//
+//   {
+//     "schema": "xh-telemetry/1",
+//     "tool": "<producer binary>",
+//     "run": { "<key>": "<value>", ... },
+//     "counters": { "<name>": <uint64>, ... },
+//     "gauges": { "<name>": <double>, ... },
+//     "histograms": { "<name>": { "count", "sum", "min", "max",
+//                                 "buckets": [[lo, count], ...] }, ... },
+//     "timers": { "<span/path>": { "count", "total_ms", "max_ms" }, ... },
+//     "diagnostics": { "<kind>": <count>, ... }
+//   }
+//
+// Sections "schema"/"tool"/"run"/"counters"/"gauges"/"histograms" are always
+// present; "timers" is omitted when options.include_timers is false (timer
+// values are wall-clock noise — golden tests and CI diffs exclude them);
+// "diagnostics" is present iff a collector is passed, listing only kinds
+// with a non-zero count. All maps are emitted in sorted key order, so two
+// runs over the same inputs produce byte-identical documents.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "obs/trace.hpp"
+#include "util/diagnostics.hpp"
+
+namespace xh {
+
+/// Producer identity and free-form run context (workload name, command,
+/// configuration summary — string values only, emitted in the given order).
+struct TelemetryMeta {
+  std::string tool;
+  std::vector<std::pair<std::string, std::string>> run;
+};
+
+struct TelemetryJsonOptions {
+  /// Timers are wall-clock measurements: exclude them where the document
+  /// must be reproducible byte for byte (golden files, CI baselines).
+  bool include_timers = true;
+};
+
+/// The schema identifier this serializer emits ("xh-telemetry/1").
+extern const char* const kTelemetrySchema;
+
+/// Renders the versioned telemetry document.
+std::string telemetry_to_json(const Trace& trace, const TelemetryMeta& meta,
+                              const Diagnostics* diags = nullptr,
+                              const TelemetryJsonOptions& options = {});
+
+/// Stream variant of telemetry_to_json.
+void write_telemetry_json(std::ostream& out, const Trace& trace,
+                          const TelemetryMeta& meta,
+                          const Diagnostics* diags = nullptr,
+                          const TelemetryJsonOptions& options = {});
+
+}  // namespace xh

@@ -1,0 +1,104 @@
+#include "obs/trace.hpp"
+
+#include <chrono>
+
+#include "util/check.hpp"
+
+namespace xh {
+#ifndef XH_OBS_NOOP
+namespace {
+
+/// Steady-clock read for span timing.
+///
+/// XH-DET-001 proof of output-independence: the value returned here flows
+/// only into TraceTimer::{count,total_ns,max_ns}, which are serialized into
+/// the telemetry "timers" section and read by nothing else — no branch, no
+/// allocation size, no emitted bit anywhere in the library depends on it.
+/// Counters, gauges and histograms (the golden-tested sections) never touch
+/// this function.
+std::uint64_t steady_now_ns() {
+  // xh-lint: allow(XH-DET-001)
+  const auto t = std::chrono::steady_clock::now().time_since_epoch();
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(t).count());
+}
+
+}  // namespace
+#endif  // XH_OBS_NOOP
+
+void TraceHistogram::record(std::uint64_t v) {
+  std::size_t bucket = 0;
+  for (std::uint64_t w = v; w != 0; w >>= 1) ++bucket;
+  ++buckets[bucket];
+  if (count == 0 || v < min) min = v;
+  if (count == 0 || v > max) max = v;
+  ++count;
+  sum += v;
+}
+
+TraceCounter& Trace::counter(std::string_view name) {
+  const auto it = counters_.find(name);
+  if (it != counters_.end()) return it->second;
+  return counters_.emplace(std::string(name), TraceCounter{}).first->second;
+}
+
+TraceGauge& Trace::gauge(std::string_view name) {
+  const auto it = gauges_.find(name);
+  if (it != gauges_.end()) return it->second;
+  return gauges_.emplace(std::string(name), TraceGauge{}).first->second;
+}
+
+TraceHistogram& Trace::histogram(std::string_view name) {
+  const auto it = histograms_.find(name);
+  if (it != histograms_.end()) return it->second;
+  return histograms_.emplace(std::string(name), TraceHistogram{})
+      .first->second;
+}
+
+void Trace::span_enter(std::string_view name) {
+  if (span_stack_.empty()) {
+    span_stack_.emplace_back(name);
+  } else {
+    std::string path = span_stack_.back();
+    path += '/';
+    path += name;
+    span_stack_.push_back(std::move(path));
+  }
+}
+
+void Trace::span_exit(std::uint64_t elapsed_ns) {
+  XH_ASSERT(!span_stack_.empty(), "span_exit without a matching span_enter");
+  TraceTimer& t = timers_[span_stack_.back()];
+  ++t.count;
+  t.total_ns += elapsed_ns;
+  if (elapsed_ns > t.max_ns) t.max_ns = elapsed_ns;
+  span_stack_.pop_back();
+}
+
+void Trace::clear() {
+  counters_.clear();
+  gauges_.clear();
+  histograms_.clear();
+  timers_.clear();
+  span_stack_.clear();
+}
+
+#ifndef XH_OBS_NOOP
+inline namespace obs_live {
+
+ScopedSpan::ScopedSpan(Trace* trace, std::string_view name) : trace_(trace) {
+  if (trace_ == nullptr) return;
+  trace_->span_enter(name);
+  start_ns_ = steady_now_ns();
+}
+
+ScopedSpan::~ScopedSpan() {
+  if (trace_ == nullptr) return;
+  const std::uint64_t end_ns = steady_now_ns();
+  trace_->span_exit(end_ns - start_ns_);
+}
+
+}  // namespace obs_live
+#endif  // XH_OBS_NOOP
+
+}  // namespace xh

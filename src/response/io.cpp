@@ -72,7 +72,7 @@ void write_x_matrix(const XMatrix& xm, std::ostream& out) {
   out << "end " << xm.total_x() << '\n';
 }
 
-XMatrix read_x_matrix(std::istream& in, Diagnostics* diags) {
+XMatrix read_x_matrix(std::istream& in, Diagnostics* diags, Trace* trace) {
   std::size_t num_patterns = 0;
   const ScanGeometry geo = read_header(in, "xmatrix", num_patterns, diags);
   XMatrix xm(geo, num_patterns);
@@ -82,6 +82,7 @@ XMatrix read_x_matrix(std::istream& in, Diagnostics* diags) {
   bool saw_trailer = false;
   while (std::getline(in, line)) {
     if (line.empty()) continue;
+    obs_count(trace, "response_io.lines_parsed");
     if (saw_trailer) {
       format_error(diags, DiagKind::kTrailingGarbage,
                    "content after 'end' trailer: " + line);
@@ -115,6 +116,7 @@ XMatrix read_x_matrix(std::istream& in, Diagnostics* diags) {
       format_error(diags, DiagKind::kDuplicateRecord,
                    "cell " + std::to_string(cell) + " recorded twice");
     }
+    obs_count(trace, "response_io.cell_records");
     std::size_t pattern = 0;
     bool any = false;
     while (row >> pattern) {
@@ -123,6 +125,7 @@ XMatrix read_x_matrix(std::istream& in, Diagnostics* diags) {
       } catch (const std::invalid_argument& e) {
         format_error(diags, DiagKind::kGarbledInput, e.what());
       }
+      obs_count(trace, "response_io.x_entries");
       any = true;
     }
     if (!any) {
@@ -154,7 +157,8 @@ void write_response(const ResponseMatrix& rm, std::ostream& out) {
   }
 }
 
-ResponseMatrix read_response(std::istream& in, Diagnostics* diags) {
+ResponseMatrix read_response(std::istream& in, Diagnostics* diags,
+                             Trace* trace) {
   std::size_t num_patterns = 0;
   const ScanGeometry geo = read_header(in, "response", num_patterns, diags);
   ResponseMatrix rm(geo, num_patterns);
@@ -166,6 +170,8 @@ ResponseMatrix read_response(std::istream& in, Diagnostics* diags) {
                          "expected " + std::to_string(num_patterns) +
                              " pattern rows, got " + std::to_string(p));
     }
+    obs_count(trace, "response_io.lines_parsed");
+    obs_count(trace, "response_io.pattern_rows");
     if (line.size() != geo.num_cells()) {
       format_error(diags, DiagKind::kGarbledInput,
                    "row width mismatch at pattern " + std::to_string(p));
@@ -201,9 +207,10 @@ std::string x_matrix_to_string(const XMatrix& xm) {
   return os.str();
 }
 
-XMatrix x_matrix_from_string(const std::string& text, Diagnostics* diags) {
+XMatrix x_matrix_from_string(const std::string& text, Diagnostics* diags,
+                             Trace* trace) {
   std::istringstream is(text);
-  return read_x_matrix(is, diags);
+  return read_x_matrix(is, diags, trace);
 }
 
 std::string response_to_string(const ResponseMatrix& rm) {
@@ -213,9 +220,9 @@ std::string response_to_string(const ResponseMatrix& rm) {
 }
 
 ResponseMatrix response_from_string(const std::string& text,
-                                    Diagnostics* diags) {
+                                    Diagnostics* diags, Trace* trace) {
   std::istringstream is(text);
-  return read_response(is, diags);
+  return read_response(is, diags, trace);
 }
 
 }  // namespace xh

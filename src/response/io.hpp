@@ -23,6 +23,7 @@
 #include <iosfwd>
 #include <string>
 
+#include "obs/trace.hpp"
 #include "response/response_matrix.hpp"
 #include "response/x_matrix.hpp"
 #include "util/diagnostics.hpp"
@@ -30,17 +31,23 @@
 namespace xh {
 
 void write_x_matrix(const XMatrix& xm, std::ostream& out);
-XMatrix read_x_matrix(std::istream& in, Diagnostics* diags = nullptr);
+/// The optional trace receives response_io.* counters (lines parsed, cell
+/// records, X entries); nullptr means no instrumentation.
+XMatrix read_x_matrix(std::istream& in, Diagnostics* diags = nullptr,
+                      Trace* trace = nullptr);
 
 void write_response(const ResponseMatrix& rm, std::ostream& out);
-ResponseMatrix read_response(std::istream& in, Diagnostics* diags = nullptr);
+ResponseMatrix read_response(std::istream& in, Diagnostics* diags = nullptr,
+                             Trace* trace = nullptr);
 
 /// String conveniences (used by tests and the CLI).
 std::string x_matrix_to_string(const XMatrix& xm);
 XMatrix x_matrix_from_string(const std::string& text,
-                             Diagnostics* diags = nullptr);
+                             Diagnostics* diags = nullptr,
+                             Trace* trace = nullptr);
 std::string response_to_string(const ResponseMatrix& rm);
 ResponseMatrix response_from_string(const std::string& text,
-                                    Diagnostics* diags = nullptr);
+                                    Diagnostics* diags = nullptr,
+                                    Trace* trace = nullptr);
 
 }  // namespace xh

@@ -1,0 +1,94 @@
+// Coverage for the deprecated HybridConfig compatibility overloads. The
+// tree builds with deprecation-warnings-as-errors and no in-tree caller may
+// use these overloads anymore; this file is the one sanctioned exception,
+// keeping the compatibility shims exercised until their removal.
+#include <gtest/gtest.h>
+
+#include "core/hybrid.hpp"
+#include "core/paper_example.hpp"
+
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+
+namespace xh {
+namespace {
+
+HybridConfig paper_cfg() {
+  HybridConfig cfg;
+  cfg.partitioner.misr = {10, 2};
+  return cfg;
+}
+
+/// Turns the first deterministic cell of pattern 0 into an X the
+/// declaration does not predict.
+void inject_undeclared_x(ResponseMatrix& response) {
+  for (std::size_t c = 0; c < response.num_cells(); ++c) {
+    if (response.get(0, c) != Lv::kX) {
+      response.set(0, c, Lv::kX);
+      return;
+    }
+  }
+  FAIL() << "no deterministic cell to corrupt";
+}
+
+TEST(DeprecatedApi, AnalysisOverloadMatchesContextPath) {
+  const XMatrix xm = paper_example_x_matrix();
+  const HybridReport legacy = run_hybrid_analysis(xm, paper_cfg());
+
+  PipelineContext ctx(paper_cfg().partitioner);
+  const HybridReport modern = run_hybrid_analysis(xm, ctx);
+
+  EXPECT_EQ(legacy.partitioning.partitions.size(),
+            modern.partitioning.partitions.size());
+  EXPECT_EQ(legacy.partitioning.masked_x, modern.partitioning.masked_x);
+  EXPECT_EQ(legacy.partitioning.leaked_x, modern.partitioning.leaked_x);
+  EXPECT_DOUBLE_EQ(legacy.proposed_bits, modern.proposed_bits);
+}
+
+TEST(DeprecatedApi, TrustingSimulationOverloadMatchesContextPath) {
+  const ResponseMatrix response = paper_example_response(5);
+  const HybridSimulation legacy = run_hybrid_simulation(response, paper_cfg());
+
+  PipelineContext ctx(paper_cfg().partitioner);
+  const HybridSimulation modern = run_hybrid_simulation(response, ctx);
+
+  EXPECT_TRUE(legacy.observability_preserved);
+  EXPECT_EQ(legacy.x_entering_misr, modern.x_entering_misr);
+  EXPECT_EQ(legacy.cancel.stops, modern.cancel.stops);
+  EXPECT_EQ(legacy.cancel.signature.size(), modern.cancel.signature.size());
+}
+
+TEST(DeprecatedApi, ValidatingOverloadRoutesDiagnosticsLikeAdoption) {
+  ResponseMatrix response = paper_example_response(5);
+  const XMatrix declared = XMatrix::from_response(response);
+  inject_undeclared_x(response);
+
+  Diagnostics legacy_diags;
+  const HybridSimulation legacy =
+      run_hybrid_simulation(response, declared, paper_cfg(), &legacy_diags);
+
+  Diagnostics modern_diags;
+  PipelineContext ctx(paper_cfg().partitioner);
+  ctx.adopt_collector(&modern_diags);
+  const HybridSimulation modern =
+      run_hybrid_simulation(response, declared, ctx);
+
+  EXPECT_TRUE(legacy.degraded);
+  EXPECT_EQ(legacy.validation.undeclared_x, modern.validation.undeclared_x);
+  EXPECT_EQ(legacy_diags.count(DiagKind::kUndeclaredX),
+            modern_diags.count(DiagKind::kUndeclaredX));
+}
+
+TEST(DeprecatedApi, ValidatingOverloadNullDiagsIsStrict) {
+  ResponseMatrix response = paper_example_response(5);
+  const XMatrix declared = XMatrix::from_response(response);
+  inject_undeclared_x(response);
+  EXPECT_THROW(
+      (void)run_hybrid_simulation(response, declared, paper_cfg(), nullptr),
+      std::runtime_error);
+}
+
+}  // namespace
+}  // namespace xh
+
+#pragma GCC diagnostic pop

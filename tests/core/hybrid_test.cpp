@@ -8,15 +8,16 @@
 namespace xh {
 namespace {
 
-HybridConfig paper_cfg() {
-  HybridConfig cfg;
-  cfg.partitioner.misr = {10, 2};
+PartitionerConfig paper_cfg() {
+  PartitionerConfig cfg;
+  cfg.misr = {10, 2};
   return cfg;
 }
 
 TEST(HybridAnalysis, ReportFieldsConsistent) {
   const XMatrix xm = paper_example_x_matrix();
-  const HybridReport rep = run_hybrid_analysis(xm, paper_cfg());
+  PipelineContext ctx(paper_cfg());
+  const HybridReport rep = run_hybrid_analysis(xm, ctx);
   EXPECT_EQ(rep.num_patterns, 8u);
   EXPECT_EQ(rep.num_chains, 5u);
   EXPECT_EQ(rep.chain_length, 3u);
@@ -31,7 +32,8 @@ TEST(HybridAnalysis, ReportFieldsConsistent) {
 
 TEST(HybridAnalysis, TestTimeUsesLeakedDensity) {
   const XMatrix xm = paper_example_x_matrix();
-  const HybridReport rep = run_hybrid_analysis(xm, paper_cfg());
+  PipelineContext ctx(paper_cfg());
+  const HybridReport rep = run_hybrid_analysis(xm, ctx);
   const MisrConfig misr{10, 2};
   EXPECT_DOUBLE_EQ(rep.test_time_canceling_only,
                    normalized_test_time(5, 28.0 / 120.0, misr));
@@ -42,7 +44,8 @@ TEST(HybridAnalysis, TestTimeUsesLeakedDensity) {
 
 TEST(HybridSimulation, EndToEndOnPaperExample) {
   const ResponseMatrix response = paper_example_response(21);
-  const HybridSimulation sim = run_hybrid_simulation(response, paper_cfg());
+  PipelineContext ctx(paper_cfg());
+  const HybridSimulation sim = run_hybrid_simulation(response, ctx);
   EXPECT_TRUE(sim.observability_preserved);
   EXPECT_EQ(sim.masked_response.total_x(), 5u);
   // 5 chains map to 5 distinct MISR stages (m=10 ≥ chains), so no X's merge
@@ -53,7 +56,8 @@ TEST(HybridSimulation, EndToEndOnPaperExample) {
 
 TEST(HybridSimulation, MaskedCellsReadZero) {
   const ResponseMatrix response = paper_example_response(4);
-  const HybridSimulation sim = run_hybrid_simulation(response, paper_cfg());
+  PipelineContext ctx(paper_cfg());
+  const HybridSimulation sim = run_hybrid_simulation(response, ctx);
   const auto& pr = sim.report.partitioning;
   for (std::size_t i = 0; i < pr.partitions.size(); ++i) {
     for (const std::size_t p : pr.partitions[i].set_bits()) {
@@ -66,7 +70,8 @@ TEST(HybridSimulation, MaskedCellsReadZero) {
 
 TEST(HybridSimulation, DeterministicValuesUntouched) {
   const ResponseMatrix response = paper_example_response(9);
-  const HybridSimulation sim = run_hybrid_simulation(response, paper_cfg());
+  PipelineContext ctx(paper_cfg());
+  const HybridSimulation sim = run_hybrid_simulation(response, ctx);
   for (std::size_t p = 0; p < response.num_patterns(); ++p) {
     for (std::size_t c = 0; c < response.num_cells(); ++c) {
       if (!response.is_x(p, c)) {
@@ -79,24 +84,26 @@ TEST(HybridSimulation, DeterministicValuesUntouched) {
 
 TEST(HybridSimulation, FewerStopsThanCancelingOnly) {
   const ResponseMatrix response = paper_example_response(13);
-  const HybridSimulation sim = run_hybrid_simulation(response, paper_cfg());
+  PipelineContext ctx(paper_cfg());
+  const HybridSimulation sim = run_hybrid_simulation(response, ctx);
   const XCancelResult baseline =
-      run_x_canceling(response, paper_cfg().partitioner.misr);
+      run_x_canceling(response, paper_cfg().misr);
   EXPECT_LT(sim.cancel.stops, baseline.stops)
       << "masking must reduce MISR halts";
-  EXPECT_LE(sim.cancel.control_bits(paper_cfg().partitioner.misr),
-            baseline.control_bits(paper_cfg().partitioner.misr));
+  EXPECT_LE(sim.cancel.control_bits(paper_cfg().misr),
+            baseline.control_bits(paper_cfg().misr));
 }
 
 TEST(HybridSimulation, SignatureBitsAreXFreeAcrossSeeds) {
   // Values at X positions differ per seed; the extracted signature values
   // must not (positions, combinations and values all identical), because
   // deterministic cells are identical across these responses.
-  const HybridConfig cfg = paper_cfg();
+  PipelineContext ctx_a(paper_cfg());
+  PipelineContext ctx_b(paper_cfg());
   const HybridSimulation a =
-      run_hybrid_simulation(paper_example_response(100), cfg);
+      run_hybrid_simulation(paper_example_response(100), ctx_a);
   const HybridSimulation b =
-      run_hybrid_simulation(paper_example_response(100), cfg);
+      run_hybrid_simulation(paper_example_response(100), ctx_b);
   ASSERT_EQ(a.cancel.signature.size(), b.cancel.signature.size());
   for (std::size_t i = 0; i < a.cancel.signature.size(); ++i) {
     EXPECT_EQ(a.cancel.signature[i].value, b.cancel.signature[i].value);

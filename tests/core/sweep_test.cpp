@@ -35,9 +35,9 @@ class HybridSweep : public ::testing::TestWithParam<SweepParam> {
 TEST_P(HybridSweep, InvariantsHold) {
   const auto [density, clustered, m, q] = GetParam();
   const XMatrix xm = workload(density, clustered);
-  HybridConfig cfg;
-  cfg.partitioner.misr = {m, q};
-  const HybridReport rep = run_hybrid_analysis(xm, cfg);
+  PipelineContext ctx;
+  ctx.partitioner.misr = {m, q};
+  const HybridReport rep = run_hybrid_analysis(xm, ctx);
   const PartitionResult& pr = rep.partitioning;
 
   // 1. Partitions form a disjoint cover.
@@ -59,7 +59,7 @@ TEST_P(HybridSweep, InvariantsHold) {
   EXPECT_EQ(pr.masked_x + pr.leaked_x, xm.total_x());
   EXPECT_DOUBLE_EQ(
       pr.total_bits,
-      hybrid_bits(xm.geometry(), pr.num_partitions(), cfg.partitioner.misr,
+      hybrid_bits(xm.geometry(), pr.num_partitions(), ctx.misr(),
                   pr.leaked_x));
 
   // 3. The cost trajectory is strictly decreasing over accepted rounds and

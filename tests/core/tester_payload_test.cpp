@@ -10,9 +10,9 @@ namespace xh {
 namespace {
 
 HybridSimulation worked_example_sim() {
-  HybridConfig cfg;
-  cfg.partitioner.misr = {10, 2};
-  return run_hybrid_simulation(paper_example_response(3), cfg);
+  PipelineContext ctx;
+  ctx.partitioner.misr = {10, 2};
+  return run_hybrid_simulation(paper_example_response(3), ctx);
 }
 
 TEST(TesterPayload, SectionsMatchPartitions) {

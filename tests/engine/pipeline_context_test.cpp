@@ -1,0 +1,87 @@
+// PipelineContext routing: diagnostics precedence (the be_lenient-after-
+// adopt_collector regression), trace plumbing, and config access.
+#include "engine/pipeline_context.hpp"
+
+#include <gtest/gtest.h>
+
+namespace xh {
+namespace {
+
+TEST(PipelineContext, StrictByDefault) {
+  PipelineContext ctx;
+  EXPECT_EQ(ctx.collector(), nullptr);
+}
+
+TEST(PipelineContext, BeLenientSelectsOwnedCollector) {
+  PipelineContext ctx;
+  ctx.be_lenient();
+  ASSERT_NE(ctx.collector(), nullptr);
+  EXPECT_EQ(ctx.collector(), &ctx.diagnostics());
+}
+
+TEST(PipelineContext, AdoptCollectorRoutesToCaller) {
+  Diagnostics diags;
+  PipelineContext ctx;
+  ctx.adopt_collector(&diags);
+  EXPECT_EQ(ctx.collector(), &diags);
+}
+
+// Regression: be_lenient() after adopt_collector() used to silently
+// re-target the sink to the owned collector, so every later record vanished
+// from the caller's Diagnostics. The adopted collector must keep precedence
+// and the bad call itself must be diagnosed into it.
+TEST(PipelineContext, BeLenientAfterAdoptKeepsAdoptedCollector) {
+  Diagnostics diags;
+  PipelineContext ctx;
+  ctx.adopt_collector(&diags);
+  ctx.be_lenient();
+  EXPECT_EQ(ctx.collector(), &diags);
+  EXPECT_EQ(diags.count(DiagKind::kBadArgument), 1u);
+  EXPECT_TRUE(diags.has_warnings());
+  // Later records still reach the caller's collector.
+  ctx.collector()->warn(DiagKind::kMissingX, "pattern 0 cell 0", "resolved");
+  EXPECT_EQ(diags.count(DiagKind::kMissingX), 1u);
+  // The owned collector saw none of it.
+  EXPECT_TRUE(ctx.diagnostics().empty());
+}
+
+TEST(PipelineContext, AdoptNullReleasesAndReturnsToStrict) {
+  Diagnostics diags;
+  PipelineContext ctx;
+  ctx.adopt_collector(&diags);
+  ctx.adopt_collector(nullptr);
+  EXPECT_EQ(ctx.collector(), nullptr);
+  // After the release, be_lenient() works normally again (no warning).
+  ctx.be_lenient();
+  EXPECT_EQ(ctx.collector(), &ctx.diagnostics());
+  EXPECT_TRUE(diags.empty());
+}
+
+TEST(PipelineContext, BeLenientTwiceIsIdempotent) {
+  PipelineContext ctx;
+  ctx.be_lenient();
+  ctx.be_lenient();
+  EXPECT_EQ(ctx.collector(), &ctx.diagnostics());
+  EXPECT_TRUE(ctx.diagnostics().empty());
+}
+
+TEST(PipelineContext, TraceOffByDefaultAndSettable) {
+  PipelineContext ctx;
+  EXPECT_EQ(ctx.trace(), nullptr);
+  Trace trace;
+  ctx.set_trace(&trace);
+  EXPECT_EQ(ctx.trace(), &trace);
+  ctx.set_trace(nullptr);
+  EXPECT_EQ(ctx.trace(), nullptr);
+}
+
+TEST(PipelineContext, ConfigCtorSeedsMisrAndRng) {
+  PartitionerConfig cfg;
+  cfg.misr = {16, 4};
+  PipelineContext ctx(cfg);
+  EXPECT_EQ(ctx.misr().size, 16u);
+  EXPECT_EQ(ctx.misr().q, 4u);
+}
+
+}  // namespace
+}  // namespace xh

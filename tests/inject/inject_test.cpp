@@ -16,9 +16,9 @@
 namespace xh {
 namespace {
 
-HybridConfig paper_cfg() {
-  HybridConfig cfg;
-  cfg.partitioner.misr = {10, 2};
+PartitionerConfig paper_cfg() {
+  PartitionerConfig cfg;
+  cfg.misr = {10, 2};
   return cfg;
 }
 
@@ -30,9 +30,9 @@ TEST(InjectUndeclaredX, StrictModeThrows) {
   const XMatrix declared = XMatrix::from_response(response);
   Corruptor corruptor(101);
   corruptor.add_undeclared_x(response, 3);
-  EXPECT_THROW(
-      run_hybrid_simulation(response, declared, paper_cfg(), nullptr),
-      std::runtime_error);
+  PipelineContext ctx(paper_cfg());  // strict: no collector adopted
+  EXPECT_THROW(run_hybrid_simulation(response, declared, ctx),
+               std::runtime_error);
 }
 
 TEST(InjectUndeclaredX, GracefulModeRecoversWithXFreeSignature) {
@@ -42,8 +42,10 @@ TEST(InjectUndeclaredX, GracefulModeRecoversWithXFreeSignature) {
   const auto injected = corruptor.add_undeclared_x(response, 3);
 
   Diagnostics diags;
+  PipelineContext ctx(paper_cfg());
+  ctx.adopt_collector(&diags);
   const HybridSimulation sim =
-      run_hybrid_simulation(response, declared, paper_cfg(), &diags);
+      run_hybrid_simulation(response, declared, ctx);
   EXPECT_TRUE(sim.degraded);
   EXPECT_EQ(sim.validation.undeclared_x, injected.size());
   EXPECT_EQ(diags.count(DiagKind::kUndeclaredX), injected.size());
@@ -73,11 +75,12 @@ TEST(InjectResolvedX, MaskViolationsReportedNeverAbsorbed) {
   // Resolve one of cell 0's X's: the mask now hides an observable value.
   silicon.set(1, 0, Lv::k1);
 
-  HybridConfig cfg;
-  cfg.partitioner.misr = {4, 1};
+  PipelineContext ctx;
+  ctx.partitioner.misr = {4, 1};
   Diagnostics diags;
+  ctx.adopt_collector(&diags);
   const HybridSimulation sim =
-      run_hybrid_simulation(silicon, declared, cfg, &diags);
+      run_hybrid_simulation(silicon, declared, ctx);
   EXPECT_TRUE(sim.degraded);
   EXPECT_EQ(sim.validation.missing_x, 1u);
   EXPECT_EQ(diags.count(DiagKind::kMissingX), 1u);
@@ -98,8 +101,10 @@ TEST(InjectResolvedX, EngineResolvesOnlyDeclaredXCells) {
   }
 
   Diagnostics diags;
+  PipelineContext ctx(paper_cfg());
+  ctx.adopt_collector(&diags);
   const HybridSimulation sim =
-      run_hybrid_simulation(response, declared, paper_cfg(), &diags);
+      run_hybrid_simulation(response, declared, ctx);
   EXPECT_TRUE(sim.degraded);
   EXPECT_EQ(sim.validation.missing_x, 4u);
 }

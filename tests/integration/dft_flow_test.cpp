@@ -99,9 +99,9 @@ TEST(DftFlow, EndToEndWithHybridResponseSide) {
   TestApplicator app(nl, plan);
   const ResponseMatrix response = app.capture(expanded);
 
-  HybridConfig hcfg;
-  hcfg.partitioner.misr = {16, 4};
-  const HybridSimulation sim = run_hybrid_simulation(response, hcfg);
+  PipelineContext ctx;
+  ctx.partitioner.misr = {16, 4};
+  const HybridSimulation sim = run_hybrid_simulation(response, ctx);
   EXPECT_TRUE(sim.observability_preserved);
   // The hybrid carries an L·C floor for its (at least one) mask; the cost
   // function guarantees it never exceeds the unsplit hybrid.

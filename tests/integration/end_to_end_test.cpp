@@ -50,9 +50,9 @@ TEST_P(EndToEnd, ResponsesContainXs) {
 
 TEST_P(EndToEnd, HybridPipelineRunsAndVerifies) {
   const Flow flow = Flow::build(GetParam());
-  HybridConfig cfg;
-  cfg.partitioner.misr = {16, 4};
-  const HybridSimulation sim = run_hybrid_simulation(flow.response, cfg);
+  PipelineContext ctx;
+  ctx.partitioner.misr = {16, 4};
+  const HybridSimulation sim = run_hybrid_simulation(flow.response, ctx);
   EXPECT_TRUE(sim.observability_preserved);
   EXPECT_EQ(sim.masked_response.total_x(),
             sim.report.partitioning.leaked_x);
@@ -69,10 +69,10 @@ TEST_P(EndToEnd, FaultCoverageIsExactlyPreserved) {
   // cannot lose a single detection. Verified by running fault simulation
   // with full observability vs. the hybrid's observation filter.
   const Flow flow = Flow::build(GetParam());
-  HybridConfig cfg;
-  cfg.partitioner.misr = {16, 4};
+  PipelineContext ctx;
+  ctx.partitioner.misr = {16, 4};
   const HybridReport rep =
-      run_hybrid_analysis(XMatrix::from_response(flow.response), cfg);
+      run_hybrid_analysis(XMatrix::from_response(flow.response), ctx);
 
   FaultSimulator fsim(flow.nl, flow.plan);
   // Sample the fault universe to keep runtime sane.
@@ -96,11 +96,11 @@ TEST_P(EndToEnd, FaultCoverageIsExactlyPreserved) {
 
 TEST_P(EndToEnd, HybridReducesMisrStops) {
   const Flow flow = Flow::build(GetParam());
-  HybridConfig cfg;
-  cfg.partitioner.misr = {16, 4};
-  const HybridSimulation sim = run_hybrid_simulation(flow.response, cfg);
+  PipelineContext ctx;
+  ctx.partitioner.misr = {16, 4};
+  const HybridSimulation sim = run_hybrid_simulation(flow.response, ctx);
   const XCancelResult baseline =
-      run_x_canceling(flow.response, cfg.partitioner.misr);
+      run_x_canceling(flow.response, ctx.misr());
   EXPECT_LE(sim.cancel.stops, baseline.stops);
   if (sim.report.partitioning.masked_x > 0) {
     EXPECT_LT(sim.cancel.total_x_seen, baseline.total_x_seen);
@@ -109,11 +109,13 @@ TEST_P(EndToEnd, HybridReducesMisrStops) {
 
 TEST_P(EndToEnd, AnalysisMatchesSimulation) {
   const Flow flow = Flow::build(GetParam());
-  HybridConfig cfg;
-  cfg.partitioner.misr = {16, 4};
+  PipelineContext actx;
+  actx.partitioner.misr = {16, 4};
+  PipelineContext sctx;
+  sctx.partitioner.misr = {16, 4};
   const XMatrix xm = XMatrix::from_response(flow.response);
-  const HybridReport analytic = run_hybrid_analysis(xm, cfg);
-  const HybridSimulation sim = run_hybrid_simulation(flow.response, cfg);
+  const HybridReport analytic = run_hybrid_analysis(xm, actx);
+  const HybridSimulation sim = run_hybrid_simulation(flow.response, sctx);
   EXPECT_EQ(analytic.total_x, sim.report.total_x);
   EXPECT_DOUBLE_EQ(analytic.proposed_bits, sim.report.proposed_bits);
   EXPECT_EQ(analytic.partitioning.num_partitions(),

@@ -1,0 +1,14 @@
+// corpus: the observability spine's one sanctioned steady-clock read — a
+// scoped-timer implementation whose value feeds only telemetry output —
+// carries a line-scoped XH-DET-001 suppression and must stay clean.
+#include <chrono>
+#include <cstdint>
+
+std::uint64_t span_elapsed_ns(std::uint64_t start_ns) {
+  const auto now =
+      std::chrono::steady_clock::now();  // xh-lint: allow(XH-DET-001) timer value feeds telemetry only, never computation
+  const auto ns = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                      now.time_since_epoch())
+                      .count();
+  return static_cast<std::uint64_t>(ns) - start_ns;
+}

@@ -1,0 +1,13 @@
+// corpus: the same scoped-timer clock read WITHOUT the suppression comment
+// must fire XH-DET-001 — src/obs/ gets no blanket exemption; every clock
+// read there needs its own output-independence proof.
+#include <chrono>
+#include <cstdint>
+
+std::uint64_t span_elapsed_ns(std::uint64_t start_ns) {
+  const auto now = std::chrono::steady_clock::now();
+  const auto ns = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                      now.time_since_epoch())
+                      .count();
+  return static_cast<std::uint64_t>(ns) - start_ns;
+}

@@ -59,6 +59,8 @@ const Expectation kExpectations[] = {
     {"src/core/det001_scanclock_good.cpp", ""},
     {"bench/det001_bench_good.cpp", ""},
     {"bench/det001_bench_bad.cpp", "XH-DET-001"},
+    {"src/obs/det001_span_suppressed_good.cpp", ""},
+    {"src/obs/det001_span_unsuppressed_bad.cpp", "XH-DET-001"},
     {"src/core/det002_local_bad.cpp", "XH-DET-002"},
     {"src/core/det002_iterator_bad.cpp", "XH-DET-002"},
     {"src/core/det002_member_bad.cpp", "XH-DET-002"},

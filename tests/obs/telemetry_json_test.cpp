@@ -1,0 +1,158 @@
+// Canonical telemetry serializer: schema envelope, deterministic ordering,
+// escaping, the include_timers switch, and a golden-file lock on the paper
+// worked example (the document every adopter — CLI and benches — emits).
+#include "obs/telemetry_json.hpp"
+
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "core/hybrid.hpp"
+#include "core/paper_example.hpp"
+#include "engine/pipeline_context.hpp"
+
+namespace xh {
+namespace {
+
+std::string render(const Trace& trace, const TelemetryMeta& meta,
+                   const Diagnostics* diags = nullptr,
+                   const TelemetryJsonOptions& options = {}) {
+  return telemetry_to_json(trace, meta, diags, options);
+}
+
+TEST(TelemetryJson, SchemaEnvelopeAlwaysPresent) {
+  Trace t;
+  TelemetryMeta meta;
+  meta.tool = "unit";
+  const std::string doc = render(t, meta);
+  EXPECT_NE(doc.find("\"schema\": \"xh-telemetry/1\""), std::string::npos);
+  EXPECT_NE(doc.find("\"tool\": \"unit\""), std::string::npos);
+  EXPECT_NE(doc.find("\"counters\""), std::string::npos);
+  EXPECT_NE(doc.find("\"gauges\""), std::string::npos);
+  EXPECT_NE(doc.find("\"histograms\""), std::string::npos);
+  EXPECT_EQ(std::string(kTelemetrySchema), "xh-telemetry/1");
+}
+
+TEST(TelemetryJson, TimersOmittedWhenExcluded) {
+  Trace t;
+  t.span_enter("analysis");
+  t.span_exit(7);
+  TelemetryMeta meta;
+  meta.tool = "unit";
+  TelemetryJsonOptions opt;
+  opt.include_timers = true;
+  EXPECT_NE(render(t, meta, nullptr, opt).find("\"timers\""),
+            std::string::npos);
+  opt.include_timers = false;
+  EXPECT_EQ(render(t, meta, nullptr, opt).find("\"timers\""),
+            std::string::npos);
+}
+
+TEST(TelemetryJson, DiagnosticsSectionListsNonZeroKindsOnly) {
+  Trace t;
+  TelemetryMeta meta;
+  meta.tool = "unit";
+  EXPECT_EQ(render(t, meta).find("\"diagnostics\""), std::string::npos);
+
+  Diagnostics diags;
+  diags.warn(DiagKind::kMissingX, "pattern 0 cell 1", "resolved");
+  diags.warn(DiagKind::kMissingX, "pattern 0 cell 2", "resolved");
+  const std::string doc = render(t, meta, &diags);
+  EXPECT_NE(doc.find("\"diagnostics\""), std::string::npos);
+  EXPECT_NE(doc.find("\"missing-x\": 2"), std::string::npos);
+  EXPECT_EQ(doc.find("undeclared-x"), std::string::npos);
+}
+
+TEST(TelemetryJson, StringsAreEscaped) {
+  Trace t;
+  TelemetryMeta meta;
+  meta.tool = "unit";
+  meta.run = {{"path", "a\"b\\c\nd"}};
+  const std::string doc = render(t, meta);
+  EXPECT_NE(doc.find("a\\\"b\\\\c\\nd"), std::string::npos);
+}
+
+TEST(TelemetryJson, MapsEmitInSortedKeyOrder) {
+  Trace t;
+  t.counter("zeta");
+  t.counter("alpha");
+  t.counter("mid");
+  TelemetryMeta meta;
+  meta.tool = "unit";
+  const std::string doc = render(t, meta);
+  EXPECT_LT(doc.find("alpha"), doc.find("mid"));
+  EXPECT_LT(doc.find("mid"), doc.find("zeta"));
+}
+
+// The remaining tests observe the pipeline's live instrumentation, which a
+// whole-tree XH_OBS_NOOP build compiles out.
+#ifndef XH_OBS_NOOP
+
+TEST(TelemetryJson, IdenticalRunsAreByteIdentical) {
+  TelemetryMeta meta;
+  meta.tool = "unit";
+  meta.run = {{"k", "v"}};
+  TelemetryJsonOptions opt;
+  opt.include_timers = false;  // timers carry wall-clock noise by design
+
+  const auto run = [&] {
+    Trace t;
+    PartitionerConfig cfg;
+    cfg.misr = {10, 2};
+    PipelineContext ctx(cfg);
+    ctx.set_trace(&t);
+    (void)run_hybrid_analysis(paper_example_x_matrix(), ctx);
+    return render(t, meta, nullptr, opt);
+  };
+  EXPECT_EQ(run(), run());
+}
+
+TEST(TelemetryJson, StreamAndStringVariantsAgree) {
+  Trace t;
+  t.counter("events").value = 7;
+  t.gauge("ratio").value = 1.5;
+  TelemetryMeta meta;
+  meta.tool = "unit";
+  std::ostringstream os;
+  write_telemetry_json(os, t, meta);
+  EXPECT_EQ(os.str(), render(t, meta));
+}
+
+// Golden lock: the full document for the Section 4 worked example (m=10,
+// q=2), timers excluded. Every field in it — engine counters, hybrid
+// gauges, victim-row histogram — is a pure function of the paper's X
+// matrix, so any diff is a real behavior change (instrumentation moved,
+// partitioner decisions changed, or the schema itself was revised — the
+// last requires bumping xh-telemetry/1 and regenerating).
+TEST(TelemetryJson, PaperExampleMatchesGoldenFile) {
+  Trace t;
+  PartitionerConfig cfg;
+  cfg.misr = {10, 2};
+  PipelineContext ctx(cfg);
+  ctx.set_trace(&t);
+  (void)run_hybrid_analysis(paper_example_x_matrix(), ctx);
+
+  TelemetryMeta meta;
+  meta.tool = "telemetry_json_test";
+  meta.run = {{"workload", "paper-example"}, {"misr", "10/2"}};
+  TelemetryJsonOptions opt;
+  opt.include_timers = false;
+  const std::string actual = render(t, meta, nullptr, opt);
+
+  const std::string golden_path =
+      std::string(XH_OBS_GOLDEN_DIR) + "/paper_example_telemetry.json";
+  std::ifstream in(golden_path, std::ios::binary);
+  ASSERT_TRUE(in.good()) << "missing golden file " << golden_path;
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  EXPECT_EQ(actual, ss.str())
+      << "telemetry for the paper example diverged from the golden file; "
+         "if the change is intentional, regenerate " << golden_path;
+}
+
+#endif  // XH_OBS_NOOP
+
+}  // namespace
+}  // namespace xh

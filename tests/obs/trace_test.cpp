@@ -1,0 +1,144 @@
+// xh::Trace registry semantics: instrument identity by name, histogram
+// bucketing, span path joining, and the null-trace no-op contract every
+// instrumented stage relies on.
+#include "obs/trace.hpp"
+
+#include <gtest/gtest.h>
+
+namespace xh {
+namespace {
+
+TEST(TraceCounters, RegisteredByNameAndMonotonic) {
+  Trace t;
+  EXPECT_TRUE(t.empty());
+  t.counter("a.events").value += 3;
+  t.counter("a.events").value += 4;
+  t.counter("b.events");  // registered at zero by first touch
+  EXPECT_EQ(t.counters().size(), 2u);
+  EXPECT_EQ(t.counters().at("a.events").value, 7u);
+  EXPECT_EQ(t.counters().at("b.events").value, 0u);
+  EXPECT_FALSE(t.empty());
+}
+
+TEST(TraceGauges, LastWriteWins) {
+  Trace t;
+  t.gauge("x.density").value = 0.25;
+  t.gauge("x.density").value = 0.5;
+  EXPECT_DOUBLE_EQ(t.gauges().at("x.density").value, 0.5);
+}
+
+TEST(TraceHistograms, PowerOfTwoBucketing) {
+  TraceHistogram h;
+  h.record(0);  // bucket 0: zeros
+  h.record(1);  // bucket 1: [1, 2)
+  h.record(2);  // bucket 2: [2, 4)
+  h.record(3);  // bucket 2
+  h.record(4);  // bucket 3: [4, 8)
+  h.record(7);  // bucket 3
+  EXPECT_EQ(h.count, 6u);
+  EXPECT_EQ(h.sum, 17u);
+  EXPECT_EQ(h.min, 0u);
+  EXPECT_EQ(h.max, 7u);
+  EXPECT_EQ(h.buckets[0], 1u);
+  EXPECT_EQ(h.buckets[1], 1u);
+  EXPECT_EQ(h.buckets[2], 2u);
+  EXPECT_EQ(h.buckets[3], 2u);
+  EXPECT_EQ(TraceHistogram::bucket_lo(0), 0u);
+  EXPECT_EQ(TraceHistogram::bucket_lo(1), 1u);
+  EXPECT_EQ(TraceHistogram::bucket_lo(3), 4u);
+}
+
+TEST(TraceHistograms, TopBucketHoldsMaxUint64) {
+  TraceHistogram h;
+  h.record(~std::uint64_t{0});
+  EXPECT_EQ(h.buckets[TraceHistogram::kBuckets - 1], 1u);
+  EXPECT_EQ(h.max, ~std::uint64_t{0});
+}
+
+// Span *paths* are registry behavior and hold in both obs modes.
+TEST(TraceSpans, EnterExitJoinPathsInRegistry) {
+  Trace t;
+  t.span_enter("analysis");
+  t.span_enter("partition");
+  t.span_exit(5);
+  t.span_exit(10);
+  ASSERT_EQ(t.timers().size(), 2u);
+  EXPECT_EQ(t.timers().at("analysis").total_ns, 10u);
+  EXPECT_EQ(t.timers().at("analysis/partition").total_ns, 5u);
+}
+
+#ifndef XH_OBS_NOOP
+
+TEST(TraceSpans, NestedSpansJoinPaths) {
+  Trace t;
+  {
+    const ScopedSpan outer(&t, "analysis");
+    EXPECT_EQ(t.open_spans(), 1u);
+    {
+      const ScopedSpan inner(&t, "partition");
+      EXPECT_EQ(t.open_spans(), 2u);
+    }
+    EXPECT_EQ(t.open_spans(), 1u);
+  }
+  EXPECT_EQ(t.open_spans(), 0u);
+  ASSERT_EQ(t.timers().size(), 2u);
+  EXPECT_EQ(t.timers().count("analysis"), 1u);
+  EXPECT_EQ(t.timers().count("analysis/partition"), 1u);
+  EXPECT_EQ(t.timers().at("analysis").count, 1u);
+}
+
+TEST(TraceSpans, RepeatedSpansFoldIntoOneTimer) {
+  Trace t;
+  for (int i = 0; i < 3; ++i) {
+    const ScopedSpan span(&t, "cancel");
+  }
+  ASSERT_EQ(t.timers().size(), 1u);
+  EXPECT_EQ(t.timers().at("cancel").count, 3u);
+}
+
+#endif  // XH_OBS_NOOP
+
+TEST(TraceHelpers, NullTraceIsNoOp) {
+  // The core contract: every helper degrades to a branch on nullptr, so an
+  // untraced pipeline run pays nothing and touches no state.
+  obs_count(nullptr, "a");
+  obs_gauge(nullptr, "b", 1.0);
+  obs_record(nullptr, "c", 2);
+  obs_add(obs_counter(nullptr, "d"), 5);
+  const ScopedSpan span(nullptr, "e");
+}
+
+#ifndef XH_OBS_NOOP
+
+TEST(TraceHelpers, HelpersFeedTheRegistry) {
+  Trace t;
+  obs_count(&t, "events");
+  obs_count(&t, "events", 4);
+  obs_gauge(&t, "ratio", 2.5);
+  obs_record(&t, "sizes", 9);
+  const TraceCounterHandle handle = obs_counter(&t, "hot");
+  obs_add(handle);
+  obs_add(handle, 2);
+  EXPECT_EQ(t.counters().at("events").value, 5u);
+  EXPECT_DOUBLE_EQ(t.gauges().at("ratio").value, 2.5);
+  EXPECT_EQ(t.histograms().at("sizes").count, 1u);
+  EXPECT_EQ(t.counters().at("hot").value, 3u);
+}
+
+#endif  // XH_OBS_NOOP
+
+TEST(TraceRegistry, ClearEmptiesEverything) {
+  Trace t;
+  t.counter("a").value = 1;
+  t.gauge("b").value = 1.0;
+  t.histogram("c").record(2);
+  t.span_enter("d");
+  t.span_exit(3);
+  EXPECT_FALSE(t.empty());
+  t.clear();
+  EXPECT_TRUE(t.empty());
+  EXPECT_EQ(t.open_spans(), 0u);
+}
+
+}  // namespace
+}  // namespace xh

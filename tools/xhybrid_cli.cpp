@@ -4,28 +4,35 @@
 //       Run the paper's Section 4 worked example and print the full trace.
 //
 //   xhybrid_cli analyze --chains N --length L --patterns P --density D
-//                       [--clustered F] [--misr M] [--q Q] [--seed S]
-//                       [--save file.xm] [--threads T]
+//                       [--clustered F] [--misr-size M] [--misr-q Q]
+//                       [--seed S] [--save-xm file.xm] [--threads T]
 //       Generate a synthetic workload and print the hybrid analysis report;
 //       optionally save the X matrix for later runs. --threads T fans the
 //       partition engine's cell analysis out on T lanes (1 = serial,
 //       0 = all hardware threads); results are identical for any T.
 //
-//   xhybrid_cli analyze --load file.xm [--misr M] [--q Q]
+//   xhybrid_cli analyze --load-xm file.xm [--misr-size M] [--misr-q Q]
 //       Analyze a previously saved (or externally produced) X matrix.
 //
 //   xhybrid_cli circuit <netlist.bench> [--chains N] [--patterns P]
-//                       [--misr M] [--q Q] [--seed S]
+//                       [--misr-size M] [--misr-q Q] [--seed S]
 //       Read a .bench netlist (with NDFF/TRISTATE/BUS X-source extensions),
 //       run ATPG, capture responses, and print the hybrid analysis +
 //       verified coverage result.
 //
 //   xhybrid_cli inject --mode MODE [--count N] [--seed S] [--lenient]
 //                      [--chains N] [--length L] [--patterns P]
-//                      [--misr M] [--q Q]
+//                      [--misr-size M] [--misr-q Q]
 //       Seeded fault-injection campaign against the pipeline (DESIGN.md §7).
 //       Modes: undeclared-x, resolved-x, burst, tamper, truncate-xm,
 //       garble-xm, duplicate-xm.
+//
+// Flags follow one kebab-case scheme (all commands): --strict / --lenient
+// pick the diagnostics mode, --threads T picks the pool width, and
+// --telemetry file.json dumps the run's xh::Trace as an xh-telemetry/1
+// document. The pre-consolidation spellings --misr, --q, --save and --load
+// survive as hidden deprecated aliases of --misr-size, --misr-q, --save-xm
+// and --load-xm.
 //
 // Robustness flags (all commands): --lenient attaches a structured
 // diagnostics collector so data mismatches degrade gracefully and are
@@ -47,6 +54,8 @@
 #include "fault/fault_sim.hpp"
 #include "inject/corruptor.hpp"
 #include "netlist/bench_io.hpp"
+#include "obs/telemetry_json.hpp"
+#include "obs/trace.hpp"
 #include "response/io.hpp"
 #include "scan/test_application.hpp"
 #include "util/parse.hpp"
@@ -62,17 +71,22 @@ namespace {
   std::fprintf(
       stderr,
       "usage:\n"
-      "  %s example\n"
+      "  %s example [--telemetry file.json]\n"
       "  %s analyze --chains N --length L --patterns P --density D\n"
-      "             [--clustered F] [--misr M] [--q Q] [--seed S]\n"
-      "             [--save file.xm | --load file.xm] [--lenient]\n"
-      "             [--threads T]\n"
+      "             [--clustered F] [--misr-size M] [--misr-q Q] [--seed S]\n"
+      "             [--save-xm file.xm | --load-xm file.xm]\n"
+      "             [--strict | --lenient] [--threads T]\n"
+      "             [--telemetry file.json]\n"
       "  %s circuit <netlist.bench> [--chains N] [--patterns P]\n"
-      "             [--misr M] [--q Q] [--seed S] [--lenient]\n"
-      "             [--threads T]\n"
-      "  %s inject --mode MODE [--count N] [--seed S] [--lenient]\n"
+      "             [--misr-size M] [--misr-q Q] [--seed S]\n"
+      "             [--strict | --lenient] [--threads T]\n"
+      "             [--telemetry file.json]\n"
+      "  %s inject --mode MODE [--count N] [--seed S]\n"
+      "            [--strict | --lenient] [--telemetry file.json]\n"
       "            (modes: undeclared-x resolved-x burst tamper\n"
-      "             truncate-xm garble-xm duplicate-xm)\n",
+      "             truncate-xm garble-xm duplicate-xm)\n"
+      "deprecated aliases (to be removed): --misr = --misr-size,\n"
+      "  --q = --misr-q, --save = --save-xm, --load = --load-xm\n",
       argv0, argv0, argv0, argv0);
   std::exit(2);
 }
@@ -122,6 +136,7 @@ struct Options {
   std::string positional;
   std::string save_path;
   std::string load_path;
+  std::string telemetry_path;
 };
 
 Options parse(int argc, char** argv, int from) {
@@ -142,10 +157,12 @@ Options parse(int argc, char** argv, int from) {
       opt.density = arg_f64("--density", next());
     } else if (arg == "--clustered") {
       opt.clustered = arg_f64("--clustered", next());
-    } else if (arg == "--misr") {
-      opt.misr = arg_size("--misr", next());
-    } else if (arg == "--q") {
-      opt.q = arg_size("--q", next());
+    } else if (arg == "--misr-size" || arg == "--misr") {
+      // --misr is a hidden deprecated alias of --misr-size.
+      opt.misr = arg_size("--misr-size", next());
+    } else if (arg == "--misr-q" || arg == "--q") {
+      // --q is a hidden deprecated alias of --misr-q.
+      opt.q = arg_size("--misr-q", next());
     } else if (arg == "--seed") {
       opt.seed = arg_u64("--seed", next());
     } else if (arg == "--count") {
@@ -158,10 +175,14 @@ Options parse(int argc, char** argv, int from) {
       opt.lenient = true;
     } else if (arg == "--strict") {
       opt.lenient = false;
-    } else if (arg == "--save") {
+    } else if (arg == "--save-xm" || arg == "--save") {
+      // --save is a hidden deprecated alias of --save-xm.
       opt.save_path = next();
-    } else if (arg == "--load") {
+    } else if (arg == "--load-xm" || arg == "--load") {
+      // --load is a hidden deprecated alias of --load-xm.
       opt.load_path = next();
+    } else if (arg == "--telemetry") {
+      opt.telemetry_path = next();
     } else if (!arg.empty() && arg[0] != '-' && opt.positional.empty()) {
       opt.positional = arg;
     } else {
@@ -222,7 +243,7 @@ std::unique_ptr<ThreadPool> make_pool(std::size_t threads) {
   return std::make_unique<ThreadPool>(threads);
 }
 
-int cmd_example() {
+int cmd_example(Trace* trace) {
   PartitionerConfig cfg;
   cfg.misr = {10, 2};
   const XMatrix xm = paper_example_x_matrix();
@@ -234,17 +255,18 @@ int cmd_example() {
                 static_cast<unsigned long long>(h.masked_x), h.total_bits,
                 h.accepted ? "" : "  (rejected)");
   }
-  HybridConfig hcfg;
-  hcfg.partitioner = cfg;
-  print_report(run_hybrid_analysis(xm, hcfg));
+  PipelineContext ctx(cfg);
+  ctx.set_trace(trace);
+  print_report(run_hybrid_analysis(xm, ctx));
   return 0;
 }
 
-int cmd_analyze(const Options& opt) {
+int cmd_analyze(const Options& opt, Trace* trace) {
   const std::unique_ptr<ThreadPool> pool = make_pool(opt.threads);
   PartitionerConfig pcfg;
   pcfg.misr = {opt.misr, opt.q};
   PipelineContext ctx(pcfg, pool.get());
+  ctx.set_trace(trace);
   if (opt.lenient) ctx.be_lenient();
   if (!opt.load_path.empty()) {
     std::ifstream in(opt.load_path);
@@ -286,7 +308,7 @@ int cmd_analyze(const Options& opt) {
   return finish_with_diagnostics(ctx.diagnostics());
 }
 
-int cmd_circuit(const Options& opt, const char* argv0) {
+int cmd_circuit(const Options& opt, const char* argv0, Trace* trace) {
   if (opt.positional.empty()) usage(argv0);
   std::ifstream in(opt.positional);
   if (!in) {
@@ -314,6 +336,7 @@ int cmd_circuit(const Options& opt, const char* argv0) {
   PartitionerConfig pcfg;
   pcfg.misr = {opt.misr, opt.q};
   PipelineContext ctx(pcfg, pool.get());
+  ctx.set_trace(trace);
   const HybridSimulation sim = run_hybrid_simulation(response, ctx);
   print_report(sim.report);
 
@@ -361,12 +384,11 @@ void print_sim_summary(const HybridSimulation& sim) {
               sim.degraded ? "degraded (see diagnostics)" : "clean");
 }
 
-int cmd_inject(const Options& opt, const char* argv0) {
+int cmd_inject(const Options& opt, const char* argv0, Trace* trace) {
   Corruptor corruptor(opt.seed);
   Diagnostics diags;
   Diagnostics* collector = opt.lenient ? &diags : nullptr;
-  HybridConfig cfg;
-  cfg.partitioner.misr = {opt.misr, opt.q};
+  const MisrConfig misr{opt.misr, opt.q};
 
   WorkloadProfile profile;
   profile.name = "inject";
@@ -388,8 +410,12 @@ int cmd_inject(const Options& opt, const char* argv0) {
             : corruptor.resolve_declared_x(response, opt.count);
     std::printf("injected %zu %s cells (seed %llu)\n", injected.size(),
                 opt.mode.c_str(), static_cast<unsigned long long>(opt.seed));
+    PipelineContext ctx;
+    ctx.partitioner.misr = misr;
+    ctx.adopt_collector(collector);
+    ctx.set_trace(trace);
     const HybridSimulation sim =
-        run_hybrid_simulation(response, declared, cfg, collector);
+        run_hybrid_simulation(response, declared, ctx);
     print_sim_summary(sim);
     if (!opt.lenient) return sim.degraded ? 1 : 0;
     return finish_with_diagnostics(diags);
@@ -398,33 +424,32 @@ int cmd_inject(const Options& opt, const char* argv0) {
   if (opt.mode == "burst") {
     // Starvation is a MISR-level phenomenon: use one chain per MISR stage
     // so a whole slice can be corrupted in a single shift cycle.
-    ResponseMatrix response({cfg.partitioner.misr.size, opt.length},
-                            opt.patterns);
-    const std::size_t budget =
-        cfg.partitioner.misr.size - cfg.partitioner.misr.q;
-    const auto burst =
-        corruptor.x_burst(response, cfg.partitioner.misr,
-                          std::min(budget + 2, cfg.partitioner.misr.size));
+    ResponseMatrix response({misr.size, opt.length}, opt.patterns);
+    const std::size_t budget = misr.size - misr.q;
+    const auto burst = corruptor.x_burst(
+        response, misr, std::min(budget + 2, misr.size));
     corruptor.add_undeclared_x(response, opt.count);  // repayment fodder
     std::printf("injected burst of %zu X in one shift slice\n", burst.size());
     const XMatrix declared = XMatrix::from_response(response);
+    PipelineContext ctx;
+    ctx.partitioner.misr = misr;
+    ctx.adopt_collector(collector);
+    ctx.set_trace(trace);
     const HybridSimulation sim =
-        run_hybrid_simulation(response, declared, cfg, collector);
+        run_hybrid_simulation(response, declared, ctx);
     print_sim_summary(sim);
     if (!opt.lenient) return sim.degraded ? 1 : 0;
     return finish_with_diagnostics(diags);
   }
 
   if (opt.mode == "tamper") {
-    XCancelSession session(cfg.partitioner.misr, collector);
+    XCancelSession session(misr, collector, trace);
     session.install_combination_tamper(corruptor.combination_tamper());
     Rng rng(opt.seed + 2);
-    for (std::size_t cycle = 0; cycle < 64 * cfg.partitioner.misr.size;
-         ++cycle) {
-      std::vector<Lv> slice(cfg.partitioner.misr.size, Lv::k0);
+    for (std::size_t cycle = 0; cycle < 64 * misr.size; ++cycle) {
+      std::vector<Lv> slice(misr.size, Lv::k0);
       if (rng.chance(0.1)) {
-        slice[static_cast<std::size_t>(
-            rng.below(cfg.partitioner.misr.size))] = Lv::kX;
+        slice[static_cast<std::size_t>(rng.below(misr.size))] = Lv::kX;
       }
       session.shift(slice);
     }
@@ -469,14 +494,42 @@ int main(int argc, char** argv) {
   if (argc < 2) xh::usage(argv[0]);
   const std::string cmd = argv[1];
   try {
-    if (cmd == "example") return xh::cmd_example();
     const xh::Options opt = xh::parse(argc, argv, 2);
-    if (cmd == "analyze") return xh::cmd_analyze(opt);
-    if (cmd == "circuit") return xh::cmd_circuit(opt, argv[0]);
-    if (cmd == "inject") return xh::cmd_inject(opt, argv[0]);
+    xh::Trace trace;
+    xh::Trace* tr = opt.telemetry_path.empty() ? nullptr : &trace;
+    int rc = 2;
+    if (cmd == "example") {
+      rc = xh::cmd_example(tr);
+    } else if (cmd == "analyze") {
+      rc = xh::cmd_analyze(opt, tr);
+    } else if (cmd == "circuit") {
+      rc = xh::cmd_circuit(opt, argv[0], tr);
+    } else if (cmd == "inject") {
+      rc = xh::cmd_inject(opt, argv[0], tr);
+    } else {
+      xh::usage(argv[0]);
+    }
+    if (tr != nullptr) {
+      std::ofstream out(opt.telemetry_path);
+      if (!out) {
+        std::fprintf(stderr, "cannot write %s\n",
+                     opt.telemetry_path.c_str());
+        return 1;
+      }
+      xh::TelemetryMeta meta;
+      meta.tool = "xhybrid_cli";
+      meta.run = {{"command", cmd},
+                  {"mode", opt.lenient ? "lenient" : "strict"},
+                  {"seed", std::to_string(opt.seed)},
+                  {"misr", std::to_string(opt.misr) + "/" +
+                               std::to_string(opt.q)}};
+      xh::write_telemetry_json(out, trace, meta);
+      std::fprintf(stderr, "telemetry written to %s\n",
+                   opt.telemetry_path.c_str());
+    }
+    return rc;
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return 1;
   }
-  xh::usage(argv[0]);
 }
