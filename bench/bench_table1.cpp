@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "core/hybrid.hpp"
+#include "core/partitioner.hpp"
 #include "masking/mask_encoding.hpp"
 #include "misr/accounting.hpp"
 #include "obs/telemetry_json.hpp"

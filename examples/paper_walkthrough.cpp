@@ -9,6 +9,7 @@
 
 #include "core/hybrid.hpp"
 #include "core/paper_example.hpp"
+#include "core/partitioner.hpp"
 #include "masking/mask.hpp"
 #include "misr/symbolic_misr.hpp"
 #include "response/x_stats.hpp"

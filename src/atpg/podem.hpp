@@ -18,7 +18,10 @@
 
 #include "fault/fault_model.hpp"
 #include "fault/testability.hpp"
+#include "netlist/netlist.hpp"
+#include "scan/scan_plan.hpp"
 #include "scan/test_application.hpp"
+#include "sim/logic.hpp"
 
 namespace xh {
 

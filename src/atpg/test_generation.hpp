@@ -5,7 +5,11 @@
 #include <cstdint>
 
 #include "atpg/podem.hpp"
+#include "fault/fault_model.hpp"
 #include "fault/fault_sim.hpp"
+#include "netlist/netlist.hpp"
+#include "scan/scan_plan.hpp"
+#include "scan/test_application.hpp"
 
 namespace xh {
 

@@ -13,7 +13,7 @@
 // is not (DESIGN.md §7).
 #pragma once
 
-#include "core/partitioner.hpp"
+#include "engine/partition_types.hpp"
 #include "engine/pipeline_context.hpp"
 #include "misr/x_cancel.hpp"
 #include "response/response_matrix.hpp"
@@ -56,11 +56,12 @@ struct HybridReport {
 /// Analysis-only pipeline (closed-form accounting on X locations). The
 /// context supplies configuration, diagnostics routing and the optional
 /// thread pool the partition engine fans out on.
-HybridReport run_hybrid_analysis(const XMatrix& xm, PipelineContext& ctx);
+[[nodiscard]] HybridReport run_hybrid_analysis(const XMatrix& xm,
+                                               PipelineContext& ctx);
 
 /// Compatibility overload; builds a strict serial context from @p cfg.
-[[deprecated("construct a PipelineContext and call "
-             "run_hybrid_analysis(xm, ctx)")]]
+[[nodiscard]] [[deprecated("construct a PipelineContext and call "
+                           "run_hybrid_analysis(xm, ctx)")]]
 HybridReport run_hybrid_analysis(const XMatrix& xm, const HybridConfig& cfg);
 
 /// Classified cross-check of a captured response against declared X
@@ -79,9 +80,9 @@ struct XValidation {
 /// declaration alone); missing X's as warnings (masks derived from the
 /// declaration may hide observable values). Geometry and pattern counts must
 /// match (caller misuse otherwise).
-XValidation validate_response(const ResponseMatrix& response,
-                              const XMatrix& declared,
-                              Diagnostics* diags = nullptr);
+[[nodiscard]] XValidation validate_response(const ResponseMatrix& response,
+                                            const XMatrix& declared,
+                                            Diagnostics* diags = nullptr);
 
 /// Full-simulation pipeline on a dense response.
 struct HybridSimulation {
@@ -104,10 +105,10 @@ struct HybridSimulation {
 /// Trusting pipeline: X locations are taken from the response itself, so the
 /// declared and observed X sets agree by construction. Mask or accounting
 /// violations indicate library bugs and throw (legacy fail-fast behavior).
-HybridSimulation run_hybrid_simulation(const ResponseMatrix& response,
-                                       PipelineContext& ctx);
-[[deprecated("construct a PipelineContext and call "
-             "run_hybrid_simulation(response, ctx)")]]
+[[nodiscard]] HybridSimulation run_hybrid_simulation(
+    const ResponseMatrix& response, PipelineContext& ctx);
+[[nodiscard]] [[deprecated("construct a PipelineContext and call "
+                           "run_hybrid_simulation(response, ctx)")]]
 HybridSimulation run_hybrid_simulation(const ResponseMatrix& response,
                                        const HybridConfig& cfg);
 
@@ -122,13 +123,14 @@ HybridSimulation run_hybrid_simulation(const ResponseMatrix& response,
 ///   * starved or contaminated extractions retry at later stops.
 /// A strict context (ctx.collector() == nullptr) throws on mismatch; a
 /// lenient or adopting context degrades gracefully.
-HybridSimulation run_hybrid_simulation(const ResponseMatrix& response,
-                                       const XMatrix& declared,
-                                       PipelineContext& ctx);
+[[nodiscard]] HybridSimulation run_hybrid_simulation(
+    const ResponseMatrix& response, const XMatrix& declared,
+    PipelineContext& ctx);
 /// Compatibility overload: @p diags == nullptr selects strict mode.
-[[deprecated("construct a PipelineContext (adopt_collector(diags) for the "
-             "lenient path) and call run_hybrid_simulation(response, "
-             "declared, ctx)")]]
+[[nodiscard]] [[deprecated(
+    "construct a PipelineContext (adopt_collector(diags) for the "
+    "lenient path) and call run_hybrid_simulation(response, "
+    "declared, ctx)")]]
 HybridSimulation run_hybrid_simulation(const ResponseMatrix& response,
                                        const XMatrix& declared,
                                        const HybridConfig& cfg,

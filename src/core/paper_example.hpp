@@ -18,13 +18,14 @@
 
 #include <cstdint>
 
+#include "response/geometry.hpp"
 #include "response/response_matrix.hpp"
 #include "response/x_matrix.hpp"
 
 namespace xh {
 
 /// 5 chains × 3 cells (cell index = chain·3 + position).
-ScanGeometry paper_example_geometry();
+[[nodiscard]] ScanGeometry paper_example_geometry();
 
 /// Convenient aliases for the cells named in the text.
 struct PaperExampleCells {
@@ -38,11 +39,11 @@ struct PaperExampleCells {
 };
 
 /// The 8-pattern × 15-cell X-location matrix of Figure 4.
-XMatrix paper_example_x_matrix();
+[[nodiscard]] XMatrix paper_example_x_matrix();
 
 /// A dense response carrying the Figure 4 X's; deterministic cells get
 /// pseudo-random 0/1 values from @p seed (their values are irrelevant to the
 /// partitioning but exercise the full pipeline).
-ResponseMatrix paper_example_response(std::uint64_t seed = 1);
+[[nodiscard]] ResponseMatrix paper_example_response(std::uint64_t seed = 1);
 
 }  // namespace xh

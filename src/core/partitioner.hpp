@@ -28,8 +28,8 @@ namespace xh {
 /// XMatrixView, run rounds incrementally); the result is bit-identical to
 /// partition_patterns_reference() for every configuration and seed — the
 /// equivalence suite in tests/engine/ enforces it.
-PartitionResult partition_patterns(const XMatrix& xm,
-                                   const PartitionerConfig& cfg);
+[[nodiscard]] PartitionResult partition_patterns(const XMatrix& xm,
+                                                 const PartitionerConfig& cfg);
 
 /// The seed implementation: re-analyzes every X cell of the whole design on
 /// every probe and clones the partition vector per round. O(rounds ×
@@ -37,7 +37,7 @@ PartitionResult partition_patterns(const XMatrix& xm,
 /// victim_cells × pattern_words). Retained verbatim as the oracle for the
 /// equivalence suite and the baseline bench_partitioner measures against;
 /// not for production use.
-PartitionResult partition_patterns_reference(const XMatrix& xm,
-                                             const PartitionerConfig& cfg);
+[[nodiscard]] PartitionResult partition_patterns_reference(
+    const XMatrix& xm, const PartitionerConfig& cfg);
 
 }  // namespace xh

@@ -14,6 +14,7 @@
 
 #include "core/hybrid.hpp"
 #include "masking/mask_encoding.hpp"
+#include "util/bitvec.hpp"
 
 namespace xh {
 
@@ -43,6 +44,6 @@ struct TesterPayload {
 };
 
 /// Assembles the payload from a completed hybrid simulation.
-TesterPayload build_tester_payload(const HybridSimulation& sim);
+[[nodiscard]] TesterPayload build_tester_payload(const HybridSimulation& sim);
 
 }  // namespace xh

@@ -33,6 +33,9 @@
 #include "engine/partition_types.hpp"
 #include "engine/pipeline_context.hpp"
 #include "engine/x_matrix_view.hpp"
+#include "obs/trace.hpp"
+#include "response/x_matrix.hpp"
+#include "util/bitvec.hpp"
 #include "util/rng.hpp"
 #include "util/thread_pool.hpp"
 
@@ -123,6 +126,7 @@ class PartitionEngine {
 };
 
 /// Convenience: snapshot + engine run in one call, routed through a context.
-PartitionResult run_partitioning(const XMatrix& xm, PipelineContext& ctx);
+[[nodiscard]] PartitionResult run_partitioning(const XMatrix& xm,
+                                               PipelineContext& ctx);
 
 }  // namespace xh

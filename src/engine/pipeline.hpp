@@ -19,23 +19,24 @@
 #include "response/io.hpp"
 #include "response/response_matrix.hpp"
 #include "response/x_matrix.hpp"
+#include "util/bitvec.hpp"
 
 namespace xh {
 
 /// X-canceling MISR session over @p response with the context's MISR shape
 /// and diagnostics routing.
-XCancelResult run_x_canceling(const ResponseMatrix& response,
-                              PipelineContext& ctx);
+[[nodiscard]] XCancelResult run_x_canceling(const ResponseMatrix& response,
+                                            PipelineContext& ctx);
 
 /// Mask-violation census with the context's diagnostics routing.
-std::uint64_t count_mask_violations(const ResponseMatrix& response,
-                                    const std::vector<BitVec>& partitions,
-                                    const std::vector<BitVec>& masks,
-                                    PipelineContext& ctx);
+[[nodiscard]] std::uint64_t count_mask_violations(
+    const ResponseMatrix& response, const std::vector<BitVec>& partitions,
+    const std::vector<BitVec>& masks, PipelineContext& ctx);
 
 /// Deserialization with the context's diagnostics routing (strict contexts
 /// keep the legacy throw-on-first-defect contract).
-XMatrix read_x_matrix(std::istream& in, PipelineContext& ctx);
-ResponseMatrix read_response(std::istream& in, PipelineContext& ctx);
+[[nodiscard]] XMatrix read_x_matrix(std::istream& in, PipelineContext& ctx);
+[[nodiscard]] ResponseMatrix read_response(std::istream& in,
+                                           PipelineContext& ctx);
 
 }  // namespace xh

@@ -21,6 +21,7 @@
 #pragma once
 
 #include "engine/partition_types.hpp"
+#include "misr/x_cancel.hpp"
 #include "obs/trace.hpp"
 #include "util/diagnostics.hpp"
 #include "util/rng.hpp"

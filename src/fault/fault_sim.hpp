@@ -15,9 +15,10 @@
 #include <vector>
 
 #include "fault/fault_model.hpp"
-#include "response/response_matrix.hpp"
+#include "netlist/netlist.hpp"
 #include "scan/scan_plan.hpp"
 #include "scan/test_application.hpp"
+#include "util/bitvec.hpp"
 
 namespace xh {
 

@@ -27,6 +27,7 @@
 #include <vector>
 
 #include "fault/fault_model.hpp"
+#include "netlist/netlist.hpp"
 #include "scan/scan_plan.hpp"
 #include "scan/test_application.hpp"
 

@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "obs/trace.hpp"
+#include "response/geometry.hpp"
 #include "response/response_matrix.hpp"
 #include "response/x_matrix.hpp"
 #include "util/bitvec.hpp"

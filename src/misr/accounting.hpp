@@ -19,37 +19,42 @@
 namespace xh {
 
 /// Control bits for conventional per-cycle X-masking [5].
-std::uint64_t x_masking_only_bits(const ScanGeometry& geometry,
-                                  std::size_t num_patterns);
+[[nodiscard]] std::uint64_t x_masking_only_bits(const ScanGeometry& geometry,
+                                                std::size_t num_patterns);
 
 /// Control bits for an X-canceling-only MISR [12] (real-valued; the paper
 /// rounds only final sums). @p total_x is the number of X's shifted in.
-double x_canceling_only_bits(const MisrConfig& cfg, std::uint64_t total_x);
+[[nodiscard]] double x_canceling_only_bits(const MisrConfig& cfg,
+                                           std::uint64_t total_x);
 
 /// Number of scan-shift halts for the time-multiplexed scheme.
-double x_canceling_stops(const MisrConfig& cfg, std::uint64_t total_x);
+[[nodiscard]] double x_canceling_stops(const MisrConfig& cfg,
+                                       std::uint64_t total_x);
 
 /// Control bits for the proposed hybrid: per-partition masks + canceling of
 /// the leaked X's.
-double hybrid_bits(const ScanGeometry& geometry, std::size_t num_partitions,
-                   const MisrConfig& cfg, std::uint64_t leaked_x);
+[[nodiscard]] double hybrid_bits(const ScanGeometry& geometry,
+                                 std::size_t num_partitions,
+                                 const MisrConfig& cfg,
+                                 std::uint64_t leaked_x);
 
 /// Rounds a real-valued bit count up to whole bits (57.5 → 58), as the paper
 /// does at the end of its Section 4 example.
-std::uint64_t round_bits(double bits);
+[[nodiscard]] std::uint64_t round_bits(double bits);
 
 /// Normalized total test time of the time-multiplexed X-canceling MISR [11]
 /// relative to plain X-masking: 1 + n·x·q/(m−q). @p x_density is the density
 /// of X's among the bits shifted into the MISR (fraction, not percent).
-double normalized_test_time(std::size_t num_chains, double x_density,
-                            const MisrConfig& cfg);
+[[nodiscard]] double normalized_test_time(std::size_t num_chains,
+                                          double x_density,
+                                          const MisrConfig& cfg);
 
 /// MEASURED normalized test time from a real session: every stop halts scan
 /// shifting for q cycles (one selective-XOR readout per X-free combination),
 /// so T = (shift_cycles + stops·q) / shift_cycles. Converges to the closed
 /// form above as the X stream becomes uniform — tested against it.
-double measured_normalized_test_time(const XCancelResult& result,
-                                     const MisrConfig& cfg);
+[[nodiscard]] double measured_normalized_test_time(const XCancelResult& result,
+                                                   const MisrConfig& cfg);
 
 /// The shadow-register X-canceling MISR variant [11]: the MISR state is
 /// copied to a shadow register and read out while scan continues, so there
@@ -65,8 +70,7 @@ struct ShadowRegisterCost {
   std::size_t extra_channels = 0;  // ceil of the above
 };
 
-ShadowRegisterCost shadow_register_cost(const MisrConfig& cfg,
-                                        std::uint64_t total_x,
-                                        std::uint64_t shift_cycles);
+[[nodiscard]] ShadowRegisterCost shadow_register_cost(
+    const MisrConfig& cfg, std::uint64_t total_x, std::uint64_t shift_cycles);
 
 }  // namespace xh

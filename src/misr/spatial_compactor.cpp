@@ -1,4 +1,5 @@
 #include "misr/spatial_compactor.hpp"
+#include "util/check.hpp"
 
 namespace xh {
 

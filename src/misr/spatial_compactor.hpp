@@ -12,7 +12,6 @@
 #include <vector>
 
 #include "sim/logic.hpp"
-#include "util/check.hpp"
 
 namespace xh {
 

@@ -28,6 +28,7 @@
 #include "response/response_matrix.hpp"
 #include "sim/logic.hpp"
 #include "util/bitvec.hpp"
+#include "util/check.hpp"
 #include "util/diagnostics.hpp"
 
 namespace xh {
@@ -147,8 +148,9 @@ class XCancelSession {
 /// X-canceling MISR. Chains map to MISR stages round-robin
 /// (stage = chain mod m, a spatial XOR compactor when chains > m); cells
 /// shift out position 0 first.
-XCancelResult run_x_canceling(const ResponseMatrix& response, MisrConfig cfg,
-                              Diagnostics* diags = nullptr,
-                              Trace* trace = nullptr);
+[[nodiscard]] XCancelResult run_x_canceling(const ResponseMatrix& response,
+                                            MisrConfig cfg,
+                                            Diagnostics* diags = nullptr,
+                                            Trace* trace = nullptr);
 
 }  // namespace xh

@@ -9,6 +9,75 @@ namespace xh {
 
 const char* const kTelemetrySchema = "xh-telemetry/1";
 
+const std::vector<std::string>& telemetry_schema_names() {
+  // xh-telemetry-schema-begin — every literal between the markers is part
+  // of the canonical xh-telemetry/1 instrument registry; xh_lint rule
+  // XH-OBS-001 validates instrument-name literals tree-wide against it.
+  static const std::vector<std::string> kNames = {
+      // span leaf names (timers)
+      "analysis",
+      "cancel",
+      "mask",
+      "partition",
+      "simulation",
+      "validate",
+      // bench.* gauges (bench_partitioner / bench_robustness / bench_table1)
+      "bench.cells",
+      "bench.engine_ms",
+      "bench.engine_pooled_ms",
+      "bench.engine_rounds_per_sec",
+      "bench.partitions",
+      "bench.patterns",
+      "bench.peak_rss_kb",
+      "bench.reference_ms",
+      "bench.results_identical",
+      "bench.rounds",
+      "bench.speedup",
+      "bench.total_x",
+      // engine.* counters
+      "engine.cell_analyses",
+      "engine.pool_tasks",
+      "engine.probes_accepted",
+      "engine.probes_attempted",
+      "engine.probes_rejected_zero_copy",
+      "engine.rows_examined",
+      "engine.victim_rows",
+      // hybrid.* result gauges
+      "hybrid.canceling_bits",
+      "hybrid.leaked_x",
+      "hybrid.masked_x",
+      "hybrid.masking_bits",
+      "hybrid.partitions",
+      "hybrid.total_bits",
+      // masking.* counters/histograms
+      "masking.cells_masked",
+      "masking.control_bits",
+      "masking.masked_cells_per_partition",
+      "masking.partitions",
+      "masking.violations",
+      "masking.x_masked",
+      // response_io.* parse counters
+      "response_io.cell_records",
+      "response_io.lines_parsed",
+      "response_io.pattern_rows",
+      "response_io.x_entries",
+      // xcancel.* counters
+      "xcancel.combinations_dropped",
+      "xcancel.combinations_emitted",
+      "xcancel.elimination_rows",
+      "xcancel.eliminations",
+      "xcancel.recheck_rows",
+      "xcancel.segment_x",
+      "xcancel.shift_cycles",
+      "xcancel.starvation_repaid",
+      "xcancel.starved_stops",
+      "xcancel.stops",
+      "xcancel.x_seen",
+  };
+  // xh-telemetry-schema-end
+  return kNames;
+}
+
 namespace {
 
 void append_escaped(std::string& out, const std::string& s) {

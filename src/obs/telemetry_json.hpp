@@ -51,6 +51,13 @@ struct TelemetryJsonOptions {
 /// The schema identifier this serializer emits ("xh-telemetry/1").
 extern const char* const kTelemetrySchema;
 
+/// The canonical, sorted list of every instrument name (counters, gauges,
+/// histograms and span leaf names) the tree may emit. xh_lint rule
+/// XH-OBS-001 cross-checks every obs_count/obs_gauge/obs_record/ScopedSpan
+/// literal in src/, bench/ and tools/ against this list, so adding an
+/// instrument means registering it here first.
+const std::vector<std::string>& telemetry_schema_names();
+
 /// Renders the versioned telemetry document.
 std::string telemetry_to_json(const Trace& trace, const TelemetryMeta& meta,
                               const Diagnostics* diags = nullptr,

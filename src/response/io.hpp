@@ -33,21 +33,23 @@ namespace xh {
 void write_x_matrix(const XMatrix& xm, std::ostream& out);
 /// The optional trace receives response_io.* counters (lines parsed, cell
 /// records, X entries); nullptr means no instrumentation.
-XMatrix read_x_matrix(std::istream& in, Diagnostics* diags = nullptr,
-                      Trace* trace = nullptr);
-
-void write_response(const ResponseMatrix& rm, std::ostream& out);
-ResponseMatrix read_response(std::istream& in, Diagnostics* diags = nullptr,
-                             Trace* trace = nullptr);
-
-/// String conveniences (used by tests and the CLI).
-std::string x_matrix_to_string(const XMatrix& xm);
-XMatrix x_matrix_from_string(const std::string& text,
-                             Diagnostics* diags = nullptr,
-                             Trace* trace = nullptr);
-std::string response_to_string(const ResponseMatrix& rm);
-ResponseMatrix response_from_string(const std::string& text,
+[[nodiscard]] XMatrix read_x_matrix(std::istream& in,
                                     Diagnostics* diags = nullptr,
                                     Trace* trace = nullptr);
+
+void write_response(const ResponseMatrix& rm, std::ostream& out);
+[[nodiscard]] ResponseMatrix read_response(std::istream& in,
+                                           Diagnostics* diags = nullptr,
+                                           Trace* trace = nullptr);
+
+/// String conveniences (used by tests and the CLI).
+[[nodiscard]] std::string x_matrix_to_string(const XMatrix& xm);
+[[nodiscard]] XMatrix x_matrix_from_string(const std::string& text,
+                                           Diagnostics* diags = nullptr,
+                                           Trace* trace = nullptr);
+[[nodiscard]] std::string response_to_string(const ResponseMatrix& rm);
+[[nodiscard]] ResponseMatrix response_from_string(
+    const std::string& text, Diagnostics* diags = nullptr,
+    Trace* trace = nullptr);
 
 }  // namespace xh

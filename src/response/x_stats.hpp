@@ -54,11 +54,11 @@ struct XStatistics {
   std::vector<std::size_t> sorted_counts_;
 };
 
-XStatistics compute_x_statistics(const XMatrix& xm);
+[[nodiscard]] XStatistics compute_x_statistics(const XMatrix& xm);
 
 /// Groups X-capturing cells by identical pattern sets; clusters sorted by
 /// descending cell count (ties → descending X count, then first cell id).
-std::vector<XCluster> find_x_clusters(const XMatrix& xm);
+[[nodiscard]] std::vector<XCluster> find_x_clusters(const XMatrix& xm);
 
 /// Intra-correlation (spatial) statistics — [13,14]'s observation that X's
 /// cluster in contiguous scan-chain segments within a single response.
@@ -73,6 +73,6 @@ struct IntraCorrelation {
   double adjacency_fraction = 0.0;
 };
 
-IntraCorrelation analyze_intra_correlation(const XMatrix& xm);
+[[nodiscard]] IntraCorrelation analyze_intra_correlation(const XMatrix& xm);
 
 }  // namespace xh

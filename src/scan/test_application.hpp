@@ -16,6 +16,7 @@
 #include "netlist/netlist.hpp"
 #include "response/response_matrix.hpp"
 #include "scan/scan_plan.hpp"
+#include "sim/logic.hpp"
 #include "sim/parallel_sim.hpp"
 #include "util/rng.hpp"
 

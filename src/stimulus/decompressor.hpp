@@ -21,6 +21,8 @@
 #include "gf2/matrix.hpp"
 #include "response/geometry.hpp"
 #include "scan/test_application.hpp"
+#include "sim/logic.hpp"
+#include "util/bitvec.hpp"
 
 namespace xh {
 

@@ -16,6 +16,7 @@
 #include <cstdint>
 #include <string>
 
+#include "response/geometry.hpp"
 #include "response/x_matrix.hpp"
 
 namespace xh {

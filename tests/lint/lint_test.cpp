@@ -158,14 +158,29 @@ TEST(LintFindings, MultipleRulesSortedByLine) {
       [](const auto& a, const auto& b) { return a.line < b.line; }));
 }
 
-TEST(LintRules, RegistryListsAllSixRules) {
+TEST(LintRules, RegistryListsEveryRuleFamily) {
   const auto& rules = xh::lint::rules();
-  ASSERT_EQ(rules.size(), 6u);
+  ASSERT_EQ(rules.size(), 13u);
   std::set<std::string> ids;
   for (const auto& r : rules) ids.insert(r.id);
-  EXPECT_EQ(ids, (std::set<std::string>{"XH-DET-001", "XH-DET-002",
-                                        "XH-ERR-001", "XH-PARSE-001",
-                                        "XH-HDR-001", "XH-HDR-002"}));
+  EXPECT_EQ(ids, (std::set<std::string>{
+                     "XH-DET-001", "XH-DET-002", "XH-ERR-001", "XH-PARSE-001",
+                     "XH-HDR-001", "XH-HDR-002", "XH-INC-001", "XH-INC-002",
+                     "XH-INC-003", "XH-API-001", "XH-API-002", "XH-OBS-001",
+                     "XH-SUP-001"}));
+}
+
+TEST(LintFindings, JsonDocumentIsVersionedAndEscaped) {
+  const std::vector<xh::lint::Finding> findings = {
+      {"src/a.cpp", 3, "XH-DET-001", "uses \"rand\"\n"},
+  };
+  const std::string json = xh::lint::findings_to_json(findings);
+  EXPECT_NE(json.find("\"schema\": \"xh-lint-findings/1\""), std::string::npos);
+  EXPECT_NE(json.find("\"count\": 1"), std::string::npos);
+  EXPECT_NE(json.find("\"rule\": \"XH-DET-001\""), std::string::npos);
+  EXPECT_NE(json.find("uses \\\"rand\\\"\\n"), std::string::npos);
+  const std::string empty = xh::lint::findings_to_json({});
+  EXPECT_NE(empty.find("\"count\": 0"), std::string::npos);
 }
 
 }  // namespace

@@ -1,0 +1,7 @@
+#pragma once
+
+namespace fixture {
+
+[[nodiscard]] int make_thing();
+
+}  // namespace fixture

@@ -1,0 +1,9 @@
+#include "core/api.hpp"
+
+namespace fixture {
+
+void fire_and_forget() {
+  make_thing();
+}
+
+}  // namespace fixture

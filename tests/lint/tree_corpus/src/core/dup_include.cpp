@@ -1,0 +1,8 @@
+#include "core/api.hpp"
+#include "core/api.hpp"
+
+namespace fixture {
+
+int twice() { return make_thing() + make_thing(); }
+
+}  // namespace fixture

@@ -1,0 +1,17 @@
+#pragma once
+
+namespace fixture {
+
+struct LegacyCfg {
+  int knobs = 0;
+};
+
+[[nodiscard]] int run_thing(int v);
+
+[[nodiscard]] [[deprecated("use run_thing(int)")]]
+int run_thing(const LegacyCfg& cfg);
+
+[[deprecated("call run_thing instead")]]
+int old_entry(int v);
+
+}  // namespace fixture

@@ -1,0 +1,10 @@
+#include "core/legacy.hpp"
+
+namespace fixture {
+
+int drive(int v) {
+  LegacyCfg cfg;
+  return run_thing(cfg.knobs + v) + old_entry(v);
+}
+
+}  // namespace fixture

@@ -1,0 +1,12 @@
+#pragma once
+
+#include "util/base.hpp"
+
+namespace fixture {
+
+struct MiddleThing {
+  UtilThing base;
+  int depth = 0;
+};
+
+}  // namespace fixture

@@ -1,0 +1,10 @@
+#include "core/middle.hpp"
+
+namespace fixture {
+
+int total(const MiddleThing& m) {
+  UtilThing u;
+  return m.depth + u.width;
+}
+
+}  // namespace fixture

@@ -1,0 +1,8 @@
+namespace fixture {
+
+int answer() {
+  // xh-lint: allow(XH-DET-001)
+  return 42;
+}
+
+}  // namespace fixture

@@ -1,0 +1,8 @@
+namespace fixture {
+
+void emit(Trace* t) {
+  obs_count(t, "core.known_metric", 1);
+  obs_count(t, "core.unknown_metric", 1);
+}
+
+}  // namespace fixture

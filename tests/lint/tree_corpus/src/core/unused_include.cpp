@@ -1,0 +1,7 @@
+#include "core/api.hpp"
+
+namespace fixture {
+
+int standalone() { return 7; }
+
+}  // namespace fixture

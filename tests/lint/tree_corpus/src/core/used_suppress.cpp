@@ -1,0 +1,9 @@
+#include <cstdlib>
+
+namespace fixture {
+
+int noisy() {
+  return rand();  // xh-lint: allow(XH-DET-001)
+}
+
+}  // namespace fixture

@@ -1,0 +1,7 @@
+#include "core/api.hpp"
+
+namespace fixture {
+
+int engine_probe() { return make_thing(); }
+
+}  // namespace fixture

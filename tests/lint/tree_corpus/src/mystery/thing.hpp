@@ -1,0 +1,9 @@
+#pragma once
+
+namespace fixture {
+
+struct MysteryThing {
+  int level = 0;
+};
+
+}  // namespace fixture

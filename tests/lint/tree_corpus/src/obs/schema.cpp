@@ -1,0 +1,9 @@
+namespace fixture {
+
+// xh-telemetry-schema-begin
+const char* const kTelemetryNames[] = {
+    "core.known_metric",
+};
+// xh-telemetry-schema-end
+
+}  // namespace fixture

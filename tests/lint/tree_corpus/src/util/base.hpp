@@ -1,0 +1,9 @@
+#pragma once
+
+namespace fixture {
+
+struct UtilThing {
+  int width = 0;
+};
+
+}  // namespace fixture

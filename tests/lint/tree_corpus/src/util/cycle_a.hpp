@@ -1,0 +1,11 @@
+#pragma once
+
+#include "util/cycle_b.hpp"
+
+namespace fixture {
+
+struct CycleA {
+  CycleB* peer = nullptr;
+};
+
+}  // namespace fixture

@@ -1,0 +1,11 @@
+#pragma once
+
+#include "util/cycle_a.hpp"
+
+namespace fixture {
+
+struct CycleB {
+  CycleA* owner = nullptr;
+};
+
+}  // namespace fixture

@@ -73,12 +73,14 @@ TEST(Accounting, TestTimeMonotoneInDensityAndQ) {
 }
 
 TEST(Accounting, ArgumentValidation) {
-  EXPECT_THROW(x_masking_only_bits(kCktA, 0), std::invalid_argument);
-  EXPECT_THROW(x_canceling_only_bits({32, 32}, 5), std::invalid_argument);
-  EXPECT_THROW(hybrid_bits(kCktA, 0, kPaperMisr, 5), std::invalid_argument);
-  EXPECT_THROW(normalized_test_time(10, 1.5, kPaperMisr),
+  EXPECT_THROW((void)x_masking_only_bits(kCktA, 0), std::invalid_argument);
+  EXPECT_THROW((void)x_canceling_only_bits({32, 32}, 5),
                std::invalid_argument);
-  EXPECT_THROW(round_bits(-1.0), std::invalid_argument);
+  EXPECT_THROW((void)hybrid_bits(kCktA, 0, kPaperMisr, 5),
+               std::invalid_argument);
+  EXPECT_THROW((void)normalized_test_time(10, 1.5, kPaperMisr),
+               std::invalid_argument);
+  EXPECT_THROW((void)round_bits(-1.0), std::invalid_argument);
 }
 
 TEST(Accounting, HybridBeatsCancelingWhenMaskingIsCheapEnough) {

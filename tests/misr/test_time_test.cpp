@@ -25,7 +25,7 @@ TEST(MeasuredTestTime, EachStopCostsQCycles) {
 
 TEST(MeasuredTestTime, ZeroCyclesRejected) {
   XCancelResult r;
-  EXPECT_THROW(measured_normalized_test_time(r, {16, 4}),
+  EXPECT_THROW((void)measured_normalized_test_time(r, {16, 4}),
                std::invalid_argument);
 }
 
@@ -74,7 +74,8 @@ TEST(ShadowRegister, ChannelCostScalesWithDensity) {
 }
 
 TEST(ShadowRegister, RejectsZeroCycles) {
-  EXPECT_THROW(shadow_register_cost({32, 7}, 10, 0), std::invalid_argument);
+  EXPECT_THROW((void)shadow_register_cost({32, 7}, 10, 0),
+               std::invalid_argument);
 }
 
 }  // namespace

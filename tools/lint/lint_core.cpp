@@ -2,341 +2,12 @@
 
 #include <algorithm>
 #include <array>
-#include <cctype>
 #include <cstddef>
+
+#include "lint/text_scan.hpp"
 
 namespace xh::lint {
 namespace {
-
-bool is_ident_char(char c) {
-  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
-}
-
-bool starts_with(const std::string& s, const std::string& prefix) {
-  return s.size() >= prefix.size() &&
-         s.compare(0, prefix.size(), prefix) == 0;
-}
-
-bool ends_with(const std::string& s, const std::string& suffix) {
-  return s.size() >= suffix.size() &&
-         s.compare(s.size() - suffix.size(), suffix.size(), suffix) == 0;
-}
-
-/// Content with comments and string/char literals blanked to spaces
-/// (positions and line structure preserved), plus the suppression
-/// directives harvested from the comments as they were erased.
-struct Cleaned {
-  std::vector<std::string> lines;
-  /// allow[i] holds rule IDs suppressed on 1-based line i+1.
-  std::vector<std::vector<std::string>> allow;
-  std::vector<std::string> allow_file;
-};
-
-/// Parses "xh-lint: allow(ID[,ID...])" / "xh-lint: allow-file(ID[,ID...])"
-/// directives out of one comment's text.
-void parse_directives(const std::string& comment, std::size_t first_line,
-                      std::size_t last_line, Cleaned& out) {
-  std::size_t pos = 0;
-  while ((pos = comment.find("xh-lint:", pos)) != std::string::npos) {
-    std::size_t p = pos + 8;
-    while (p < comment.size() && comment[p] == ' ') ++p;
-    const bool file_scope = starts_with(comment.substr(p), "allow-file(");
-    const bool line_scope = !file_scope && starts_with(comment.substr(p), "allow(");
-    if (!file_scope && !line_scope) {
-      pos = p;
-      continue;
-    }
-    const std::size_t open = comment.find('(', p);
-    const std::size_t close = comment.find(')', open);
-    if (close == std::string::npos) break;
-    // Split the comma-separated rule list.
-    std::vector<std::string> ids;
-    std::string cur;
-    for (std::size_t i = open + 1; i <= close; ++i) {
-      const char c = comment[i];
-      if (c == ',' || c == ')') {
-        if (!cur.empty()) ids.push_back(cur);
-        cur.clear();
-      } else if (c != ' ' && c != '\t') {
-        cur.push_back(c);
-      }
-    }
-    if (file_scope) {
-      out.allow_file.insert(out.allow_file.end(), ids.begin(), ids.end());
-    } else {
-      // A line-scoped allow covers every line the comment touches plus the
-      // following line, so both trailing and line-above styles work.
-      for (std::size_t ln = first_line; ln <= last_line + 1; ++ln) {
-        if (out.allow.size() < ln) out.allow.resize(ln);
-        out.allow[ln - 1].insert(out.allow[ln - 1].end(), ids.begin(),
-                                 ids.end());
-      }
-    }
-    pos = close;
-  }
-}
-
-Cleaned clean(const std::string& text) {
-  Cleaned out;
-  std::string code;
-  code.reserve(text.size());
-
-  enum class State { kCode, kLine, kBlock, kString, kChar, kRaw };
-  State state = State::kCode;
-  std::string comment;
-  std::string raw_delim;
-  std::size_t line = 1;
-  std::size_t comment_start = 1;
-
-  for (std::size_t i = 0; i < text.size(); ++i) {
-    const char c = text[i];
-    const char next = i + 1 < text.size() ? text[i + 1] : '\0';
-    switch (state) {
-      case State::kCode:
-        if (c == '/' && next == '/') {
-          state = State::kLine;
-          comment.clear();
-          comment_start = line;
-          code += "  ";
-          ++i;
-        } else if (c == '/' && next == '*') {
-          state = State::kBlock;
-          comment.clear();
-          comment_start = line;
-          code += "  ";
-          ++i;
-        } else if (c == '"' &&
-                   (i == 0 || text[i - 1] != 'R')) {
-          state = State::kString;
-          code += ' ';
-        } else if (c == '"' && i > 0 && text[i - 1] == 'R') {
-          // Raw string literal: R"delim( ... )delim"
-          state = State::kRaw;
-          raw_delim.clear();
-          std::size_t j = i + 1;
-          while (j < text.size() && text[j] != '(') {
-            raw_delim.push_back(text[j]);
-            ++j;
-          }
-          code += ' ';
-        } else if (c == '\'') {
-          state = State::kChar;
-          code += ' ';
-        } else {
-          code += c;
-        }
-        break;
-      case State::kLine:
-        if (c == '\n') {
-          parse_directives(comment, comment_start, line, out);
-          state = State::kCode;
-          code += '\n';
-        } else {
-          comment.push_back(c);
-          code += ' ';
-        }
-        break;
-      case State::kBlock:
-        if (c == '*' && next == '/') {
-          parse_directives(comment, comment_start, line, out);
-          state = State::kCode;
-          code += "  ";
-          ++i;
-        } else {
-          comment.push_back(c);
-          code += c == '\n' ? '\n' : ' ';
-        }
-        break;
-      case State::kString:
-        if (c == '\\') {
-          code += "  ";
-          ++i;
-          if (next == '\n') ++line, code.back() = '\n';
-        } else if (c == '"') {
-          state = State::kCode;
-          code += ' ';
-        } else {
-          code += c == '\n' ? '\n' : ' ';
-        }
-        break;
-      case State::kChar:
-        if (c == '\\') {
-          code += "  ";
-          ++i;
-        } else if (c == '\'') {
-          state = State::kCode;
-          code += ' ';
-        } else {
-          code += c == '\n' ? '\n' : ' ';
-        }
-        break;
-      case State::kRaw: {
-        const std::string closer = ")" + raw_delim + "\"";
-        if (c == ')' && text.compare(i, closer.size(), closer) == 0) {
-          state = State::kCode;
-          for (std::size_t k = 0; k < closer.size(); ++k) code += ' ';
-          i += closer.size() - 1;
-        } else {
-          code += c == '\n' ? '\n' : ' ';
-        }
-        break;
-      }
-    }
-    if (c == '\n') ++line;
-  }
-  if (state == State::kLine || state == State::kBlock) {
-    parse_directives(comment, comment_start, line, out);
-  }
-
-  // Split the blanked text into lines.
-  std::string cur;
-  for (const char c : code) {
-    if (c == '\n') {
-      out.lines.push_back(cur);
-      cur.clear();
-    } else {
-      cur.push_back(c);
-    }
-  }
-  if (!cur.empty()) out.lines.push_back(cur);
-  if (out.allow.size() < out.lines.size()) out.allow.resize(out.lines.size());
-  return out;
-}
-
-/// Finds the next standalone-identifier occurrence of @p name at or after
-/// @p from; returns npos when absent.
-std::size_t find_ident(const std::string& line, const std::string& name,
-                       std::size_t from = 0) {
-  std::size_t pos = from;
-  while ((pos = line.find(name, pos)) != std::string::npos) {
-    const bool left_ok = pos == 0 || !is_ident_char(line[pos - 1]);
-    const std::size_t end = pos + name.size();
-    const bool right_ok = end >= line.size() || !is_ident_char(line[end]);
-    if (left_ok && right_ok) return pos;
-    pos = end;
-  }
-  return std::string::npos;
-}
-
-bool has_ident(const std::string& line, const std::string& name) {
-  return find_ident(line, name) != std::string::npos;
-}
-
-/// True when @p name occurs as an identifier directly invoked: `name(` with
-/// optional whitespace. `normalized_test_time(` must NOT match `time`.
-///
-/// Member calls (`sim.clock()`) and declarations (`void clock();`) are not
-/// flagged: a scan-clock method shares a name with the libc wall-clock
-/// query but has nothing to do with it. The preceding token decides:
-/// `.`/`->` means member, a non-keyword identifier means declaration.
-bool has_call(const std::string& line, const std::string& name) {
-  std::size_t pos = 0;
-  while ((pos = find_ident(line, name, pos)) != std::string::npos) {
-    std::size_t p = pos + name.size();
-    while (p < line.size() && (line[p] == ' ' || line[p] == '\t')) ++p;
-    if (p >= line.size() || line[p] != '(') {
-      pos = p;
-      continue;
-    }
-    // Inspect what precedes the identifier.
-    std::size_t q = pos;
-    while (q > 0 && (line[q - 1] == ' ' || line[q - 1] == '\t')) --q;
-    const bool member_access =
-        (q >= 1 && line[q - 1] == '.') ||
-        (q >= 2 && line[q - 2] == '-' && line[q - 1] == '>');
-    bool benign = member_access;
-    if (!benign && q >= 2 && line[q - 1] == ':' && line[q - 2] == ':') {
-      // Qualified name: `std::time(` and `steady_clock::now(` are the libc /
-      // chrono queries; `CombSim::clock(` is an out-of-line member whose
-      // name merely collides (a scan clock is not a wall clock).
-      std::size_t s = q - 2;
-      while (s > 0 && is_ident_char(line[s - 1])) --s;
-      const std::string qual = line.substr(s, q - 2 - s);
-      benign = !qual.empty() && qual != "std" && !ends_with(qual, "_clock") &&
-               qual != "chrono";
-    } else if (!benign && q >= 1 && is_ident_char(line[q - 1])) {
-      // Preceding identifier: a declaration/definition (`void clock();`)
-      // unless it is a control keyword (`return time(nullptr)`).
-      std::size_t s = q;
-      while (s > 0 && is_ident_char(line[s - 1])) --s;
-      const std::string prev = line.substr(s, q - s);
-      benign = prev != "return" && prev != "else" && prev != "case" &&
-               prev != "co_return" && prev != "co_yield";
-    }
-    if (!benign) return true;
-    pos = p;
-  }
-  return false;
-}
-
-/// Finds the first single ':' (a range-for separator, not a '::' scope
-/// qualifier) at or after @p from; npos when absent.
-std::size_t find_range_colon(const std::string& line, std::size_t from) {
-  for (std::size_t i = from; i < line.size(); ++i) {
-    if (line[i] != ':') continue;
-    const bool left = i > 0 && line[i - 1] == ':';
-    const bool right = i + 1 < line.size() && line[i + 1] == ':';
-    if (!left && !right) return i;
-    if (right) ++i;  // skip the pair
-  }
-  return std::string::npos;
-}
-
-/// Collects names of variables/members declared with an unordered container
-/// type anywhere in @p cleaned full text (declarations may span lines).
-std::vector<std::string> harvest_unordered_names(
-    const std::vector<std::string>& lines) {
-  std::string text;
-  for (const auto& l : lines) {
-    text += l;
-    text += '\n';
-  }
-  std::vector<std::string> names;
-  for (const char* kind : {"unordered_map", "unordered_set",
-                           "unordered_multimap", "unordered_multiset"}) {
-    std::size_t pos = 0;
-    while ((pos = find_ident(text, kind, pos)) != std::string::npos) {
-      std::size_t p = pos + std::string(kind).size();
-      while (p < text.size() && std::isspace(static_cast<unsigned char>(text[p]))) ++p;
-      if (p >= text.size() || text[p] != '<') {
-        pos = p;
-        continue;
-      }
-      // Match the template argument list (angle brackets nest; '>>' closes
-      // two levels at once in token terms but we count characters, which is
-      // equivalent here).
-      int depth = 0;
-      while (p < text.size()) {
-        if (text[p] == '<') ++depth;
-        if (text[p] == '>') {
-          --depth;
-          if (depth == 0) {
-            ++p;
-            break;
-          }
-        }
-        ++p;
-      }
-      // Skip whitespace / reference / pointer markers, then read the
-      // declared identifier (if this was a type use in a declaration).
-      while (p < text.size() &&
-             (std::isspace(static_cast<unsigned char>(text[p])) ||
-              text[p] == '&' || text[p] == '*')) {
-        ++p;
-      }
-      std::string name;
-      while (p < text.size() && is_ident_char(text[p])) {
-        name.push_back(text[p]);
-        ++p;
-      }
-      if (!name.empty()) names.push_back(name);
-      pos = p;
-    }
-  }
-  std::sort(names.begin(), names.end());
-  names.erase(std::unique(names.begin(), names.end()), names.end());
-  return names;
-}
 
 struct RuleContext {
   const SourceFile* file = nullptr;
@@ -525,14 +196,30 @@ const std::vector<RuleInfo>& rules() {
        "helpers"},
       {"XH-HDR-001", "header missing #pragma once before any code"},
       {"XH-HDR-002", "using namespace at header scope"},
+      {"XH-INC-001", "include cycle between project files"},
+      {"XH-INC-002",
+       "layering violation against the tools/lint/layers.txt spec"},
+      {"XH-INC-003",
+       "unused direct include, or a symbol satisfied only through another "
+       "header's transitive includes (IWYU-lite)"},
+      {"XH-API-001",
+       "call discards the result of a [[nodiscard]] project function"},
+      {"XH-API-002",
+       "use of a [[deprecated]]-only API outside its exempt files"},
+      {"XH-OBS-001",
+       "telemetry instrument name absent from the canonical xh-telemetry/1 "
+       "schema list (obs/telemetry_json.cpp)"},
+      {"XH-SUP-001",
+       "stale xh-lint suppression: the allow() no longer suppresses any "
+       "finding anywhere in the tree"},
   };
   return kRules;
 }
 
-std::vector<Finding> scan_file(const SourceFile& file,
-                               const std::string* sibling_header) {
+std::vector<Finding> per_file_findings(
+    const SourceFile& file, const Cleaned& cleaned,
+    const std::vector<std::string>& extra_unordered_names) {
   RuleContext ctx;
-  const Cleaned cleaned = clean(file.content);
   ctx.file = &file;
   ctx.cleaned = &cleaned;
   ctx.is_header = ends_with(file.path, ".hpp") || ends_with(file.path, ".h");
@@ -540,11 +227,10 @@ std::vector<Finding> scan_file(const SourceFile& file,
   ctx.in_engine_or_core = starts_with(file.path, "src/core/") ||
                           starts_with(file.path, "src/engine/");
   ctx.unordered_names = harvest_unordered_names(cleaned.lines);
-  if (sibling_header != nullptr) {
-    const Cleaned sib = clean(*sibling_header);
-    for (const auto& n : harvest_unordered_names(sib.lines)) {
-      ctx.unordered_names.push_back(n);
-    }
+  if (!extra_unordered_names.empty()) {
+    ctx.unordered_names.insert(ctx.unordered_names.end(),
+                               extra_unordered_names.begin(),
+                               extra_unordered_names.end());
     std::sort(ctx.unordered_names.begin(), ctx.unordered_names.end());
     ctx.unordered_names.erase(
         std::unique(ctx.unordered_names.begin(), ctx.unordered_names.end()),
@@ -558,19 +244,22 @@ std::vector<Finding> scan_file(const SourceFile& file,
   rule_err001(ctx);
   rule_parse001(ctx);
   rule_headers(ctx);
+  return raw;
+}
 
-  // Apply suppressions and emit in (line, rule) order so output is stable
-  // regardless of rule execution order.
+std::vector<Finding> apply_suppressions(const Cleaned& cleaned,
+                                        std::vector<Finding> raw) {
   std::vector<Finding> out;
-  for (const Finding& f : raw) {
+  for (Finding& f : raw) {
     const auto allowed = [&](const std::vector<std::string>& ids) {
       return std::find(ids.begin(), ids.end(), f.rule) != ids.end();
     };
     if (allowed(cleaned.allow_file)) continue;
-    if (f.line - 1 < cleaned.allow.size() && allowed(cleaned.allow[f.line - 1])) {
+    if (f.line - 1 < cleaned.allow.size() &&
+        allowed(cleaned.allow[f.line - 1])) {
       continue;
     }
-    out.push_back(f);
+    out.push_back(std::move(f));
   }
   std::sort(out.begin(), out.end(), [](const Finding& a, const Finding& b) {
     if (a.line != b.line) return a.line < b.line;
@@ -579,9 +268,64 @@ std::vector<Finding> scan_file(const SourceFile& file,
   return out;
 }
 
+std::vector<Finding> scan_file(const SourceFile& file,
+                               const std::string* sibling_header) {
+  const Cleaned cleaned = clean(file.content);
+  std::vector<std::string> extra;
+  if (sibling_header != nullptr) {
+    const Cleaned sib = clean(*sibling_header);
+    extra = harvest_unordered_names(sib.lines);
+  }
+  return apply_suppressions(cleaned, per_file_findings(file, cleaned, extra));
+}
+
 std::string to_string(const Finding& f) {
   return f.path + ":" + std::to_string(f.line) + ": [" + f.rule + "] " +
          f.message;
+}
+
+namespace {
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 8);
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          static const char* kHex = "0123456789abcdef";
+          out += "\\u00";
+          out += kHex[(c >> 4) & 0xf];
+          out += kHex[c & 0xf];
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string findings_to_json(const std::vector<Finding>& findings) {
+  std::string out = "{\n  \"schema\": \"xh-lint-findings/1\",\n  \"count\": " +
+                    std::to_string(findings.size()) +
+                    ",\n  \"findings\": [";
+  for (std::size_t i = 0; i < findings.size(); ++i) {
+    const Finding& f = findings[i];
+    out += i == 0 ? "\n" : ",\n";
+    out += "    {\"path\": \"" + json_escape(f.path) +
+           "\", \"line\": " + std::to_string(f.line) + ", \"rule\": \"" +
+           json_escape(f.rule) + "\", \"message\": \"" +
+           json_escape(f.message) + "\"}";
+  }
+  out += findings.empty() ? "]\n}\n" : "\n  ]\n}\n";
+  return out;
 }
 
 }  // namespace xh::lint

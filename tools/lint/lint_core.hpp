@@ -7,7 +7,12 @@
 // deliberately syntactic — the point is that they run on every line of every
 // file in milliseconds, complementing the sampled runtime tests.
 //
-// Rules (see DESIGN.md §9 for the rationale table):
+// Two rule tiers share one lexing pass (text_scan.hpp):
+//   * per-file rules (this header) see one translation unit at a time;
+//   * whole-tree rules (project_model.hpp) see the include graph, the
+//     symbol index and every suppression at once.
+//
+// Per-file rules (see DESIGN.md §9 for the rationale table):
 //   XH-DET-001   nondeterminism source (rand/random_device/time/chrono now)
 //   XH-DET-002   iteration over an unordered container
 //   XH-ERR-001   bare throw/abort/exit in src/core/ or src/engine/
@@ -15,15 +20,28 @@
 //   XH-HDR-001   header missing #pragma once before any code
 //   XH-HDR-002   using namespace at header scope
 //
-// Suppression: `// xh-lint: allow(XH-DET-002)` on the offending line or the
-// line directly above it; `// xh-lint: allow-file(XH-DET-002)` anywhere in
-// the file suppresses the rule for the whole file. Multiple rule IDs may be
-// comma-separated inside one allow(...).
+// Whole-tree rules (tools/lint/tree_rules.cpp):
+//   XH-INC-001   include cycle between project files
+//   XH-INC-002   layering violation against tools/lint/layers.txt
+//   XH-INC-003   unused direct include / missing direct include (IWYU-lite)
+//   XH-API-001   discarded call to a [[nodiscard]] project function
+//   XH-API-002   use of a [[deprecated]]-only API outside its exempt files
+//   XH-OBS-001   telemetry name not in the canonical schema list
+//   XH-SUP-001   stale xh-lint suppression (suppresses nothing, tree-wide)
+//
+// Suppression: an `allow(XH-DET-002)` directive inside an `xh-lint:`
+// marker comment on the offending line or the line directly above it; the
+// `allow-file` variant anywhere in a file suppresses the rule file-wide.
+// Multiple rule IDs may be comma-separated inside one directive. XH-SUP-001
+// audits every directive tree-wide and flags the ones that no longer
+// suppress anything.
 #pragma once
 
 #include <cstddef>
 #include <string>
 #include <vector>
+
+#include "lint/text_scan.hpp"
 
 namespace xh::lint {
 
@@ -39,7 +57,8 @@ struct RuleInfo {
   std::string summary;
 };
 
-/// Static description of every rule, for --list-rules and docs.
+/// Static description of every rule (per-file and whole-tree), for
+/// --list-rules and docs.
 const std::vector<RuleInfo>& rules();
 
 /// One file to scan. `path` is the repo-relative path (forward slashes);
@@ -50,13 +69,31 @@ struct SourceFile {
   std::string content;
 };
 
-/// Scans one file. @p sibling_header, when non-null, is the content of the
-/// same-stem .hpp next to a .cpp: unordered-container members declared there
-/// extend XH-DET-002 detection to out-of-line member functions.
+/// Runs every per-file rule over an already-cleaned file and returns the
+/// raw findings, suppressions NOT yet applied. @p extra_unordered_names
+/// extends XH-DET-002 to containers declared in a sibling header.
+std::vector<Finding> per_file_findings(
+    const SourceFile& file, const Cleaned& cleaned,
+    const std::vector<std::string>& extra_unordered_names = {});
+
+/// Drops findings covered by the file's allow()/allow-file() directives and
+/// sorts the survivors by (line, rule) so output is stable regardless of
+/// rule execution order.
+std::vector<Finding> apply_suppressions(const Cleaned& cleaned,
+                                        std::vector<Finding> raw);
+
+/// Scans one file end to end (clean + per-file rules + suppressions).
+/// @p sibling_header, when non-null, is the content of the same-stem .hpp
+/// next to a .cpp: unordered-container members declared there extend
+/// XH-DET-002 detection to out-of-line member functions. Whole-tree rules
+/// need the project model and do not run here — see analyze_tree().
 std::vector<Finding> scan_file(const SourceFile& file,
                                const std::string* sibling_header = nullptr);
 
 /// Formats a finding as "path:line: [RULE] message".
 std::string to_string(const Finding& f);
+
+/// Formats findings as the versioned "xh-lint-findings/1" JSON document.
+std::string findings_to_json(const std::vector<Finding>& findings);
 
 }  // namespace xh::lint

@@ -1,0 +1,347 @@
+#include "lint/text_scan.hpp"
+
+#include <algorithm>
+#include <cctype>
+
+namespace xh::lint {
+
+bool is_ident_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+bool starts_with(const std::string& s, const std::string& prefix) {
+  return s.size() >= prefix.size() &&
+         s.compare(0, prefix.size(), prefix) == 0;
+}
+
+bool ends_with(const std::string& s, const std::string& suffix) {
+  return s.size() >= suffix.size() &&
+         s.compare(s.size() - suffix.size(), suffix.size(), suffix) == 0;
+}
+
+namespace {
+
+/// Parses allow(ID[,ID...]) and allow-file(ID[,ID...]) directives — each
+/// introduced by an "xh-lint:" marker — out of one comment's text.
+void parse_directives(const std::string& comment, std::size_t first_line,
+                      std::size_t last_line, Cleaned& out) {
+  std::size_t pos = 0;
+  while ((pos = comment.find("xh-lint:", pos)) != std::string::npos) {
+    std::size_t p = pos + 8;
+    while (p < comment.size() && comment[p] == ' ') ++p;
+    const bool file_scope = starts_with(comment.substr(p), "allow-file(");
+    const bool line_scope = !file_scope && starts_with(comment.substr(p), "allow(");
+    if (!file_scope && !line_scope) {
+      pos = p;
+      continue;
+    }
+    const std::size_t open = comment.find('(', p);
+    const std::size_t close = comment.find(')', open);
+    if (close == std::string::npos) break;
+    // Split the comma-separated rule list.
+    std::vector<std::string> ids;
+    std::string cur;
+    for (std::size_t i = open + 1; i <= close; ++i) {
+      const char c = comment[i];
+      if (c == ',' || c == ')') {
+        if (!cur.empty()) ids.push_back(cur);
+        cur.clear();
+      } else if (c != ' ' && c != '\t') {
+        cur.push_back(c);
+      }
+    }
+    Directive dir;
+    dir.line = first_line;
+    dir.file_scope = file_scope;
+    dir.rules = ids;
+    if (file_scope) {
+      out.allow_file.insert(out.allow_file.end(), ids.begin(), ids.end());
+    } else {
+      // A line-scoped allow covers every line the comment touches plus the
+      // following line, so both trailing and line-above styles work.
+      dir.first_covered = first_line;
+      dir.last_covered = last_line + 1;
+      for (std::size_t ln = first_line; ln <= last_line + 1; ++ln) {
+        if (out.allow.size() < ln) out.allow.resize(ln);
+        out.allow[ln - 1].insert(out.allow[ln - 1].end(), ids.begin(),
+                                 ids.end());
+      }
+    }
+    out.directives.push_back(std::move(dir));
+    pos = close;
+  }
+}
+
+}  // namespace
+
+Cleaned clean(const std::string& text) {
+  Cleaned out;
+  std::string code;
+  code.reserve(text.size());
+
+  enum class State { kCode, kLine, kBlock, kString, kChar, kRaw };
+  State state = State::kCode;
+  std::string comment;
+  std::string literal;
+  std::string raw_delim;
+  std::size_t line = 1;
+  std::size_t col = 0;
+  std::size_t comment_start = 1;
+  std::size_t literal_line = 1;
+  std::size_t literal_col = 0;
+
+  for (std::size_t i = 0; i < text.size(); ++i) {
+    const char c = text[i];
+    const char next = i + 1 < text.size() ? text[i + 1] : '\0';
+    switch (state) {
+      case State::kCode:
+        if (c == '/' && next == '/') {
+          state = State::kLine;
+          comment.clear();
+          comment_start = line;
+          code += "  ";
+          ++i;
+          ++col;
+        } else if (c == '/' && next == '*') {
+          state = State::kBlock;
+          comment.clear();
+          comment_start = line;
+          code += "  ";
+          ++i;
+          ++col;
+        } else if (c == '"' && (i == 0 || text[i - 1] != 'R')) {
+          state = State::kString;
+          literal.clear();
+          literal_line = line;
+          literal_col = col;
+          code += ' ';
+        } else if (c == '"' && i > 0 && text[i - 1] == 'R') {
+          // Raw string literal: R"delim( ... )delim"
+          state = State::kRaw;
+          raw_delim.clear();
+          std::size_t j = i + 1;
+          while (j < text.size() && text[j] != '(') {
+            raw_delim.push_back(text[j]);
+            ++j;
+          }
+          code += ' ';
+        } else if (c == '\'') {
+          state = State::kChar;
+          code += ' ';
+        } else {
+          code += c;
+        }
+        break;
+      case State::kLine:
+        if (c == '\n') {
+          parse_directives(comment, comment_start, line, out);
+          state = State::kCode;
+          code += '\n';
+        } else {
+          comment.push_back(c);
+          code += ' ';
+        }
+        break;
+      case State::kBlock:
+        if (c == '*' && next == '/') {
+          parse_directives(comment, comment_start, line, out);
+          state = State::kCode;
+          code += "  ";
+          ++i;
+          ++col;
+        } else {
+          comment.push_back(c);
+          code += c == '\n' ? '\n' : ' ';
+        }
+        break;
+      case State::kString:
+        if (c == '\\') {
+          literal.push_back(c);
+          if (next != '\0') literal.push_back(next);
+          code += "  ";
+          ++i;
+          ++col;
+          if (next == '\n') ++line, code.back() = '\n';
+        } else if (c == '"') {
+          out.literals.push_back({literal_line, literal_col, literal});
+          state = State::kCode;
+          code += ' ';
+        } else {
+          literal.push_back(c);
+          code += c == '\n' ? '\n' : ' ';
+        }
+        break;
+      case State::kChar:
+        if (c == '\\') {
+          code += "  ";
+          ++i;
+          ++col;
+        } else if (c == '\'') {
+          state = State::kCode;
+          code += ' ';
+        } else {
+          code += c == '\n' ? '\n' : ' ';
+        }
+        break;
+      case State::kRaw: {
+        const std::string closer = ")" + raw_delim + "\"";
+        if (c == ')' && text.compare(i, closer.size(), closer) == 0) {
+          state = State::kCode;
+          for (std::size_t k = 0; k < closer.size(); ++k) code += ' ';
+          i += closer.size() - 1;
+          col += closer.size() - 1;
+        } else {
+          code += c == '\n' ? '\n' : ' ';
+        }
+        break;
+      }
+    }
+    if (c == '\n') {
+      ++line;
+      col = 0;
+    } else {
+      ++col;
+    }
+  }
+  if (state == State::kLine || state == State::kBlock) {
+    parse_directives(comment, comment_start, line, out);
+  }
+
+  // Split the blanked text into lines.
+  std::string cur;
+  for (const char c : code) {
+    if (c == '\n') {
+      out.lines.push_back(cur);
+      cur.clear();
+    } else {
+      cur.push_back(c);
+    }
+  }
+  if (!cur.empty()) out.lines.push_back(cur);
+  if (out.allow.size() < out.lines.size()) out.allow.resize(out.lines.size());
+  return out;
+}
+
+std::size_t find_ident(const std::string& line, const std::string& name,
+                       std::size_t from) {
+  std::size_t pos = from;
+  while ((pos = line.find(name, pos)) != std::string::npos) {
+    const bool left_ok = pos == 0 || !is_ident_char(line[pos - 1]);
+    const std::size_t end = pos + name.size();
+    const bool right_ok = end >= line.size() || !is_ident_char(line[end]);
+    if (left_ok && right_ok) return pos;
+    pos = end;
+  }
+  return std::string::npos;
+}
+
+bool has_ident(const std::string& line, const std::string& name) {
+  return find_ident(line, name) != std::string::npos;
+}
+
+bool has_call(const std::string& line, const std::string& name) {
+  std::size_t pos = 0;
+  while ((pos = find_ident(line, name, pos)) != std::string::npos) {
+    std::size_t p = pos + name.size();
+    while (p < line.size() && (line[p] == ' ' || line[p] == '\t')) ++p;
+    if (p >= line.size() || line[p] != '(') {
+      pos = p;
+      continue;
+    }
+    // Inspect what precedes the identifier.
+    std::size_t q = pos;
+    while (q > 0 && (line[q - 1] == ' ' || line[q - 1] == '\t')) --q;
+    const bool member_access =
+        (q >= 1 && line[q - 1] == '.') ||
+        (q >= 2 && line[q - 2] == '-' && line[q - 1] == '>');
+    bool benign = member_access;
+    if (!benign && q >= 2 && line[q - 1] == ':' && line[q - 2] == ':') {
+      // Qualified name: `std::time(` and `steady_clock::now(` are the libc /
+      // chrono queries; `CombSim::clock(` is an out-of-line member whose
+      // name merely collides (a scan clock is not a wall clock).
+      std::size_t s = q - 2;
+      while (s > 0 && is_ident_char(line[s - 1])) --s;
+      const std::string qual = line.substr(s, q - 2 - s);
+      benign = !qual.empty() && qual != "std" && !ends_with(qual, "_clock") &&
+               qual != "chrono";
+    } else if (!benign && q >= 1 && is_ident_char(line[q - 1])) {
+      // Preceding identifier: a declaration/definition (`void clock();`)
+      // unless it is a control keyword (`return time(nullptr)`).
+      std::size_t s = q;
+      while (s > 0 && is_ident_char(line[s - 1])) --s;
+      const std::string prev = line.substr(s, q - s);
+      benign = prev != "return" && prev != "else" && prev != "case" &&
+               prev != "co_return" && prev != "co_yield";
+    }
+    if (!benign) return true;
+    pos = p;
+  }
+  return false;
+}
+
+std::size_t find_range_colon(const std::string& line, std::size_t from) {
+  for (std::size_t i = from; i < line.size(); ++i) {
+    if (line[i] != ':') continue;
+    const bool left = i > 0 && line[i - 1] == ':';
+    const bool right = i + 1 < line.size() && line[i + 1] == ':';
+    if (!left && !right) return i;
+    if (right) ++i;  // skip the pair
+  }
+  return std::string::npos;
+}
+
+std::vector<std::string> harvest_unordered_names(
+    const std::vector<std::string>& lines) {
+  std::string text;
+  for (const auto& l : lines) {
+    text += l;
+    text += '\n';
+  }
+  std::vector<std::string> names;
+  for (const char* kind : {"unordered_map", "unordered_set",
+                           "unordered_multimap", "unordered_multiset"}) {
+    std::size_t pos = 0;
+    while ((pos = find_ident(text, kind, pos)) != std::string::npos) {
+      std::size_t p = pos + std::string(kind).size();
+      while (p < text.size() && std::isspace(static_cast<unsigned char>(text[p]))) ++p;
+      if (p >= text.size() || text[p] != '<') {
+        pos = p;
+        continue;
+      }
+      // Match the template argument list (angle brackets nest; '>>' closes
+      // two levels at once in token terms but we count characters, which is
+      // equivalent here).
+      int depth = 0;
+      while (p < text.size()) {
+        if (text[p] == '<') ++depth;
+        if (text[p] == '>') {
+          --depth;
+          if (depth == 0) {
+            ++p;
+            break;
+          }
+        }
+        ++p;
+      }
+      // Skip whitespace / reference / pointer markers, then read the
+      // declared identifier (if this was a type use in a declaration).
+      while (p < text.size() &&
+             (std::isspace(static_cast<unsigned char>(text[p])) ||
+              text[p] == '&' || text[p] == '*')) {
+        ++p;
+      }
+      std::string name;
+      while (p < text.size() && is_ident_char(text[p])) {
+        name.push_back(text[p]);
+        ++p;
+      }
+      if (!name.empty()) names.push_back(name);
+      pos = p;
+    }
+  }
+  std::sort(names.begin(), names.end());
+  names.erase(std::unique(names.begin(), names.end()), names.end());
+  return names;
+}
+
+}  // namespace xh::lint

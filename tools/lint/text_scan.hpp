@@ -1,0 +1,70 @@
+// Shared lexical layer for xh_lint: comment/literal stripping, suppression
+// directive harvesting, and identifier-level queries. Both the per-file
+// rules (lint_core.cpp) and the whole-tree passes (tree_rules.cpp) consume
+// one Cleaned per file, so the tree is lexed exactly once per analysis.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace xh::lint {
+
+/// One suppression directive as written in a comment, with enough position
+/// information for the tree-wide stale-suppression audit (XH-SUP-001).
+struct Directive {
+  std::size_t line = 0;        // 1-based line the directive starts on
+  bool file_scope = false;     // allow-file(...) vs allow(...)
+  std::size_t first_covered = 0;  // 1-based, inclusive (line scope only)
+  std::size_t last_covered = 0;   // 1-based, inclusive (line scope only)
+  std::vector<std::string> rules;
+};
+
+/// A string literal as it appeared in the original source (clean() blanks
+/// it out of the code view). Tree rules use these to audit telemetry names.
+struct StringLiteral {
+  std::size_t line = 0;  // 1-based line the literal starts on
+  std::size_t col = 0;   // 0-based column of the opening quote
+  std::string text;      // contents without the quotes
+};
+
+/// Content with comments and string/char literals blanked to spaces
+/// (positions and line structure preserved), plus the suppression
+/// directives and string literals harvested while they were erased.
+struct Cleaned {
+  std::vector<std::string> lines;
+  /// allow[i] holds rule IDs suppressed on 1-based line i+1.
+  std::vector<std::vector<std::string>> allow;
+  std::vector<std::string> allow_file;
+  std::vector<Directive> directives;
+  std::vector<StringLiteral> literals;
+};
+
+Cleaned clean(const std::string& text);
+
+bool is_ident_char(char c);
+bool starts_with(const std::string& s, const std::string& prefix);
+bool ends_with(const std::string& s, const std::string& suffix);
+
+/// Finds the next standalone-identifier occurrence of @p name at or after
+/// @p from; returns npos when absent.
+std::size_t find_ident(const std::string& line, const std::string& name,
+                       std::size_t from = 0);
+
+bool has_ident(const std::string& line, const std::string& name);
+
+/// True when @p name occurs as an identifier directly invoked: `name(` with
+/// optional whitespace, excluding member calls and declarations (see
+/// lint_core.cpp for the full disambiguation rationale).
+bool has_call(const std::string& line, const std::string& name);
+
+/// Finds the first single ':' (a range-for separator, not a '::' scope
+/// qualifier) at or after @p from; npos when absent.
+std::size_t find_range_colon(const std::string& line, std::size_t from);
+
+/// Collects names of variables/members declared with an unordered container
+/// type anywhere in the cleaned lines (declarations may span lines).
+std::vector<std::string> harvest_unordered_names(
+    const std::vector<std::string>& lines);
+
+}  // namespace xh::lint

@@ -1,0 +1,479 @@
+// Whole-tree rule families for xh_lint (DESIGN.md §9).
+//
+// Every pass here consumes the ProjectModel built by build_project_model();
+// no file is re-read or re-lexed. Findings are collected RAW (per file),
+// the suppression audit (XH-SUP-001) runs against the raw set — a
+// suppression is "used" iff it would drop at least one raw finding — and
+// only then are suppressions applied.
+#include <algorithm>
+#include <array>
+#include <cstddef>
+#include <functional>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "lint/project_model.hpp"
+#include "lint/text_scan.hpp"
+
+namespace xh::lint {
+namespace {
+
+using RawFindings = std::map<std::string, std::vector<Finding>>;
+
+bool per_file_scope(const std::string& path) {
+  return starts_with(path, "src/") || starts_with(path, "tools/") ||
+         starts_with(path, "bench/");
+}
+
+bool iwyu_scope(const std::string& path) {
+  return starts_with(path, "src/") || starts_with(path, "tools/");
+}
+
+bool telemetry_scope(const std::string& path) {
+  return starts_with(path, "src/") || starts_with(path, "bench/") ||
+         starts_with(path, "tools/");
+}
+
+std::string join(const std::vector<std::string>& parts,
+                 const std::string& sep) {
+  std::string out;
+  for (std::size_t i = 0; i < parts.size(); ++i) {
+    if (i != 0) out += sep;
+    out += parts[i];
+  }
+  return out;
+}
+
+// ---- XH-INC-001: include cycles (Tarjan SCC) ---------------------------
+
+void check_cycles(const ProjectModel& model, RawFindings& raw) {
+  std::map<std::string, std::size_t> index;
+  std::map<std::string, std::size_t> low;
+  std::set<std::string> on_stack;
+  std::vector<std::string> stack;
+  std::size_t counter = 0;
+  std::vector<std::vector<std::string>> cycles;
+
+  std::function<void(const std::string&)> connect =
+      [&](const std::string& v) {
+        index[v] = low[v] = counter++;
+        stack.push_back(v);
+        on_stack.insert(v);
+        for (const IncludeEdge& e : model.files.at(v).includes) {
+          if (index.count(e.target) == 0) {
+            connect(e.target);
+            low[v] = std::min(low[v], low[e.target]);
+          } else if (on_stack.count(e.target) != 0) {
+            low[v] = std::min(low[v], index[e.target]);
+          }
+        }
+        if (low[v] == index[v]) {
+          std::vector<std::string> scc;
+          for (;;) {
+            std::string w = stack.back();
+            stack.pop_back();
+            on_stack.erase(w);
+            scc.push_back(w);
+            if (w == v) break;
+          }
+          bool cyclic = scc.size() > 1;
+          for (const IncludeEdge& e : model.files.at(v).includes) {
+            if (e.target == v) cyclic = true;  // self-include
+          }
+          if (cyclic) cycles.push_back(std::move(scc));
+        }
+      };
+  for (const auto& [path, entry] : model.files) {
+    (void)entry;
+    if (index.count(path) == 0) connect(path);
+  }
+
+  for (std::vector<std::string>& scc : cycles) {
+    std::sort(scc.begin(), scc.end());
+    const std::string& anchor = scc.front();
+    const std::set<std::string> members(scc.begin(), scc.end());
+    std::size_t line = 1;
+    for (const IncludeEdge& e : model.files.at(anchor).includes) {
+      if (members.count(e.target) != 0) {
+        line = e.line;
+        break;
+      }
+    }
+    raw[anchor].push_back(
+        {anchor, line, "XH-INC-001",
+         "include cycle: " + join(scc, " -> ") + " -> " + anchor});
+  }
+}
+
+// ---- XH-INC-002: layering ----------------------------------------------
+
+void check_layering(const ProjectModel& model, RawFindings& raw) {
+  if (model.spec.layers.empty()) return;
+  for (const auto& [path, entry] : model.files) {
+    if (!model.spec.known(entry.layer)) {
+      raw[path].push_back(
+          {path, 1, "XH-INC-002",
+           "layer '" + entry.layer +
+               "' is not declared in tools/lint/layers.txt"});
+      continue;
+    }
+    for (const IncludeEdge& e : entry.includes) {
+      const std::string& to = model.files.at(e.target).layer;
+      if (!model.spec.allowed(entry.layer, to)) {
+        raw[path].push_back(
+            {path, e.line, "XH-INC-002",
+             "layer '" + entry.layer + "' may not depend on layer '" + to +
+                 "' (" + e.target + ") — see tools/lint/layers.txt"});
+      }
+    }
+  }
+}
+
+// ---- XH-INC-003: IWYU-lite ---------------------------------------------
+
+/// True when the file itself (forward-)declares @p name, which makes a
+/// direct include legitimately unnecessary.
+bool declares_locally(const FileEntry& entry, const std::string& name) {
+  for (const std::string& line : entry.cleaned.lines) {
+    for (const char* kw : {"struct", "class", "enum", "using"}) {
+      const std::size_t p = find_ident(line, kw);
+      if (p != std::string::npos &&
+          find_ident(line, name, p) != std::string::npos) {
+        return true;
+      }
+    }
+  }
+  return false;
+}
+
+void check_includes(const ProjectModel& model, RawFindings& raw) {
+  // name → every header exporting it; only unique providers are actionable.
+  std::map<std::string, std::vector<std::string>> providers;
+  for (const auto& [hdr, names] : model.symbols.exported_names) {
+    for (const std::string& n : names) providers[n].push_back(hdr);
+  }
+
+  for (const auto& [path, entry] : model.files) {
+    if (!iwyu_scope(path) || entry.umbrella) continue;
+
+    std::set<std::string> direct;
+    for (const IncludeEdge& e : entry.includes) {
+      if (!direct.insert(e.target).second) {
+        raw[path].push_back({path, e.line, "XH-INC-003",
+                             "duplicate include of " + e.target});
+      }
+    }
+
+    for (const IncludeEdge& e : entry.includes) {
+      const FileEntry& target = model.files.at(e.target);
+      if (!target.is_header || target.umbrella) continue;
+      if (e.target == entry.primary_header) continue;
+      const auto it = model.symbols.broad_names.find(e.target);
+      // Headers with no harvestable names (aggregation, macros-only edge
+      // cases) are never flagged: absence of evidence is not unused.
+      if (it == model.symbols.broad_names.end() || it->second.empty()) {
+        continue;
+      }
+      bool used = false;
+      for (const std::string& n : it->second) {
+        if (entry.idents.count(n) != 0) {
+          used = true;
+          break;
+        }
+      }
+      if (!used) {
+        raw[path].push_back(
+            {path, e.line, "XH-INC-003",
+             "unused include: nothing declared in " + e.target +
+                 " is referenced here"});
+      }
+    }
+
+    // Missing direct include: a symbol whose unique provider is reachable
+    // only transitively. Exemptions: symbols satisfied through the .cpp's
+    // own primary header, through an explicitly included umbrella header,
+    // or (forward-)declared locally.
+    std::set<std::string> via_umbrella;
+    for (const std::string& t : direct) {
+      if (model.files.at(t).umbrella) {
+        const auto& cl = model.closure.at(t);
+        via_umbrella.insert(cl.begin(), cl.end());
+      }
+    }
+    const std::set<std::string>* primary_closure = nullptr;
+    if (!entry.primary_header.empty()) {
+      primary_closure = &model.closure.at(entry.primary_header);
+    }
+    const std::set<std::string>& closure = model.closure.at(path);
+    // header → (example symbol, first-use line): one finding per header.
+    std::map<std::string, std::pair<std::string, std::size_t>> missing;
+    for (const auto& [name, line] : entry.idents) {
+      const auto pit = providers.find(name);
+      if (pit == providers.end() || pit->second.size() != 1) continue;
+      const std::string& hdr = pit->second.front();
+      if (hdr == path || direct.count(hdr) != 0 || closure.count(hdr) == 0) {
+        continue;
+      }
+      if (primary_closure != nullptr && primary_closure->count(hdr) != 0) {
+        continue;
+      }
+      if (via_umbrella.count(hdr) != 0) continue;
+      if (declares_locally(entry, name)) continue;
+      if (missing.count(hdr) == 0) missing[hdr] = {name, line};
+    }
+    for (const auto& [hdr, use] : missing) {
+      raw[path].push_back(
+          {path, use.second, "XH-INC-003",
+           "'" + use.first + "' is declared in " + hdr +
+               ", which is only reached transitively — include it "
+               "directly"});
+    }
+  }
+}
+
+// ---- XH-API-001: discarded [[nodiscard]] results -----------------------
+
+void check_discards(const ProjectModel& model, RawFindings& raw) {
+  if (model.symbols.nodiscard.empty()) return;
+  for (const auto& [path, entry] : model.files) {
+    const auto& lines = entry.cleaned.lines;
+    // Statement-start tracking: a call whose (optionally ::-qualified)
+    // name opens the line right after `;`, `{`, `}` or a preprocessor
+    // line is a bare expression statement — its result is discarded.
+    char prev_last = ';';
+    bool prev_preproc = false;
+    for (std::size_t i = 0; i < lines.size(); ++i) {
+      const std::string& line = lines[i];
+      const std::size_t nb = line.find_first_not_of(" \t");
+      if (nb == std::string::npos) continue;
+      const bool stmt_start = prev_last == ';' || prev_last == '{' ||
+                              prev_last == '}' || prev_preproc;
+      if (stmt_start && line[nb] != '#') {
+        std::size_t p = nb;
+        std::string name;
+        for (;;) {
+          const std::size_t b = p;
+          while (p < line.size() && is_ident_char(line[p])) ++p;
+          if (p == b) {
+            name.clear();
+            break;
+          }
+          name = line.substr(b, p - b);
+          if (p + 1 < line.size() && line[p] == ':' && line[p + 1] == ':') {
+            p += 2;
+            continue;
+          }
+          break;
+        }
+        std::size_t q = p;
+        while (q < line.size() && (line[q] == ' ' || line[q] == '\t')) ++q;
+        if (!name.empty() && q < line.size() && line[q] == '(') {
+          const auto it = model.symbols.nodiscard.find(name);
+          if (it != model.symbols.nodiscard.end()) {
+            raw[path].push_back(
+                {path, i + 1, "XH-API-001",
+                 "result of [[nodiscard]] '" + name + "' (declared in " +
+                     *it->second.begin() +
+                     ") is discarded — assign it or cast to void with a "
+                     "reason"});
+          }
+        }
+      }
+      const std::size_t last = line.find_last_not_of(" \t");
+      prev_last = line[last];
+      prev_preproc = line[nb] == '#';
+    }
+  }
+}
+
+// ---- XH-API-002: deprecated-only APIs ----------------------------------
+
+void check_deprecated(const ProjectModel& model, RawFindings& raw) {
+  if (model.symbols.deprecated.empty()) return;
+
+  // Marker type → the deprecated function it feeds (first wins; the three
+  // HybridConfig overloads all map the same type).
+  std::map<std::string, const DeprecatedApi*> markers;
+  for (const DeprecatedApi& api : model.symbols.deprecated) {
+    for (const std::string& t : api.marker_types) {
+      markers.emplace(t, &api);
+    }
+  }
+
+  const auto exempt = [&](const std::string& path,
+                          const FileEntry& entry,
+                          const DeprecatedApi& api) {
+    if (path == api.declared_in) return true;
+    // Sibling .cpp of the declaring header (out-of-line definitions).
+    std::string sibling = api.declared_in;
+    const std::size_t dot = sibling.rfind('.');
+    if (dot != std::string::npos) sibling = sibling.substr(0, dot) + ".cpp";
+    if (path == sibling) return true;
+    // Files that explicitly opt in (the dedicated compat test).
+    return entry.source.content.find("-Wdeprecated-declarations") !=
+           std::string::npos;
+  };
+
+  for (const auto& [path, entry] : model.files) {
+    for (const auto& [type, api] : markers) {
+      if (exempt(path, entry, *api)) continue;
+      const auto it = entry.idents.find(type);
+      if (it != entry.idents.end()) {
+        raw[path].push_back(
+            {path, it->second, "XH-API-002",
+             "'" + type + "' only feeds the [[deprecated]] '" + api->name +
+                 "' overload (" + api->declared_in +
+                 ") — migrate to the live API"});
+      }
+    }
+    for (const DeprecatedApi& api : model.symbols.deprecated) {
+      if (api.has_live_overload || exempt(path, entry, api)) continue;
+      for (std::size_t i = 0; i < entry.cleaned.lines.size(); ++i) {
+        if (has_call(entry.cleaned.lines[i], api.name)) {
+          raw[path].push_back(
+              {path, i + 1, "XH-API-002",
+               "call to [[deprecated]] '" + api.name + "' (" +
+                   api.declared_in + ") with no live replacement overload"});
+        }
+      }
+    }
+  }
+}
+
+// ---- XH-OBS-001: telemetry names vs schema -----------------------------
+
+void check_telemetry(const ProjectModel& model, RawFindings& raw) {
+  static const std::array<const char*, 5> kHelpers = {
+      "obs_count", "obs_counter", "obs_gauge", "obs_record", "ScopedSpan"};
+  for (const auto& [path, entry] : model.files) {
+    if (!telemetry_scope(path)) continue;
+    if (path == model.telemetry_schema_file) continue;
+    // Helper declarations/definitions live here; their parameter lists and
+    // internal literals are not instrument uses.
+    if (starts_with(path, "src/obs/")) continue;
+    for (const StringLiteral& lit : entry.cleaned.literals) {
+      if (lit.line == 0 || lit.line > entry.cleaned.lines.size()) continue;
+      const std::string& line = entry.cleaned.lines[lit.line - 1];
+      bool instrument = false;
+      for (const char* helper : kHelpers) {
+        const std::size_t p = find_ident(line, helper);
+        if (p != std::string::npos && p < lit.col) {
+          // First literal after the helper on this line is its name.
+          bool first = true;
+          for (const StringLiteral& other : entry.cleaned.literals) {
+            if (other.line == lit.line && other.col > p &&
+                other.col < lit.col) {
+              first = false;
+              break;
+            }
+          }
+          if (first) instrument = true;
+          break;
+        }
+      }
+      if (!instrument) continue;
+      if (model.telemetry_schema_file.empty()) {
+        raw[path].push_back(
+            {path, lit.line, "XH-OBS-001",
+             "telemetry name '" + lit.text +
+                 "' used but no xh-telemetry-schema-begin/end block was "
+                 "found in the tree"});
+      } else if (model.telemetry_names.count(lit.text) == 0) {
+        raw[path].push_back(
+            {path, lit.line, "XH-OBS-001",
+             "telemetry name '" + lit.text +
+                 "' is absent from the canonical schema list (" +
+                 model.telemetry_schema_file + ")"});
+      }
+    }
+  }
+}
+
+// ---- XH-SUP-001: stale suppressions ------------------------------------
+
+void audit_suppressions(const ProjectModel& model, RawFindings& raw) {
+  for (const auto& [path, entry] : model.files) {
+    std::vector<Finding> stale;
+    const auto rit = raw.find(path);
+    for (const Directive& dir : entry.cleaned.directives) {
+      if (dir.rules.empty()) continue;
+      bool used = false;
+      if (rit != raw.end()) {
+        for (const Finding& f : rit->second) {
+          if (std::find(dir.rules.begin(), dir.rules.end(), f.rule) ==
+              dir.rules.end()) {
+            continue;
+          }
+          if (dir.file_scope ||
+              (f.line >= dir.first_covered && f.line <= dir.last_covered)) {
+            used = true;
+            break;
+          }
+        }
+      }
+      if (!used) {
+        stale.push_back(
+            {path, dir.line, "XH-SUP-001",
+             "stale suppression: allow(" + join(dir.rules, ",") +
+                 ") no longer matches any finding — delete it"});
+      }
+    }
+    if (!stale.empty()) {
+      auto& dst = raw[path];
+      dst.insert(dst.end(), stale.begin(), stale.end());
+    }
+  }
+}
+
+}  // namespace
+
+std::vector<Finding> analyze_tree(const ProjectModel& model,
+                                  const AnalyzeOptions& options) {
+  RawFindings raw;
+
+  if (options.per_file_rules) {
+    for (const auto& [path, entry] : model.files) {
+      if (!per_file_scope(path)) continue;
+      std::vector<std::string> extra;
+      if (!entry.primary_header.empty()) {
+        extra = harvest_unordered_names(
+            model.files.at(entry.primary_header).cleaned.lines);
+      }
+      std::vector<Finding> f =
+          per_file_findings(entry.source, entry.cleaned, extra);
+      if (!f.empty()) {
+        auto& dst = raw[path];
+        dst.insert(dst.end(), f.begin(), f.end());
+      }
+    }
+  }
+
+  if (options.tree_rules) {
+    check_cycles(model, raw);
+    check_layering(model, raw);
+    check_includes(model, raw);
+    check_discards(model, raw);
+    check_deprecated(model, raw);
+    check_telemetry(model, raw);
+  }
+
+  // The staleness audit only makes sense when every family that could use
+  // a suppression actually ran.
+  if (options.per_file_rules && options.tree_rules) {
+    audit_suppressions(model, raw);
+  }
+
+  std::vector<Finding> out;
+  for (const auto& [path, entry] : model.files) {
+    const auto it = raw.find(path);
+    if (it == raw.end()) continue;
+    std::vector<Finding> kept =
+        apply_suppressions(entry.cleaned, std::move(it->second));
+    out.insert(out.end(), kept.begin(), kept.end());
+  }
+  return out;
+}
+
+}  // namespace xh::lint

@@ -1,120 +1,155 @@
-// xh_lint — project lint CLI. Scans files or directory trees and exits
-// non-zero when any finding survives suppression, so CI can gate on it.
+// xh_lint — project lint CLI. Loads every input into the whole-tree
+// project model (DESIGN.md §9), runs the per-file and cross-TU rule
+// families, and exits non-zero when any finding survives suppression so CI
+// can gate on it.
 //
-//   xh_lint [--root DIR] [--list-rules] PATH...
+//   xh_lint [--root DIR] [--layers FILE] [--exclude PREFIX]...
+//           [--json FILE] [--per-file-only|--tree-only] [--list-rules]
+//           PATH...
 //
 // Paths are reported relative to --root (default: the current directory);
-// rule applicability (src/ vs bench/, core/engine) keys off that relative
-// path, so run it from the repository root or pass --root explicitly.
-#include <algorithm>
-#include <filesystem>
+// rule applicability (src/ vs bench/ vs tests/, core/engine) keys off that
+// relative path, so run it from the repository root or pass --root
+// explicitly. Missing or unreadable inputs are diagnosed on stderr and the
+// exit code is 2 — they are never silently skipped.
 #include <fstream>
 #include <iostream>
-#include <sstream>
 #include <string>
 #include <vector>
 
 #include "lint/lint_core.hpp"
-
-namespace fs = std::filesystem;
+#include "lint/project_model.hpp"
 
 namespace {
 
-bool has_source_extension(const fs::path& p) {
-  const std::string ext = p.extension().string();
-  return ext == ".cpp" || ext == ".cc" || ext == ".hpp" || ext == ".h";
-}
-
-std::string read_file(const fs::path& p) {
-  std::ifstream in(p, std::ios::binary);
-  std::ostringstream ss;
-  ss << in.rdbuf();
-  return ss.str();
-}
-
-std::string relative_slash_path(const fs::path& p, const fs::path& root) {
-  std::error_code ec;
-  fs::path rel = fs::relative(p, root, ec);
-  if (ec || rel.empty()) rel = p;
-  return rel.generic_string();
-}
+constexpr const char* kUsage =
+    "usage: xh_lint [--root DIR] [--layers FILE] [--exclude PREFIX]...\n"
+    "               [--json FILE] [--per-file-only|--tree-only]\n"
+    "               [--list-rules] PATH...\n";
 
 }  // namespace
 
 int main(int argc, char** argv) {
-  fs::path root = fs::current_path();
-  std::vector<fs::path> inputs;
+  std::string root = ".";
+  std::string layers_path;  // default: <root>/tools/lint/layers.txt
+  bool layers_explicit = false;
+  std::string json_path;
+  std::vector<std::string> excludes;
+  std::vector<std::string> inputs;
+  xh::lint::AnalyzeOptions options;
+
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
+    const auto next = [&](const char* what) -> const char* {
+      if (i + 1 >= argc) {
+        std::cerr << "error: " << arg << " requires " << what << "\n";
+        return nullptr;
+      }
+      return argv[++i];
+    };
     if (arg == "--list-rules") {
       for (const auto& r : xh::lint::rules()) {
         std::cout << r.id << "  " << r.summary << "\n";
       }
       return 0;
     }
-    if (arg == "--root") {
-      if (i + 1 >= argc) {
-        std::cerr << "error: --root requires a directory argument\n";
-        return 2;
-      }
-      root = argv[++i];
-      continue;
-    }
     if (arg == "--help" || arg == "-h") {
-      std::cout << "usage: xh_lint [--root DIR] [--list-rules] PATH...\n";
+      std::cout << kUsage;
       return 0;
     }
-    inputs.emplace_back(arg);
+    if (arg == "--root") {
+      const char* v = next("a directory argument");
+      if (v == nullptr) return 2;
+      root = v;
+      continue;
+    }
+    if (arg == "--layers") {
+      const char* v = next("a file argument");
+      if (v == nullptr) return 2;
+      layers_path = v;
+      layers_explicit = true;
+      continue;
+    }
+    if (arg == "--json") {
+      const char* v = next("a file argument");
+      if (v == nullptr) return 2;
+      json_path = v;
+      continue;
+    }
+    if (arg == "--exclude") {
+      const char* v = next("a repo-relative path prefix");
+      if (v == nullptr) return 2;
+      excludes.emplace_back(v);
+      continue;
+    }
+    if (arg == "--per-file-only") {
+      options.tree_rules = false;
+      continue;
+    }
+    if (arg == "--tree-only") {
+      options.per_file_rules = false;
+      continue;
+    }
+    if (!arg.empty() && arg[0] == '-') {
+      std::cerr << "error: unknown option '" << arg << "'\n" << kUsage;
+      return 2;
+    }
+    inputs.push_back(arg);
   }
   if (inputs.empty()) {
-    std::cerr << "usage: xh_lint [--root DIR] [--list-rules] PATH...\n";
+    std::cerr << kUsage;
     return 2;
   }
 
-  std::vector<fs::path> files;
-  for (const fs::path& in : inputs) {
-    if (fs::is_directory(in)) {
-      for (const auto& entry : fs::recursive_directory_iterator(in)) {
-        if (entry.is_regular_file() && has_source_extension(entry.path())) {
-          files.push_back(entry.path());
-        }
+  // Layering spec: an explicitly passed file must exist; the default
+  // location is optional (XH-INC-002 simply has nothing to check without
+  // it).
+  xh::lint::LayerSpec spec;
+  if (layers_path.empty()) layers_path = root + "/tools/lint/layers.txt";
+  {
+    std::ifstream in(layers_path, std::ios::binary);
+    if (in.good()) {
+      std::string text((std::istreambuf_iterator<char>(in)),
+                       std::istreambuf_iterator<char>());
+      std::string error;
+      if (!xh::lint::parse_layer_spec(text, spec, error)) {
+        std::cerr << "error: " << layers_path << ": " << error << "\n";
+        return 2;
       }
-    } else if (fs::is_regular_file(in)) {
-      files.push_back(in);
-    } else {
-      std::cerr << "error: no such file or directory: " << in << "\n";
+    } else if (layers_explicit) {
+      std::cerr << "error: cannot open layers spec " << layers_path << "\n";
       return 2;
     }
   }
-  std::sort(files.begin(), files.end());
 
-  std::size_t findings = 0;
-  for (const fs::path& path : files) {
-    xh::lint::SourceFile file;
-    file.path = relative_slash_path(path, root);
-    file.content = read_file(path);
+  std::vector<std::string> errors;
+  std::vector<xh::lint::SourceFile> files =
+      xh::lint::load_tree(root, inputs, excludes, errors);
+  if (!errors.empty()) {
+    for (const std::string& e : errors) std::cerr << "error: " << e << "\n";
+    return 2;
+  }
 
-    // For out-of-line members iterating containers declared in the class:
-    // harvest the same-stem header next to a .cpp.
-    std::string header_content;
-    const std::string* header = nullptr;
-    if (path.extension() == ".cpp" || path.extension() == ".cc") {
-      fs::path sib = path;
-      sib.replace_extension(".hpp");
-      if (fs::is_regular_file(sib)) {
-        header_content = read_file(sib);
-        header = &header_content;
-      }
-    }
+  const xh::lint::ProjectModel model =
+      xh::lint::build_project_model(std::move(files), std::move(spec));
+  const std::vector<xh::lint::Finding> findings =
+      xh::lint::analyze_tree(model, options);
 
-    for (const auto& f : xh::lint::scan_file(file, header)) {
-      std::cout << xh::lint::to_string(f) << "\n";
-      ++findings;
+  if (!json_path.empty()) {
+    std::ofstream out(json_path, std::ios::binary);
+    out << xh::lint::findings_to_json(findings);
+    if (!out.good()) {
+      std::cerr << "error: cannot write " << json_path << "\n";
+      return 2;
     }
   }
 
-  if (findings != 0) {
-    std::cout << findings << " finding" << (findings == 1 ? "" : "s")
+  for (const auto& f : findings) {
+    std::cout << xh::lint::to_string(f) << "\n";
+  }
+  if (!findings.empty()) {
+    std::cout << findings.size() << " finding"
+              << (findings.size() == 1 ? "" : "s")
               << " (suppress with // xh-lint: allow(RULE) and a justification)"
               << "\n";
     return 1;

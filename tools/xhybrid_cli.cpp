@@ -50,14 +50,23 @@
 #include "atpg/test_generation.hpp"
 #include "core/hybrid.hpp"
 #include "core/paper_example.hpp"
+#include "core/partitioner.hpp"
+#include "engine/partition_types.hpp"
 #include "engine/pipeline.hpp"
+#include "engine/pipeline_context.hpp"
 #include "fault/fault_sim.hpp"
 #include "inject/corruptor.hpp"
+#include "misr/x_cancel.hpp"
 #include "netlist/bench_io.hpp"
+#include "netlist/netlist.hpp"
 #include "obs/telemetry_json.hpp"
 #include "obs/trace.hpp"
 #include "response/io.hpp"
+#include "response/x_matrix.hpp"
+#include "scan/scan_plan.hpp"
 #include "scan/test_application.hpp"
+#include "sim/logic.hpp"
+#include "util/diagnostics.hpp"
 #include "util/parse.hpp"
 #include "util/rng.hpp"
 #include "util/table.hpp"
@@ -472,7 +481,7 @@ int cmd_inject(const Options& opt, const char* argv0, Trace* trace) {
       damaged = corruptor.duplicate_line(text);
     }
     try {
-      x_matrix_from_string(damaged, &diags);
+      (void)x_matrix_from_string(damaged, &diags);
       std::printf("damaged file unexpectedly accepted\n");
       return 1;
     } catch (const std::invalid_argument& e) {
