@@ -1,0 +1,384 @@
+// Service saturation: PartitionService under multi-tenant load.
+//
+// Prices the resident job runner (DESIGN.md §11) against the bare engine
+// and exercises its failure seams at benchmark scale:
+//
+//   * dispatch overhead — J in-memory jobs through a 1-worker service vs
+//     the same matrices through partition_patterns() serially;
+//   * scaling — the same batch across a W-worker service (parallelism is
+//     across tenants; each engine stays serial inside its job);
+//   * flood — pause(), submit the whole batch into a small admission cap,
+//     resume(): rejections and the queue high-water mark are exact, not
+//     racy, so the backpressure numbers are deterministic;
+//   * checkpoint tax — the batch again with checkpoint_every_rounds=1
+//     (every accepted round snapshots through the xh-ckpt/1 codec).
+//
+//   bench_service [--jobs J] [--cells N] [--patterns P] [--density D]
+//                 [--rounds R] [--workers W] [--flood-cap C] [--seed S]
+//                 [--smoke] [--telemetry file.json]
+//
+// --smoke runs a reduced-scale batch (well under 10 s), cross-checks that
+// every service-completed job is bit-identical to the direct engine run,
+// asserts the flood rejected exactly J - C jobs with a queue peak <= C,
+// and exits non-zero otherwise — the CI gate for the service's admission
+// and equivalence claims.
+//
+// --telemetry writes the canonical xh-telemetry/1 document: the flood
+// service's service.* counters (deterministic thanks to pause(); the
+// watchdog stays off so heartbeats are exactly zero) plus bench.* gauges
+// for the measured numbers. tools/check_service_smoke.py gates on it.
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/partitioner.hpp"
+#include "obs/telemetry_json.hpp"
+#include "obs/trace.hpp"
+#include "response/x_matrix.hpp"
+#include "service/job_runner.hpp"
+#include "util/parse.hpp"
+#include "workload/industrial.hpp"
+
+namespace xh {
+namespace {
+
+struct BenchOptions {
+  std::size_t jobs = 24;
+  std::size_t cells = 20'000;
+  std::size_t patterns = 800;
+  double density = 0.02;
+  std::size_t rounds = 12;
+  std::size_t workers = 4;
+  std::size_t flood_cap = 4;
+  std::uint64_t seed = 1;
+  bool smoke = false;
+  std::string telemetry_path;
+};
+
+double time_ms(const std::function<void()>& fn) {
+  const auto t0 = std::chrono::steady_clock::now();
+  fn();
+  const auto t1 = std::chrono::steady_clock::now();
+  return std::chrono::duration<double, std::milli>(t1 - t0).count();
+}
+
+bool results_identical(const PartitionResult& a, const PartitionResult& b) {
+  if (a.partitions.size() != b.partitions.size()) return false;
+  for (std::size_t i = 0; i < a.partitions.size(); ++i) {
+    if (!(a.partitions[i] == b.partitions[i])) return false;
+    if (!(a.masks[i] == b.masks[i])) return false;
+  }
+  if (a.history.size() != b.history.size()) return false;
+  for (std::size_t i = 0; i < a.history.size(); ++i) {
+    if (a.history[i].split_cell != b.history[i].split_cell) return false;
+    if (a.history[i].accepted != b.history[i].accepted) return false;
+  }
+  return a.masked_x == b.masked_x && a.leaked_x == b.leaked_x &&
+         a.total_bits == b.total_bits;
+}
+
+/// J distinct tenants: same shape, different seeds, so the batch is
+/// heterogeneous enough that worker scheduling matters.
+std::vector<std::shared_ptr<const XMatrix>> make_tenants(
+    const BenchOptions& opt) {
+  const std::size_t chains = opt.smoke ? 20 : 100;
+  const std::size_t length = std::max<std::size_t>(1, opt.cells / chains);
+  std::vector<std::shared_ptr<const XMatrix>> tenants;
+  tenants.reserve(opt.jobs);
+  for (std::size_t j = 0; j < opt.jobs; ++j) {
+    WorkloadProfile profile;
+    profile.name = "tenant";
+    profile.geometry = {chains, length};
+    profile.num_patterns = opt.patterns;
+    profile.x_density = opt.density;
+    profile.clustered_fraction = 0.9;
+    profile.cluster_cells_mean = std::max<std::size_t>(2, chains * length / 40);
+    profile.cluster_patterns_mean = std::max<std::size_t>(2, opt.patterns / 20);
+    profile.seed = opt.seed + j;
+    tenants.push_back(std::make_shared<XMatrix>(generate_workload(profile)));
+  }
+  return tenants;
+}
+
+/// Runs the whole batch through one service instance and collects each
+/// job's terminal result in submission order. Jobs the admission cap
+/// rejects leave a default (empty) slot.
+double run_batch(const std::vector<std::shared_ptr<const XMatrix>>& tenants,
+                 const PartitionerConfig& cfg, ServiceConfig scfg,
+                 std::vector<PartitionResult>* results,
+                 ServiceStats* stats_out) {
+  const double ms = time_ms([&] {
+    PartitionService service(std::move(scfg));
+    std::vector<JobId> ids;
+    ids.reserve(tenants.size());
+    for (std::size_t j = 0; j < tenants.size(); ++j) {
+      JobSpec spec;
+      spec.name = "tenant-" + std::to_string(j);
+      spec.matrix = tenants[j];
+      spec.config = cfg;
+      const SubmitOutcome oc = service.submit(std::move(spec));
+      ids.push_back(oc.accepted ? oc.id : 0);
+    }
+    service.wait_all();
+    if (results != nullptr) {
+      results->assign(tenants.size(), PartitionResult{});
+      for (std::size_t j = 0; j < ids.size(); ++j) {
+        if (ids[j] == 0) continue;
+        const std::optional<JobResult> res = service.poll(ids[j]);
+        if (res && res->state == JobState::kCompleted) {
+          (*results)[j] = res->partition;
+        }
+      }
+    }
+    service.shutdown();
+    if (stats_out != nullptr) *stats_out = service.stats();
+  });
+  return ms;
+}
+
+/// The flood phase: pause() first so the admission counters are exact —
+/// every submit lands on a held queue, so accepted == min(J, cap) and
+/// rejected == J - accepted with no scheduling race.
+double run_flood(const std::vector<std::shared_ptr<const XMatrix>>& tenants,
+                 const PartitionerConfig& cfg, ServiceConfig scfg,
+                 ServiceStats* stats_out, Trace* trace) {
+  const double ms = time_ms([&] {
+    PartitionService service(std::move(scfg));
+    service.pause();
+    for (std::size_t j = 0; j < tenants.size(); ++j) {
+      JobSpec spec;
+      spec.name = "flood-" + std::to_string(j);
+      spec.matrix = tenants[j];
+      spec.config = cfg;
+      const SubmitOutcome oc = service.submit(std::move(spec));
+      (void)oc;  // rejections are the point; the stats ledger records them
+    }
+    service.resume();
+    service.wait_all();
+    service.shutdown();
+    *stats_out = service.stats();
+    service.export_telemetry(trace);
+  });
+  return ms;
+}
+
+int run(const BenchOptions& opt) {
+  const std::vector<std::shared_ptr<const XMatrix>> tenants =
+      make_tenants(opt);
+
+  PartitionerConfig cfg;
+  cfg.misr = {32, 7};
+  cfg.stop_on_cost_increase = false;
+  cfg.allow_singleton_groups = true;
+  cfg.max_rounds = opt.rounds;
+  cfg.seed = opt.seed;
+
+  // Direct engine baseline: the same matrices, no service in the way.
+  std::vector<PartitionResult> direct(tenants.size());
+  const double direct_ms = time_ms([&] {
+    for (std::size_t j = 0; j < tenants.size(); ++j) {
+      direct[j] = partition_patterns(*tenants[j], cfg);
+    }
+  });
+
+  ServiceConfig base;
+  base.max_queue_depth = tenants.size();
+  base.partitioner = cfg;
+
+  // Dispatch overhead: one worker, so the service adds queueing + snapshot
+  // bookkeeping but no parallelism over the serial baseline.
+  ServiceConfig serial = base;
+  serial.workers = 1;
+  std::vector<PartitionResult> via_service;
+  ServiceStats serial_stats;
+  const double serial_ms =
+      run_batch(tenants, cfg, serial, &via_service, &serial_stats);
+
+  bool identical = via_service.size() == direct.size();
+  for (std::size_t j = 0; identical && j < direct.size(); ++j) {
+    identical = results_identical(direct[j], via_service[j]);
+  }
+
+  // Scaling: parallelism across tenants.
+  ServiceConfig pooled = base;
+  pooled.workers = std::max<std::size_t>(1, opt.workers);
+  ServiceStats pooled_stats;
+  const double pooled_ms =
+      run_batch(tenants, cfg, pooled, nullptr, &pooled_stats);
+
+  // Checkpoint tax: snapshot through the codec at every accepted round.
+  ServiceConfig ckpt = pooled;
+  ckpt.checkpoint_dir = "bench_service_ckpt";
+  ckpt.checkpoint_every_rounds = 1;
+  ServiceStats ckpt_stats;
+  const double ckpt_ms = run_batch(tenants, cfg, ckpt, nullptr, &ckpt_stats);
+
+  // Flood: deterministic backpressure numbers (see run_flood).
+  Trace trace;
+  ServiceConfig flood = base;
+  flood.workers = std::max<std::size_t>(1, opt.workers);
+  flood.max_queue_depth = opt.flood_cap;
+  ServiceStats flood_stats;
+  const double flood_ms =
+      run_flood(tenants, cfg, flood, &flood_stats, &trace);
+
+  const double overhead =
+      direct_ms > 0.0 ? serial_ms / direct_ms : 0.0;
+  const double scaling = pooled_ms > 0.0 ? serial_ms / pooled_ms : 0.0;
+  const double ckpt_tax = pooled_ms > 0.0 ? ckpt_ms / pooled_ms : 0.0;
+  const double jobs_per_sec =
+      pooled_ms > 0.0
+          ? 1000.0 * static_cast<double>(tenants.size()) / pooled_ms
+          : 0.0;
+  const std::size_t expect_accepted =
+      std::min(tenants.size(), opt.flood_cap);
+
+  std::printf(
+      "{\n"
+      "  \"batch\": {\"jobs\": %zu, \"cells\": %zu, \"patterns\": %zu, "
+      "\"rounds\": %zu},\n"
+      "  \"direct_ms\": %.3f,\n"
+      "  \"service_serial_ms\": %.3f,\n"
+      "  \"service_pool%zu_ms\": %.3f,\n"
+      "  \"service_checkpointed_ms\": %.3f,\n"
+      "  \"flood_ms\": %.3f,\n"
+      "  \"dispatch_overhead\": %.3f,\n"
+      "  \"scaling\": %.2f,\n"
+      "  \"checkpoint_tax\": %.3f,\n"
+      "  \"jobs_per_sec\": %.1f,\n"
+      "  \"checkpoints_written\": %llu,\n"
+      "  \"flood\": {\"cap\": %zu, \"accepted\": %llu, \"rejected\": %llu, "
+      "\"queue_peak\": %zu},\n"
+      "  \"results_identical\": %s\n"
+      "}\n",
+      tenants.size(), opt.cells, opt.patterns, opt.rounds, direct_ms,
+      serial_ms, pooled.workers, pooled_ms, ckpt_ms, flood_ms, overhead,
+      scaling, ckpt_tax, jobs_per_sec,
+      static_cast<unsigned long long>(ckpt_stats.checkpoints_written),
+      opt.flood_cap,
+      static_cast<unsigned long long>(flood_stats.jobs_accepted),
+      static_cast<unsigned long long>(flood_stats.jobs_rejected_overload),
+      flood_stats.queue_depth_peak, identical ? "true" : "false");
+
+  if (!opt.telemetry_path.empty()) {
+    obs_count(&trace, "bench.jobs", tenants.size());
+    obs_count(&trace, "bench.flood_cap", opt.flood_cap);
+    obs_count(&trace, "bench.results_identical", identical ? 1 : 0);
+    obs_gauge(&trace, "bench.direct_ms", direct_ms);
+    obs_gauge(&trace, "bench.service_serial_ms", serial_ms);
+    obs_gauge(&trace, "bench.service_pooled_ms", pooled_ms);
+    obs_gauge(&trace, "bench.service_checkpointed_ms", ckpt_ms);
+    obs_gauge(&trace, "bench.dispatch_overhead", overhead);
+    obs_gauge(&trace, "bench.scaling", scaling);
+    obs_gauge(&trace, "bench.checkpoint_tax", ckpt_tax);
+    obs_gauge(&trace, "bench.jobs_per_sec", jobs_per_sec);
+    std::ofstream out(opt.telemetry_path);
+    if (!out) {
+      std::fprintf(stderr, "cannot write %s\n", opt.telemetry_path.c_str());
+      return 1;
+    }
+    TelemetryMeta meta;
+    meta.tool = "bench_service";
+    meta.run = {{"smoke", opt.smoke ? "true" : "false"},
+                {"seed", std::to_string(opt.seed)},
+                {"workers", std::to_string(pooled.workers)},
+                {"flood_cap", std::to_string(opt.flood_cap)}};
+    write_telemetry_json(out, trace, meta);
+    std::fprintf(stderr, "telemetry written to %s\n",
+                 opt.telemetry_path.c_str());
+  }
+
+  // The smoke gates: the equivalence claim, the exact admission ledger,
+  // and the codec actually being exercised on the checkpointed pass.
+  if (!identical) {
+    std::fprintf(stderr,
+                 "FAIL: service results differ from the direct engine\n");
+    return 1;
+  }
+  if (flood_stats.jobs_accepted != expect_accepted ||
+      flood_stats.jobs_rejected_overload !=
+          tenants.size() - expect_accepted) {
+    std::fprintf(
+        stderr,
+        "FAIL: flood ledger off: accepted %llu (want %zu), rejected %llu\n",
+        static_cast<unsigned long long>(flood_stats.jobs_accepted),
+        expect_accepted,
+        static_cast<unsigned long long>(flood_stats.jobs_rejected_overload));
+    return 1;
+  }
+  if (flood_stats.queue_depth_peak > opt.flood_cap) {
+    std::fprintf(stderr, "FAIL: flood queue peak %zu exceeds the cap %zu\n",
+                 flood_stats.queue_depth_peak, opt.flood_cap);
+    return 1;
+  }
+  if (flood_stats.jobs_completed != flood_stats.jobs_accepted ||
+      flood_stats.jobs_failed != 0) {
+    std::fprintf(stderr, "FAIL: flood jobs did not all complete\n");
+    return 1;
+  }
+  if (ckpt_stats.checkpoints_written == 0) {
+    std::fprintf(stderr,
+                 "FAIL: checkpointed pass never touched the codec\n");
+    return 1;
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace xh
+
+int main(int argc, char** argv) {
+  xh::BenchOptions opt;
+  try {
+    for (int i = 1; i < argc; ++i) {
+      const std::string arg = argv[i];
+      const auto next = [&]() -> const char* {
+        if (i + 1 >= argc) {
+          std::fprintf(stderr, "error: %s needs a value\n", arg.c_str());
+          std::exit(2);
+        }
+        return argv[++i];
+      };
+      if (arg == "--jobs") {
+        opt.jobs = xh::parse_size(next());
+      } else if (arg == "--cells") {
+        opt.cells = xh::parse_size(next());
+      } else if (arg == "--patterns") {
+        opt.patterns = xh::parse_size(next());
+      } else if (arg == "--density") {
+        opt.density = xh::parse_f64(next());
+      } else if (arg == "--rounds") {
+        opt.rounds = xh::parse_size(next());
+      } else if (arg == "--workers") {
+        opt.workers = xh::parse_size(next());
+      } else if (arg == "--flood-cap") {
+        opt.flood_cap = xh::parse_size(next());
+      } else if (arg == "--seed") {
+        opt.seed = xh::parse_u64(next());
+      } else if (arg == "--telemetry") {
+        opt.telemetry_path = next();
+      } else if (arg == "--smoke") {
+        opt.smoke = true;
+        opt.jobs = 12;
+        opt.cells = 4'000;
+        opt.patterns = 300;
+        opt.rounds = 8;
+        opt.flood_cap = 3;
+      } else {
+        std::fprintf(stderr, "error: unknown flag %s\n", arg.c_str());
+        return 2;
+      }
+    }
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 2;
+  }
+  return xh::run(opt);
+}

@@ -1,9 +1,11 @@
 #include "engine/partition_engine.hpp"
 
 #include <limits>
+#include <string>
 
 #include "misr/accounting.hpp"
 #include "util/check.hpp"
+#include "util/diagnostics.hpp"
 
 namespace xh {
 namespace {
@@ -28,8 +30,14 @@ struct ChunkAccum {
 
 PartitionEngine::PartitionEngine(const XMatrixView& view,
                                  const PartitionerConfig& cfg,
-                                 ThreadPool* pool, Trace* trace)
-    : view_(view), cfg_(cfg), pool_(pool), trace_(trace), rng_(cfg.seed) {
+                                 ThreadPool* pool, Trace* trace,
+                                 const CancelToken* cancel)
+    : view_(view),
+      cfg_(cfg),
+      pool_(pool),
+      trace_(trace),
+      cancel_(cancel),
+      rng_(cfg.seed) {
   cfg_.misr.validate();
   XH_REQUIRE(view_.num_patterns() > 0, "X matrix has no patterns");
   XH_ASSERT(view_.num_rows() <
@@ -43,6 +51,70 @@ PartitionEngine::PartitionEngine(const XMatrixView& view,
   parts_.push_back(analyze(BitVec(view_.num_patterns(), true), all));
   masked_total_ = parts_.front().masked_x();
   history_.push_back(snapshot_round(0, 1, masked_total_));
+}
+
+PartitionEngine::PartitionEngine(const XMatrixView& view,
+                                 const PartitionerConfig& cfg,
+                                 const EngineSnapshot& snapshot,
+                                 ThreadPool* pool, Trace* trace,
+                                 const CancelToken* cancel)
+    : view_(view),
+      cfg_(cfg),
+      pool_(pool),
+      trace_(trace),
+      cancel_(cancel),
+      rng_(cfg.seed) {
+  cfg_.misr.validate();
+  XH_REQUIRE(view_.num_patterns() > 0, "X matrix has no patterns");
+  XH_REQUIRE(!snapshot.partitions.empty(),
+             "snapshot must hold at least the root partition");
+  XH_REQUIRE(!snapshot.history.empty(),
+             "snapshot history must hold at least the round-0 entry");
+
+  // The stored partitions must be a disjoint cover of every pattern:
+  // spans sum to num_patterns AND their union saturates, which together
+  // rule out both overlap and gaps.
+  BitVec cover(view_.num_patterns());
+  std::size_t span_sum = 0;
+  for (const BitVec& patterns : snapshot.partitions) {
+    XH_REQUIRE(patterns.size() == view_.num_patterns(),
+               "snapshot partition width != view pattern count");
+    span_sum += patterns.count();
+    cover |= patterns;
+  }
+  XH_REQUIRE(span_sum == view_.num_patterns() &&
+                 cover.count() == view_.num_patterns(),
+             "snapshot partitions must disjointly cover all patterns");
+
+  rng_.set_state(snapshot.rng_state);
+
+  // Re-derive each partition's analysis with a full-row sweep; analyze()
+  // skips rows with no X in the partition and merges chunks in ascending
+  // order, so the Part is identical to the one built incrementally.
+  std::vector<std::uint32_t> all(view_.num_rows());
+  for (std::size_t r = 0; r < all.size(); ++r) {
+    all[r] = static_cast<std::uint32_t>(r);
+  }
+  parts_.reserve(snapshot.partitions.size());
+  for (const BitVec& patterns : snapshot.partitions) {
+    parts_.push_back(analyze(patterns, all));
+    masked_total_ += parts_.back().masked_x();
+  }
+  history_ = snapshot.history;
+  round_ = snapshot.round;
+  done_ = snapshot.done;
+  obs_count(trace_, "engine.snapshot_restores");
+}
+
+EngineSnapshot PartitionEngine::snapshot() const {
+  EngineSnapshot snap;
+  snap.round = round_;
+  snap.done = done_;
+  snap.rng_state = rng_.state();
+  snap.partitions.reserve(parts_.size());
+  for (const Part& p : parts_) snap.partitions.push_back(p.patterns);
+  snap.history = history_;
+  return snap;
 }
 
 PartitionEngine::Part PartitionEngine::analyze(
@@ -141,6 +213,14 @@ PartitionEngine::StepOutcome PartitionEngine::step() {
   if (done_ || round_ >= cfg_.max_rounds) {
     done_ = true;
     return StepOutcome::kExhausted;
+  }
+  // Cooperative stop, polled only here — a round boundary — so every
+  // observable state is a valid accepted-round prefix. done_ stays false:
+  // the search is paused, not finished, and a snapshot can resume it.
+  if (cancel_ != nullptr && cancel_->stop_requested()) {
+    interrupted_ = true;
+    obs_count(trace_, "engine.rounds_cancelled");
+    return StepOutcome::kCancelled;
   }
 
   // Candidate = partition with the strongest same-count group.
@@ -257,6 +337,7 @@ PartitionResult PartitionEngine::materialize() const {
       static_cast<double>(result.partitions.size());
   result.canceling_bits = x_canceling_only_bits(cfg_.misr, result.leaked_x);
   result.total_bits = result.masking_bits + result.canceling_bits;
+  result.interrupted = interrupted_;
   return result;
 }
 
@@ -266,7 +347,19 @@ PartitionResult run_partitioning(const XMatrix& xm, PipelineContext& ctx) {
   const ScopedSpan span(ctx.trace(), "partition");
   const XMatrixView view(xm);
   PartitionEngine engine(view, ctx);
-  return engine.run();
+  PartitionResult result = engine.run();
+  if (result.interrupted) {
+    // Deadline/cancel degradation: report it, don't fail — the prefix is a
+    // valid partition. The gauge is only emitted on the degraded path so
+    // clean runs keep their telemetry byte-identical to before.
+    obs_gauge(ctx.trace(), "hybrid.degraded", 1.0);
+    diag_report(ctx.collector(), DiagSeverity::kWarning,
+                DiagKind::kDeadlineExceeded, "partitioning",
+                "stopped at round boundary " +
+                    std::to_string(result.history.back().round) +
+                    " by the cancellation token; best-so-far partition kept");
+  }
+  return result;
 }
 
 }  // namespace xh

@@ -36,6 +36,7 @@
 #include "obs/trace.hpp"
 #include "response/x_matrix.hpp"
 #include "util/bitvec.hpp"
+#include "util/cancel_token.hpp"
 #include "util/rng.hpp"
 #include "util/thread_pool.hpp"
 
@@ -47,21 +48,38 @@ class PartitionEngine {
   /// and analyzes the unsplit root partition. Throws std::invalid_argument
   /// on invalid configuration, like the seed partitioner. The optional
   /// trace receives engine.* counters; nullptr means no instrumentation.
+  /// The optional cancel token (not owned) is polled at round boundaries.
   PartitionEngine(const XMatrixView& view, const PartitionerConfig& cfg,
-                  ThreadPool* pool = nullptr, Trace* trace = nullptr);
+                  ThreadPool* pool = nullptr, Trace* trace = nullptr,
+                  const CancelToken* cancel = nullptr);
   PartitionEngine(const XMatrixView& view, PipelineContext& ctx)
-      : PartitionEngine(view, ctx.partitioner, ctx.pool(), ctx.trace()) {}
+      : PartitionEngine(view, ctx.partitioner, ctx.pool(), ctx.trace(),
+                        ctx.cancel()) {}
+
+  /// Restores an engine from a round-boundary snapshot taken against an
+  /// identical view and configuration. Each stored partition is
+  /// re-analyzed with one full sweep, which analyze() makes bit-identical
+  /// to the incremental state the saved engine held — so stepping the
+  /// restored engine reproduces the uninterrupted run exactly. Throws
+  /// std::invalid_argument when the snapshot does not describe a disjoint
+  /// cover of the view's patterns.
+  PartitionEngine(const XMatrixView& view, const PartitionerConfig& cfg,
+                  const EngineSnapshot& snapshot, ThreadPool* pool = nullptr,
+                  Trace* trace = nullptr, const CancelToken* cancel = nullptr);
 
   /// Outcome of one greedy round.
   enum class StepOutcome {
     kSplit,      // probe accepted: one partition replaced by its two halves
     kRejected,   // probe cost >= current cost: recorded, state untouched
     kExhausted,  // no splittable group left, or max_rounds reached
+    kCancelled,  // stop token fired before the round ran: state untouched
   };
 
   /// Runs one round: pick the strongest group, probe the split, accept or
   /// reject. After kRejected or kExhausted the engine is finished and
   /// further calls return kExhausted without consuming randomness.
+  /// kCancelled does NOT finish the engine: the round was never attempted,
+  /// so a snapshot of this state can resume and complete the search.
   StepOutcome step();
 
   /// Runs rounds to completion (Algorithm 1) and returns the materialized
@@ -72,6 +90,11 @@ class PartitionEngine {
   /// history). Callable at any point; does not mutate the engine.
   PartitionResult materialize() const;
 
+  /// Captures the resumable state at the current round boundary. The
+  /// restore constructor round-trips this exactly; serialization lives in
+  /// service/checkpoint.hpp.
+  EngineSnapshot snapshot() const;
+
   // Introspection (tests and step-wise drivers).
   std::size_t num_partitions() const { return parts_.size(); }
   const BitVec& partition_patterns_of(std::size_t i) const {
@@ -80,6 +103,8 @@ class PartitionEngine {
   std::uint64_t masked_x() const { return masked_total_; }
   const std::vector<PartitionRound>& history() const { return history_; }
   bool finished() const { return done_; }
+  /// True once a step() observed the cancel token fired.
+  bool interrupted() const { return interrupted_; }
 
  private:
   /// Working state of one pattern group: the cached analysis of the seed
@@ -117,12 +142,14 @@ class PartitionEngine {
   PartitionerConfig cfg_;
   ThreadPool* pool_ = nullptr;
   Trace* trace_ = nullptr;
+  const CancelToken* cancel_ = nullptr;
   Rng rng_;
   std::vector<Part> parts_;
   std::uint64_t masked_total_ = 0;
   std::vector<PartitionRound> history_;
   std::size_t round_ = 0;  // accepted rounds so far
   bool done_ = false;
+  bool interrupted_ = false;  // a step() saw the cancel token fired
 };
 
 /// Convenience: snapshot + engine run in one call, routed through a context.

@@ -7,6 +7,7 @@
 // includers are unaffected.
 #pragma once
 
+#include <array>
 #include <cstddef>
 #include <cstdint>
 #include <limits>
@@ -63,8 +64,29 @@ struct PartitionResult {
   /// Cost trajectory: entry 0 is the unsplit state; a trailing entry with
   /// accepted == false records the probe that triggered the stop.
   std::vector<PartitionRound> history;
+  /// True when the search was stopped by a cancellation/deadline token
+  /// before reaching its natural stop: the result is the best-so-far
+  /// prefix — still a valid, coverage-safe partition — not the optimum.
+  bool interrupted = false;
 
   std::size_t num_partitions() const { return partitions.size(); }
+};
+
+/// Resumable engine state captured at a round boundary: exactly what is
+/// not recomputable from the frozen XMatrixView. The per-partition group
+/// analyses are deliberately NOT stored — restore re-derives them with one
+/// full sweep per partition, which analyze() makes bit-identical to the
+/// incremental path for any candidate superset (rows with no X in the
+/// partition contribute nothing). See service/checkpoint.hpp for the
+/// serialized form.
+struct EngineSnapshot {
+  std::size_t round = 0;  // accepted rounds so far
+  bool done = false;      // natural stop already reached
+  std::array<std::uint64_t, 4> rng_state{};
+  /// Pattern set per partition, in engine order (split order matters: the
+  /// best-partition scan ties break on position).
+  std::vector<BitVec> partitions;
+  std::vector<PartitionRound> history;
 };
 
 }  // namespace xh

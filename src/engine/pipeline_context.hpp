@@ -23,6 +23,7 @@
 #include "engine/partition_types.hpp"
 #include "misr/x_cancel.hpp"
 #include "obs/trace.hpp"
+#include "util/cancel_token.hpp"
 #include "util/diagnostics.hpp"
 #include "util/rng.hpp"
 #include "util/thread_pool.hpp"
@@ -87,11 +88,19 @@ class PipelineContext {
   ThreadPool* pool() const { return pool_; }
   void set_pool(ThreadPool* pool) { pool_ = pool; }
 
+  /// Optional cooperative stop token the engine polls at round boundaries;
+  /// nullptr means the run can never be interrupted. Not owned. A stop
+  /// yields the best-so-far prefix (PartitionResult::interrupted == true),
+  /// never a broken result.
+  const CancelToken* cancel() const { return cancel_; }
+  void set_cancel(const CancelToken* token) { cancel_ = token; }
+
   /// Context-wide deterministic generator, seeded from partitioner.seed.
   Rng& rng() { return rng_; }
 
  private:
   ThreadPool* pool_ = nullptr;
+  const CancelToken* cancel_ = nullptr;
   Diagnostics owned_;
   Diagnostics* sink_ = nullptr;
   bool adopted_ = false;  // sink_ points at a caller-owned collector

@@ -21,17 +21,28 @@ const std::vector<std::string>& telemetry_schema_names() {
       "partition",
       "simulation",
       "validate",
-      // bench.* gauges (bench_partitioner / bench_robustness / bench_table1)
+      // bench.* gauges (bench_partitioner / bench_robustness / bench_table1
+      // / bench_service)
       "bench.cells",
+      "bench.checkpoint_tax",
+      "bench.direct_ms",
+      "bench.dispatch_overhead",
       "bench.engine_ms",
       "bench.engine_pooled_ms",
       "bench.engine_rounds_per_sec",
+      "bench.flood_cap",
+      "bench.jobs",
+      "bench.jobs_per_sec",
       "bench.partitions",
       "bench.patterns",
       "bench.peak_rss_kb",
       "bench.reference_ms",
       "bench.results_identical",
       "bench.rounds",
+      "bench.scaling",
+      "bench.service_checkpointed_ms",
+      "bench.service_pooled_ms",
+      "bench.service_serial_ms",
       "bench.speedup",
       "bench.total_x",
       // engine.* counters
@@ -40,10 +51,13 @@ const std::vector<std::string>& telemetry_schema_names() {
       "engine.probes_accepted",
       "engine.probes_attempted",
       "engine.probes_rejected_zero_copy",
+      "engine.rounds_cancelled",
       "engine.rows_examined",
+      "engine.snapshot_restores",
       "engine.victim_rows",
       // hybrid.* result gauges
       "hybrid.canceling_bits",
+      "hybrid.degraded",
       "hybrid.leaked_x",
       "hybrid.masked_x",
       "hybrid.masking_bits",
@@ -61,6 +75,20 @@ const std::vector<std::string>& telemetry_schema_names() {
       "response_io.lines_parsed",
       "response_io.pattern_rows",
       "response_io.x_entries",
+      // service.* job-runner counters/gauges (PartitionService)
+      "service.checkpoints_resumed",
+      "service.checkpoints_written",
+      "service.heartbeats",
+      "service.job_retries",
+      "service.jobs_accepted",
+      "service.jobs_cancelled",
+      "service.jobs_completed",
+      "service.jobs_degraded",
+      "service.jobs_failed",
+      "service.jobs_rejected_overload",
+      "service.queue_depth",
+      "service.queue_depth_peak",
+      "service.watchdog_stalls",
       // xcancel.* counters
       "xcancel.combinations_dropped",
       "xcancel.combinations_emitted",

@@ -1,0 +1,64 @@
+// Cooperative cancellation with optional deadline.
+//
+// A CancelToken is shared between a controller (service worker, CLI main)
+// and the PartitionEngine it drives. The engine polls stop_requested() at
+// partition-round boundaries only — never mid-round — so a stop always
+// lands on a coverage-safe prefix of accepted rounds (DESIGN.md §5) and
+// the best-so-far partition can be materialized immediately.
+//
+// Two stop sources compose:
+//   * explicit request_cancel() from any thread (shutdown, chaos tests);
+//   * a deadline against an injected ClockSource (0 = no deadline).
+// The token never throws and never blocks; polling it is O(1).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+#include "util/clock.hpp"
+
+namespace xh {
+
+class CancelToken {
+ public:
+  /// A token that never stops on its own (cancellable only explicitly).
+  CancelToken() = default;
+
+  /// Stops once @p clock reaches the absolute time @p deadline_ns.
+  CancelToken(ClockSource& clock, std::uint64_t deadline_ns)
+      : clock_(&clock), deadline_ns_(deadline_ns) {}
+
+  /// Stops @p budget_ns from now on @p clock.
+  static CancelToken after(ClockSource& clock, std::uint64_t budget_ns) {
+    return CancelToken(clock, clock.now_ns() + budget_ns);
+  }
+
+  CancelToken(const CancelToken&) = delete;
+  CancelToken& operator=(const CancelToken&) = delete;
+
+  /// Thread-safe; sticky — a cancelled token never un-cancels.
+  void request_cancel() { cancelled_.store(true, std::memory_order_release); }
+
+  bool cancelled() const {
+    return cancelled_.load(std::memory_order_acquire);
+  }
+
+  bool has_deadline() const { return clock_ != nullptr && deadline_ns_ != 0; }
+
+  /// Absolute deadline in clock nanoseconds, 0 when none.
+  std::uint64_t deadline_ns() const { return deadline_ns_; }
+
+  bool deadline_exceeded() const {
+    return has_deadline() && clock_->now_ns() >= deadline_ns_;
+  }
+
+  /// The one predicate cooperative workers poll.
+  bool stop_requested() const { return cancelled() || deadline_exceeded(); }
+
+ private:
+  ClockSource* clock_ = nullptr;
+  std::uint64_t deadline_ns_ = 0;
+  std::atomic<bool> cancelled_{false};
+};
+
+}  // namespace xh

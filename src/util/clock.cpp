@@ -1,0 +1,38 @@
+#include "util/clock.hpp"
+
+#include <chrono>
+#include <thread>
+
+namespace xh {
+namespace {
+
+class WallClock final : public ClockSource {
+ public:
+  /// XH-DET-001 proof of output-independence: this is the library's only
+  /// real-clock read outside obs/trace.cpp. Its value flows exclusively
+  /// into control decisions of the service layer — deadline expiry, retry
+  /// pacing, watchdog heartbeats — which select how many partition rounds
+  /// run, never what any round computes. The engine's prefix property
+  /// (any accepted-round prefix is a valid partition, DESIGN.md §5) plus
+  /// the checkpoint/resume bit-identity tests guarantee no emitted bit
+  /// depends on this reading.
+  std::uint64_t now_ns() override {
+    // xh-lint: allow(XH-DET-001)
+    const auto t = std::chrono::steady_clock::now().time_since_epoch();
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(t).count());
+  }
+
+  void sleep_ns(std::uint64_t ns) override {
+    std::this_thread::sleep_for(std::chrono::nanoseconds(ns));
+  }
+};
+
+}  // namespace
+
+ClockSource& wall_clock() {
+  static WallClock clock;
+  return clock;
+}
+
+}  // namespace xh

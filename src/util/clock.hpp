@@ -1,0 +1,68 @@
+// Injectable time source for the service layer.
+//
+// Deadlines, retry backoff and watchdog heartbeats all need wall-ish time,
+// but the library's determinism contract (DESIGN.md §8) bans ambient clock
+// reads everywhere outside one audited chokepoint. ClockSource is that
+// seam: production code holds a ClockSource* and never touches <chrono>
+// directly, tests substitute ManualClock and drive time by hand, and the
+// single real-clock read lives in clock.cpp behind the same line-scoped
+// XH-DET-001 suppression idiom as obs/trace.cpp.
+//
+// All times are nanoseconds on an arbitrary monotonic epoch; only
+// differences are meaningful. Nothing bit-emitted by the pipeline may
+// depend on a ClockSource reading — deadlines change *how much* work is
+// done (which rounds run), never the bits produced by the rounds that do
+// run, and checkpoint/resume pins that prefix property in tests.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+namespace xh {
+
+/// Monotonic nanosecond clock with a cooperative sleep. Implementations
+/// must be safe to call from multiple threads concurrently.
+class ClockSource {
+ public:
+  virtual ~ClockSource() = default;
+
+  /// Current time in nanoseconds since an arbitrary fixed epoch.
+  virtual std::uint64_t now_ns() = 0;
+
+  /// Blocks the calling thread for roughly @p ns nanoseconds (test clocks
+  /// may instead advance virtual time and return immediately).
+  virtual void sleep_ns(std::uint64_t ns) = 0;
+};
+
+/// The process-wide steady clock. Singleton; never returns null.
+ClockSource& wall_clock();
+
+/// Deterministic virtual clock for tests: time moves only when advanced,
+/// and sleep_ns() advances it instead of blocking, so retry/backoff and
+/// deadline paths run instantly and reproducibly.
+class ManualClock final : public ClockSource {
+ public:
+  explicit ManualClock(std::uint64_t start_ns = 0) : now_(start_ns) {}
+
+  std::uint64_t now_ns() override {
+    return now_.load(std::memory_order_acquire);
+  }
+  void sleep_ns(std::uint64_t ns) override { advance(ns); }
+
+  void advance(std::uint64_t ns) {
+    now_.fetch_add(ns, std::memory_order_acq_rel);
+    slept_.fetch_add(ns, std::memory_order_acq_rel);
+  }
+
+  /// Total virtual nanoseconds passed through sleep_ns()/advance() —
+  /// lets tests assert exact backoff schedules.
+  std::uint64_t total_advanced_ns() const {
+    return slept_.load(std::memory_order_acquire);
+  }
+
+ private:
+  std::atomic<std::uint64_t> now_;
+  std::atomic<std::uint64_t> slept_{0};
+};
+
+}  // namespace xh

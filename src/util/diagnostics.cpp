@@ -23,6 +23,9 @@ const char* diag_kind_name(DiagKind kind) {
     case DiagKind::kStreamFailure: return "stream-failure";
     case DiagKind::kNetlistParseError: return "netlist-parse-error";
     case DiagKind::kBadArgument: return "bad-argument";
+    case DiagKind::kOverloaded: return "overloaded";
+    case DiagKind::kDeadlineExceeded: return "deadline-exceeded";
+    case DiagKind::kCheckpointCorrupt: return "checkpoint-corrupt";
     case DiagKind::kNumKinds_: break;
   }
   return "unknown";

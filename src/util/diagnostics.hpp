@@ -49,6 +49,10 @@ enum class DiagKind : std::uint8_t {
   kNetlistParseError,
   // CLI / configuration family.
   kBadArgument,
+  // Service family (src/service): admission, deadlines, checkpoints.
+  kOverloaded,         // job rejected by queue-depth backpressure
+  kDeadlineExceeded,   // job stopped at a round boundary, best-so-far kept
+  kCheckpointCorrupt,  // checkpoint failed validation; resuming from scratch
   kNumKinds_,  // sentinel, not reportable
 };
 

@@ -79,6 +79,16 @@ double Rng::gaussian() {
   return acc - 6.0;
 }
 
+std::array<std::uint64_t, 4> Rng::state() const {
+  return {s_[0], s_[1], s_[2], s_[3]};
+}
+
+void Rng::set_state(const std::array<std::uint64_t, 4>& state) {
+  XH_REQUIRE((state[0] | state[1] | state[2] | state[3]) != 0,
+             "Rng::set_state rejects the all-zero xoshiro state");
+  for (std::size_t i = 0; i < 4; ++i) s_[i] = state[i];
+}
+
 std::vector<std::size_t> Rng::sample_without_replacement(std::size_t n,
                                                          std::size_t k) {
   XH_REQUIRE(k <= n, "cannot sample more items than the population size");

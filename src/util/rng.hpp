@@ -7,6 +7,7 @@
 // for workload synthesis.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <vector>
 
@@ -48,6 +49,15 @@ class Rng {
   /// Samples @p k distinct values from [0, n) in increasing order.
   std::vector<std::size_t> sample_without_replacement(std::size_t n,
                                                       std::size_t k);
+
+  /// Full 256-bit generator state, for checkpoint/resume. A generator
+  /// restored via set_state() produces the exact sequence the saved one
+  /// would have.
+  std::array<std::uint64_t, 4> state() const;
+
+  /// Restores a state captured by state(). Rejects the all-zero state
+  /// (xoshiro's sole degenerate fixed point).
+  void set_state(const std::array<std::uint64_t, 4>& state);
 
  private:
   std::uint64_t s_[4];

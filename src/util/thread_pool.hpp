@@ -10,10 +10,19 @@
 // Exceptions thrown by the chunk function are caught, the first one is
 // retained, and it is rethrown on the calling thread after every chunk has
 // finished (no worker ever dies, no chunk is skipped mid-flight).
+//
+// Alongside the fork-join path, the pool carries a fire-and-forget task
+// queue (post()/drain()) used by the service layer: tasks run on the
+// same workers, a throwing task can never wedge the pool — the first
+// exception is captured and rethrown on whichever thread calls drain() —
+// and the destructor discards tasks that never started. Tasks must not
+// call back into the pool (no post-from-task fan-out, no nested
+// parallel_chunks on the same pool).
 #pragma once
 
 #include <condition_variable>
 #include <cstddef>
+#include <deque>
 #include <exception>
 #include <functional>
 #include <mutex>
@@ -50,6 +59,20 @@ class ThreadPool {
   /// The calling thread participates; rethrows the first exception.
   void parallel_chunks(std::size_t n, std::size_t grain, const ChunkFn& fn);
 
+  /// Enqueues @p task for execution on a worker thread (or on the next
+  /// drain() caller when the pool has no workers). Never blocks. A task
+  /// that throws is captured, not lost: the first exception surfaces from
+  /// the next drain() call, and the pool keeps running either way.
+  void post(std::function<void()> task);
+
+  /// Runs queued tasks on the calling thread until the queue is empty and
+  /// every in-flight task has finished, then rethrows the first exception
+  /// captured from any task since the last drain() (clearing it).
+  void drain();
+
+  /// Tasks queued but not yet started (snapshot; racy by nature).
+  std::size_t pending_tasks() const;
+
  private:
   struct Job {
     const ChunkFn* fn = nullptr;
@@ -64,16 +87,22 @@ class ThreadPool {
   /// Executes chunks of the current job until none remain. Returns once
   /// this thread cannot obtain further chunks (others may still run).
   void drain_job(Job& job, std::unique_lock<std::mutex>& lock);
+  /// Pops and runs one queued task; @p lock is held on entry and exit but
+  /// released around the task body. Captures the task's exception.
+  void run_one_task(std::unique_lock<std::mutex>& lock);
   static void chunk_bounds(std::size_t n, std::size_t chunks,
                            std::size_t chunk, std::size_t* begin,
                            std::size_t* end);
 
-  std::mutex mu_;
+  mutable std::mutex mu_;
   std::condition_variable work_cv_;  // workers wait for a job / shutdown
   std::condition_variable done_cv_;  // caller waits for job completion
   Job* job_ = nullptr;               // active job, nullptr when idle
   std::size_t generation_ = 0;       // bumped per job so workers re-check
   bool stop_ = false;
+  std::deque<std::function<void()>> tasks_;
+  std::size_t tasks_active_ = 0;          // posted tasks mid-execution
+  std::exception_ptr task_error_;         // first task exception since drain
   std::vector<std::thread> workers_;
 };
 

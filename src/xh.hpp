@@ -51,6 +51,11 @@
 #include "engine/pipeline_context.hpp"
 #include "engine/x_matrix_view.hpp"
 
+// Service: resident job runner with admission control, deadlines, retry
+// and crash-safe checkpointing.
+#include "service/checkpoint.hpp"
+#include "service/job_runner.hpp"
+
 // Core: reference partitioner, hybrid pipeline, paper example, payload.
 #include "core/hybrid.hpp"
 #include "core/paper_example.hpp"

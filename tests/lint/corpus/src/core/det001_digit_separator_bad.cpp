@@ -1,0 +1,14 @@
+// Digit separators must not be mistaken for character-literal quotes: the
+// odd quote count in 1'000'000'000 once put the cleaner into char-literal
+// state and hid everything below it, including the banned rand() call.
+#include <cstdlib>
+
+namespace xh {
+
+int jittered_backoff() {
+  const long long base = 1'000'000;
+  const long long cap = 1'000'000'000;
+  return static_cast<int>((base + std::rand()) % cap);
+}
+
+}  // namespace xh

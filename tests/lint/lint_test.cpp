@@ -55,6 +55,7 @@ const Expectation kExpectations[] = {
     {"src/core/det001_time_bad.cpp", "XH-DET-001"},
     {"src/core/det001_chrono_bad.cpp", "XH-DET-001"},
     {"src/core/det001_random_device_bad.cpp", "XH-DET-001"},
+    {"src/core/det001_digit_separator_bad.cpp", "XH-DET-001"},
     {"src/core/det001_ident_good.cpp", ""},
     {"src/core/det001_scanclock_good.cpp", ""},
     {"bench/det001_bench_good.cpp", ""},

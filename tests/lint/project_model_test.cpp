@@ -78,6 +78,7 @@ TEST(TreeCorpus, EverySeededViolationIsDetectedAndNothingElse) {
       {"src/core/unused_include.cpp", "XH-INC-003"},
       {"src/core/missing_direct.cpp", "XH-INC-003"},
       {"src/core/discard.cpp", "XH-API-001"},
+      {"src/service/submit_discard.cpp", "XH-API-001"},
       {"src/core/legacy_user.cpp", "XH-API-002"},
       {"src/core/telemetry_user.cpp", "XH-OBS-001"},
       {"src/core/stale_suppress.cpp", "XH-SUP-001"},
@@ -105,6 +106,14 @@ TEST(TreeCorpus, EverySeededViolationIsDetectedAndNothingElse) {
     if (f.path == "src/core/legacy_user.cpp") ++legacy_findings;
   }
   EXPECT_EQ(legacy_findings, 2u);
+
+  // Both member-chain discards are flagged: `svc.submit_job(1);` and
+  // `psvc->poll_job(2);` each resolve to their final [[nodiscard]] name.
+  std::size_t chain_discards = 0;
+  for (const Finding& f : findings) {
+    if (f.path == "src/service/submit_discard.cpp") ++chain_discards;
+  }
+  EXPECT_EQ(chain_discards, 2u);
 
   // Telemetry harvest picked up the fixture's marker block.
   EXPECT_EQ(model.telemetry_schema_file, "src/obs/schema.cpp");

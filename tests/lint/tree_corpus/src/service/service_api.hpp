@@ -1,0 +1,15 @@
+#pragma once
+
+namespace fixture {
+
+struct Outcome {
+  bool accepted = false;
+};
+
+class Service {
+ public:
+  [[nodiscard]] Outcome submit_job(int job);
+  [[nodiscard]] int poll_job(int id) const;
+};
+
+}  // namespace fixture

@@ -1,0 +1,15 @@
+// Seeds XH-API-001 through member-call chains: the rule must walk
+// `svc.submit_job(` and `psvc->poll_job(` to the final [[nodiscard]] name
+// instead of stopping at the object. The assigned call stays clean.
+#include "service/service_api.hpp"
+
+namespace fixture {
+
+void drop_results(Service& svc, Service* psvc) {
+  svc.submit_job(1);
+  psvc->poll_job(2);
+  const Outcome kept = svc.submit_job(3);
+  (void)kept;
+}
+
+}  // namespace fixture

@@ -147,6 +147,63 @@ TEST(ThreadPool, SingleLaneExceptionThenReuse) {
   EXPECT_EQ(visited, 10u);
 }
 
+// Satellite regression: a submitted task that throws must not wedge
+// drain() or shutdown — the exception is captured and rethrown on the
+// drain() caller, and the pool stays fully usable afterwards.
+TEST(ThreadPool, ThrowingTaskSurfacesAtDrainAndPoolSurvives) {
+  ThreadPool pool(3);
+  std::atomic<int> ran{0};
+  pool.post([&] { ran.fetch_add(1); });
+  pool.post([&] { throw std::runtime_error("task boom"); });
+  pool.post([&] { ran.fetch_add(1); });
+  EXPECT_THROW(pool.drain(), std::runtime_error);
+  EXPECT_EQ(ran.load(), 2);  // the throwing task never skipped its peers
+
+  // The error was consumed: a clean batch drains cleanly and the
+  // fork-join path still works on the same workers.
+  pool.post([&] { ran.fetch_add(1); });
+  pool.drain();
+  EXPECT_EQ(ran.load(), 3);
+  std::atomic<std::uint64_t> total{0};
+  pool.parallel_chunks(64, 1, [&](std::size_t, std::size_t begin,
+                                  std::size_t end) {
+    total.fetch_add(end - begin, std::memory_order_relaxed);
+  });
+  EXPECT_EQ(total.load(), 64u);
+}
+
+// With no workers at all, drain() itself executes the queue — including
+// the throwing task — and still rethrows exactly once.
+TEST(ThreadPool, SingleLaneSubmitDrainRunsOnCaller) {
+  ThreadPool pool(1);
+  int ran = 0;
+  pool.post([&] { ++ran; });
+  pool.post([] { throw std::runtime_error("serial boom"); });
+  pool.post([&] { ++ran; });
+  EXPECT_EQ(pool.pending_tasks(), 3u);  // nothing runs before drain
+  EXPECT_THROW(pool.drain(), std::runtime_error);
+  EXPECT_EQ(ran, 2);
+  pool.drain();  // error cleared; empty drain is a no-op
+}
+
+// Destructor with queued-but-unstarted tasks must not hang or run them.
+TEST(ThreadPool, DestructorDiscardsUnstartedTasks) {
+  std::atomic<int> ran{0};
+  {
+    ThreadPool pool(1);  // no workers: submitted tasks can never start
+    for (int i = 0; i < 8; ++i) pool.post([&] { ran.fetch_add(1); });
+  }
+  EXPECT_EQ(ran.load(), 0);
+}
+
+TEST(ThreadPool, ManyTasksAllExecuteAcrossWorkers) {
+  ThreadPool pool(4);
+  std::atomic<int> ran{0};
+  for (int i = 0; i < 200; ++i) pool.post([&] { ran.fetch_add(1); });
+  pool.drain();
+  EXPECT_EQ(ran.load(), 200);
+}
+
 TEST(ThreadPool, ReusableAcrossManyJobs) {
   ThreadPool pool(3);
   for (int job = 0; job < 50; ++job) {

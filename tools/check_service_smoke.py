@@ -1,0 +1,89 @@
+#!/usr/bin/env python3
+"""CI gate for a queue-flood run of the partition service (stdlib only).
+
+    check_service_smoke.py TELEMETRY MAX_QUEUE
+
+TELEMETRY is an xh-telemetry/1 document produced by a flooded service run
+(`bench_service --smoke --telemetry ...` or `xhybrid_cli serve --max-queue
+Q --telemetry ...` over more jobs than Q admits). The gate asserts the
+backpressure contract from DESIGN.md §11:
+
+  * the flood actually overflowed — service.jobs_rejected_overload > 0
+    (a gate that never rejects is not testing admission);
+  * admission stayed bounded — service.queue_depth_peak <= MAX_QUEUE;
+  * every admitted job reached a good terminal state — accepted ==
+    completed + degraded, with zero failures;
+  * the service drained — the final service.queue_depth gauge is 0.
+
+Exit codes: 0 ok, 1 contract violation, 2 usage error.
+"""
+import json
+import sys
+
+SCHEMA = "xh-telemetry/1"
+
+
+def fail(msg):
+    print(f"check_service_smoke: FAIL: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def main(argv):
+    if len(argv) != 3:
+        print(__doc__, file=sys.stderr)
+        return 2
+    path, cap_text = argv[1], argv[2]
+    try:
+        cap = int(cap_text)
+    except ValueError:
+        print(f"check_service_smoke: bad MAX_QUEUE {cap_text!r}",
+              file=sys.stderr)
+        return 2
+    try:
+        with open(path, encoding="utf-8") as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        fail(f"{path}: {e}")
+
+    if doc.get("schema") != SCHEMA:
+        fail(f"{path}: schema is {doc.get('schema')!r}, expected {SCHEMA!r}")
+    counters = doc.get("counters", {})
+    gauges = doc.get("gauges", {})
+
+    def counter(name):
+        value = counters.get(name)
+        if not isinstance(value, int) or value < 0:
+            fail(f"{path}: missing or malformed counter {name}")
+        return value
+
+    rejected = counter("service.jobs_rejected_overload")
+    accepted = counter("service.jobs_accepted")
+    completed = counter("service.jobs_completed")
+    degraded = counter("service.jobs_degraded")
+    failed = counter("service.jobs_failed")
+    cancelled = counter("service.jobs_cancelled")
+    peak = gauges.get("service.queue_depth_peak")
+    depth = gauges.get("service.queue_depth")
+
+    if rejected == 0:
+        fail("flood never overflowed: service.jobs_rejected_overload is 0")
+    if not isinstance(peak, (int, float)):
+        fail("missing gauge service.queue_depth_peak")
+    if peak > cap:
+        fail(f"queue peak {peak} exceeds the admission cap {cap}")
+    if failed != 0:
+        fail(f"{failed} job(s) failed during the flood")
+    if accepted != completed + degraded + cancelled:
+        fail(f"ledger does not balance: accepted {accepted} != "
+             f"completed {completed} + degraded {degraded} + "
+             f"cancelled {cancelled}")
+    if depth != 0:
+        fail(f"service did not drain: final queue_depth is {depth}")
+
+    print(f"check_service_smoke: OK: {path} (accepted {accepted}, "
+          f"rejected {rejected}, peak {peak:g} <= cap {cap})")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

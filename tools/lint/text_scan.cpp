@@ -126,8 +126,20 @@ Cleaned clean(const std::string& text) {
           }
           code += ' ';
         } else if (c == '\'') {
-          state = State::kChar;
-          code += ' ';
+          // C++14 digit separator (1'000'000, 0xdead'beef): a quote inside
+          // a numeric token is not a character literal. Numeric tokens
+          // always start with a digit, so classify by the token's head.
+          std::size_t b = i;
+          while (b > 0 && is_ident_char(text[b - 1])) --b;
+          const bool digit_sep =
+              b < i && text[b] >= '0' && text[b] <= '9' &&
+              std::isalnum(static_cast<unsigned char>(next)) != 0;
+          if (digit_sep) {
+            code += c;
+          } else {
+            state = State::kChar;
+            code += ' ';
+          }
         } else {
           code += c;
         }

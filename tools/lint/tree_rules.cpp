@@ -239,9 +239,11 @@ void check_discards(const ProjectModel& model, RawFindings& raw) {
   if (model.symbols.nodiscard.empty()) return;
   for (const auto& [path, entry] : model.files) {
     const auto& lines = entry.cleaned.lines;
-    // Statement-start tracking: a call whose (optionally ::-qualified)
-    // name opens the line right after `;`, `{`, `}` or a preprocessor
-    // line is a bare expression statement — its result is discarded.
+    // Statement-start tracking: a call whose (optionally ::-, .- or
+    // ->-qualified) name opens the line right after `;`, `{`, `}` or a
+    // preprocessor line is a bare expression statement — its result is
+    // discarded. Walking member chains means `svc.submit(job);` resolves
+    // to `submit`, not `svc`.
     char prev_last = ';';
     bool prev_preproc = false;
     for (std::size_t i = 0; i < lines.size(); ++i) {
@@ -262,6 +264,14 @@ void check_discards(const ProjectModel& model, RawFindings& raw) {
           }
           name = line.substr(b, p - b);
           if (p + 1 < line.size() && line[p] == ':' && line[p + 1] == ':') {
+            p += 2;
+            continue;
+          }
+          if (p < line.size() && line[p] == '.') {
+            p += 1;
+            continue;
+          }
+          if (p + 1 < line.size() && line[p] == '-' && line[p + 1] == '>') {
             p += 2;
             continue;
           }

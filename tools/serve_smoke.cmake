@@ -1,0 +1,27 @@
+# End-to-end smoke for `xhybrid_cli serve` (cli_serve_drains_jobs_directory):
+# seeds a jobs directory with two generated .xm workloads, runs the service
+# over it with checkpointing enabled, and re-prints the report so ctest's
+# PASS_REGULAR_EXPRESSION can assert on it. Inputs: -DCLI, -DWORK_DIR.
+file(REMOVE_RECURSE "${WORK_DIR}")
+file(MAKE_DIRECTORY "${WORK_DIR}/jobs")
+
+foreach(job_seed IN ITEMS 1 9)
+  execute_process(
+    COMMAND "${CLI}" analyze --chains 4 --length 16 --patterns 48
+            --seed ${job_seed} --save-xm "${WORK_DIR}/jobs/job${job_seed}.xm"
+    RESULT_VARIABLE rc
+    OUTPUT_QUIET ERROR_VARIABLE err)
+  if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "seeding job${job_seed}.xm failed (rc=${rc}): ${err}")
+  endif()
+endforeach()
+
+execute_process(
+  COMMAND "${CLI}" serve --jobs-dir "${WORK_DIR}/jobs" --workers 2
+          --checkpoint-dir "${WORK_DIR}/ckpt" --checkpoint-every 2
+  RESULT_VARIABLE rc
+  OUTPUT_VARIABLE out ERROR_VARIABLE err)
+message("${out}${err}")
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "serve failed (rc=${rc})")
+endif()

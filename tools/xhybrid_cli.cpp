@@ -27,6 +27,17 @@
 //       Modes: undeclared-x, resolved-x, burst, tamper, truncate-xm,
 //       garble-xm, duplicate-xm.
 //
+//   xhybrid_cli serve --jobs-dir DIR [--workers W] [--max-queue Q]
+//                     [--timeout-ms T] [--retries R]
+//                     [--checkpoint-dir DIR] [--checkpoint-every K]
+//                     [--misr-size M] [--misr-q Q] [--seed S]
+//       One-shot service run (DESIGN.md §11): ingest every *.xm in DIR as
+//       a partitioning job, run them on W workers behind a Q-deep
+//       admission queue, drain, and print a per-job report. --timeout-ms
+//       bounds each job (deadline-exceeded jobs return their best-so-far
+//       partition as "degraded"); --checkpoint-dir enables crash-safe
+//       round-boundary checkpoints that a rerun resumes bit-identically.
+//
 // Flags follow one kebab-case scheme (all commands): --strict / --lenient
 // pick the diagnostics mode, --threads T picks the pool width, and
 // --telemetry file.json dumps the run's xh::Trace as an xh-telemetry/1
@@ -37,8 +48,11 @@
 // Robustness flags (all commands): --lenient attaches a structured
 // diagnostics collector so data mismatches degrade gracefully and are
 // summarized on stderr; --strict (the default) fails fast on the first
-// mismatch. Exit codes: 0 clean, 1 diagnostics errors / runtime failure,
-// 2 usage or argument errors.
+// mismatch. --timeout-ms T (analyze/circuit/serve) arms a cooperative
+// deadline token the partition engine polls at round boundaries.
+// Exit codes: 0 clean, 1 diagnostics errors / runtime failure, 2 usage or
+// argument errors, 3 deadline exceeded (a valid best-so-far partition was
+// still produced and printed — distinct from hard failure by design).
 #include <algorithm>
 #include <cstdio>
 #include <cstdlib>
@@ -65,7 +79,10 @@
 #include "response/x_matrix.hpp"
 #include "scan/scan_plan.hpp"
 #include "scan/test_application.hpp"
+#include "service/job_runner.hpp"
 #include "sim/logic.hpp"
+#include "util/cancel_token.hpp"
+#include "util/clock.hpp"
 #include "util/diagnostics.hpp"
 #include "util/parse.hpp"
 #include "util/rng.hpp"
@@ -94,9 +111,17 @@ namespace {
       "            [--strict | --lenient] [--telemetry file.json]\n"
       "            (modes: undeclared-x resolved-x burst tamper\n"
       "             truncate-xm garble-xm duplicate-xm)\n"
+      "  %s serve --jobs-dir DIR [--workers W] [--max-queue Q]\n"
+      "           [--timeout-ms T] [--retries R] [--checkpoint-dir DIR]\n"
+      "           [--checkpoint-every K] [--misr-size M] [--misr-q Q]\n"
+      "           [--seed S] [--telemetry file.json]\n"
+      "--timeout-ms T (analyze/circuit/serve): stop partitioning at the\n"
+      "  first round boundary past T ms and keep the best-so-far result.\n"
+      "exit codes: 0 clean, 1 failure/diagnostic errors, 2 usage,\n"
+      "  3 deadline exceeded (degraded best-so-far result produced)\n"
       "deprecated aliases (to be removed): --misr = --misr-size,\n"
       "  --q = --misr-q, --save = --save-xm, --load = --load-xm\n",
-      argv0, argv0, argv0, argv0);
+      argv0, argv0, argv0, argv0, argv0);
   std::exit(2);
 }
 
@@ -141,6 +166,13 @@ struct Options {
   std::size_t count = 4;
   std::size_t threads = 1;  // pipeline lanes; 0 = hardware concurrency
   bool lenient = false;
+  std::uint64_t timeout_ms = 0;  // 0 = no deadline
+  std::size_t workers = 2;       // serve: concurrent job executors
+  std::size_t max_queue = 64;    // serve: admission cap
+  std::size_t retries = 3;       // serve: attempts per job
+  std::size_t checkpoint_every = 8;  // serve: rounds between checkpoints
+  std::string jobs_dir;
+  std::string checkpoint_dir;
   std::string mode;
   std::string positional;
   std::string save_path;
@@ -178,6 +210,20 @@ Options parse(int argc, char** argv, int from) {
       opt.count = arg_size("--count", next());
     } else if (arg == "--threads") {
       opt.threads = arg_size("--threads", next());
+    } else if (arg == "--timeout-ms") {
+      opt.timeout_ms = arg_u64("--timeout-ms", next());
+    } else if (arg == "--workers") {
+      opt.workers = arg_size("--workers", next());
+    } else if (arg == "--max-queue") {
+      opt.max_queue = arg_size("--max-queue", next());
+    } else if (arg == "--retries") {
+      opt.retries = arg_size("--retries", next());
+    } else if (arg == "--checkpoint-every") {
+      opt.checkpoint_every = arg_size("--checkpoint-every", next());
+    } else if (arg == "--jobs-dir") {
+      opt.jobs_dir = next();
+    } else if (arg == "--checkpoint-dir") {
+      opt.checkpoint_dir = next();
     } else if (arg == "--mode") {
       opt.mode = next();
     } else if (arg == "--lenient") {
@@ -252,6 +298,25 @@ std::unique_ptr<ThreadPool> make_pool(std::size_t threads) {
   return std::make_unique<ThreadPool>(threads);
 }
 
+/// --timeout-ms plumbing: an armed deadline token, or nullptr when unset.
+std::unique_ptr<CancelToken> make_deadline(std::uint64_t timeout_ms) {
+  if (timeout_ms == 0) return nullptr;
+  return std::make_unique<CancelToken>(
+      wall_clock(), wall_clock().now_ns() + timeout_ms * 1'000'000);
+}
+
+/// Exit-code contract for a possibly deadline-clipped run: a clean rc
+/// becomes 3 when the engine stopped at the deadline, so callers can tell
+/// "best-so-far result under --timeout-ms" apart from hard failure (1).
+int finish_with_deadline(int rc, const PartitionResult& part) {
+  if (!part.interrupted) return rc;
+  std::fprintf(stderr,
+               "deadline exceeded: kept best-so-far partition "
+               "(%zu partitions) — exit 3\n",
+               part.num_partitions());
+  return rc == 0 ? 3 : rc;
+}
+
 int cmd_example(Trace* trace) {
   PartitionerConfig cfg;
   cfg.misr = {10, 2};
@@ -272,10 +337,12 @@ int cmd_example(Trace* trace) {
 
 int cmd_analyze(const Options& opt, Trace* trace) {
   const std::unique_ptr<ThreadPool> pool = make_pool(opt.threads);
+  const std::unique_ptr<CancelToken> deadline = make_deadline(opt.timeout_ms);
   PartitionerConfig pcfg;
   pcfg.misr = {opt.misr, opt.q};
   PipelineContext ctx(pcfg, pool.get());
   ctx.set_trace(trace);
+  ctx.set_cancel(deadline.get());
   if (opt.lenient) ctx.be_lenient();
   if (!opt.load_path.empty()) {
     std::ifstream in(opt.load_path);
@@ -284,13 +351,15 @@ int cmd_analyze(const Options& opt, Trace* trace) {
       return 1;
     }
     try {
-      print_report(run_hybrid_analysis(read_x_matrix(in, ctx), ctx));
+      const HybridReport rep = run_hybrid_analysis(read_x_matrix(in, ctx), ctx);
+      print_report(rep);
+      return finish_with_deadline(finish_with_diagnostics(ctx.diagnostics()),
+                                  rep.partitioning);
     } catch (const std::invalid_argument& e) {
       std::fprintf(stderr, "error: %s\n", e.what());
       finish_with_diagnostics(ctx.diagnostics());
       return 1;
     }
-    return finish_with_diagnostics(ctx.diagnostics());
   }
   WorkloadProfile profile;
   profile.name = "cli";
@@ -313,8 +382,10 @@ int cmd_analyze(const Options& opt, Trace* trace) {
     write_x_matrix(xm, out);
     std::printf("saved X matrix to %s\n", opt.save_path.c_str());
   }
-  print_report(run_hybrid_analysis(xm, ctx));
-  return finish_with_diagnostics(ctx.diagnostics());
+  const HybridReport rep = run_hybrid_analysis(xm, ctx);
+  print_report(rep);
+  return finish_with_deadline(finish_with_diagnostics(ctx.diagnostics()),
+                              rep.partitioning);
 }
 
 int cmd_circuit(const Options& opt, const char* argv0, Trace* trace) {
@@ -342,10 +413,12 @@ int cmd_circuit(const Options& opt, const char* argv0, Trace* trace) {
   TestApplicator app(nl, plan);
   const ResponseMatrix response = app.capture(atpg.patterns);
   const std::unique_ptr<ThreadPool> pool = make_pool(opt.threads);
+  const std::unique_ptr<CancelToken> deadline = make_deadline(opt.timeout_ms);
   PartitionerConfig pcfg;
   pcfg.misr = {opt.misr, opt.q};
   PipelineContext ctx(pcfg, pool.get());
   ctx.set_trace(trace);
+  ctx.set_cancel(deadline.get());
   const HybridSimulation sim = run_hybrid_simulation(response, ctx);
   print_report(sim.report);
 
@@ -360,7 +433,8 @@ int cmd_circuit(const Options& opt, const char* argv0, Trace* trace) {
               100.0 * masked.coverage(), 100.0 * ideal.coverage(),
               masked.num_detected == ideal.num_detected ? "no loss"
                                                         : "LOSS");
-  return masked.num_detected == ideal.num_detected ? 0 : 1;
+  const int rc = masked.num_detected == ideal.num_detected ? 0 : 1;
+  return finish_with_deadline(rc, sim.report.partitioning);
 }
 
 /// Concrete response realizing @p xm: random values, X where declared.
@@ -496,6 +570,76 @@ int cmd_inject(const Options& opt, const char* argv0, Trace* trace) {
   usage(argv0);
 }
 
+int cmd_serve(const Options& opt, const char* argv0, Trace* trace) {
+  if (opt.jobs_dir.empty()) {
+    std::fprintf(stderr, "error: serve requires --jobs-dir\n");
+    usage(argv0);
+  }
+  ServiceConfig scfg;
+  scfg.workers = std::max<std::size_t>(1, opt.workers);
+  scfg.max_queue_depth = opt.max_queue;
+  scfg.partitioner.misr = {opt.misr, opt.q};
+  scfg.partitioner.seed = opt.seed;
+  scfg.default_deadline_ns = opt.timeout_ms * 1'000'000;
+  scfg.checkpoint_dir = opt.checkpoint_dir;
+  scfg.checkpoint_every_rounds =
+      opt.checkpoint_dir.empty() ? 0 : opt.checkpoint_every;
+  scfg.retry.max_attempts = std::max<std::size_t>(1, opt.retries);
+  scfg.watchdog_period_ns = 50'000'000;
+  PartitionService service(scfg);
+  const std::vector<SubmitOutcome> outcomes =
+      service.ingest_directory(opt.jobs_dir);
+  service.shutdown();
+
+  TextTable t({"job", "state", "attempts", "rounds", "partitions",
+               "total bits"});
+  bool any_failed = false;
+  bool any_degraded = false;
+  for (const SubmitOutcome& oc : outcomes) {
+    if (!oc.accepted) continue;
+    const std::optional<JobResult> res = service.poll(oc.id);
+    if (!res) continue;
+    any_failed = any_failed || res->state == JobState::kFailed;
+    any_degraded = any_degraded || res->state == JobState::kDegraded;
+    const bool has_partition = res->state == JobState::kCompleted ||
+                               res->state == JobState::kDegraded;
+    t.add_row(
+        {res->name, job_state_name(res->state),
+         std::to_string(res->attempts),
+         has_partition ? std::to_string(res->rounds) : "-",
+         has_partition ? std::to_string(res->partition.num_partitions())
+                       : "-",
+         has_partition && !res->partition.history.empty()
+             ? TextTable::num(res->partition.history.back().total_bits, 1)
+             : "-"});
+  }
+  std::printf("%s", t.render().c_str());
+
+  const ServiceStats s = service.stats();
+  std::printf(
+      "jobs: %llu accepted, %llu rejected (overload), %llu completed, "
+      "%llu degraded, %llu failed\n",
+      static_cast<unsigned long long>(s.jobs_accepted),
+      static_cast<unsigned long long>(s.jobs_rejected_overload),
+      static_cast<unsigned long long>(s.jobs_completed),
+      static_cast<unsigned long long>(s.jobs_degraded),
+      static_cast<unsigned long long>(s.jobs_failed));
+  std::printf("checkpoints: %llu written, %llu resumed; %llu retries, "
+              "queue peak %zu\n",
+              static_cast<unsigned long long>(s.checkpoints_written),
+              static_cast<unsigned long long>(s.checkpoints_resumed),
+              static_cast<unsigned long long>(s.job_retries),
+              s.queue_depth_peak);
+  service.export_telemetry(trace);
+
+  // Admission rejections are warnings by design — a flood that degrades
+  // into rejections is the service doing its job, not a failure.
+  const int rc = finish_with_diagnostics(service.diagnostics());
+  if (any_failed) return 1;
+  if (rc == 0 && any_degraded) return 3;
+  return rc;
+}
+
 }  // namespace
 }  // namespace xh
 
@@ -515,6 +659,8 @@ int main(int argc, char** argv) {
       rc = xh::cmd_circuit(opt, argv[0], tr);
     } else if (cmd == "inject") {
       rc = xh::cmd_inject(opt, argv[0], tr);
+    } else if (cmd == "serve") {
+      rc = xh::cmd_serve(opt, argv[0], tr);
     } else {
       xh::usage(argv[0]);
     }
