@@ -8,18 +8,27 @@
 //
 //   bench_partitioner [--cells N] [--patterns P] [--density D]
 //                     [--rounds R] [--threads T] [--seed S] [--smoke]
-//                     [--telemetry file.json]
+//                     [--xm-backend B] [--telemetry file.json]
 //
 // --smoke runs a reduced-scale workload (< 10 s end to end), cross-checks
 // that both implementations produce identical results, asserts the engine
 // is at least 3x faster than the seed, and exits non-zero otherwise — the
-// CI regression gate for the engine's core performance claim.
+// CI regression gate for the engine's core performance claim. The smoke
+// run also sweeps the engine over every storage backend (csr, tebm, mmap),
+// demands bit-identical results from each, and gates on the mmap store's
+// resident footprint staying below the CSR snapshot's — the out-of-core
+// property that makes the backend worth having.
+//
+// --xm-backend B picks the store for the traced telemetry run (default
+// csr), so the CI mmap leg exercises the whole engine through the mapped
+// file; the per-backend sweep always covers all three.
 //
 // --telemetry writes the canonical xh-telemetry/1 document instead of each
 // bench inventing its own JSON: the engine's deterministic counters (from
 // one traced, untimed run) plus bench.* gauges for the measured numbers.
 // CI diffs the counters section against bench/telemetry_smoke_baseline.json
-// — gauges and timers are wall-clock noise and excluded from the diff.
+// — gauges and timers are wall-clock noise and excluded from the diff, as
+// is store.pages_touched (deterministic per backend but backend-shaped).
 #include <sys/resource.h>
 
 #include <algorithm>
@@ -28,14 +37,16 @@
 #include <cstdlib>
 #include <fstream>
 #include <functional>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "core/partitioner.hpp"
 #include "engine/partition_engine.hpp"
-#include "engine/x_matrix_view.hpp"
 #include "obs/telemetry_json.hpp"
 #include "obs/trace.hpp"
+#include "storage/store_factory.hpp"
+#include "storage/x_matrix_store.hpp"
 #include "util/parse.hpp"
 #include "util/thread_pool.hpp"
 #include "workload/industrial.hpp"
@@ -51,6 +62,7 @@ struct BenchOptions {
   std::size_t threads = 2;  // pool size for the scaling sample
   std::uint64_t seed = 1;
   bool smoke = false;
+  XmBackend xm_backend = XmBackend::kCsr;  // store for the traced run
   std::string telemetry_path;
 };
 
@@ -71,6 +83,29 @@ long peak_rss_kb() {
   struct rusage usage {};
   getrusage(RUSAGE_SELF, &usage);
   return usage.ru_maxrss;
+}
+
+// Canonical per-backend gauge names. Spelled out as literals (rather than
+// concatenated at the call sites) so they stay greppable against the
+// schema registry in src/obs/telemetry_json.cpp.
+struct BackendGaugeNames {
+  const char* ms;
+  const char* resident_bytes;
+  const char* mapped_bytes;
+  const char* peak_rss_kb;
+};
+
+BackendGaugeNames backend_gauge_names(const std::string& backend) {
+  if (backend == "tebm") {
+    return {"bench.store_tebm_ms", "bench.store_tebm_resident_bytes",
+            "bench.store_tebm_mapped_bytes", "bench.store_tebm_peak_rss_kb"};
+  }
+  if (backend == "mmap") {
+    return {"bench.store_mmap_ms", "bench.store_mmap_resident_bytes",
+            "bench.store_mmap_mapped_bytes", "bench.store_mmap_peak_rss_kb"};
+  }
+  return {"bench.store_csr_ms", "bench.store_csr_resident_bytes",
+          "bench.store_csr_mapped_bytes", "bench.store_csr_peak_rss_kb"};
 }
 
 bool results_identical(const PartitionResult& a, const PartitionResult& b) {
@@ -136,11 +171,44 @@ int run(const BenchOptions& opt) {
     ThreadPool pool(opt.threads);
     pooled_ms = time_ms(
         [&] {
-          const XMatrixView view(xm);
-          PartitionEngine engine(view, cfg, &pool);
+          const std::unique_ptr<XMatrixStore> store =
+              make_store(xm, XmBackend::kCsr);
+          PartitionEngine engine(*store, cfg, &pool);
           engine_result = engine.run();
         },
         reps);
+  }
+
+  // Per-backend sweep: same engine, same bits, different physical store.
+  // Resident/mapped bytes come from the store's own accounting (the same
+  // store.* gauges the telemetry run exports), peak RSS from the kernel.
+  struct BackendSample {
+    const char* name = "";
+    double ms = 0.0;
+    std::uint64_t resident_bytes = 0;
+    std::uint64_t mapped_bytes = 0;
+    long peak_rss_kb = 0;
+    bool identical = false;
+  };
+  std::vector<BackendSample> backends;
+  for (const XmBackend backend :
+       {XmBackend::kCsr, XmBackend::kTebm, XmBackend::kMmap}) {
+    const std::unique_ptr<XMatrixStore> store = make_store(xm, backend);
+    BackendSample sample;
+    sample.name = store->backend_name();
+    PartitionResult result;
+    sample.ms = time_ms(
+        [&] {
+          PartitionEngine engine(*store, cfg);
+          result = engine.run();
+        },
+        reps);
+    const StoreStats stats = store->stats();
+    sample.resident_bytes = stats.resident_bytes;
+    sample.mapped_bytes = stats.mapped_bytes;
+    sample.peak_rss_kb = peak_rss_kb();
+    sample.identical = results_identical(ref_result, result);
+    backends.push_back(sample);
   }
 
   const bool identical = results_identical(ref_result, engine_result);
@@ -161,13 +229,25 @@ int run(const BenchOptions& opt) {
       "  \"speedup\": %.2f,\n"
       "  \"engine_rounds_per_sec\": %.1f,\n"
       "  \"results_identical\": %s,\n"
-      "  \"peak_rss_kb\": %ld\n"
-      "}\n",
+      "  \"peak_rss_kb\": %ld,\n"
+      "  \"backends\": {\n",
       chains * length, opt.patterns,
       static_cast<unsigned long long>(xm.total_x()), rounds_run,
       engine_result.num_partitions(), ref_ms, engine_ms, opt.threads,
       pooled_ms, speedup, engine_rounds_per_sec,
       identical ? "true" : "false", peak_rss_kb());
+  for (std::size_t i = 0; i < backends.size(); ++i) {
+    const BackendSample& b = backends[i];
+    std::printf(
+        "    \"%s\": {\"ms\": %.3f, \"resident_bytes\": %llu, "
+        "\"mapped_bytes\": %llu, \"peak_rss_kb\": %ld, "
+        "\"results_identical\": %s}%s\n",
+        b.name, b.ms, static_cast<unsigned long long>(b.resident_bytes),
+        static_cast<unsigned long long>(b.mapped_bytes), b.peak_rss_kb,
+        b.identical ? "true" : "false",
+        i + 1 < backends.size() ? "," : "");
+  }
+  std::printf("  }\n}\n");
 
   if (!opt.telemetry_path.empty()) {
     // One traced, untimed engine run: the engine.* counters are pure
@@ -175,13 +255,17 @@ int run(const BenchOptions& opt) {
     // timed reps above would distort the very numbers being measured.
     Trace trace;
     {
-      const XMatrixView view(xm);
-      PartitionEngine engine(view, cfg, nullptr, &trace);
+      const std::unique_ptr<XMatrixStore> store =
+          make_store(xm, opt.xm_backend);
+      PartitionEngine engine(*store, cfg, nullptr, &trace);
       const PartitionResult traced = engine.run();
       if (!results_identical(engine_result, traced)) {
         std::fprintf(stderr, "FAIL: traced run differs from untraced run\n");
         return 1;
       }
+      // store.probe_* totals are a pure function of the engine's work, so
+      // they golden-diff; pages_touched is backend-shaped and excluded.
+      export_store_telemetry(*store, &trace);
     }
     obs_count(&trace, "bench.cells", chains * length);
     obs_count(&trace, "bench.patterns", opt.patterns);
@@ -196,6 +280,16 @@ int run(const BenchOptions& opt) {
     obs_gauge(&trace, "bench.engine_rounds_per_sec", engine_rounds_per_sec);
     obs_gauge(&trace, "bench.peak_rss_kb",
               static_cast<double>(peak_rss_kb()));
+    for (const BackendSample& b : backends) {
+      const BackendGaugeNames names = backend_gauge_names(b.name);
+      obs_gauge(&trace, names.ms, b.ms);
+      obs_gauge(&trace, names.resident_bytes,
+                static_cast<double>(b.resident_bytes));
+      obs_gauge(&trace, names.mapped_bytes,
+                static_cast<double>(b.mapped_bytes));
+      obs_gauge(&trace, names.peak_rss_kb,
+                static_cast<double>(b.peak_rss_kb));
+    }
     std::ofstream out(opt.telemetry_path);
     if (!out) {
       std::fprintf(stderr, "cannot write %s\n", opt.telemetry_path.c_str());
@@ -215,10 +309,41 @@ int run(const BenchOptions& opt) {
     std::fprintf(stderr, "FAIL: engine result differs from the seed\n");
     return 1;
   }
+  for (const BackendSample& b : backends) {
+    if (!b.identical) {
+      std::fprintf(stderr,
+                   "FAIL: %s backend result differs from the seed\n", b.name);
+      return 1;
+    }
+  }
   if (opt.smoke && speedup < 3.0) {
     std::fprintf(stderr, "FAIL: smoke speedup %.2fx below the 3x gate\n",
                  speedup);
     return 1;
+  }
+  if (opt.smoke) {
+    // The out-of-core gate: the mapped store must keep strictly less of the
+    // X-matrix resident than the in-memory CSR snapshot. Both numbers are
+    // the stores' own accounting — the same values exported as the
+    // store.resident_bytes gauge.
+    const BackendSample* csr = nullptr;
+    const BackendSample* mmap = nullptr;
+    for (const BackendSample& b : backends) {
+      if (std::string(b.name) == "csr") csr = &b;
+      if (std::string(b.name) == "mmap") mmap = &b;
+    }
+    if (csr == nullptr || mmap == nullptr) {
+      std::fprintf(stderr, "FAIL: backend sweep missing csr or mmap sample\n");
+      return 1;
+    }
+    if (mmap->resident_bytes >= csr->resident_bytes) {
+      std::fprintf(stderr,
+                   "FAIL: mmap resident footprint %llu B is not below the "
+                   "CSR snapshot's %llu B\n",
+                   static_cast<unsigned long long>(mmap->resident_bytes),
+                   static_cast<unsigned long long>(csr->resident_bytes));
+      return 1;
+    }
   }
   return 0;
 }
@@ -252,6 +377,15 @@ int main(int argc, char** argv) {
         opt.seed = xh::parse_u64(next());
       } else if (arg == "--telemetry") {
         opt.telemetry_path = next();
+      } else if (arg == "--xm-backend") {
+        const char* text = next();
+        if (!xh::parse_xm_backend(text, &opt.xm_backend)) {
+          std::fprintf(stderr,
+                       "error: --xm-backend: unknown backend '%s' "
+                       "(expected auto|csr|tebm|mmap)\n",
+                       text);
+          return 2;
+        }
       } else if (arg == "--smoke") {
         opt.smoke = true;
         opt.cells = 20'000;

@@ -2,11 +2,13 @@
 
 #include <algorithm>
 #include <map>
+#include <memory>
 
 #include "engine/partition_engine.hpp"
-#include "engine/x_matrix_view.hpp"
 #include "masking/mask.hpp"
 #include "misr/accounting.hpp"
+#include "storage/store_factory.hpp"
+#include "storage/x_matrix_store.hpp"
 #include "util/check.hpp"
 #include "util/rng.hpp"
 
@@ -16,8 +18,10 @@ PartitionResult partition_patterns(const XMatrix& xm,
                                    const PartitionerConfig& cfg) {
   cfg.misr.validate();
   XH_REQUIRE(xm.num_patterns() > 0, "X matrix has no patterns");
-  const XMatrixView view(xm);
-  PartitionEngine engine(view, cfg);
+  // The plain-function entry point always probes the default CSR snapshot;
+  // backend selection is a PipelineContext concern (run_partitioning()).
+  const std::unique_ptr<XMatrixStore> store = make_store(xm, XmBackend::kCsr);
+  PartitionEngine engine(*store, cfg);
   return engine.run();
 }
 

@@ -1,9 +1,11 @@
 #include "engine/partition_engine.hpp"
 
 #include <limits>
+#include <memory>
 #include <string>
 
 #include "misr/accounting.hpp"
+#include "storage/store_factory.hpp"
 #include "util/check.hpp"
 #include "util/diagnostics.hpp"
 
@@ -28,44 +30,44 @@ struct ChunkAccum {
 
 }  // namespace
 
-PartitionEngine::PartitionEngine(const XMatrixView& view,
+PartitionEngine::PartitionEngine(const XMatrixStore& store,
                                  const PartitionerConfig& cfg,
                                  ThreadPool* pool, Trace* trace,
                                  const CancelToken* cancel)
-    : view_(view),
+    : store_(store),
       cfg_(cfg),
       pool_(pool),
       trace_(trace),
       cancel_(cancel),
       rng_(cfg.seed) {
   cfg_.misr.validate();
-  XH_REQUIRE(view_.num_patterns() > 0, "X matrix has no patterns");
-  XH_ASSERT(view_.num_rows() <
+  XH_REQUIRE(store_.num_patterns() > 0, "X matrix has no patterns");
+  XH_ASSERT(store_.num_rows() <
                 std::numeric_limits<std::uint32_t>::max(),
             "row index overflows the member representation");
 
-  std::vector<std::uint32_t> all(view_.num_rows());
+  std::vector<std::uint32_t> all(store_.num_rows());
   for (std::size_t r = 0; r < all.size(); ++r) {
     all[r] = static_cast<std::uint32_t>(r);
   }
-  parts_.push_back(analyze(BitVec(view_.num_patterns(), true), all));
+  parts_.push_back(analyze(BitVec(store_.num_patterns(), true), all));
   masked_total_ = parts_.front().masked_x();
   history_.push_back(snapshot_round(0, 1, masked_total_));
 }
 
-PartitionEngine::PartitionEngine(const XMatrixView& view,
+PartitionEngine::PartitionEngine(const XMatrixStore& store,
                                  const PartitionerConfig& cfg,
                                  const EngineSnapshot& snapshot,
                                  ThreadPool* pool, Trace* trace,
                                  const CancelToken* cancel)
-    : view_(view),
+    : store_(store),
       cfg_(cfg),
       pool_(pool),
       trace_(trace),
       cancel_(cancel),
       rng_(cfg.seed) {
   cfg_.misr.validate();
-  XH_REQUIRE(view_.num_patterns() > 0, "X matrix has no patterns");
+  XH_REQUIRE(store_.num_patterns() > 0, "X matrix has no patterns");
   XH_REQUIRE(!snapshot.partitions.empty(),
              "snapshot must hold at least the root partition");
   XH_REQUIRE(!snapshot.history.empty(),
@@ -74,16 +76,16 @@ PartitionEngine::PartitionEngine(const XMatrixView& view,
   // The stored partitions must be a disjoint cover of every pattern:
   // spans sum to num_patterns AND their union saturates, which together
   // rule out both overlap and gaps.
-  BitVec cover(view_.num_patterns());
+  BitVec cover(store_.num_patterns());
   std::size_t span_sum = 0;
   for (const BitVec& patterns : snapshot.partitions) {
-    XH_REQUIRE(patterns.size() == view_.num_patterns(),
-               "snapshot partition width != view pattern count");
+    XH_REQUIRE(patterns.size() == store_.num_patterns(),
+               "snapshot partition width != store pattern count");
     span_sum += patterns.count();
     cover |= patterns;
   }
-  XH_REQUIRE(span_sum == view_.num_patterns() &&
-                 cover.count() == view_.num_patterns(),
+  XH_REQUIRE(span_sum == store_.num_patterns() &&
+                 cover.count() == store_.num_patterns(),
              "snapshot partitions must disjointly cover all patterns");
 
   rng_.set_state(snapshot.rng_state);
@@ -91,7 +93,7 @@ PartitionEngine::PartitionEngine(const XMatrixView& view,
   // Re-derive each partition's analysis with a full-row sweep; analyze()
   // skips rows with no X in the partition and merges chunks in ascending
   // order, so the Part is identical to the one built incrementally.
-  std::vector<std::uint32_t> all(view_.num_rows());
+  std::vector<std::uint32_t> all(store_.num_rows());
   for (std::size_t r = 0; r < all.size(); ++r) {
     all[r] = static_cast<std::uint32_t>(r);
   }
@@ -136,14 +138,14 @@ PartitionEngine::Part PartitionEngine::analyze(
     ChunkAccum& acc = accums[chunk];
     for (std::size_t i = begin; i < end; ++i) {
       const std::uint32_t row = candidates[i];
-      const std::size_t count = view_.count_in(row, part.patterns);
+      const std::size_t count = store_.count_in(row, part.patterns);
       if (count == 0) continue;
       acc.members.push_back(row);
       if (count == part.span) {
         ++acc.masked_cells;
       } else {
-        acc.groups[{count, view_.hash_in(row, part.patterns)}].push_back(
-            view_.cell_id(row));
+        acc.groups[{count, store_.hash_in(row, part.patterns)}].push_back(
+            store_.cell_id(row));
       }
     }
   };
@@ -203,9 +205,9 @@ PartitionRound PartitionEngine::snapshot_round(std::size_t round,
   r.round = round;
   r.num_partitions = num_parts;
   r.masked_x = masked;
-  r.leaked_x = view_.total_x() - masked;
+  r.leaked_x = store_.total_x() - masked;
   r.total_bits =
-      hybrid_bits(view_.geometry(), num_parts, cfg_.misr, r.leaked_x);
+      hybrid_bits(store_.geometry(), num_parts, cfg_.misr, r.leaked_x);
   return r;
 }
 
@@ -244,27 +246,27 @@ PartitionEngine::StepOutcome PartitionEngine::step() {
           : 0;  // group_cells is ascending
   const std::size_t split_cell = victim.group_cells[pick];
 
-  // Locate the split cell's view row (group_cells stores cell ids; rows are
+  // Locate the split cell's store row (group_cells holds cell ids; rows are
   // ascending by cell id, so a binary search keeps this O(log n)).
   std::size_t row = 0;
   {
     std::size_t lo = 0;
-    std::size_t hi = view_.num_rows();
+    std::size_t hi = store_.num_rows();
     while (lo < hi) {
       const std::size_t mid = (lo + hi) / 2;
-      if (view_.cell_id(mid) < split_cell) {
+      if (store_.cell_id(mid) < split_cell) {
         lo = mid + 1;
       } else {
         hi = mid;
       }
     }
-    XH_ASSERT(lo < view_.num_rows() && view_.cell_id(lo) == split_cell,
-              "split cell missing from the view");
+    XH_ASSERT(lo < store_.num_rows() && store_.cell_id(lo) == split_cell,
+              "split cell missing from the store");
     row = lo;
   }
 
-  BitVec with_x(view_.num_patterns());
-  view_.intersect_into(row, victim.patterns, &with_x);
+  BitVec with_x(store_.num_patterns());
+  store_.intersect_into(row, victim.patterns, &with_x);
   BitVec without_x = victim.patterns;
   without_x.and_not(with_x);
   XH_ASSERT(with_x.any() && without_x.any(),
@@ -318,11 +320,11 @@ PartitionResult PartitionEngine::materialize() const {
   result.masks.reserve(parts_.size());
   std::uint64_t masked = 0;
   for (const Part& p : parts_) {
-    BitVec mask(view_.num_cells());
+    BitVec mask(store_.num_cells());
     for (const std::uint32_t row : p.members) {
       // Masked ⇔ X under every pattern of the partition.
-      if (view_.count_in(row, p.patterns) == p.span) {
-        mask.set(view_.cell_id(row));
+      if (store_.count_in(row, p.patterns) == p.span) {
+        mask.set(store_.cell_id(row));
       }
     }
     XH_ASSERT(mask.count() == p.masked_cells, "mask/analysis disagreement");
@@ -331,9 +333,9 @@ PartitionResult PartitionEngine::materialize() const {
     result.masks.push_back(std::move(mask));
   }
   result.masked_x = masked;
-  result.leaked_x = view_.total_x() - masked;
+  result.leaked_x = store_.total_x() - masked;
   result.masking_bits =
-      static_cast<double>(view_.geometry().num_cells()) *
+      static_cast<double>(store_.geometry().num_cells()) *
       static_cast<double>(result.partitions.size());
   result.canceling_bits = x_canceling_only_bits(cfg_.misr, result.leaked_x);
   result.total_bits = result.masking_bits + result.canceling_bits;
@@ -345,9 +347,11 @@ PartitionResult run_partitioning(const XMatrix& xm, PipelineContext& ctx) {
   ctx.partitioner.misr.validate();
   XH_REQUIRE(xm.num_patterns() > 0, "X matrix has no patterns");
   const ScopedSpan span(ctx.trace(), "partition");
-  const XMatrixView view(xm);
-  PartitionEngine engine(view, ctx);
+  const std::unique_ptr<XMatrixStore> store =
+      make_store(xm, ctx.xm_backend(), ctx.store_options());
+  PartitionEngine engine(*store, ctx);
   PartitionResult result = engine.run();
+  export_store_telemetry(*store, ctx.trace());
   if (result.interrupted) {
     // Deadline/cancel degradation: report it, don't fail — the prefix is a
     // valid partition. The gauge is only emitted on the degraded path so

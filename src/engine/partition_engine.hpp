@@ -6,10 +6,10 @@
 // configuration and seed — but restructured around the observation that a
 // split only changes ONE partition:
 //
-//   * the X matrix is frozen into a CSR-style XMatrixView, so cell sweeps
-//     run over contiguous words with precomputed popcounts instead of
-//     unordered_map lookups;
-//   * each partition keeps the list of view rows that have at least one X
+//   * the X matrix is frozen into an XMatrixStore (storage/ layer; the
+//     default CsrStore keeps contiguous words with precomputed popcounts
+//     instead of unordered_map lookups);
+//   * each partition keeps the list of store rows that have at least one X
 //     inside it, so splitting a partition re-analyzes only those rows —
 //     O(victim cells), not O(all X cells) as in the seed;
 //   * a probe is costed from running totals (no clone of the partition
@@ -32,8 +32,8 @@
 
 #include "engine/partition_types.hpp"
 #include "engine/pipeline_context.hpp"
-#include "engine/x_matrix_view.hpp"
 #include "obs/trace.hpp"
+#include "storage/x_matrix_store.hpp"
 #include "response/x_matrix.hpp"
 #include "util/bitvec.hpp"
 #include "util/cancel_token.hpp"
@@ -44,26 +44,26 @@ namespace xh {
 
 class PartitionEngine {
  public:
-  /// Binds the engine to a frozen view (not owned; must outlive the engine)
-  /// and analyzes the unsplit root partition. Throws std::invalid_argument
+  /// Binds the engine to a frozen store (not owned; must outlive the
+  /// engine) and analyzes the unsplit root partition. Throws std::invalid_argument
   /// on invalid configuration, like the seed partitioner. The optional
   /// trace receives engine.* counters; nullptr means no instrumentation.
   /// The optional cancel token (not owned) is polled at round boundaries.
-  PartitionEngine(const XMatrixView& view, const PartitionerConfig& cfg,
+  PartitionEngine(const XMatrixStore& store, const PartitionerConfig& cfg,
                   ThreadPool* pool = nullptr, Trace* trace = nullptr,
                   const CancelToken* cancel = nullptr);
-  PartitionEngine(const XMatrixView& view, PipelineContext& ctx)
-      : PartitionEngine(view, ctx.partitioner, ctx.pool(), ctx.trace(),
+  PartitionEngine(const XMatrixStore& store, PipelineContext& ctx)
+      : PartitionEngine(store, ctx.partitioner, ctx.pool(), ctx.trace(),
                         ctx.cancel()) {}
 
   /// Restores an engine from a round-boundary snapshot taken against an
-  /// identical view and configuration. Each stored partition is
+  /// identical store and configuration. Each stored partition is
   /// re-analyzed with one full sweep, which analyze() makes bit-identical
   /// to the incremental state the saved engine held — so stepping the
   /// restored engine reproduces the uninterrupted run exactly. Throws
   /// std::invalid_argument when the snapshot does not describe a disjoint
-  /// cover of the view's patterns.
-  PartitionEngine(const XMatrixView& view, const PartitionerConfig& cfg,
+  /// cover of the store's patterns.
+  PartitionEngine(const XMatrixStore& store, const PartitionerConfig& cfg,
                   const EngineSnapshot& snapshot, ThreadPool* pool = nullptr,
                   Trace* trace = nullptr, const CancelToken* cancel = nullptr);
 
@@ -117,7 +117,7 @@ class PartitionEngine {
     std::size_t group_size = 0;
     std::size_t group_xcount = 0;
     std::vector<std::size_t> group_cells;  // cell ids, ascending
-    /// View rows with at least one X inside this partition, ascending.
+    /// Store rows with at least one X inside this partition, ascending.
     /// A child partition's members are always a subset of its parent's.
     std::vector<std::uint32_t> members;
 
@@ -138,7 +138,7 @@ class PartitionEngine {
   PartitionRound snapshot_round(std::size_t round, std::size_t num_parts,
                                 std::uint64_t masked) const;
 
-  const XMatrixView& view_;
+  const XMatrixStore& store_;
   PartitionerConfig cfg_;
   ThreadPool* pool_ = nullptr;
   Trace* trace_ = nullptr;

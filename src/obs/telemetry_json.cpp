@@ -44,6 +44,18 @@ const std::vector<std::string>& telemetry_schema_names() {
       "bench.service_pooled_ms",
       "bench.service_serial_ms",
       "bench.speedup",
+      "bench.store_csr_mapped_bytes",
+      "bench.store_csr_ms",
+      "bench.store_csr_peak_rss_kb",
+      "bench.store_csr_resident_bytes",
+      "bench.store_mmap_mapped_bytes",
+      "bench.store_mmap_ms",
+      "bench.store_mmap_peak_rss_kb",
+      "bench.store_mmap_resident_bytes",
+      "bench.store_tebm_mapped_bytes",
+      "bench.store_tebm_ms",
+      "bench.store_tebm_peak_rss_kb",
+      "bench.store_tebm_resident_bytes",
       "bench.total_x",
       // engine.* counters
       "engine.cell_analyses",
@@ -89,6 +101,18 @@ const std::vector<std::string>& telemetry_schema_names() {
       "service.queue_depth",
       "service.queue_depth_peak",
       "service.watchdog_stalls",
+      // store.* counters/gauges (XMatrixStore backends; see
+      // src/storage/x_matrix_store.cpp). probe_* and rows_touched are pure
+      // functions of the engine's work and golden-diff across backends;
+      // pages_touched is deterministic per backend but backend-shaped, so
+      // the CI diff (tools/check_telemetry.py) skips it.
+      "store.mapped_bytes",
+      "store.pages_touched",
+      "store.probe_count_in",
+      "store.probe_hash_in",
+      "store.probe_intersect",
+      "store.resident_bytes",
+      "store.rows_touched",
       // xcancel.* counters
       "xcancel.combinations_dropped",
       "xcancel.combinations_emitted",

@@ -126,6 +126,7 @@ std::string checkpoint_to_string(const ServiceCheckpoint& ckpt) {
      << (cfg.allow_singleton_groups ? 1 : 0) << ' '
      << (cfg.cell_choice == SplitCellChoice::kRandom ? 1 : 0) << ' '
      << cfg.seed << '\n';
+  os << "store " << ckpt.backend << '\n';
   os << "state " << ckpt.snapshot.round << ' '
      << (ckpt.snapshot.done ? 1 : 0) << '\n';
   os << "rng";
@@ -217,6 +218,9 @@ std::optional<ServiceCheckpoint> checkpoint_from_string(
   ckpt.config.cell_choice = random_choice ? SplitCellChoice::kRandom
                                           : SplitCellChoice::kLowestIndex;
   if (!in.dec(t[7], &ckpt.config.seed)) return std::nullopt;
+
+  if (!in.take("store", 1, &t)) return std::nullopt;
+  ckpt.backend = t[1];
 
   if (!in.take("state", 2, &t)) return std::nullopt;
   if (!in.dec(t[1], &v)) return std::nullopt;
@@ -330,7 +334,8 @@ std::optional<ServiceCheckpoint> load_checkpoint(const std::string& path,
 bool checkpoint_matches(const ServiceCheckpoint& ckpt,
                         const ScanGeometry& geometry,
                         std::size_t num_patterns, std::uint64_t total_x,
-                        const PartitionerConfig& config, std::string* why) {
+                        const PartitionerConfig& config,
+                        const std::string& backend, std::string* why) {
   const auto mismatch = [&](const std::string& reason) {
     if (why != nullptr) *why = reason;
     return false;
@@ -350,6 +355,7 @@ bool checkpoint_matches(const ServiceCheckpoint& ckpt,
       c.cell_choice != config.cell_choice || c.seed != config.seed) {
     return mismatch("partitioner configuration differs");
   }
+  if (ckpt.backend != backend) return mismatch("storage backend differs");
   return true;
 }
 

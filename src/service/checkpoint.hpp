@@ -9,6 +9,7 @@
 //   xh-ckpt v1
 //   geometry <num_chains> <chain_length> <num_patterns> <total_x>
 //   config <misr_size> <misr_q> <stop> <max_rounds> <singletons> <choice> <seed>
+//   store <backend>                               (csr | tebm | mmap)
 //   state <round> <done>
 //   rng <s0> <s1> <s2> <s3>                       (hex)
 //   parts <count>
@@ -45,6 +46,11 @@ struct ServiceCheckpoint {
   std::size_t num_patterns = 0;
   std::uint64_t total_x = 0;
   PartitionerConfig config;
+  /// XMatrixStore::backend_name() of the store the snapshot was taken
+  /// against. Every backend yields bit-identical snapshots, but recording
+  /// the identity keeps resumes auditable and lets checkpoint_matches()
+  /// refuse a graft onto a store the operator did not intend.
+  std::string backend = "csr";
   EngineSnapshot snapshot;
 };
 
@@ -71,13 +77,15 @@ struct ServiceCheckpoint {
     const std::string& path, Diagnostics* diags = nullptr);
 
 /// True when the checkpoint was taken from a run with this exact identity
-/// (geometry, pattern count, X population, configuration). On mismatch,
-/// fills @p why (when non-null) with a human-readable reason.
+/// (geometry, pattern count, X population, configuration, storage
+/// backend). On mismatch, fills @p why (when non-null) with a
+/// human-readable reason.
 [[nodiscard]] bool checkpoint_matches(const ServiceCheckpoint& ckpt,
                                       const ScanGeometry& geometry,
                                       std::size_t num_patterns,
                                       std::uint64_t total_x,
                                       const PartitionerConfig& config,
+                                      const std::string& backend,
                                       std::string* why = nullptr);
 
 }  // namespace xh

@@ -3,15 +3,17 @@
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <filesystem>
 #include <fstream>
 #include <ios>
+#include <memory>
 #include <utility>
 
 #include "engine/partition_engine.hpp"
-#include "engine/x_matrix_view.hpp"
 #include "response/io.hpp"
 #include "service/checkpoint.hpp"
+#include "storage/store_factory.hpp"
 #include "util/check.hpp"
 
 namespace xh {
@@ -73,6 +75,18 @@ PartitionService::PartitionService(ServiceConfig config)
       pool_(config_.workers + 1) {
   XH_REQUIRE(config_.workers >= 1,
              "PartitionService requires at least one worker");
+  // Operator/CI override: one environment variable sweeps every ingested
+  // job onto a specific storage backend without touching call sites.
+  if (const char* env = std::getenv("XH_XM_BACKEND")) {
+    XmBackend backend = config_.xm_backend;
+    if (parse_xm_backend(env, &backend)) {
+      config_.xm_backend = backend;
+    } else {
+      service_diags_.warn(DiagKind::kBadArgument, "XH_XM_BACKEND",
+                          std::string("unknown storage backend '") + env +
+                              "'; keeping the configured one");
+    }
+  }
   if (!config_.checkpoint_dir.empty() &&
       config_.checkpoint_every_rounds > 0) {
     std::error_code ec;
@@ -156,6 +170,7 @@ std::vector<SubmitOutcome> PartitionService::ingest_directory(
     spec.name = path.stem().string();
     spec.source_path = path.string();
     spec.config = config_.partitioner;
+    spec.xm_backend = config_.xm_backend;
     outcomes.push_back(submit(std::move(spec)));
   }
   return outcomes;
@@ -201,17 +216,23 @@ JobState PartitionService::run_attempt(Job& job, CancelToken& token) {
     }
   }
 
-  const XMatrixView view(*xm);
+  // Freezing the matrix can itself do I/O (the mmap backend builds its
+  // backing file): a std::ios_base::failure here rides the transient-retry
+  // path like any other filesystem hiccup.
+  const std::unique_ptr<XMatrixStore> store_ptr =
+      make_store(*xm, job.spec.xm_backend, config_.store_options);
+  const XMatrixStore& store = *store_ptr;
   const std::string ckpt_path = checkpoint_path_for(job);
   std::optional<PartitionEngine> engine;
   bool resumed = false;
   if (!ckpt_path.empty()) {
     if (const auto ckpt = load_checkpoint(ckpt_path, &local)) {
       std::string why;
-      if (checkpoint_matches(*ckpt, view.geometry(), view.num_patterns(),
-                             view.total_x(), job.spec.config, &why)) {
+      if (checkpoint_matches(*ckpt, store.geometry(), store.num_patterns(),
+                             store.total_x(), job.spec.config,
+                             store.backend_name(), &why)) {
         try {
-          engine.emplace(view, job.spec.config, ckpt->snapshot, nullptr,
+          engine.emplace(store, job.spec.config, ckpt->snapshot, nullptr,
                          nullptr, &token);
           resumed = true;
         } catch (const std::exception& e) {
@@ -227,7 +248,7 @@ JobState PartitionService::run_attempt(Job& job, CancelToken& token) {
     }
   }
   if (!engine.has_value()) {
-    engine.emplace(view, job.spec.config, nullptr, nullptr, &token);
+    engine.emplace(store, job.spec.config, nullptr, nullptr, &token);
   }
   if (resumed) {
     std::lock_guard<std::mutex> lock(mu_);
@@ -237,10 +258,11 @@ JobState PartitionService::run_attempt(Job& job, CancelToken& token) {
 
   const auto write_checkpoint = [&] {
     ServiceCheckpoint ckpt;
-    ckpt.geometry = view.geometry();
-    ckpt.num_patterns = view.num_patterns();
-    ckpt.total_x = view.total_x();
+    ckpt.geometry = store.geometry();
+    ckpt.num_patterns = store.num_patterns();
+    ckpt.total_x = store.total_x();
     ckpt.config = job.spec.config;
+    ckpt.backend = store.backend_name();
     ckpt.snapshot = engine->snapshot();
     const bool saved = save_checkpoint(ckpt, ckpt_path, &local);
     std::lock_guard<std::mutex> lock(mu_);

@@ -1,4 +1,4 @@
-#include "engine/x_matrix_view.hpp"
+#include "storage/backend_csr.hpp"
 
 #include <bit>
 
@@ -6,7 +6,7 @@
 
 namespace xh {
 
-XMatrixView::XMatrixView(const XMatrix& xm)
+CsrStore::CsrStore(const XMatrix& xm)
     : geometry_(xm.geometry()),
       num_patterns_(xm.num_patterns()),
       total_x_(xm.total_x()),
@@ -26,8 +26,8 @@ XMatrixView::XMatrixView(const XMatrix& xm)
   }
 }
 
-std::size_t XMatrixView::count_in(std::size_t row,
-                                  const BitVec& patterns) const {
+std::size_t CsrStore::count_in(std::size_t row, const BitVec& patterns) const {
+  note_count_in();
   const std::uint64_t* words = row_words(row);
   std::size_t total = 0;
   for (std::size_t w = 0; w < words_per_row_; ++w) {
@@ -37,8 +37,8 @@ std::size_t XMatrixView::count_in(std::size_t row,
   return total;
 }
 
-std::uint64_t XMatrixView::hash_in(std::size_t row,
-                                   const BitVec& patterns) const {
+std::uint64_t CsrStore::hash_in(std::size_t row, const BitVec& patterns) const {
+  note_hash_in();
   const std::uint64_t* words = row_words(row);
   std::uint64_t h = 0xcbf29ce484222325ULL;
   for (std::size_t w = 0; w < words_per_row_; ++w) {
@@ -48,13 +48,20 @@ std::uint64_t XMatrixView::hash_in(std::size_t row,
   return h;
 }
 
-void XMatrixView::intersect_into(std::size_t row, const BitVec& patterns,
-                                 BitVec* out) const {
+void CsrStore::intersect_into(std::size_t row, const BitVec& patterns,
+                              BitVec* out) const {
+  note_intersect();
   const std::uint64_t* words = row_words(row);
   out->resize(num_patterns_);
   for (std::size_t w = 0; w < words_per_row_; ++w) {
     out->set_word(w, words[w] & patterns.word(w));
   }
+}
+
+std::uint64_t CsrStore::resident_bytes() const {
+  return static_cast<std::uint64_t>(cells_.size()) * sizeof(std::size_t) +
+         static_cast<std::uint64_t>(counts_.size()) * sizeof(std::size_t) +
+         static_cast<std::uint64_t>(words_.size()) * sizeof(std::uint64_t);
 }
 
 }  // namespace xh

@@ -1,0 +1,207 @@
+#include "storage/backend_mmap.hpp"
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <bit>
+#include <cstdio>
+#include <fstream>
+#include <ios>
+#include <vector>
+
+#include "util/check.hpp"
+
+namespace xh {
+namespace {
+
+constexpr std::uint64_t kMagic = 0x31762d6d6d782d68ULL;  // "h-xmm-v1"
+
+/// Fixed-width header at offset 0 of the backing file.
+struct FileHeader {
+  std::uint64_t magic = kMagic;
+  std::uint64_t num_chains = 0;
+  std::uint64_t chain_length = 0;
+  std::uint64_t num_patterns = 0;
+  std::uint64_t total_x = 0;
+  std::uint64_t num_rows = 0;
+  std::uint64_t words_per_row = 0;
+  std::uint64_t cells_off = 0;
+  std::uint64_t counts_off = 0;
+  std::uint64_t words_off = 0;
+  std::uint64_t file_bytes = 0;
+};
+
+std::uint64_t page_align(std::uint64_t offset) {
+  return (offset + MmapStore::kPageSize - 1) / MmapStore::kPageSize *
+         MmapStore::kPageSize;
+}
+
+[[noreturn]] void fail(const std::string& what) {
+  throw std::ios_base::failure("MmapStore: " + what);
+}
+
+void pad_to(std::ofstream& out, std::uint64_t offset) {
+  const auto at = static_cast<std::uint64_t>(out.tellp());
+  XH_ASSERT(at <= offset, "mmap section layout overflow");
+  const std::vector<char> zeros(static_cast<std::size_t>(offset - at), 0);
+  out.write(zeros.data(), static_cast<std::streamsize>(zeros.size()));
+}
+
+void write_u64s(std::ofstream& out, const std::uint64_t* data,
+                std::size_t count) {
+  out.write(reinterpret_cast<const char*>(data),
+            static_cast<std::streamsize>(count * sizeof(std::uint64_t)));
+}
+
+}  // namespace
+
+MmapStore::MmapStore(const XMatrix& xm, const MmapStoreOptions& options)
+    : geometry_(xm.geometry()),
+      num_patterns_(xm.num_patterns()),
+      total_x_(xm.total_x()) {
+  XH_REQUIRE(!options.path.empty(), "MmapStore needs a backing-file path");
+  words_per_row_ = (num_patterns_ + 63) / 64;
+  const std::vector<std::size_t> cells = xm.x_cells();
+  num_rows_ = cells.size();
+
+  FileHeader header;
+  header.num_chains = geometry_.num_chains;
+  header.chain_length = geometry_.chain_length;
+  header.num_patterns = num_patterns_;
+  header.total_x = total_x_;
+  header.num_rows = num_rows_;
+  header.words_per_row = words_per_row_;
+  header.cells_off = page_align(sizeof(FileHeader));
+  header.counts_off =
+      page_align(header.cells_off + num_rows_ * sizeof(std::uint64_t));
+  header.words_off =
+      page_align(header.counts_off + num_rows_ * sizeof(std::uint64_t));
+  header.file_bytes = page_align(header.words_off + num_rows_ *
+                                                        words_per_row_ *
+                                                        sizeof(std::uint64_t));
+  words_off_ = header.words_off;
+  file_bytes_ = header.file_bytes;
+
+  // tmp + rename, like the checkpoint codec: a crash mid-build leaves only
+  // a .tmp to sweep, never a torn file under the real name.
+  const std::string tmp = options.path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out) fail("cannot open " + tmp + " for writing");
+    out.write(reinterpret_cast<const char*>(&header), sizeof header);
+    pad_to(out, header.cells_off);
+    std::vector<std::uint64_t> scratch;
+    scratch.reserve(num_rows_);
+    for (const std::size_t cell : cells) {
+      scratch.push_back(static_cast<std::uint64_t>(cell));
+    }
+    write_u64s(out, scratch.data(), scratch.size());
+    pad_to(out, header.counts_off);
+    scratch.clear();
+    for (const std::size_t cell : cells) {
+      scratch.push_back(
+          static_cast<std::uint64_t>(xm.patterns_of(cell).count()));
+    }
+    write_u64s(out, scratch.data(), scratch.size());
+    pad_to(out, header.words_off);
+    scratch.clear();
+    for (const std::size_t cell : cells) {
+      const BitVec& pats = xm.patterns_of(cell);
+      XH_ASSERT(pats.word_count() == words_per_row_,
+                "XMatrix row width disagrees with pattern count");
+      for (std::size_t w = 0; w < words_per_row_; ++w) {
+        scratch.push_back(pats.word(w));
+      }
+    }
+    write_u64s(out, scratch.data(), scratch.size());
+    pad_to(out, header.file_bytes);
+    out.flush();
+    if (!out) {
+      std::remove(tmp.c_str());
+      fail("short write while building " + tmp);
+    }
+  }
+  if (std::rename(tmp.c_str(), options.path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    fail("cannot rename " + tmp + " into place");
+  }
+
+  const int fd = ::open(options.path.c_str(), O_RDONLY);  // NOLINT
+  if (fd < 0) fail("cannot open " + options.path + " for mapping");
+  struct stat st {};
+  if (::fstat(fd, &st) != 0 ||
+      static_cast<std::uint64_t>(st.st_size) != file_bytes_) {
+    ::close(fd);
+    fail("backing file " + options.path + " has the wrong size");
+  }
+  void* map = ::mmap(nullptr, static_cast<std::size_t>(file_bytes_), PROT_READ,
+                     MAP_SHARED, fd, 0);
+  // The mapping holds its own reference to the file; the descriptor (and,
+  // by default, the directory entry) can go away immediately.
+  ::close(fd);
+  if (map == MAP_FAILED) fail("mmap of " + options.path + " failed");
+  if (!options.keep_file) std::remove(options.path.c_str());
+  map_ = map;
+
+  const auto* base = static_cast<const std::uint8_t*>(map_);
+  const auto* mapped_header = reinterpret_cast<const FileHeader*>(base);
+  if (mapped_header->magic != kMagic) fail("bad magic in mapped file");
+  cells_ = reinterpret_cast<const std::uint64_t*>(base + header.cells_off);
+  counts_ = reinterpret_cast<const std::uint64_t*>(base + header.counts_off);
+  words_ = reinterpret_cast<const std::uint64_t*>(base + header.words_off);
+}
+
+MmapStore::~MmapStore() {
+  if (map_ != nullptr) {
+    ::munmap(map_, static_cast<std::size_t>(file_bytes_));
+  }
+}
+
+void MmapStore::note_row_pages(std::size_t row) const {
+  const std::uint64_t begin =
+      words_off_ + row * words_per_row_ * sizeof(std::uint64_t);
+  const std::uint64_t end = begin + words_per_row_ * sizeof(std::uint64_t);
+  if (end == begin) return;
+  note_pages((end - 1) / kPageSize - begin / kPageSize + 1);
+}
+
+std::size_t MmapStore::count_in(std::size_t row,
+                                const BitVec& patterns) const {
+  note_count_in();
+  note_row_pages(row);
+  const std::uint64_t* words = row_words(row);
+  std::size_t total = 0;
+  for (std::size_t w = 0; w < words_per_row_; ++w) {
+    total += static_cast<std::size_t>(
+        std::popcount(words[w] & patterns.word(w)));
+  }
+  return total;
+}
+
+std::uint64_t MmapStore::hash_in(std::size_t row,
+                                 const BitVec& patterns) const {
+  note_hash_in();
+  note_row_pages(row);
+  const std::uint64_t* words = row_words(row);
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (std::size_t w = 0; w < words_per_row_; ++w) {
+    h ^= words[w] & patterns.word(w);
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+void MmapStore::intersect_into(std::size_t row, const BitVec& patterns,
+                               BitVec* out) const {
+  note_intersect();
+  note_row_pages(row);
+  const std::uint64_t* words = row_words(row);
+  out->resize(num_patterns_);
+  for (std::size_t w = 0; w < words_per_row_; ++w) {
+    out->set_word(w, words[w] & patterns.word(w));
+  }
+}
+
+}  // namespace xh

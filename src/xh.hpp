@@ -44,12 +44,17 @@
 #include "masking/mask.hpp"
 #include "masking/mask_encoding.hpp"
 
+// Storage: pluggable X-matrix stores behind one interface. Concrete
+// backend headers stay private to engine/ and service/; everyone else
+// names an XmBackend and calls make_store().
+#include "storage/store_factory.hpp"
+#include "storage/x_matrix_store.hpp"
+
 // Engine: pipeline context, incremental partition engine, stage seams.
 #include "engine/partition_engine.hpp"
 #include "engine/partition_types.hpp"
 #include "engine/pipeline.hpp"
 #include "engine/pipeline_context.hpp"
-#include "engine/x_matrix_view.hpp"
 
 // Service: resident job runner with admission control, deadlines, retry
 // and crash-safe checkpointing.

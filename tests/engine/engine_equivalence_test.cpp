@@ -8,13 +8,15 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "core/partitioner.hpp"
 #include "engine/partition_engine.hpp"
 #include "engine/pipeline_context.hpp"
-#include "engine/x_matrix_view.hpp"
+#include "storage/store_factory.hpp"
+#include "storage/x_matrix_store.hpp"
 #include "util/rng.hpp"
 #include "util/thread_pool.hpp"
 #include "workload/industrial.hpp"
@@ -87,8 +89,8 @@ TEST(EngineEquivalence, MatchesSeedPartitionerOnRandomWorkloads) {
     const PartitionResult want = partition_patterns_reference(xm, cfg);
     expect_identical(want, partition_patterns(xm, cfg), label + " wrapper");
 
-    const XMatrixView view(xm);
-    PartitionEngine engine(view, cfg);
+    const std::unique_ptr<XMatrixStore> store = make_store(xm, XmBackend::kCsr);
+    PartitionEngine engine(*store, cfg);
     expect_identical(want, engine.run(), label + " engine");
   }
 }
@@ -123,12 +125,12 @@ TEST(EngineEquivalence, PoolSizeDoesNotChangeTheResult) {
     cfg.misr = {32, 7};
     cfg.cell_choice = SplitCellChoice::kRandom;
     cfg.seed = rng.next_u64();
-    const XMatrixView view(xm);
-    PartitionEngine serial(view, cfg, nullptr);
+    const std::unique_ptr<XMatrixStore> store = make_store(xm, XmBackend::kCsr);
+    PartitionEngine serial(*store, cfg, nullptr);
     const PartitionResult want = serial.run();
     for (const std::size_t lanes : {2u, 3u, 5u}) {
       ThreadPool pool(lanes);
-      PartitionEngine engine(view, cfg, &pool);
+      PartitionEngine engine(*store, cfg, &pool);
       expect_identical(want, engine.run(),
                        "iter " + std::to_string(iter) + " lanes " +
                            std::to_string(lanes));
@@ -159,8 +161,8 @@ TEST(EngineEquivalence, RejectedProbeIsIdempotent) {
     PartitionerConfig cfg;
     cfg.misr = {16, 3};  // small MISR: leaking is cheap, rejections common
     cfg.seed = rng.next_u64();
-    const XMatrixView view(xm);
-    PartitionEngine engine(view, cfg);
+    const std::unique_ptr<XMatrixStore> store = make_store(xm, XmBackend::kCsr);
+    PartitionEngine engine(*store, cfg);
     while (true) {
       const std::size_t parts_before = engine.num_partitions();
       const std::uint64_t masked_before = engine.masked_x();

@@ -73,6 +73,7 @@ TEST(TreeCorpus, EverySeededViolationIsDetectedAndNothingElse) {
   const std::set<std::pair<std::string, std::string>> expected = {
       {"src/util/cycle_a.hpp", "XH-INC-001"},
       {"src/engine/bad_layer.cpp", "XH-INC-002"},
+      {"src/core/private_reach.cpp", "XH-INC-002"},
       {"src/mystery/thing.hpp", "XH-INC-002"},
       {"src/core/dup_include.cpp", "XH-INC-003"},
       {"src/core/unused_include.cpp", "XH-INC-003"},
@@ -84,6 +85,16 @@ TEST(TreeCorpus, EverySeededViolationIsDetectedAndNothingElse) {
       {"src/core/stale_suppress.cpp", "XH-SUP-001"},
   };
   EXPECT_EQ(got, expected) << describe(findings);
+
+  // The private-prefix finding names the directive's whitelist, and the
+  // whitelisted engine user stays clean.
+  for (const Finding& f : findings) {
+    if (f.path == "src/core/private_reach.cpp") {
+      EXPECT_NE(f.message.find("private to layers"), std::string::npos)
+          << f.message;
+    }
+    EXPECT_NE(f.path, "src/engine/good_backend_use.cpp") << f.message;
+  }
 
   // The deprecated-API index resolved the fixture exactly: LegacyCfg is the
   // marker type of the deprecated run_thing overload, old_entry has no live
@@ -181,6 +192,34 @@ TEST(LayerSpec, ParsesGrammarAndRejectsMalformedLines) {
   EXPECT_NE(error.find("line 1"), std::string::npos);
   EXPECT_FALSE(
       xh::lint::parse_layer_spec("layer core util\n", bad, error));
+}
+
+TEST(LayerSpec, PrivatePrefixDirectiveRestrictsIncluders) {
+  LayerSpec spec;
+  std::string error;
+  ASSERT_TRUE(xh::lint::parse_layer_spec(
+      "layer storage\n"
+      "layer engine -> storage\n"
+      "layer core -> storage\n"
+      "private src/storage/backend_ -> storage engine\n",
+      spec, error))
+      << error;
+  const LayerSpec::PrivateRule* rule =
+      spec.private_rule("src/storage/backend_csr.hpp");
+  ASSERT_NE(rule, nullptr);
+  EXPECT_EQ(rule->prefix, "src/storage/backend_");
+  EXPECT_NE(rule->layers.count("engine"), 0u);
+  EXPECT_EQ(rule->layers.count("core"), 0u);
+  // Non-matching paths — including the factory next to the backends — are
+  // unrestricted.
+  EXPECT_EQ(spec.private_rule("src/storage/store_factory.hpp"), nullptr);
+
+  LayerSpec bad;
+  EXPECT_FALSE(xh::lint::parse_layer_spec(
+      "private src/storage/backend_\n", bad, error));
+  EXPECT_NE(error.find("private <prefix> -> <layer>"), std::string::npos);
+  EXPECT_FALSE(xh::lint::parse_layer_spec(
+      "private src/storage/backend_ storage\n", bad, error));
 }
 
 TEST(LayerSpec, LayerOfMapsRepoPaths) {

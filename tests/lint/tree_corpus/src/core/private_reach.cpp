@@ -1,0 +1,9 @@
+// core may depend on the storage layer, but backend_blob.hpp sits behind
+// the `private src/storage/backend_` directive — seeded XH-INC-002.
+#include "storage/backend_blob.hpp"
+
+namespace fixture {
+
+int core_pages() { return BackendBlob{}.pages; }
+
+}  // namespace fixture

@@ -1,0 +1,8 @@
+// engine is on the backend_ whitelist: this include is clean.
+#include "storage/backend_blob.hpp"
+
+namespace fixture {
+
+int engine_pages() { return BackendBlob{}.pages; }
+
+}  // namespace fixture

@@ -1,0 +1,11 @@
+#pragma once
+
+namespace fixture {
+
+// Private backend header: layers.txt restricts src/storage/backend_ to
+// the storage and engine layers.
+struct BackendBlob {
+  int pages = 0;
+};
+
+}  // namespace fixture

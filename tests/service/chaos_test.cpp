@@ -17,12 +17,13 @@
 #include "core/partitioner.hpp"
 #include "engine/partition_engine.hpp"
 #include "engine/partition_types.hpp"
-#include "engine/x_matrix_view.hpp"
 #include "inject/corruptor.hpp"
 #include "response/io.hpp"
 #include "response/x_matrix.hpp"
 #include "service/checkpoint.hpp"
 #include "service/job_runner.hpp"
+#include "storage/store_factory.hpp"
+#include "storage/x_matrix_store.hpp"
 #include "util/bitvec.hpp"
 #include "util/clock.hpp"
 #include "util/diagnostics.hpp"
@@ -97,18 +98,20 @@ void spit(const fs::path& path, const std::string& text) {
 }
 
 /// A checkpoint file from a genuine run interrupted after two rounds.
-void plant_checkpoint(const fs::path& path, const XMatrixView& view,
+void plant_checkpoint(const fs::path& path, const XMatrix& xm,
                       const PartitionerConfig& cfg) {
-  PartitionEngine engine(view, cfg);
+  const std::unique_ptr<XMatrixStore> store = make_store(xm, XmBackend::kCsr);
+  PartitionEngine engine(*store, cfg);
   std::size_t accepted = 0;
   while (accepted < 2 && !engine.finished()) {
     if (engine.step() == PartitionEngine::StepOutcome::kSplit) ++accepted;
   }
   ServiceCheckpoint ckpt;
-  ckpt.geometry = view.geometry();
-  ckpt.num_patterns = view.num_patterns();
-  ckpt.total_x = view.total_x();
+  ckpt.geometry = xm.geometry();
+  ckpt.num_patterns = xm.num_patterns();
+  ckpt.total_x = xm.total_x();
   ckpt.config = cfg;
+  ckpt.backend = store->backend_name();
   ckpt.snapshot = engine.snapshot();
   ASSERT_TRUE(save_checkpoint(ckpt, path.string()));
 }
@@ -119,10 +122,8 @@ void plant_checkpoint(const fs::path& path, const XMatrixView& view,
 TEST(ServiceChaos, CorruptedCheckpointsFallBackToBitIdenticalFreshRuns) {
   const fs::path dir = fresh_dir("xh_chaos_ckpt");
   const auto xm = std::make_shared<const XMatrix>(small_workload(101));
-  const XMatrixView view(*xm);
   const PartitionerConfig cfg = small_config();
-  PartitionEngine oracle_engine(view, cfg);
-  const PartitionResult oracle = oracle_engine.run();
+  const PartitionResult oracle = partition_patterns(*xm, cfg);
 
   Corruptor chaos(0xbadc0de);
   struct Attack {
@@ -130,7 +131,7 @@ TEST(ServiceChaos, CorruptedCheckpointsFallBackToBitIdenticalFreshRuns) {
     std::string text;
   };
   const fs::path seed_path = dir / "seed.ckpt";
-  plant_checkpoint(seed_path, view, cfg);
+  plant_checkpoint(seed_path, *xm, cfg);
   const std::string intact = slurp(seed_path);
   const std::vector<Attack> attacks = {
       {"truncate-hard", chaos.truncate_text(intact, 0.3)},

@@ -9,6 +9,7 @@
 #include <cstdint>
 #include <filesystem>
 #include <fstream>
+#include <memory>
 #include <optional>
 #include <sstream>
 #include <string>
@@ -18,10 +19,11 @@
 
 #include "engine/partition_engine.hpp"
 #include "engine/partition_types.hpp"
-#include "engine/x_matrix_view.hpp"
 #include "inject/corruptor.hpp"
 #include "response/geometry.hpp"
 #include "response/x_matrix.hpp"
+#include "storage/store_factory.hpp"
+#include "storage/x_matrix_store.hpp"
 #include "util/diagnostics.hpp"
 #include "workload/industrial.hpp"
 
@@ -52,19 +54,21 @@ PartitionerConfig small_config() {
 
 /// Steps a fresh engine until @p rounds splits were accepted (or the
 /// search stopped) and captures the state as a service checkpoint.
-ServiceCheckpoint checkpoint_after(const XMatrixView& view,
+ServiceCheckpoint checkpoint_after(const XMatrix& xm,
                                    const PartitionerConfig& cfg,
                                    std::size_t rounds) {
-  PartitionEngine engine(view, cfg);
+  const std::unique_ptr<XMatrixStore> store = make_store(xm, XmBackend::kCsr);
+  PartitionEngine engine(*store, cfg);
   std::size_t accepted = 0;
   while (accepted < rounds && !engine.finished()) {
     if (engine.step() == PartitionEngine::StepOutcome::kSplit) ++accepted;
   }
   ServiceCheckpoint ckpt;
-  ckpt.geometry = view.geometry();
-  ckpt.num_patterns = view.num_patterns();
-  ckpt.total_x = view.total_x();
+  ckpt.geometry = xm.geometry();
+  ckpt.num_patterns = xm.num_patterns();
+  ckpt.total_x = xm.total_x();
   ckpt.config = cfg;
+  ckpt.backend = store->backend_name();
   ckpt.snapshot = engine.snapshot();
   return ckpt;
 }
@@ -81,6 +85,7 @@ void expect_same_checkpoint(const ServiceCheckpoint& want,
   EXPECT_EQ(want.config.allow_singleton_groups, got.config.allow_singleton_groups);
   EXPECT_EQ(want.config.cell_choice, got.config.cell_choice);
   EXPECT_EQ(want.config.seed, got.config.seed);
+  EXPECT_EQ(want.backend, got.backend);
   EXPECT_EQ(want.snapshot.round, got.snapshot.round);
   EXPECT_EQ(want.snapshot.done, got.snapshot.done);
   EXPECT_EQ(want.snapshot.rng_state, got.snapshot.rng_state);
@@ -151,11 +156,10 @@ fs::path fresh_dir(const std::string& name) {
 
 TEST(Checkpoint, RoundTripIsBitExact) {
   const XMatrix xm = small_workload(11);
-  const XMatrixView view(xm);
   for (const std::size_t rounds : {std::size_t{0}, std::size_t{1},
                                    std::size_t{3}, std::size_t{200}}) {
     SCOPED_TRACE("rounds " + std::to_string(rounds));
-    const ServiceCheckpoint want = checkpoint_after(view, small_config(), rounds);
+    const ServiceCheckpoint want = checkpoint_after(xm, small_config(), rounds);
     Diagnostics diags;
     const std::optional<ServiceCheckpoint> got =
         checkpoint_from_string(checkpoint_to_string(want), &diags);
@@ -167,11 +171,10 @@ TEST(Checkpoint, RoundTripIsBitExact) {
 
 TEST(Checkpoint, RandomCellChoiceRngStateSurvivesTheTrip) {
   const XMatrix xm = small_workload(12);
-  const XMatrixView view(xm);
   PartitionerConfig cfg = small_config();
   cfg.cell_choice = SplitCellChoice::kRandom;
   cfg.seed = 0xfeedULL;
-  const ServiceCheckpoint want = checkpoint_after(view, cfg, 2);
+  const ServiceCheckpoint want = checkpoint_after(xm, cfg, 2);
   const std::optional<ServiceCheckpoint> got =
       checkpoint_from_string(checkpoint_to_string(want));
   ASSERT_TRUE(got.has_value());
@@ -182,8 +185,7 @@ TEST(Checkpoint, SaveAndLoadRoundTripThroughDisk) {
   const fs::path dir = fresh_dir("xh_ckpt_disk");
   const fs::path path = dir / "job.ckpt";
   const XMatrix xm = small_workload(13);
-  const XMatrixView view(xm);
-  const ServiceCheckpoint want = checkpoint_after(view, small_config(), 2);
+  const ServiceCheckpoint want = checkpoint_after(xm, small_config(), 2);
 
   Diagnostics diags;
   ASSERT_TRUE(save_checkpoint(want, path.string(), &diags));
@@ -197,7 +199,7 @@ TEST(Checkpoint, SaveAndLoadRoundTripThroughDisk) {
   expect_same_checkpoint(want, *got);
 
   // Overwriting with newer state replaces the file completely.
-  const ServiceCheckpoint newer = checkpoint_after(view, small_config(), 4);
+  const ServiceCheckpoint newer = checkpoint_after(xm, small_config(), 4);
   ASSERT_TRUE(save_checkpoint(newer, path.string(), &diags));
   const std::optional<ServiceCheckpoint> reloaded =
       load_checkpoint(path.string(), &diags);
@@ -217,8 +219,7 @@ TEST(Checkpoint, SaveIntoMissingDirectoryFailsWithDiagnostic) {
   const fs::path path =
       fs::path(::testing::TempDir()) / "xh_ckpt_void" / "nested" / "job.ckpt";
   const XMatrix xm = small_workload(14);
-  const XMatrixView view(xm);
-  const ServiceCheckpoint ckpt = checkpoint_after(view, small_config(), 1);
+  const ServiceCheckpoint ckpt = checkpoint_after(xm, small_config(), 1);
   Diagnostics diags;
   EXPECT_FALSE(save_checkpoint(ckpt, path.string(), &diags));
   EXPECT_GT(diags.count(DiagKind::kStreamFailure), 0u);
@@ -226,9 +227,8 @@ TEST(Checkpoint, SaveIntoMissingDirectoryFailsWithDiagnostic) {
 
 TEST(Checkpoint, ChecksumCatchesTruncationAtEveryLine) {
   const XMatrix xm = small_workload(15);
-  const XMatrixView view(xm);
   const std::string text =
-      checkpoint_to_string(checkpoint_after(view, small_config(), 3));
+      checkpoint_to_string(checkpoint_after(xm, small_config(), 3));
 
   std::vector<std::string> lines;
   std::istringstream is(text);
@@ -247,9 +247,8 @@ TEST(Checkpoint, ChecksumCatchesTruncationAtEveryLine) {
 
 TEST(Checkpoint, ChecksumCatchesSeededCorruptorDamage) {
   const XMatrix xm = small_workload(16);
-  const XMatrixView view(xm);
   const std::string text =
-      checkpoint_to_string(checkpoint_after(view, small_config(), 3));
+      checkpoint_to_string(checkpoint_after(xm, small_config(), 3));
   Corruptor chaos(0xc0ffee);
   const std::vector<std::string> attacks = {
       chaos.truncate_text(text, 0.8),
@@ -270,9 +269,8 @@ TEST(Checkpoint, ChecksumCatchesSeededCorruptorDamage) {
 
 TEST(Checkpoint, StructuralDefectsAreRejectedPastTheChecksum) {
   const XMatrix xm = small_workload(17);
-  const XMatrixView view(xm);
   const std::string body =
-      body_of(checkpoint_after(view, small_config(), 2));
+      body_of(checkpoint_after(xm, small_config(), 2));
 
   // Each tampered body is re-signed, so only the structural validation can
   // reject it — the plausibility bounds, not the checksum, are on trial.
@@ -283,6 +281,7 @@ TEST(Checkpoint, StructuralDefectsAreRejectedPastTheChecksum) {
       sign(swap_line(body, "history", "history 0")),
       sign(swap_line(body, "state", "state 1 maybe")),
       sign(swap_line(body, "rng", "rng dead beef")),
+      sign(swap_line(body, "store", "store")),
       sign(body + "junk line\n"),
   };
   for (std::size_t i = 0; i < tampered.size(); ++i) {
@@ -297,40 +296,57 @@ TEST(Checkpoint, StructuralDefectsAreRejectedPastTheChecksum) {
 
 TEST(Checkpoint, MatchesOnlyTheExactRunIdentity) {
   const XMatrix xm = small_workload(18);
-  const XMatrixView view(xm);
   const PartitionerConfig cfg = small_config();
-  const ServiceCheckpoint ckpt = checkpoint_after(view, cfg, 2);
+  const ServiceCheckpoint ckpt = checkpoint_after(xm, cfg, 2);
 
   std::string why;
-  EXPECT_TRUE(checkpoint_matches(ckpt, view.geometry(), view.num_patterns(),
-                                 view.total_x(), cfg, &why))
+  EXPECT_TRUE(checkpoint_matches(ckpt, xm.geometry(), xm.num_patterns(),
+                                 xm.total_x(), cfg, "csr", &why))
       << why;
 
   ScanGeometry other_geometry{7, 24};
-  EXPECT_FALSE(checkpoint_matches(ckpt, other_geometry, view.num_patterns(),
-                                  view.total_x(), cfg, &why));
+  EXPECT_FALSE(checkpoint_matches(ckpt, other_geometry, xm.num_patterns(),
+                                  xm.total_x(), cfg, "csr", &why));
   EXPECT_EQ(why, "scan geometry differs");
 
-  EXPECT_FALSE(checkpoint_matches(ckpt, view.geometry(),
-                                  view.num_patterns() + 1, view.total_x(),
-                                  cfg, &why));
+  EXPECT_FALSE(checkpoint_matches(ckpt, xm.geometry(),
+                                  xm.num_patterns() + 1, xm.total_x(),
+                                  cfg, "csr", &why));
   EXPECT_EQ(why, "pattern count differs");
 
-  EXPECT_FALSE(checkpoint_matches(ckpt, view.geometry(), view.num_patterns(),
-                                  view.total_x() + 1, cfg, &why));
+  EXPECT_FALSE(checkpoint_matches(ckpt, xm.geometry(), xm.num_patterns(),
+                                  xm.total_x() + 1, cfg, "csr", &why));
   EXPECT_EQ(why, "total X population differs");
 
   PartitionerConfig other_misr = cfg;
   other_misr.misr.q += 1;
-  EXPECT_FALSE(checkpoint_matches(ckpt, view.geometry(), view.num_patterns(),
-                                  view.total_x(), other_misr, &why));
+  EXPECT_FALSE(checkpoint_matches(ckpt, xm.geometry(), xm.num_patterns(),
+                                  xm.total_x(), other_misr, "csr", &why));
   EXPECT_EQ(why, "MISR configuration differs");
 
   PartitionerConfig other_seed = cfg;
   other_seed.seed += 1;
-  EXPECT_FALSE(checkpoint_matches(ckpt, view.geometry(), view.num_patterns(),
-                                  view.total_x(), other_seed, &why));
+  EXPECT_FALSE(checkpoint_matches(ckpt, xm.geometry(), xm.num_patterns(),
+                                  xm.total_x(), other_seed, "csr", &why));
   EXPECT_EQ(why, "partitioner configuration differs");
+
+  // A valid-but-different backend parses fine yet must refuse to graft:
+  // resuming csr state through a tebm store is an operator surprise.
+  EXPECT_FALSE(checkpoint_matches(ckpt, xm.geometry(), xm.num_patterns(),
+                                  xm.total_x(), cfg, "tebm", &why));
+  EXPECT_EQ(why, "storage backend differs");
+}
+
+// The store line is load-bearing round-trip state, not a comment: a
+// checkpoint recorded against tebm restores as tebm.
+TEST(Checkpoint, BackendIdentitySurvivesTheTrip) {
+  const XMatrix xm = small_workload(19);
+  ServiceCheckpoint want = checkpoint_after(xm, small_config(), 1);
+  want.backend = "tebm";
+  const std::optional<ServiceCheckpoint> got =
+      checkpoint_from_string(checkpoint_to_string(want));
+  ASSERT_TRUE(got.has_value());
+  EXPECT_EQ(got->backend, "tebm");
 }
 
 }  // namespace

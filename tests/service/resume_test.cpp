@@ -14,10 +14,11 @@
 
 #include "engine/partition_engine.hpp"
 #include "engine/partition_types.hpp"
-#include "engine/x_matrix_view.hpp"
 #include "response/x_matrix.hpp"
 #include "service/checkpoint.hpp"
 #include "service/job_runner.hpp"
+#include "storage/store_factory.hpp"
+#include "storage/x_matrix_store.hpp"
 #include "util/clock.hpp"
 #include "util/diagnostics.hpp"
 #include "workload/industrial.hpp"
@@ -83,14 +84,15 @@ bool step_to(PartitionEngine& engine, std::size_t rounds) {
   return accepted == rounds;
 }
 
-ServiceCheckpoint checkpoint_at(const XMatrixView& view,
+ServiceCheckpoint checkpoint_at(const XMatrixStore& store,
                                 const PartitionerConfig& cfg,
                                 const PartitionEngine& engine) {
   ServiceCheckpoint ckpt;
-  ckpt.geometry = view.geometry();
-  ckpt.num_patterns = view.num_patterns();
-  ckpt.total_x = view.total_x();
+  ckpt.geometry = store.geometry();
+  ckpt.num_patterns = store.num_patterns();
+  ckpt.total_x = store.total_x();
   ckpt.config = cfg;
+  ckpt.backend = store.backend_name();
   ckpt.snapshot = engine.snapshot();
   return ckpt;
 }
@@ -110,34 +112,34 @@ TEST(Resume, EveryRoundBoundaryResumesBitIdentically) {
   for (const SplitCellChoice choice :
        {SplitCellChoice::kLowestIndex, SplitCellChoice::kRandom}) {
     const XMatrix xm = small_workload(21);
-    const XMatrixView view(xm);
+    const std::unique_ptr<XMatrixStore> store = make_store(xm, XmBackend::kCsr);
     PartitionerConfig cfg = small_config();
     cfg.cell_choice = choice;
     const std::string policy =
         choice == SplitCellChoice::kRandom ? "random" : "lowest";
 
-    PartitionEngine oracle_engine(view, cfg);
+    PartitionEngine oracle_engine(*store, cfg);
     const PartitionResult oracle = oracle_engine.run();
     const std::size_t total_rounds = oracle.partitions.size() - 1;
     ASSERT_GE(total_rounds, 3u)
         << "workload too easy to exercise multiple boundaries";
 
     for (std::size_t k = 1; k <= total_rounds; ++k) {
-      PartitionEngine interrupted(view, cfg);
+      PartitionEngine interrupted(*store, cfg);
       ASSERT_TRUE(step_to(interrupted, k));
 
       Diagnostics diags;
       const std::optional<ServiceCheckpoint> restored = checkpoint_from_string(
-          checkpoint_to_string(checkpoint_at(view, cfg, interrupted)), &diags);
+          checkpoint_to_string(checkpoint_at(*store, cfg, interrupted)), &diags);
       ASSERT_TRUE(restored.has_value())
           << "codec rejected a clean checkpoint at boundary " << k;
 
       std::string why;
-      ASSERT_TRUE(checkpoint_matches(*restored, view.geometry(),
-                                     view.num_patterns(), view.total_x(),
-                                     cfg, &why))
+      ASSERT_TRUE(checkpoint_matches(*restored, store->geometry(),
+                                     store->num_patterns(), store->total_x(),
+                                     cfg, store->backend_name(), &why))
           << why;
-      PartitionEngine resumed(view, restored->config, restored->snapshot);
+      PartitionEngine resumed(*store, restored->config, restored->snapshot);
       expect_identical(oracle, resumed.run(),
                        policy + " boundary " + std::to_string(k) + "/" +
                            std::to_string(total_rounds));
@@ -149,16 +151,16 @@ TEST(Resume, EveryRoundBoundaryResumesBitIdentically) {
 // the final result immediately, with no extra rounds consumed.
 TEST(Resume, FinishedStateRestoresAsFinished) {
   const XMatrix xm = small_workload(22);
-  const XMatrixView view(xm);
+  const std::unique_ptr<XMatrixStore> store = make_store(xm, XmBackend::kCsr);
   const PartitionerConfig cfg = small_config();
-  PartitionEngine engine(view, cfg);
+  PartitionEngine engine(*store, cfg);
   const PartitionResult oracle = engine.run();
 
   const std::optional<ServiceCheckpoint> restored = checkpoint_from_string(
-      checkpoint_to_string(checkpoint_at(view, cfg, engine)));
+      checkpoint_to_string(checkpoint_at(*store, cfg, engine)));
   ASSERT_TRUE(restored.has_value());
   EXPECT_TRUE(restored->snapshot.done);
-  PartitionEngine resumed(view, restored->config, restored->snapshot);
+  PartitionEngine resumed(*store, restored->config, restored->snapshot);
   EXPECT_TRUE(resumed.finished());
   expect_identical(oracle, resumed.run(), "finished restore");
 }
@@ -168,16 +170,16 @@ TEST(Resume, FinishedStateRestoresAsFinished) {
 TEST(Resume, ServiceResumesFromCheckpointFileBitIdentically) {
   const fs::path dir = fresh_dir("xh_resume_svc");
   const auto xm = std::make_shared<const XMatrix>(small_workload(23));
-  const XMatrixView view(*xm);
+  const std::unique_ptr<XMatrixStore> store = make_store(*xm, XmBackend::kCsr);
   const PartitionerConfig cfg = small_config();
 
-  PartitionEngine oracle_engine(view, cfg);
+  PartitionEngine oracle_engine(*store, cfg);
   const PartitionResult oracle = oracle_engine.run();
 
-  PartitionEngine interrupted(view, cfg);
+  PartitionEngine interrupted(*store, cfg);
   ASSERT_TRUE(step_to(interrupted, 2));
   const fs::path ckpt_path = dir / "tenant-a.ckpt";
-  ASSERT_TRUE(save_checkpoint(checkpoint_at(view, cfg, interrupted),
+  ASSERT_TRUE(save_checkpoint(checkpoint_at(*store, cfg, interrupted),
                               ckpt_path.string()));
 
   ServiceConfig service_cfg;
@@ -208,9 +210,9 @@ TEST(Resume, ServiceResumesFromCheckpointFileBitIdentically) {
 TEST(Resume, DegradedJobsCheckpointSurvivesIntoTheNextIncarnation) {
   const fs::path dir = fresh_dir("xh_resume_degraded");
   const auto xm = std::make_shared<const XMatrix>(small_workload(24));
-  const XMatrixView view(*xm);
+  const std::unique_ptr<XMatrixStore> store = make_store(*xm, XmBackend::kCsr);
   const PartitionerConfig cfg = small_config();
-  PartitionEngine oracle_engine(view, cfg);
+  PartitionEngine oracle_engine(*store, cfg);
   const PartitionResult oracle = oracle_engine.run();
 
   ManualClock clock;
@@ -266,16 +268,16 @@ TEST(Resume, DegradedJobsCheckpointSurvivesIntoTheNextIncarnation) {
 TEST(Resume, ForeignCheckpointIsRefusedAndJobRunsFresh) {
   const fs::path dir = fresh_dir("xh_resume_foreign");
   const auto xm = std::make_shared<const XMatrix>(small_workload(25));
-  const XMatrixView view(*xm);
+  const std::unique_ptr<XMatrixStore> store = make_store(*xm, XmBackend::kCsr);
   const PartitionerConfig cfg = small_config();
-  PartitionEngine oracle_engine(view, cfg);
+  PartitionEngine oracle_engine(*store, cfg);
   const PartitionResult oracle = oracle_engine.run();
 
   PartitionerConfig foreign = cfg;
   foreign.seed = 999;
-  PartitionEngine other(view, foreign);
+  PartitionEngine other(*store, foreign);
   ASSERT_TRUE(step_to(other, 1));
-  ASSERT_TRUE(save_checkpoint(checkpoint_at(view, foreign, other),
+  ASSERT_TRUE(save_checkpoint(checkpoint_at(*store, foreign, other),
                               (dir / "tenant-c.ckpt").string()));
 
   ServiceConfig service_cfg;

@@ -383,6 +383,14 @@ bool LayerSpec::allowed(const std::string& from, const std::string& to) const {
   return it->second.allow_all || it->second.deps.count(to) != 0;
 }
 
+const LayerSpec::PrivateRule* LayerSpec::private_rule(
+    const std::string& target_path) const {
+  for (const PrivateRule& rule : privates) {
+    if (starts_with(target_path, rule.prefix)) return &rule;
+  }
+  return nullptr;
+}
+
 bool parse_layer_spec(const std::string& text, LayerSpec& spec,
                       std::string& error) {
   std::istringstream in(text);
@@ -395,9 +403,25 @@ bool parse_layer_spec(const std::string& text, LayerSpec& spec,
     if (hash != std::string::npos) line = trim(line.substr(0, hash));
     if (line.empty()) continue;
     std::vector<std::string> tokens = split_ws(line);
+    if (tokens.size() >= 1 && tokens[0] == "private") {
+      if (tokens.size() < 4 || tokens[2] != "->") {
+        error = "layers spec line " + std::to_string(line_no) +
+                ": expected 'private <prefix> -> <layer>...', got '" + line +
+                "'";
+        return false;
+      }
+      LayerSpec::PrivateRule rule;
+      rule.prefix = tokens[1];
+      for (std::size_t i = 3; i < tokens.size(); ++i) {
+        rule.layers.insert(tokens[i]);
+      }
+      spec.privates.push_back(std::move(rule));
+      continue;
+    }
     if (tokens.size() < 2 || tokens[0] != "layer") {
       error = "layers spec line " + std::to_string(line_no) +
-              ": expected 'layer <name> [-> dep...]', got '" + line + "'";
+              ": expected 'layer <name> [-> dep...]' or "
+              "'private <prefix> -> <layer>...', got '" + line + "'";
       return false;
     }
     LayerSpec::Layer layer;

@@ -37,18 +37,34 @@ namespace xh::lint {
 ///   layer <name>                      a leaf: may include only itself
 ///   layer <name> -> <dep> [<dep>...]  may include itself and the deps
 ///   layer <name> -> *                 unconstrained (umbrella/tests)
+///   private <prefix> -> <layer>...    headers whose repo-relative path
+///                                     starts with <prefix> may only be
+///                                     included from the named layers
 struct LayerSpec {
   struct Layer {
     std::set<std::string> deps;
     bool allow_all = false;
   };
+  /// Path-prefix visibility restriction layered ON TOP of the layer graph:
+  /// an include of a matching header must come from one of the listed
+  /// layers even when the edge is otherwise allowed. Used to keep concrete
+  /// storage backends behind the factory (only engine/service consume them
+  /// directly; everything else goes through storage/store_factory.hpp).
+  struct PrivateRule {
+    std::string prefix;            // repo-relative path prefix
+    std::set<std::string> layers;  // layers allowed to include matches
+  };
   std::map<std::string, Layer> layers;
+  std::vector<PrivateRule> privates;
 
   bool known(const std::string& layer) const {
     return layers.count(layer) != 0;
   }
   /// True when @p from may include @p to (same layer is always allowed).
   bool allowed(const std::string& from, const std::string& to) const;
+  /// The private rule restricting @p target_path, or nullptr when the path
+  /// matches no `private` prefix.
+  const PrivateRule* private_rule(const std::string& target_path) const;
 };
 
 /// Parses the layers.txt grammar. Returns false and sets @p error on a

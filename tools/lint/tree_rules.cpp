@@ -126,6 +126,19 @@ void check_layering(const ProjectModel& model, RawFindings& raw) {
             {path, e.line, "XH-INC-002",
              "layer '" + entry.layer + "' may not depend on layer '" + to +
                  "' (" + e.target + ") — see tools/lint/layers.txt"});
+        continue;
+      }
+      // Path-prefix visibility on top of the layer graph: a `private`
+      // header may only be included from its whitelisted layers, even when
+      // the layer edge itself is legal.
+      const LayerSpec::PrivateRule* rule = model.spec.private_rule(e.target);
+      if (rule != nullptr && rule->layers.count(entry.layer) == 0) {
+        raw[path].push_back(
+            {path, e.line, "XH-INC-002",
+             e.target + " is private to layers {" +
+                 join({rule->layers.begin(), rule->layers.end()}, ", ") +
+                 "} — include it through the public factory instead "
+                 "(see tools/lint/layers.txt)"});
       }
     }
   }

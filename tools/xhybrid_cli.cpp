@@ -11,6 +11,14 @@
 //       partition engine's cell analysis out on T lanes (1 = serial,
 //       0 = all hardware threads); results are identical for any T.
 //
+//   Storage backend (analyze/circuit/serve): --xm-backend B picks the
+//   X-matrix store the partition engine reads from — csr (in-memory,
+//   the default resolution), tebm (tree-encoded bitmap, compressed),
+//   mmap (memory-mapped spill file for out-of-core matrices), or auto
+//   (csr unless the estimated CSR footprint exceeds the spill
+//   threshold). Every backend is bit-identical; only footprint and
+//   access cost differ (DESIGN.md §12).
+//
 //   xhybrid_cli analyze --load-xm file.xm [--misr-size M] [--misr-q Q]
 //       Analyze a previously saved (or externally produced) X matrix.
 //
@@ -81,6 +89,7 @@
 #include "scan/test_application.hpp"
 #include "service/job_runner.hpp"
 #include "sim/logic.hpp"
+#include "storage/store_factory.hpp"
 #include "util/cancel_token.hpp"
 #include "util/clock.hpp"
 #include "util/diagnostics.hpp"
@@ -102,11 +111,11 @@ namespace {
       "             [--clustered F] [--misr-size M] [--misr-q Q] [--seed S]\n"
       "             [--save-xm file.xm | --load-xm file.xm]\n"
       "             [--strict | --lenient] [--threads T]\n"
-      "             [--telemetry file.json]\n"
+      "             [--xm-backend B] [--telemetry file.json]\n"
       "  %s circuit <netlist.bench> [--chains N] [--patterns P]\n"
       "             [--misr-size M] [--misr-q Q] [--seed S]\n"
       "             [--strict | --lenient] [--threads T]\n"
-      "             [--telemetry file.json]\n"
+      "             [--xm-backend B] [--telemetry file.json]\n"
       "  %s inject --mode MODE [--count N] [--seed S]\n"
       "            [--strict | --lenient] [--telemetry file.json]\n"
       "            (modes: undeclared-x resolved-x burst tamper\n"
@@ -114,9 +123,11 @@ namespace {
       "  %s serve --jobs-dir DIR [--workers W] [--max-queue Q]\n"
       "           [--timeout-ms T] [--retries R] [--checkpoint-dir DIR]\n"
       "           [--checkpoint-every K] [--misr-size M] [--misr-q Q]\n"
-      "           [--seed S] [--telemetry file.json]\n"
+      "           [--seed S] [--xm-backend B] [--telemetry file.json]\n"
       "--timeout-ms T (analyze/circuit/serve): stop partitioning at the\n"
       "  first round boundary past T ms and keep the best-so-far result.\n"
+      "--xm-backend B (analyze/circuit/serve): X-matrix storage backend,\n"
+      "  one of auto|csr|tebm|mmap (default auto; all bit-identical).\n"
       "exit codes: 0 clean, 1 failure/diagnostic errors, 2 usage,\n"
       "  3 deadline exceeded (degraded best-so-far result produced)\n"
       "deprecated aliases (to be removed): --misr = --misr-size,\n"
@@ -165,6 +176,7 @@ struct Options {
   std::uint64_t seed = 1;
   std::size_t count = 4;
   std::size_t threads = 1;  // pipeline lanes; 0 = hardware concurrency
+  XmBackend xm_backend = XmBackend::kAuto;  // X-matrix storage backend
   bool lenient = false;
   std::uint64_t timeout_ms = 0;  // 0 = no deadline
   std::size_t workers = 2;       // serve: concurrent job executors
@@ -210,6 +222,15 @@ Options parse(int argc, char** argv, int from) {
       opt.count = arg_size("--count", next());
     } else if (arg == "--threads") {
       opt.threads = arg_size("--threads", next());
+    } else if (arg == "--xm-backend") {
+      const char* text = next();
+      if (!parse_xm_backend(text, &opt.xm_backend)) {
+        std::fprintf(stderr,
+                     "error: --xm-backend: unknown backend '%s' "
+                     "(expected auto|csr|tebm|mmap)\n",
+                     text);
+        std::exit(2);
+      }
     } else if (arg == "--timeout-ms") {
       opt.timeout_ms = arg_u64("--timeout-ms", next());
     } else if (arg == "--workers") {
@@ -343,6 +364,7 @@ int cmd_analyze(const Options& opt, Trace* trace) {
   PipelineContext ctx(pcfg, pool.get());
   ctx.set_trace(trace);
   ctx.set_cancel(deadline.get());
+  ctx.set_xm_backend(opt.xm_backend);
   if (opt.lenient) ctx.be_lenient();
   if (!opt.load_path.empty()) {
     std::ifstream in(opt.load_path);
@@ -419,6 +441,7 @@ int cmd_circuit(const Options& opt, const char* argv0, Trace* trace) {
   PipelineContext ctx(pcfg, pool.get());
   ctx.set_trace(trace);
   ctx.set_cancel(deadline.get());
+  ctx.set_xm_backend(opt.xm_backend);
   const HybridSimulation sim = run_hybrid_simulation(response, ctx);
   print_report(sim.report);
 
@@ -580,6 +603,7 @@ int cmd_serve(const Options& opt, const char* argv0, Trace* trace) {
   scfg.max_queue_depth = opt.max_queue;
   scfg.partitioner.misr = {opt.misr, opt.q};
   scfg.partitioner.seed = opt.seed;
+  scfg.xm_backend = opt.xm_backend;
   scfg.default_deadline_ns = opt.timeout_ms * 1'000'000;
   scfg.checkpoint_dir = opt.checkpoint_dir;
   scfg.checkpoint_every_rounds =
