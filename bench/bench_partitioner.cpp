@@ -9,6 +9,7 @@
 //   bench_partitioner [--cells N] [--patterns P] [--density D]
 //                     [--rounds R] [--threads T] [--seed S] [--smoke]
 //                     [--xm-backend B] [--telemetry file.json]
+//                     [--trajectory file.json]
 //
 // --smoke runs a reduced-scale workload (< 10 s end to end), cross-checks
 // that both implementations produce identical results, asserts the engine
@@ -22,6 +23,12 @@
 // --xm-backend B picks the store for the traced telemetry run (default
 // csr), so the CI mmap leg exercises the whole engine through the mapped
 // file; the per-backend sweep always covers all three.
+//
+// --trajectory writes the compact xh-bench-trajectory/1 document: every
+// backend's wall time and its speedup against the SAME seed-oracle
+// measurement. bench/trajectory.json snapshots one smoke run per growth
+// step so the speedup history reads straight out of git log; the CI
+// bench-smoke job emits a fresh one as an artifact on every run.
 //
 // --telemetry writes the canonical xh-telemetry/1 document instead of each
 // bench inventing its own JSON: the engine's deterministic counters (from
@@ -64,6 +71,7 @@ struct BenchOptions {
   bool smoke = false;
   XmBackend xm_backend = XmBackend::kCsr;  // store for the traced run
   std::string telemetry_path;
+  std::string trajectory_path;
 };
 
 double time_ms(const std::function<void()>& fn, int reps) {
@@ -249,6 +257,47 @@ int run(const BenchOptions& opt) {
   }
   std::printf("  }\n}\n");
 
+  if (!opt.trajectory_path.empty()) {
+    // Machine-readable speedup trajectory: every backend's wall time
+    // normalized against the SAME seed-oracle measurement, so successive
+    // documents are comparable run over run (the per-PR trajectory the
+    // checked-in bench/trajectory.json snapshots). Keys sorted, like the
+    // xh-lint-findings document, so diffs are textual.
+    std::ofstream tout(opt.trajectory_path);
+    if (!tout) {
+      std::fprintf(stderr, "cannot write %s\n", opt.trajectory_path.c_str());
+      return 1;
+    }
+    tout << "{\n  \"backends\": {\n";
+    for (std::size_t i = 0; i < backends.size(); ++i) {
+      const BackendSample& b = backends[i];
+      char buf[256];
+      std::snprintf(buf, sizeof(buf),
+                    "    \"%s\": {\"ms\": %.3f, \"results_identical\": %s, "
+                    "\"speedup_vs_seed\": %.2f}%s\n",
+                    b.name, b.ms, b.identical ? "true" : "false",
+                    b.ms > 0.0 ? ref_ms / b.ms : 0.0,
+                    i + 1 < backends.size() ? "," : "");
+      tout << buf;
+    }
+    char tail[512];
+    std::snprintf(
+        tail, sizeof(tail),
+        "  },\n"
+        "  \"engine\": {\"ms\": %.3f, \"speedup_vs_seed\": %.2f},\n"
+        "  \"reference_ms\": %.3f,\n"
+        "  \"schema\": \"xh-bench-trajectory/1\",\n"
+        "  \"workload\": {\"cells\": %zu, \"patterns\": %zu, \"rounds\": "
+        "%zu, \"seed\": %llu, \"total_x\": %llu}\n"
+        "}\n",
+        engine_ms, speedup, ref_ms, chains * length, opt.patterns, rounds_run,
+        static_cast<unsigned long long>(opt.seed),
+        static_cast<unsigned long long>(xm.total_x()));
+    tout << tail;
+    std::fprintf(stderr, "trajectory written to %s\n",
+                 opt.trajectory_path.c_str());
+  }
+
   if (!opt.telemetry_path.empty()) {
     // One traced, untimed engine run: the engine.* counters are pure
     // functions of the workload (golden-diffable), while tracing inside the
@@ -377,6 +426,8 @@ int main(int argc, char** argv) {
         opt.seed = xh::parse_u64(next());
       } else if (arg == "--telemetry") {
         opt.telemetry_path = next();
+      } else if (arg == "--trajectory") {
+        opt.trajectory_path = next();
       } else if (arg == "--xm-backend") {
         const char* text = next();
         if (!xh::parse_xm_backend(text, &opt.xm_backend)) {

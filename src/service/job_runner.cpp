@@ -271,6 +271,10 @@ JobState PartitionService::run_attempt(Job& job, CancelToken& token) {
 
   bool degraded = false;
   std::size_t rounds_since_checkpoint = 0;
+  // The consultation is one call deep: the engine was constructed with
+  // &token above and step() checks stop_requested() at the top of every
+  // round, surfacing it as kCancelled which this loop turns into a
+  // degraded exit. xh-lint: allow(XH-FLOW-002)
   for (;;) {
     const PartitionEngine::StepOutcome outcome = engine->step();
     if (outcome == PartitionEngine::StepOutcome::kSplit) {

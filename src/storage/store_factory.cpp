@@ -21,6 +21,9 @@ std::string next_mmap_path(const StoreFactoryOptions& options) {
       options.mmap_dir.empty()
           ? std::filesystem::temp_directory_path().string()
           : options.mmap_dir;
+  // `sequence` is a filename-uniqueness ticket, not probe accounting: only
+  // the atomicity of fetch_add matters (distinct suffixes), no other memory
+  // is published under its order. xh-lint: allow(XH-FLOW-003)
   return dir + "/xh_xm_" + std::to_string(::getpid()) + "_" +
          std::to_string(sequence.fetch_add(1, std::memory_order_relaxed)) +
          ".xmm";

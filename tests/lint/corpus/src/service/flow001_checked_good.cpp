@@ -1,0 +1,36 @@
+// XH-FLOW-001 non-firing fixtures: a status read inside a loop body counts
+// as read (no zero-trip-path false positive), a bare declaration is the
+// out-param collector pattern rather than a discarded value, and pointer
+// bindings alias a value someone else owns.
+#include <cstddef>
+
+namespace xh {
+
+struct LoadStatus {
+  bool ok = false;
+};
+
+struct Diagnostics {
+  std::size_t errors = 0;
+};
+
+LoadStatus load_primary();
+void fill(Diagnostics* diags);
+
+std::size_t count_healthy(std::size_t n) {
+  std::size_t healthy = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const LoadStatus st = load_primary();
+    if (st.ok) ++healthy;
+  }
+  return healthy;
+}
+
+std::size_t collect() {
+  Diagnostics diags;
+  fill(&diags);
+  Diagnostics* alias = &diags;
+  return alias->errors;
+}
+
+}  // namespace xh

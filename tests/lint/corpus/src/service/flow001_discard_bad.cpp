@@ -1,0 +1,20 @@
+// XH-FLOW-001 fixture: a status-bearing value initialized from a call and
+// then never read on any path — the finding the rule exists for.
+#include <cstddef>
+
+namespace xh {
+
+struct SubmitOutcome {
+  bool accepted = false;
+  std::size_t id = 0;
+};
+
+SubmitOutcome submit_stub(std::size_t n);
+
+void enqueue_all(std::size_t count) {
+  for (std::size_t i = 0; i < count; ++i) {
+    const SubmitOutcome oc = submit_stub(i);
+  }
+}
+
+}  // namespace xh

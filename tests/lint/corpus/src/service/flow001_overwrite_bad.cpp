@@ -1,0 +1,21 @@
+// XH-FLOW-001 fixture: the first status is overwritten on the retry path
+// before anything reads it, so a failure from load_primary is lost.
+namespace xh {
+
+struct LoadStatus {
+  bool ok = false;
+};
+
+LoadStatus load_primary();
+LoadStatus load_fallback();
+bool primary_stale();
+
+bool refresh() {
+  LoadStatus st = load_primary();
+  if (primary_stale()) {
+    st = load_fallback();
+  }
+  return st.ok;
+}
+
+}  // namespace xh

@@ -1,0 +1,23 @@
+// XH-FLOW-002 non-firing fixture: every iteration path passes the token
+// check before blocking, so cancellation is honored within one poll.
+#include <cstddef>
+
+namespace xh {
+
+class CancelToken {
+ public:
+  bool stop_requested() const;
+};
+
+void sleep_ns(std::size_t ns);
+void poll_shard(std::size_t shard);
+
+void sweep_shards(const CancelToken& token, std::size_t shards) {
+  for (std::size_t i = 0; i < shards; ++i) {
+    if (token.stop_requested()) break;
+    poll_shard(i);
+    sleep_ns(1000);
+  }
+}
+
+}  // namespace xh

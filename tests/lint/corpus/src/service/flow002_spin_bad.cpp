@@ -1,0 +1,23 @@
+// XH-FLOW-002 fixture: a polling loop that sleeps every iteration but
+// never consults the CancelToken it was handed — cancellation can only
+// take effect after the full sweep completes.
+#include <cstddef>
+
+namespace xh {
+
+class CancelToken {
+ public:
+  bool stop_requested() const;
+};
+
+void sleep_ns(std::size_t ns);
+void poll_shard(std::size_t shard);
+
+void sweep_shards(const CancelToken& token, std::size_t shards) {
+  for (std::size_t i = 0; i < shards; ++i) {
+    poll_shard(i);
+    sleep_ns(1000);
+  }
+}
+
+}  // namespace xh

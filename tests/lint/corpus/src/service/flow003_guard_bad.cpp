@@ -1,0 +1,21 @@
+// XH-FLOW-003 fixture: depth_ is mutated under the mutex in bump() but
+// read bare in peek() — a racy unguarded touch of a guarded field.
+#include <cstddef>
+#include <mutex>
+
+namespace xh {
+
+class Gauge {
+ public:
+  void bump() {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++depth_;
+  }
+  std::size_t peek() const { return depth_; }
+
+ private:
+  mutable std::mutex mu_;
+  std::size_t depth_ = 0;
+};
+
+}  // namespace xh

@@ -1,0 +1,28 @@
+// XH-FLOW-003 non-firing fixture: every touch of depth_ holds the mutex,
+// and ticks_ opts out of the lock by being atomic (self-synchronizing).
+#include <atomic>
+#include <cstddef>
+#include <mutex>
+
+namespace xh {
+
+class Gauge {
+ public:
+  void bump() {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++depth_;
+    ticks_.store(depth_, std::memory_order_release);
+  }
+  std::size_t peek() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return depth_;
+  }
+  std::size_t ticks() const { return ticks_.load(std::memory_order_acquire); }
+
+ private:
+  mutable std::mutex mu_;
+  std::size_t depth_ = 0;
+  std::atomic<std::size_t> ticks_{0};
+};
+
+}  // namespace xh

@@ -1,0 +1,16 @@
+// XH-FLOW-004 fixture: text is consumed by std::move and then read on the
+// very next line — a moved-from read.
+#include <cstddef>
+#include <string>
+#include <utility>
+
+namespace xh {
+
+std::size_t enqueue(std::string text);
+
+std::size_t submit(std::string text) {
+  const std::size_t id = enqueue(std::move(text));
+  return id + text.size();
+}
+
+}  // namespace xh

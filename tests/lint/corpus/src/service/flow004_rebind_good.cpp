@@ -1,0 +1,31 @@
+// XH-FLOW-004 non-firing fixtures: a range-for binding is fresh every
+// iteration, so moving it at the bottom of the body is fine; and
+// `v = f(std::move(v))` reassigns in the same statement, keeping v live.
+#include <cstddef>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace xh {
+
+void enqueue(std::string text);
+std::string join(std::string acc, const std::string& part);
+
+std::size_t submit_all(std::vector<std::string> lines) {
+  std::size_t total = 0;
+  for (std::string& line : lines) {
+    total += line.size();
+    enqueue(std::move(line));
+  }
+  return total;
+}
+
+std::string fold(const std::vector<std::string>& parts) {
+  std::string out;
+  for (const std::string& part : parts) {
+    out = join(std::move(out), part);
+  }
+  return out;
+}
+
+}  // namespace xh

@@ -1,0 +1,17 @@
+// XH-FLOW-003 fixture: a relaxed-atomic read-modify-write on a probe
+// counter outside the note_* accounting seam — storage code must route
+// probe accounting through the documented helpers.
+#include <atomic>
+#include <cstdint>
+
+namespace xh {
+
+struct ProbeCounters {
+  std::atomic<std::uint64_t> hits{0};
+};
+
+std::uint64_t record_probe(ProbeCounters& counters) {
+  return counters.hits.fetch_add(1, std::memory_order_relaxed);
+}
+
+}  // namespace xh

@@ -1,0 +1,16 @@
+// XH-FLOW-003 non-firing fixture: the same relaxed RMW is fine inside a
+// note_* helper — that IS the documented accounting seam.
+#include <atomic>
+#include <cstdint>
+
+namespace xh {
+
+struct ProbeCounters {
+  std::atomic<std::uint64_t> hits{0};
+};
+
+std::uint64_t note_probe_hit(ProbeCounters& counters) {
+  return counters.hits.fetch_add(1, std::memory_order_relaxed);
+}
+
+}  // namespace xh

@@ -77,6 +77,17 @@ const Expectation kExpectations[] = {
     {"src/core/hdr001_late_bad.hpp", "XH-HDR-001"},
     {"src/core/hdr002_using_bad.hpp", "XH-HDR-002"},
     {"src/core/hdr_clean_good.hpp", ""},
+    {"src/service/flow001_discard_bad.cpp", "XH-FLOW-001"},
+    {"src/service/flow001_overwrite_bad.cpp", "XH-FLOW-001"},
+    {"src/service/flow001_checked_good.cpp", ""},
+    {"src/service/flow002_spin_bad.cpp", "XH-FLOW-002"},
+    {"src/service/flow002_consult_good.cpp", ""},
+    {"src/storage/flow003_seam_bad.cpp", "XH-FLOW-003"},
+    {"src/storage/flow003_seam_good.cpp", ""},
+    {"src/service/flow003_guard_bad.cpp", "XH-FLOW-003"},
+    {"src/service/flow003_guard_good.cpp", ""},
+    {"src/service/flow004_move_bad.cpp", "XH-FLOW-004"},
+    {"src/service/flow004_rebind_good.cpp", ""},
     {"src/core/suppress_line_good.cpp", ""},
     {"src/core/suppress_above_good.cpp", ""},
     {"src/core/suppress_file_good.cpp", ""},
@@ -161,14 +172,15 @@ TEST(LintFindings, MultipleRulesSortedByLine) {
 
 TEST(LintRules, RegistryListsEveryRuleFamily) {
   const auto& rules = xh::lint::rules();
-  ASSERT_EQ(rules.size(), 13u);
+  ASSERT_EQ(rules.size(), 17u);
   std::set<std::string> ids;
   for (const auto& r : rules) ids.insert(r.id);
   EXPECT_EQ(ids, (std::set<std::string>{
                      "XH-DET-001", "XH-DET-002", "XH-ERR-001", "XH-PARSE-001",
                      "XH-HDR-001", "XH-HDR-002", "XH-INC-001", "XH-INC-002",
                      "XH-INC-003", "XH-API-001", "XH-API-002", "XH-OBS-001",
-                     "XH-SUP-001"}));
+                     "XH-SUP-001", "XH-FLOW-001", "XH-FLOW-002", "XH-FLOW-003",
+                     "XH-FLOW-004"}));
 }
 
 TEST(LintFindings, JsonDocumentIsVersionedAndEscaped) {
@@ -179,7 +191,16 @@ TEST(LintFindings, JsonDocumentIsVersionedAndEscaped) {
   EXPECT_NE(json.find("\"schema\": \"xh-lint-findings/1\""), std::string::npos);
   EXPECT_NE(json.find("\"count\": 1"), std::string::npos);
   EXPECT_NE(json.find("\"rule\": \"XH-DET-001\""), std::string::npos);
+  EXPECT_NE(json.find("\"by_rule\""), std::string::npos);
+  EXPECT_NE(json.find("\"XH-DET-001\": 1"), std::string::npos);
   EXPECT_NE(json.find("uses \\\"rand\\\"\\n"), std::string::npos);
+  // Keys are emitted sorted at every level so baseline diffs are textual.
+  EXPECT_LT(json.find("\"by_rule\""), json.find("\"count\""));
+  EXPECT_LT(json.find("\"count\""), json.find("\"findings\""));
+  EXPECT_LT(json.find("\"findings\""), json.find("\"schema\""));
+  EXPECT_LT(json.find("\"line\""), json.find("\"message\""));
+  EXPECT_LT(json.find("\"message\""), json.find("\"path\""));
+  EXPECT_LT(json.find("\"path\""), json.find("\"rule\""));
   const std::string empty = xh::lint::findings_to_json({});
   EXPECT_NE(empty.find("\"count\": 0"), std::string::npos);
 }

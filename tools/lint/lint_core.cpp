@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <array>
 #include <cstddef>
+#include <map>
 
 #include "lint/text_scan.hpp"
 
@@ -212,6 +213,17 @@ const std::vector<RuleInfo>& rules() {
       {"XH-SUP-001",
        "stale xh-lint suppression: the allow() no longer suppresses any "
        "finding anywhere in the tree"},
+      {"XH-FLOW-001",
+       "a Diagnostics/Status-bearing value is discarded or overwritten on "
+       "at least one path before being checked"},
+      {"XH-FLOW-002",
+       "a loop path that can block (sleep/wait or unbounded) never consults "
+       "the in-scope CancelToken"},
+      {"XH-FLOW-003",
+       "relaxed-atomic RMW outside the src/storage/ note_* accounting seam, "
+       "or a mutex-guarded field touched on an unguarded path"},
+      {"XH-FLOW-004",
+       "use-after-move of a BitVec/store handle or other moved-from local"},
   };
   return kRules;
 }
@@ -276,7 +288,10 @@ std::vector<Finding> scan_file(const SourceFile& file,
     const Cleaned sib = clean(*sibling_header);
     extra = harvest_unordered_names(sib.lines);
   }
-  return apply_suppressions(cleaned, per_file_findings(file, cleaned, extra));
+  std::vector<Finding> raw = per_file_findings(file, cleaned, extra);
+  std::vector<Finding> flow = flow_findings(file, cleaned);
+  raw.insert(raw.end(), flow.begin(), flow.end());
+  return apply_suppressions(cleaned, std::move(raw));
 }
 
 std::string to_string(const Finding& f) {
@@ -313,18 +328,29 @@ std::string json_escape(const std::string& s) {
 }  // namespace
 
 std::string findings_to_json(const std::vector<Finding>& findings) {
-  std::string out = "{\n  \"schema\": \"xh-lint-findings/1\",\n  \"count\": " +
-                    std::to_string(findings.size()) +
-                    ",\n  \"findings\": [";
-  for (std::size_t i = 0; i < findings.size(); ++i) {
-    const Finding& f = findings[i];
-    out += i == 0 ? "\n" : ",\n";
-    out += "    {\"path\": \"" + json_escape(f.path) +
-           "\", \"line\": " + std::to_string(f.line) + ", \"rule\": \"" +
-           json_escape(f.rule) + "\", \"message\": \"" +
-           json_escape(f.message) + "\"}";
+  // Keys are emitted in sorted order at every level so the document is
+  // byte-stable for diffing (the CI baseline check relies on this).
+  std::map<std::string, std::size_t> by_rule;
+  for (const Finding& f : findings) ++by_rule[f.rule];
+  std::string out = "{\n  \"by_rule\": {";
+  std::size_t i = 0;
+  for (const auto& [rule, count] : by_rule) {
+    out += i++ == 0 ? "\n" : ",\n";
+    out += "    \"" + json_escape(rule) + "\": " + std::to_string(count);
   }
-  out += findings.empty() ? "]\n}\n" : "\n  ]\n}\n";
+  out += by_rule.empty() ? "},\n" : "\n  },\n";
+  out += "  \"count\": " + std::to_string(findings.size()) +
+         ",\n  \"findings\": [";
+  for (std::size_t j = 0; j < findings.size(); ++j) {
+    const Finding& f = findings[j];
+    out += j == 0 ? "\n" : ",\n";
+    out += "    {\"line\": " + std::to_string(f.line) + ", \"message\": \"" +
+           json_escape(f.message) + "\", \"path\": \"" +
+           json_escape(f.path) + "\", \"rule\": \"" + json_escape(f.rule) +
+           "\"}";
+  }
+  out += findings.empty() ? "],\n" : "\n  ],\n";
+  out += "  \"schema\": \"xh-lint-findings/1\"\n}\n";
   return out;
 }
 

@@ -7,10 +7,12 @@
 // deliberately syntactic — the point is that they run on every line of every
 // file in milliseconds, complementing the sampled runtime tests.
 //
-// Two rule tiers share one lexing pass (text_scan.hpp):
+// Three rule tiers share one lexing pass (text_scan.hpp):
 //   * per-file rules (this header) see one translation unit at a time;
 //   * whole-tree rules (project_model.hpp) see the include graph, the
-//     symbol index and every suppression at once.
+//     symbol index and every suppression at once;
+//   * flow-sensitive rules (flow_rules.cpp, DESIGN.md §13) see per-function
+//     CFGs (cfg.hpp) and dataflow facts (dataflow.hpp) within each file.
 //
 // Per-file rules (see DESIGN.md §9 for the rationale table):
 //   XH-DET-001   nondeterminism source (rand/random_device/time/chrono now)
@@ -28,6 +30,13 @@
 //   XH-API-002   use of a [[deprecated]]-only API outside its exempt files
 //   XH-OBS-001   telemetry name not in the canonical schema list
 //   XH-SUP-001   stale xh-lint suppression (suppresses nothing, tree-wide)
+//
+// Flow-sensitive rules (tools/lint/flow_rules.cpp):
+//   XH-FLOW-001  status-bearing value discarded/overwritten before checked
+//   XH-FLOW-002  blocking loop path never consults its CancelToken
+//   XH-FLOW-003  relaxed-atomic RMW outside the storage accounting seam /
+//                mutex-guarded field touched on an unguarded path
+//   XH-FLOW-004  use-after-move of a local or member handle
 //
 // Suppression: an `allow(XH-DET-002)` directive inside an `xh-lint:`
 // marker comment on the offending line or the line directly above it; the
@@ -75,6 +84,21 @@ struct SourceFile {
 std::vector<Finding> per_file_findings(
     const SourceFile& file, const Cleaned& cleaned,
     const std::vector<std::string>& extra_unordered_names = {});
+
+/// Tree-level facts the flow rules can use when available; default-empty so
+/// the per-file path (scan_file, the corpus) still runs every rule.
+struct FlowContext {
+  /// [[nodiscard]] project function names (XH-FLOW-001 tracks `auto`
+  /// locals initialized from them).
+  std::vector<std::string> nodiscard_functions;
+};
+
+/// Runs the flow-sensitive rule families XH-FLOW-001..004 over one file's
+/// per-function CFGs. Returns RAW findings (suppressions not applied) so
+/// the XH-SUP-001 audit sees them.
+std::vector<Finding> flow_findings(const SourceFile& file,
+                                   const Cleaned& cleaned,
+                                   const FlowContext& flow = {});
 
 /// Drops findings covered by the file's allow()/allow-file() directives and
 /// sorts the survivors by (line, rule) so output is stable regardless of

@@ -137,7 +137,16 @@ ProjectModel build_project_model(std::vector<SourceFile> files,
 struct AnalyzeOptions {
   bool per_file_rules = true;  // XH-DET/ERR/PARSE/HDR over src|tools|bench
   bool tree_rules = true;      // XH-INC/API/OBS/SUP over the whole model
+  bool flow_rules = true;      // XH-FLOW-001..004 over per-function CFGs
+  /// When non-empty, only rules matching one of these patterns report
+  /// (exact ID, or a trailing-'*' prefix glob like "XH-FLOW-*"). Families
+  /// still RUN — XH-SUP-001 must audit against the full raw set — but the
+  /// returned findings are filtered.
+  std::vector<std::string> only;
 };
+
+/// True when @p rule matches @p pattern (exact, or trailing-'*' prefix).
+bool rule_matches(const std::string& rule, const std::string& pattern);
 
 /// Runs all enabled rule families over the model, applies suppressions,
 /// audits them (XH-SUP-001), and returns findings sorted by

@@ -14,6 +14,7 @@
 #include <string>
 #include <vector>
 
+#include "lint/lint_core.hpp"
 #include "lint/project_model.hpp"
 #include "lint/text_scan.hpp"
 
@@ -473,6 +474,23 @@ std::vector<Finding> analyze_tree(const ProjectModel& model,
     }
   }
 
+  if (options.flow_rules) {
+    FlowContext flow;
+    for (const auto& [name, headers] : model.symbols.nodiscard) {
+      (void)headers;
+      flow.nodiscard_functions.push_back(name);
+    }
+    for (const auto& [path, entry] : model.files) {
+      if (!per_file_scope(path)) continue;
+      std::vector<Finding> f = flow_findings(entry.source, entry.cleaned,
+                                             flow);
+      if (!f.empty()) {
+        auto& dst = raw[path];
+        dst.insert(dst.end(), f.begin(), f.end());
+      }
+    }
+  }
+
   if (options.tree_rules) {
     check_cycles(model, raw);
     check_layering(model, raw);
@@ -484,7 +502,7 @@ std::vector<Finding> analyze_tree(const ProjectModel& model,
 
   // The staleness audit only makes sense when every family that could use
   // a suppression actually ran.
-  if (options.per_file_rules && options.tree_rules) {
+  if (options.per_file_rules && options.tree_rules && options.flow_rules) {
     audit_suppressions(model, raw);
   }
 
@@ -496,7 +514,26 @@ std::vector<Finding> analyze_tree(const ProjectModel& model,
         apply_suppressions(entry.cleaned, std::move(it->second));
     out.insert(out.end(), kept.begin(), kept.end());
   }
+  if (!options.only.empty()) {
+    std::vector<Finding> filtered;
+    for (Finding& f : out) {
+      for (const std::string& pat : options.only) {
+        if (rule_matches(f.rule, pat)) {
+          filtered.push_back(std::move(f));
+          break;
+        }
+      }
+    }
+    out = std::move(filtered);
+  }
   return out;
+}
+
+bool rule_matches(const std::string& rule, const std::string& pattern) {
+  if (!pattern.empty() && pattern.back() == '*') {
+    return starts_with(rule, pattern.substr(0, pattern.size() - 1));
+  }
+  return rule == pattern;
 }
 
 }  // namespace xh::lint
