@@ -20,6 +20,15 @@
 // resident footprint staying below the CSR snapshot's — the out-of-core
 // property that makes the backend worth having.
 //
+// The kernel layer (src/kernels/) gets the same treatment: the engine is
+// swept across every ISA tier this CPU supports (scalar, avx2, avx512) via
+// kernels::select() and each result must be bit-identical to the seed; an
+// and_count-bound microbench times the dispatched tables against the
+// inlined constexpr scalar reference. Smoke gates: the best vectorized
+// tier must beat the inline reference by >= 2x (warn-skipped on CPUs with
+// no vector tier), and the dispatched scalar table must stay within 5% of
+// the inline reference (the price of the function-pointer indirection).
+//
 // --xm-backend B picks the store for the traced telemetry run (default
 // csr), so the CI mmap leg exercises the whole engine through the mapped
 // file; the per-backend sweep always covers all three.
@@ -46,10 +55,12 @@
 #include <functional>
 #include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "core/partitioner.hpp"
 #include "engine/partition_engine.hpp"
+#include "kernels/kernels.hpp"
 #include "obs/telemetry_json.hpp"
 #include "obs/trace.hpp"
 #include "storage/store_factory.hpp"
@@ -114,6 +125,82 @@ BackendGaugeNames backend_gauge_names(const std::string& backend) {
   }
   return {"bench.store_csr_ms", "bench.store_csr_resident_bytes",
           "bench.store_csr_mapped_bytes", "bench.store_csr_peak_rss_kb"};
+}
+
+/// and_count-bound kernel microbench: the probe loop the engine spends its
+/// time in, reduced to its essence. Spans of 4096 words (32 KiB per
+/// operand — L1-resident, so the measurement is compute-bound, not a
+/// memory-bandwidth test) hammered through the inlined scalar reference
+/// and every dispatched table.
+struct KernelBench {
+  double ref_ms = 0.0;      // inlined kernels::scalar call, the baseline
+  double scalar_ms = 0.0;   // the SAME code through the dispatch table
+  double best_ms = 0.0;     // fastest tier this CPU supports
+  kernels::Isa best_isa = kernels::Isa::kScalar;
+  double speedup = 0.0;          // ref_ms / best_ms
+  double scalar_overhead = 0.0;  // scalar_ms / ref_ms (indirection tax)
+  bool counts_identical = true;  // every tier returned the same count
+  std::vector<std::pair<const char*, double>> per_isa_ms;
+};
+
+KernelBench bench_kernels(int reps) {
+  constexpr std::size_t kWords = 4096;
+  constexpr int kIters = 2000;
+  std::vector<std::uint64_t> a(kWords);
+  std::vector<std::uint64_t> b(kWords);
+  std::uint64_t s = 0x9e3779b97f4a7c15ULL;
+  const auto splitmix = [&s] {
+    s += 0x9e3779b97f4a7c15ULL;
+    std::uint64_t z = s;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  };
+  for (auto& w : a) w = splitmix();
+  for (auto& w : b) w = splitmix();
+
+  const std::uint64_t expected =
+      kernels::scalar::and_count_words(a.data(), b.data(), kWords) *
+      static_cast<std::uint64_t>(kIters);
+
+  KernelBench kb;
+  // The accumulated count feeds the identity check below, so the compiler
+  // cannot dead-code the timed loops.
+  std::uint64_t acc = 0;
+  kb.ref_ms = time_ms(
+      [&] {
+        acc = 0;
+        for (int it = 0; it < kIters; ++it) {
+          acc += kernels::scalar::and_count_words(a.data(), b.data(), kWords);
+        }
+      },
+      reps);
+  kb.counts_identical = acc == expected;
+
+  kb.best_ms = -1.0;
+  for (const kernels::Isa isa :
+       {kernels::Isa::kScalar, kernels::Isa::kAvx2, kernels::Isa::kAvx512}) {
+    if (!kernels::isa_supported(isa)) continue;
+    const kernels::Kernels& k = kernels::table_for(isa);
+    const double ms = time_ms(
+        [&] {
+          acc = 0;
+          for (int it = 0; it < kIters; ++it) {
+            acc += k.and_count_words(a.data(), b.data(), kWords);
+          }
+        },
+        reps);
+    if (acc != expected) kb.counts_identical = false;
+    kb.per_isa_ms.emplace_back(k.name, ms);
+    if (isa == kernels::Isa::kScalar) kb.scalar_ms = ms;
+    if (kb.best_ms < 0.0 || ms < kb.best_ms) {
+      kb.best_ms = ms;
+      kb.best_isa = isa;
+    }
+  }
+  kb.speedup = kb.best_ms > 0.0 ? kb.ref_ms / kb.best_ms : 0.0;
+  kb.scalar_overhead = kb.ref_ms > 0.0 ? kb.scalar_ms / kb.ref_ms : 0.0;
+  return kb;
 }
 
 bool results_identical(const PartitionResult& a, const PartitionResult& b) {
@@ -219,6 +306,40 @@ int run(const BenchOptions& opt) {
     backends.push_back(sample);
   }
 
+  // Per-ISA sweep: same engine, same store, different dispatch table. The
+  // entry table is restored afterwards so the traced telemetry run below
+  // measures whatever the operator selected (XH_ISA).
+  struct IsaSample {
+    const char* name = "";
+    double ms = 0.0;
+    bool identical = false;
+  };
+  std::vector<IsaSample> isa_samples;
+  const kernels::Isa entry_isa = kernels::active().isa;
+  {
+    const std::unique_ptr<XMatrixStore> store = make_store(xm, XmBackend::kCsr);
+    for (const kernels::Isa isa :
+         {kernels::Isa::kScalar, kernels::Isa::kAvx2,
+          kernels::Isa::kAvx512}) {
+      if (!kernels::isa_supported(isa)) continue;
+      kernels::select(isa);
+      IsaSample sample;
+      sample.name = kernels::active().name;
+      PartitionResult result;
+      sample.ms = time_ms(
+          [&] {
+            PartitionEngine engine(*store, cfg);
+            result = engine.run();
+          },
+          reps);
+      sample.identical = results_identical(ref_result, result);
+      isa_samples.push_back(sample);
+    }
+    kernels::select(entry_isa);
+  }
+
+  const KernelBench kb = bench_kernels(opt.smoke ? 5 : 3);
+
   const bool identical = results_identical(ref_result, engine_result);
   const double speedup = engine_ms > 0.0 ? ref_ms / engine_ms : 0.0;
   const std::size_t rounds_run =
@@ -255,7 +376,22 @@ int run(const BenchOptions& opt) {
         b.identical ? "true" : "false",
         i + 1 < backends.size() ? "," : "");
   }
-  std::printf("  }\n}\n");
+  std::printf("  },\n  \"isas\": {\n");
+  for (std::size_t i = 0; i < isa_samples.size(); ++i) {
+    const IsaSample& sample = isa_samples[i];
+    std::printf(
+        "    \"%s\": {\"ms\": %.3f, \"results_identical\": %s}%s\n",
+        sample.name, sample.ms, sample.identical ? "true" : "false",
+        i + 1 < isa_samples.size() ? "," : "");
+  }
+  std::printf(
+      "  },\n"
+      "  \"kernel\": {\"and_count_ref_ms\": %.3f, "
+      "\"and_count_scalar_ms\": %.3f, \"and_count_best_ms\": %.3f, "
+      "\"best_isa\": \"%s\", \"speedup\": %.2f, \"scalar_overhead\": %.3f, "
+      "\"counts_identical\": %s}\n}\n",
+      kb.ref_ms, kb.scalar_ms, kb.best_ms, kernels::isa_name(kb.best_isa),
+      kb.speedup, kb.scalar_overhead, kb.counts_identical ? "true" : "false");
 
   if (!opt.trajectory_path.empty()) {
     // Machine-readable speedup trajectory: every backend's wall time
@@ -280,18 +416,41 @@ int run(const BenchOptions& opt) {
                     i + 1 < backends.size() ? "," : "");
       tout << buf;
     }
-    char tail[512];
+    char mid[256];
+    std::snprintf(mid, sizeof(mid),
+                  "  },\n"
+                  "  \"engine\": {\"ms\": %.3f, \"speedup_vs_seed\": %.2f},\n"
+                  "  \"isas\": {\n",
+                  engine_ms, speedup);
+    tout << mid;
+    for (std::size_t i = 0; i < isa_samples.size(); ++i) {
+      const IsaSample& sample = isa_samples[i];
+      char buf[256];
+      std::snprintf(buf, sizeof(buf),
+                    "    \"%s\": {\"ms\": %.3f, \"results_identical\": %s, "
+                    "\"speedup_vs_seed\": %.2f}%s\n",
+                    sample.name, sample.ms,
+                    sample.identical ? "true" : "false",
+                    sample.ms > 0.0 ? ref_ms / sample.ms : 0.0,
+                    i + 1 < isa_samples.size() ? "," : "");
+      tout << buf;
+    }
+    char tail[768];
     std::snprintf(
         tail, sizeof(tail),
         "  },\n"
-        "  \"engine\": {\"ms\": %.3f, \"speedup_vs_seed\": %.2f},\n"
+        "  \"kernel\": {\"and_count_best_ms\": %.3f, "
+        "\"and_count_ref_ms\": %.3f, \"and_count_scalar_ms\": %.3f, "
+        "\"best_isa\": \"%s\", \"scalar_overhead\": %.3f, "
+        "\"speedup\": %.2f},\n"
         "  \"reference_ms\": %.3f,\n"
         "  \"schema\": \"xh-bench-trajectory/1\",\n"
         "  \"workload\": {\"cells\": %zu, \"patterns\": %zu, \"rounds\": "
         "%zu, \"seed\": %llu, \"total_x\": %llu}\n"
         "}\n",
-        engine_ms, speedup, ref_ms, chains * length, opt.patterns, rounds_run,
-        static_cast<unsigned long long>(opt.seed),
+        kb.best_ms, kb.ref_ms, kb.scalar_ms, kernels::isa_name(kb.best_isa),
+        kb.scalar_overhead, kb.speedup, ref_ms, chains * length, opt.patterns,
+        rounds_run, static_cast<unsigned long long>(opt.seed),
         static_cast<unsigned long long>(xm.total_x()));
     tout << tail;
     std::fprintf(stderr, "trajectory written to %s\n",
@@ -339,6 +498,17 @@ int run(const BenchOptions& opt) {
       obs_gauge(&trace, names.peak_rss_kb,
                 static_cast<double>(b.peak_rss_kb));
     }
+    // Kernel microbench gauges (wall-clock, excluded from the counter
+    // diff); best_isa ships as its numeric enum value since gauges are
+    // doubles.
+    obs_gauge(&trace, "bench.kernel_and_count_ref_ms", kb.ref_ms);
+    obs_gauge(&trace, "bench.kernel_and_count_scalar_ms", kb.scalar_ms);
+    obs_gauge(&trace, "bench.kernel_and_count_best_ms", kb.best_ms);
+    obs_gauge(&trace, "bench.kernel_best_isa",
+              static_cast<double>(static_cast<int>(kb.best_isa)));
+    obs_gauge(&trace, "bench.kernel_speedup", kb.speedup);
+    obs_gauge(&trace, "bench.kernel_scalar_overhead", kb.scalar_overhead);
+    kernels::export_kernel_telemetry(&trace);
     std::ofstream out(opt.telemetry_path);
     if (!out) {
       std::fprintf(stderr, "cannot write %s\n", opt.telemetry_path.c_str());
@@ -365,10 +535,48 @@ int run(const BenchOptions& opt) {
       return 1;
     }
   }
+  // Cross-ISA bit-identity is unconditional: a vectorized tier that
+  // diverges from the seed result is a correctness bug, not a perf issue.
+  for (const IsaSample& sample : isa_samples) {
+    if (!sample.identical) {
+      std::fprintf(stderr,
+                   "FAIL: %s kernel ISA result differs from the seed\n",
+                   sample.name);
+      return 1;
+    }
+  }
+  if (!kb.counts_identical) {
+    std::fprintf(stderr,
+                 "FAIL: kernel microbench counts diverge across ISA tiers\n");
+    return 1;
+  }
   if (opt.smoke && speedup < 3.0) {
     std::fprintf(stderr, "FAIL: smoke speedup %.2fx below the 3x gate\n",
                  speedup);
     return 1;
+  }
+  if (opt.smoke) {
+    const bool has_vector_tier =
+        kernels::isa_supported(kernels::Isa::kAvx2) ||
+        kernels::isa_supported(kernels::Isa::kAvx512);
+    if (!has_vector_tier) {
+      std::fprintf(stderr,
+                   "warn: no vectorized kernel tier on this CPU; skipping "
+                   "the 2x kernel speedup gate\n");
+    } else if (kb.speedup < 2.0) {
+      std::fprintf(stderr,
+                   "FAIL: best kernel tier (%s) is %.2fx over the inline "
+                   "scalar reference, below the 2x gate\n",
+                   kernels::isa_name(kb.best_isa), kb.speedup);
+      return 1;
+    }
+    if (kb.scalar_overhead > 1.05) {
+      std::fprintf(stderr,
+                   "FAIL: dispatched scalar table is %.3fx the inline "
+                   "reference, above the 1.05x indirection budget\n",
+                   kb.scalar_overhead);
+      return 1;
+    }
   }
   if (opt.smoke) {
     // The out-of-core gate: the mapped store must keep strictly less of the

@@ -5,6 +5,7 @@
 
 #include "engine/partition_engine.hpp"
 #include "engine/pipeline.hpp"
+#include "kernels/kernels.hpp"
 #include "masking/mask.hpp"
 #include "misr/accounting.hpp"
 #include "util/check.hpp"
@@ -91,9 +92,9 @@ XValidation validate_response(const ResponseMatrix& response,
   for (std::size_t p = 0; p < response.num_patterns(); ++p) {
     const BitVec observed = response.x_row(p);
     const BitVec& predicted = declared_rows[p];
-    v.confirmed_x += and_count(observed, predicted);
-    v.undeclared_x += and_not_count(observed, predicted);
-    v.missing_x += and_not_count(predicted, observed);
+    v.confirmed_x += kernels::and_count(observed, predicted);
+    v.undeclared_x += kernels::and_not_count(observed, predicted);
+    v.missing_x += kernels::and_not_count(predicted, observed);
     if (diags != nullptr) {
       BitVec undeclared = observed;
       undeclared.and_not(predicted);

@@ -1,0 +1,60 @@
+// Deprecated pre-kernel-layer spellings, quarantined from the headers that
+// define their parameter types.
+//
+// These unqualified entry points predate the dispatched kernel layer and
+// always ran the scalar reference. xh::kernels::and_count / and_not_count /
+// eliminate / x_free_combinations / solve (kernels.hpp) are bit-identical
+// and pick the fastest backend (SIMD word ops, M4RM blocking) at runtime,
+// so the shims simply delegate to the kernel wrappers: under constant
+// evaluation both spellings still execute the constexpr scalar reference.
+//
+// They live here — not in util/bitvec.hpp or gf2/matrix.hpp — so that
+// including BitVec or Gf2Matrix does not drag the deprecated names into
+// scope, and xh_lint's XH-API-002 rule can treat an unqualified call as a
+// straggler instead of flagging every file that mentions the types. Kept,
+// mirroring the PR 4 HybridConfig overloads, until the external-caller
+// window closes; tests/core/deprecated_api_test.cpp pins the equivalence.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <vector>
+
+#include "gf2/matrix.hpp"
+#include "kernels/kernels.hpp"
+#include "util/bitvec.hpp"
+
+namespace xh {
+
+/// Deprecated: use xh::kernels::and_count.
+[[deprecated("use xh::kernels::and_count (src/kernels/kernels.hpp)")]]
+constexpr std::size_t and_count(const BitVec& a, const BitVec& b) {
+  return kernels::and_count(a, b);
+}
+
+/// Deprecated: use xh::kernels::and_not_count.
+[[deprecated("use xh::kernels::and_not_count (src/kernels/kernels.hpp)")]]
+constexpr std::size_t and_not_count(const BitVec& a, const BitVec& b) {
+  return kernels::and_not_count(a, b);
+}
+
+/// Deprecated: use xh::kernels::eliminate.
+[[deprecated("use xh::kernels::eliminate (src/kernels/kernels.hpp)")]]
+constexpr Elimination eliminate(const Gf2Matrix& m) {
+  return kernels::eliminate(m);
+}
+
+/// Deprecated: use xh::kernels::x_free_combinations.
+[[deprecated(
+    "use xh::kernels::x_free_combinations (src/kernels/kernels.hpp)")]]
+constexpr std::vector<BitVec> x_free_combinations(const Gf2Matrix& m) {
+  return kernels::x_free_combinations(m);
+}
+
+/// Deprecated: use xh::kernels::solve.
+[[deprecated("use xh::kernels::solve (src/kernels/kernels.hpp)")]]
+constexpr std::optional<BitVec> solve(const Gf2Matrix& m, const BitVec& b) {
+  return kernels::solve(m, b);
+}
+
+}  // namespace xh

@@ -1,0 +1,277 @@
+// Dispatched GF(2) elimination: a flat-storage mirror of the constexpr
+// reference (gf2_ref::eliminate_reference) plus a Method-of-Four-Russians
+// (M4RM) blocked variant. Both are bit-identical to the reference — same
+// reduced rows, same combination vectors, same rank — for every ISA.
+//
+// Layout: each row is stored as value_words words of matrix row followed by
+// combo_words words of combination vector, contiguously (stride words
+// total), so one dispatched xor_words call advances the row AND its tracked
+// combination in a single fused pass — the same pairing the reference
+// maintains with two BitVec XORs. Row swaps permute an index array instead
+// of moving data.
+//
+// Why M4RM stays bit-identical to full Gauss-Jordan (DESIGN.md §14): within
+// one block, the pivot rows are kept mutually reduced exactly as the
+// reference keeps them (each new pivot is cleared out of the earlier ones
+// immediately), and candidate rows are reduced lazily against exactly those
+// pivots before their pivot-column bit is tested — so pivot selection and
+// row swaps match the reference step for step. For every other row the
+// block's table lookup XORs in the unique element of span(block pivots)
+// that zeroes the row's block-pivot columns; the reference's row-at-a-time
+// eliminations compute an element of the same coset with the same zeros,
+// and that element is unique because the mutually-reduced pivots restrict
+// to an identity on their own columns. Equal cosets with equal constraints
+// mean equal rows, and the fused layout carries the combination vectors
+// through the same XORs.
+#include <algorithm>
+#include <bit>
+
+#include "gf2/matrix.hpp"
+#include "kernels/kernels.hpp"
+#include "util/bitvec.hpp"
+#include "util/check.hpp"
+
+namespace xh::kernels {
+namespace {
+
+/// Flat [value|combination] row storage with O(1) logical row swaps.
+class FlatGf2 {
+ public:
+  explicit FlatGf2(const Gf2Matrix& m)
+      : rows_(m.rows()),
+        cols_(m.cols()),
+        value_words_((cols_ + 63) / 64),
+        combo_words_((rows_ + 63) / 64),
+        stride_(value_words_ + combo_words_),
+        data_(rows_ * stride_, 0),
+        perm_(rows_) {
+    for (std::size_t r = 0; r < rows_; ++r) {
+      perm_[r] = r;
+      std::uint64_t* row = data_.data() + r * stride_;
+      for (std::size_t w = 0; w < value_words_; ++w) row[w] = m.row(r).word(w);
+      row[value_words_ + r / 64] = 1ULL << (r % 64);  // identity combination
+    }
+  }
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+  std::size_t stride() const { return stride_; }
+
+  std::uint64_t* row(std::size_t logical) {
+    return data_.data() + perm_[logical] * stride_;
+  }
+  const std::uint64_t* row(std::size_t logical) const {
+    return data_.data() + perm_[logical] * stride_;
+  }
+
+  bool bit(std::size_t logical, std::size_t col) const {
+    return (row(logical)[col / 64] >> (col % 64)) & 1ULL;
+  }
+
+  void swap_rows(std::size_t a, std::size_t b) {
+    std::swap(perm_[a], perm_[b]);
+  }
+
+  /// Materializes the Elimination result. All word tails are zero by
+  /// invariant (loaded from BitVecs, then only XORed pairwise), so
+  /// set_word's tail re-mask is a no-op.
+  Elimination to_elimination(std::size_t rank) const {
+    Elimination out;
+    out.reduced = Gf2Matrix(rows_, cols_);
+    out.combination.reserve(rows_);
+    out.rank = rank;
+    for (std::size_t r = 0; r < rows_; ++r) {
+      const std::uint64_t* src = row(r);
+      BitVec& value = out.reduced.row(r);
+      for (std::size_t w = 0; w < value_words_; ++w) {
+        value.set_word(w, src[w]);
+      }
+      BitVec combo(rows_);
+      for (std::size_t w = 0; w < combo_words_; ++w) {
+        combo.set_word(w, src[value_words_ + w]);
+      }
+      out.combination.push_back(std::move(combo));
+    }
+    return out;
+  }
+
+ private:
+  std::size_t rows_;
+  std::size_t cols_;
+  std::size_t value_words_;
+  std::size_t combo_words_;
+  std::size_t stride_;
+  std::vector<std::uint64_t> data_;
+  std::vector<std::size_t> perm_;
+};
+
+/// Straight mirror of gf2_ref::eliminate_reference on the flat layout.
+std::size_t eliminate_naive(FlatGf2& flat, const Kernels& k) {
+  std::size_t pivot_row = 0;
+  for (std::size_t col = 0; col < flat.cols() && pivot_row < flat.rows();
+       ++col) {
+    std::size_t sel = pivot_row;
+    while (sel < flat.rows() && !flat.bit(sel, col)) ++sel;
+    if (sel == flat.rows()) continue;
+    flat.swap_rows(pivot_row, sel);
+    for (std::size_t r = 0; r < flat.rows(); ++r) {
+      if (r != pivot_row && flat.bit(r, col)) {
+        k.xor_words(flat.row(r), flat.row(pivot_row), flat.stride());
+      }
+    }
+    ++pivot_row;
+  }
+  return pivot_row;
+}
+
+/// M4RM block size: the usual ~log2(rows) heuristic, clamped so the
+/// 2^k-entry table stays small relative to the rows it will serve.
+std::size_t m4rm_block_bits(std::size_t rows) {
+  const std::size_t lg = static_cast<std::size_t>(std::bit_width(rows)) - 1;
+  return std::clamp<std::size_t>(lg > 2 ? lg - 2 : 1, 1, 8);
+}
+
+std::size_t eliminate_m4rm(FlatGf2& flat, const Kernels& k) {
+  const std::size_t rows = flat.rows();
+  if (rows == 0) return 0;
+  const std::size_t stride = flat.stride();
+  const std::size_t block_bits = m4rm_block_bits(rows);
+
+  // Per-row count of current-block pivots already applied (lazy reduction).
+  std::vector<std::size_t> reduced_upto(rows, 0);
+  std::vector<std::size_t> pivot_cols;
+  std::vector<std::uint64_t> table;
+
+  std::size_t pivot_row = 0;
+  std::size_t col = 0;
+  while (col < flat.cols() && pivot_row < rows) {
+    const std::size_t block_start = pivot_row;
+    pivot_cols.clear();
+    std::fill(reduced_upto.begin(), reduced_upto.end(), 0);
+
+    // Reduce logical row @p r by the block pivots found since its last
+    // reduction. Single pass suffices: mutually-reduced pivots never
+    // reintroduce bits in each other's columns.
+    const auto lazy_reduce = [&](std::size_t r) {
+      for (std::size_t j = reduced_upto[r]; j < pivot_cols.size(); ++j) {
+        if (flat.bit(r, pivot_cols[j])) {
+          k.xor_words(flat.row(r), flat.row(block_start + j), stride);
+        }
+      }
+      reduced_upto[r] = pivot_cols.size();
+    };
+
+    // Phase 1: accumulate up to block_bits pivots, scanning candidates in
+    // reference order (lazily reduced, so the tested bit matches what full
+    // Gauss-Jordan would see).
+    while (col < flat.cols() && pivot_row < rows &&
+           pivot_cols.size() < block_bits) {
+      std::size_t sel = rows;
+      for (std::size_t r = pivot_row; r < rows; ++r) {
+        lazy_reduce(r);
+        if (flat.bit(r, col)) {
+          sel = r;
+          break;
+        }
+      }
+      if (sel != rows) {
+        flat.swap_rows(pivot_row, sel);
+        std::swap(reduced_upto[pivot_row], reduced_upto[sel]);
+        // Keep the found pivots mutually reduced, as the reference does the
+        // moment each pivot is processed.
+        for (std::size_t p = block_start; p < pivot_row; ++p) {
+          if (flat.bit(p, col)) {
+            k.xor_words(flat.row(p), flat.row(pivot_row), stride);
+          }
+        }
+        pivot_cols.push_back(col);
+        ++pivot_row;
+      }
+      ++col;
+    }
+    if (pivot_cols.empty()) break;  // remaining columns are all zero
+
+    // Phase 2 (the Four-Russians step): precompute every combination of the
+    // block's pivot rows, then clear the block columns from all other rows
+    // with one table XOR each.
+    const std::size_t p = pivot_cols.size();
+    const std::size_t entries = static_cast<std::size_t>(1) << p;
+    table.assign(entries * stride, 0);
+    for (std::size_t mask = 1; mask < entries; ++mask) {
+      const std::size_t j =
+          static_cast<std::size_t>(std::countr_zero(mask));
+      const std::size_t rest = mask & (mask - 1);
+      std::uint64_t* dst = table.data() + mask * stride;
+      std::copy_n(table.data() + rest * stride, stride, dst);
+      k.xor_words(dst, flat.row(block_start + j), stride);
+    }
+    detail::note_m4rm_table_built();
+
+    for (std::size_t r = 0; r < rows; ++r) {
+      if (r >= block_start && r < pivot_row) continue;  // a block pivot
+      std::size_t mask = 0;
+      for (std::size_t j = 0; j < p; ++j) {
+        mask |= static_cast<std::size_t>(flat.bit(r, pivot_cols[j])) << j;
+      }
+      if (mask != 0) {
+        k.xor_words(flat.row(r), table.data() + mask * stride, stride);
+      }
+    }
+  }
+  return pivot_row;
+}
+
+}  // namespace
+
+namespace detail {
+
+Elimination eliminate_runtime(const Gf2Matrix& m, Gf2Policy policy) {
+  const Kernels& k = active();
+  FlatGf2 flat(m);
+  const bool use_m4rm =
+      policy == Gf2Policy::kM4rm ||
+      (policy == Gf2Policy::kAuto && m.rows() >= kM4rmAutoMinRows);
+  const std::size_t rank =
+      use_m4rm ? eliminate_m4rm(flat, k) : eliminate_naive(flat, k);
+  return flat.to_elimination(rank);
+}
+
+std::vector<BitVec> x_free_combinations_runtime(const Gf2Matrix& m,
+                                                Gf2Policy policy) {
+  const Elimination e = eliminate_runtime(m, policy);
+  std::vector<BitVec> combos;
+  for (const std::size_t r : e.null_rows()) {
+    combos.push_back(e.combination[r]);
+  }
+  return combos;
+}
+
+std::optional<BitVec> solve_runtime(const Gf2Matrix& m, const BitVec& b,
+                                    Gf2Policy policy) {
+  XH_REQUIRE(b.size() == m.rows(), "right-hand side height mismatch");
+  // Same scheme as gf2_ref::solve_reference (see the free-variable
+  // reasoning there), over the dispatched elimination.
+  const Elimination e = eliminate_runtime(m, policy);
+  BitVec x(m.cols());
+  for (std::size_t r = 0; r < m.rows(); ++r) {
+    bool rhs = false;
+    for (const std::size_t orig : e.combination[r].set_bits()) {
+      rhs ^= b.get(orig);
+    }
+    const std::size_t pivot = e.reduced.row(r).find_first();
+    if (pivot == m.cols()) {
+      if (rhs) return std::nullopt;  // 0 = 1: inconsistent
+      continue;
+    }
+    if (rhs) x.set(pivot);
+  }
+  for (std::size_t r = 0; r < m.rows(); ++r) {
+    if ((kernels::and_count(m.row(r), x) % 2 == 1) != b.get(r)) {
+      return std::nullopt;
+    }
+  }
+  return x;
+}
+
+}  // namespace detail
+}  // namespace xh::kernels

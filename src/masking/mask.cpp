@@ -1,5 +1,6 @@
 #include "masking/mask.hpp"
 
+#include "kernels/kernels.hpp"
 #include "util/check.hpp"
 
 namespace xh {
@@ -12,7 +13,7 @@ BitVec partition_mask(const XMatrix& xm, const BitVec& partition) {
   BitVec mask(xm.num_cells());
   for (const std::size_t cell : xm.x_cells()) {
     // Masked ⇔ X under every pattern of the partition.
-    if (and_count(xm.patterns_of(cell), partition) == span) {
+    if (kernels::and_count(xm.patterns_of(cell), partition) == span) {
       mask.set(cell);
     }
   }

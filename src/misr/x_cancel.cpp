@@ -4,6 +4,7 @@
 #include <string>
 
 #include "gf2/matrix.hpp"
+#include "kernels/kernels.hpp"
 #include "misr/spatial_compactor.hpp"
 
 namespace xh {
@@ -65,7 +66,9 @@ void XCancelSession::shift(const std::vector<Lv>& slice) {
   next[0] = feedback;
   for (std::size_t i = 1; i < cfg_.size; ++i) next[i] = std::move(xdep_[i - 1]);
   // Same feedback taps as the concrete LFSR so both sides stay in lock-step.
-  for (const std::size_t t : taps_) next[t] ^= feedback;
+  // Dispatched XOR: the symbolic rows grow with the segment's X count, so
+  // this is the MISR side's widest hot loop.
+  for (const std::size_t t : taps_) kernels::xor_into(next[t], feedback);
   for (std::size_t i = 0; i < cfg_.size; ++i) {
     if (slice[i] == Lv::kX) next[i].flip(segment_x_++);
   }
@@ -105,7 +108,7 @@ void XCancelSession::extract(bool final_flush) {
   obs_count(trace_, "xcancel.eliminations");
   obs_count(trace_, "xcancel.elimination_rows", cfg_.size);
   obs_record(trace_, "xcancel.segment_x", segment_x_);
-  std::vector<BitVec> combos = x_free_combinations(xmat);
+  std::vector<BitVec> combos = kernels::x_free_combinations(xmat);
   if (tamper_) tamper_(combos, xmat);
 
   // Take q verified combinations, plus any owed from earlier starved stops

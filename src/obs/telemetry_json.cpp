@@ -33,6 +33,12 @@ const std::vector<std::string>& telemetry_schema_names() {
       "bench.flood_cap",
       "bench.jobs",
       "bench.jobs_per_sec",
+      "bench.kernel_and_count_best_ms",
+      "bench.kernel_and_count_ref_ms",
+      "bench.kernel_and_count_scalar_ms",
+      "bench.kernel_best_isa",
+      "bench.kernel_scalar_overhead",
+      "bench.kernel_speedup",
       "bench.partitions",
       "bench.patterns",
       "bench.peak_rss_kb",
@@ -75,6 +81,9 @@ const std::vector<std::string>& telemetry_schema_names() {
       "hybrid.masking_bits",
       "hybrid.partitions",
       "hybrid.total_bits",
+      // kernel.* dispatch-layer gauges/counters (export_kernel_telemetry)
+      "kernel.isa",
+      "kernel.m4rm_tables_built",
       // masking.* counters/histograms
       "masking.cells_masked",
       "masking.control_bits",

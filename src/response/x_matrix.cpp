@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "kernels/kernels.hpp"
+
 #include "response/response_matrix.hpp"
 
 namespace xh {
@@ -55,7 +57,7 @@ std::size_t XMatrix::x_count_in(std::size_t cell,
   const BitVec& mine = patterns_of(cell);
   XH_REQUIRE(patterns.size() == num_patterns_,
              "pattern subset width mismatch");
-  return and_count(mine, patterns);
+  return kernels::and_count(mine, patterns);
 }
 
 double XMatrix::x_density() const {
@@ -71,7 +73,7 @@ std::size_t XMatrix::total_x_in(const BitVec& patterns) const {
   // Order-independent reduction (+ over size_t is commutative/associative),
   // so hash order cannot affect the result. xh-lint: allow(XH-DET-002)
   for (const auto& [cell, pats] : cells_) {
-    total += and_count(pats, patterns);
+    total += kernels::and_count(pats, patterns);
   }
   return total;
 }

@@ -127,6 +127,10 @@ std::string checkpoint_to_string(const ServiceCheckpoint& ckpt) {
      << (cfg.cell_choice == SplitCellChoice::kRandom ? 1 : 0) << ' '
      << cfg.seed << '\n';
   os << "store " << ckpt.backend << '\n';
+  // The isa line is optional in the grammar (pre-kernel-layer checkpoints
+  // lack it), so an empty field is simply not written rather than producing
+  // an unparseable zero-arity record.
+  if (!ckpt.isa.empty()) os << "isa " << ckpt.isa << '\n';
   os << "state " << ckpt.snapshot.round << ' '
      << (ckpt.snapshot.done ? 1 : 0) << '\n';
   os << "rng";
@@ -221,6 +225,16 @@ std::optional<ServiceCheckpoint> checkpoint_from_string(
 
   if (!in.take("store", 1, &t)) return std::nullopt;
   ckpt.backend = t[1];
+
+  // Optional isa record: peek before committing, since documents written
+  // before the kernel layer go straight from "store" to "state".
+  if (in.next < in.lines.size()) {
+    const std::vector<std::string> peek = split_tokens(in.lines[in.next]);
+    if (!peek.empty() && peek[0] == "isa") {
+      if (!in.take("isa", 1, &t)) return std::nullopt;
+      ckpt.isa = t[1];
+    }
+  }
 
   if (!in.take("state", 2, &t)) return std::nullopt;
   if (!in.dec(t[1], &v)) return std::nullopt;
@@ -335,7 +349,8 @@ bool checkpoint_matches(const ServiceCheckpoint& ckpt,
                         const ScanGeometry& geometry,
                         std::size_t num_patterns, std::uint64_t total_x,
                         const PartitionerConfig& config,
-                        const std::string& backend, std::string* why) {
+                        const std::string& backend, const std::string& isa,
+                        std::string* why) {
   const auto mismatch = [&](const std::string& reason) {
     if (why != nullptr) *why = reason;
     return false;
@@ -356,6 +371,9 @@ bool checkpoint_matches(const ServiceCheckpoint& ckpt,
     return mismatch("partitioner configuration differs");
   }
   if (ckpt.backend != backend) return mismatch("storage backend differs");
+  if (!ckpt.isa.empty() && ckpt.isa != isa) {
+    return mismatch("kernel ISA differs");
+  }
   return true;
 }
 

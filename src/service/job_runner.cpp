@@ -11,6 +11,7 @@
 #include <utility>
 
 #include "engine/partition_engine.hpp"
+#include "kernels/kernels.hpp"
 #include "response/io.hpp"
 #include "service/checkpoint.hpp"
 #include "storage/store_factory.hpp"
@@ -230,7 +231,8 @@ JobState PartitionService::run_attempt(Job& job, CancelToken& token) {
       std::string why;
       if (checkpoint_matches(*ckpt, store.geometry(), store.num_patterns(),
                              store.total_x(), job.spec.config,
-                             store.backend_name(), &why)) {
+                             store.backend_name(), kernels::active().name,
+                             &why)) {
         try {
           engine.emplace(store, job.spec.config, ckpt->snapshot, nullptr,
                          nullptr, &token);
@@ -263,6 +265,7 @@ JobState PartitionService::run_attempt(Job& job, CancelToken& token) {
     ckpt.total_x = store.total_x();
     ckpt.config = job.spec.config;
     ckpt.backend = store.backend_name();
+    ckpt.isa = kernels::active().name;
     ckpt.snapshot = engine->snapshot();
     const bool saved = save_checkpoint(ckpt, ckpt_path, &local);
     std::lock_guard<std::mutex> lock(mu_);

@@ -1,5 +1,7 @@
 #include "stimulus/decompressor.hpp"
 
+#include "kernels/kernels.hpp"
+
 #include "util/check.hpp"
 #include "util/rng.hpp"
 
@@ -74,7 +76,7 @@ std::optional<BitVec> StimulusDecompressor::solve_seed(
     rhs.set(row++, care_values.get(cell));
   }
   if (system.rows() == 0) return BitVec(seed_bits());  // all don't-care
-  return solve(system, rhs);
+  return kernels::solve(system, rhs);
 }
 
 CompressionResult compress_patterns(

@@ -11,6 +11,8 @@
 #include <ios>
 #include <vector>
 
+#include "kernels/kernels.hpp"
+
 #include "util/check.hpp"
 
 namespace xh {
@@ -171,13 +173,8 @@ std::size_t MmapStore::count_in(std::size_t row,
                                 const BitVec& patterns) const {
   note_count_in();
   note_row_pages(row);
-  const std::uint64_t* words = row_words(row);
-  std::size_t total = 0;
-  for (std::size_t w = 0; w < words_per_row_; ++w) {
-    total += static_cast<std::size_t>(
-        std::popcount(words[w] & patterns.word(w)));
-  }
-  return total;
+  return kernels::active().and_count_words(
+      row_words(row), patterns.word_data(), words_per_row_);
 }
 
 std::uint64_t MmapStore::hash_in(std::size_t row,
@@ -197,11 +194,10 @@ void MmapStore::intersect_into(std::size_t row, const BitVec& patterns,
                                BitVec* out) const {
   note_intersect();
   note_row_pages(row);
-  const std::uint64_t* words = row_words(row);
   out->resize(num_patterns_);
-  for (std::size_t w = 0; w < words_per_row_; ++w) {
-    out->set_word(w, words[w] & patterns.word(w));
-  }
+  // Tail-safe raw write: patterns' tail bits are zero, so the AND's are too.
+  kernels::active().and_words_into(out->word_data(), row_words(row),
+                                   patterns.word_data(), words_per_row_);
 }
 
 }  // namespace xh

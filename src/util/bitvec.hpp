@@ -216,6 +216,17 @@ class BitVec {
     if (w + 1 == words_.size()) mask_tail();
   }
 
+  /// Raw word storage (word_count() words; bits above size() in the last
+  /// word are zero). The span interface of the kernel layer
+  /// (src/kernels/kernels.hpp) — prefer the checked wrappers there.
+  constexpr const std::uint64_t* word_data() const { return words_.data(); }
+
+  /// Mutable raw word storage. Contract: writers must preserve the tail
+  /// invariant (bits at positions >= size() stay zero). Word-wise XOR/AND/OR
+  /// against another vector of the same size preserves it automatically;
+  /// anything else should go through set_word(), which re-masks the tail.
+  constexpr std::uint64_t* word_data() { return words_.data(); }
+
  private:
   static constexpr std::size_t kWordBits = 64;
 
@@ -239,27 +250,9 @@ constexpr BitVec operator^(BitVec lhs, const BitVec& rhs) { return lhs ^= rhs; }
 constexpr BitVec operator&(BitVec lhs, const BitVec& rhs) { return lhs &= rhs; }
 constexpr BitVec operator|(BitVec lhs, const BitVec& rhs) { return lhs |= rhs; }
 
-/// popcount(a & b) without materializing the intersection — the hot
-/// primitive of X-correlation analysis (restricted X counts). Requires
-/// a.size() == b.size().
-constexpr std::size_t and_count(const BitVec& a, const BitVec& b) {
-  XH_REQUIRE(a.size() == b.size(), "BitVec size mismatch in and_count");
-  std::size_t total = 0;
-  for (std::size_t w = 0; w < a.word_count(); ++w) {
-    total += static_cast<std::size_t>(std::popcount(a.word(w) & b.word(w)));
-  }
-  return total;
-}
-
-/// popcount(a & ~b) without materializing the difference. Requires
-/// a.size() == b.size().
-constexpr std::size_t and_not_count(const BitVec& a, const BitVec& b) {
-  XH_REQUIRE(a.size() == b.size(), "BitVec size mismatch in and_not_count");
-  std::size_t total = 0;
-  for (std::size_t w = 0; w < a.word_count(); ++w) {
-    total += static_cast<std::size_t>(std::popcount(a.word(w) & ~b.word(w)));
-  }
-  return total;
-}
+// The fused popcount(a & b) / popcount(a & ~b) helpers that used to live
+// here are now the dispatched xh::kernels::and_count / and_not_count
+// (src/kernels/kernels.hpp); the deprecated unqualified spellings survive
+// in src/kernels/compat.hpp until the external-caller window closes.
 
 }  // namespace xh

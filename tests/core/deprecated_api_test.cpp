@@ -1,11 +1,16 @@
-// Coverage for the deprecated HybridConfig compatibility overloads. The
+// Coverage for the deprecated compatibility shims: the PR 4 HybridConfig
+// overloads and the PR 9 pre-kernel-layer BitVec/gf2 entry points. The
 // tree builds with deprecation-warnings-as-errors and no in-tree caller may
-// use these overloads anymore; this file is the one sanctioned exception,
+// use these spellings anymore; this file is the one sanctioned exception,
 // keeping the compatibility shims exercised until their removal.
 #include <gtest/gtest.h>
 
 #include "core/hybrid.hpp"
 #include "core/paper_example.hpp"
+#include "gf2/matrix.hpp"
+#include "kernels/compat.hpp"
+#include "kernels/kernels.hpp"
+#include "util/bitvec.hpp"
 
 #pragma GCC diagnostic push
 #pragma GCC diagnostic ignored "-Wdeprecated-declarations"
@@ -86,6 +91,58 @@ TEST(DeprecatedApi, ValidatingOverloadNullDiagsIsStrict) {
   EXPECT_THROW(
       (void)run_hybrid_simulation(response, declared, paper_cfg(), nullptr),
       std::runtime_error);
+}
+
+// ---- PR 9 shims: pre-kernel-layer BitVec / gf2 entry points ---------------
+//
+// The unqualified and_count / and_not_count / eliminate / solve /
+// x_free_combinations spellings are the scalar-only ancestors of the
+// dispatched xh::kernels API. These tests pin the shim-vs-kernels
+// equivalence the deprecation message promises.
+
+BitVec patterned_vec(std::size_t n, std::uint64_t salt) {
+  BitVec v(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    if (((i * 2654435761u + salt) >> 7) & 1u) v.set(i);
+  }
+  return v;
+}
+
+TEST(DeprecatedApi, FusedCountShimsMatchKernels) {
+  for (const std::size_t n : {0u, 1u, 63u, 64u, 65u, 300u}) {
+    const BitVec a = patterned_vec(n, 11);
+    const BitVec b = patterned_vec(n, 97);
+    EXPECT_EQ(and_count(a, b), kernels::and_count(a, b));
+    EXPECT_EQ(and_not_count(a, b), kernels::and_not_count(a, b));
+  }
+}
+
+TEST(DeprecatedApi, Gf2ShimsMatchKernels) {
+  const Gf2Matrix m = Gf2Matrix::from_strings(
+      {"110100", "011010", "101110", "000001", "110100", "111111"});
+  const Elimination legacy = eliminate(m);
+  const Elimination modern = kernels::eliminate(m);
+  EXPECT_EQ(legacy.rank, modern.rank);
+  EXPECT_TRUE(legacy.reduced == modern.reduced);
+  ASSERT_EQ(legacy.combination.size(), modern.combination.size());
+  for (std::size_t i = 0; i < legacy.combination.size(); ++i) {
+    EXPECT_TRUE(legacy.combination[i] == modern.combination[i]);
+  }
+
+  const auto legacy_basis = x_free_combinations(m);
+  const auto modern_basis = kernels::x_free_combinations(m);
+  ASSERT_EQ(legacy_basis.size(), modern_basis.size());
+  for (std::size_t i = 0; i < legacy_basis.size(); ++i) {
+    EXPECT_TRUE(legacy_basis[i] == modern_basis[i]);
+  }
+
+  const BitVec b = patterned_vec(m.rows(), 5);
+  const auto legacy_x = solve(m, b);
+  const auto modern_x = kernels::solve(m, b);
+  ASSERT_EQ(legacy_x.has_value(), modern_x.has_value());
+  if (legacy_x.has_value()) {
+    EXPECT_TRUE(*legacy_x == *modern_x);
+  }
 }
 
 }  // namespace

@@ -4,6 +4,7 @@
 
 #include <stdexcept>
 
+#include "kernels/kernels.hpp"
 #include "util/rng.hpp"
 
 namespace xh {
@@ -54,7 +55,7 @@ TEST(Gf2Matrix, RankOfZeroMatrix) {
 TEST(Elimination, CombinationReproducesReducedRows) {
   const Gf2Matrix m = Gf2Matrix::from_strings(
       {"1101", "0110", "1011", "0001", "1100"});
-  const Elimination e = eliminate(m);
+  const Elimination e = kernels::eliminate(m);
   ASSERT_EQ(e.combination.size(), m.rows());
   for (std::size_t i = 0; i < m.rows(); ++i) {
     BitVec acc(m.cols());
@@ -67,20 +68,20 @@ TEST(Elimination, CombinationReproducesReducedRows) {
 
 TEST(Elimination, NullRowsAreBelowRank) {
   const Gf2Matrix m = Gf2Matrix::from_strings({"11", "11", "11"});
-  const Elimination e = eliminate(m);
+  const Elimination e = kernels::eliminate(m);
   EXPECT_EQ(e.rank, 1u);
   EXPECT_EQ(e.null_rows().size(), 2u);
 }
 
 TEST(XFreeCombinations, EmptyForFullRankSquare) {
   const Gf2Matrix m = Gf2Matrix::from_strings({"10", "01"});
-  EXPECT_TRUE(x_free_combinations(m).empty());
+  EXPECT_TRUE(kernels::x_free_combinations(m).empty());
 }
 
 TEST(XFreeCombinations, EachCombinationCancelsAllColumns) {
   const Gf2Matrix m = Gf2Matrix::from_strings(
       {"100", "110", "010", "100", "111", "001"});
-  const auto combos = x_free_combinations(m);
+  const auto combos = kernels::x_free_combinations(m);
   EXPECT_EQ(combos.size(), m.rows() - m.rank());
   for (const auto& combo : combos) {
     BitVec acc(m.cols());
@@ -108,7 +109,7 @@ class Figure3 : public ::testing::Test {
 
 TEST_F(Figure3, RankIsFourSoTwoXFreeRowsExist) {
   EXPECT_EQ(m_.rank(), 4u);
-  EXPECT_EQ(x_free_combinations(m_).size(), 2u);
+  EXPECT_EQ(kernels::x_free_combinations(m_).size(), 2u);
 }
 
 TEST_F(Figure3, PaperCombinationsCancel) {
@@ -123,7 +124,7 @@ TEST_F(Figure3, PaperCombinationsCancel) {
 TEST_F(Figure3, PaperCombinationsLieInExtractedNullSpace) {
   // The returned basis must span {M1^M3^M5, M1^M4}: check by eliminating the
   // basis with each paper combo appended — rank must not grow.
-  const auto basis = x_free_combinations(m_);
+  const auto basis = kernels::x_free_combinations(m_);
   ASSERT_EQ(basis.size(), 2u);
   Gf2Matrix span(basis);
   const std::size_t base_rank = span.rank();
@@ -148,7 +149,7 @@ TEST(Gf2Property, NullSpaceDimensionEqualsRowsMinusRank) {
         if (rng.chance(0.4)) m.set(r, c);
       }
     }
-    const auto combos = x_free_combinations(m);
+    const auto combos = kernels::x_free_combinations(m);
     EXPECT_EQ(combos.size(), rows - m.rank());
     for (const auto& combo : combos) {
       BitVec acc(cols);
@@ -185,7 +186,7 @@ namespace {
 TEST(Gf2Solve, UniqueSolution) {
   const Gf2Matrix m = Gf2Matrix::from_strings({"110", "011", "001"});
   const BitVec b = BitVec::from_string("101");
-  const auto x = solve(m, b);
+  const auto x = kernels::solve(m, b);
   ASSERT_TRUE(x.has_value());
   for (std::size_t r = 0; r < 3; ++r) {
     EXPECT_EQ((m.row(r) & *x).count() % 2 != 0, b.get(r));
@@ -195,27 +196,27 @@ TEST(Gf2Solve, UniqueSolution) {
 TEST(Gf2Solve, InconsistentSystem) {
   // Rows 0 and 1 identical but different rhs.
   const Gf2Matrix m = Gf2Matrix::from_strings({"101", "101"});
-  EXPECT_FALSE(solve(m, BitVec::from_string("10")).has_value());
-  EXPECT_TRUE(solve(m, BitVec::from_string("11")).has_value());
+  EXPECT_FALSE(kernels::solve(m, BitVec::from_string("10")).has_value());
+  EXPECT_TRUE(kernels::solve(m, BitVec::from_string("11")).has_value());
 }
 
 TEST(Gf2Solve, UnderdeterminedPicksASolution) {
   const Gf2Matrix m = Gf2Matrix::from_strings({"1100"});
-  const auto x = solve(m, BitVec::from_string("1"));
+  const auto x = kernels::solve(m, BitVec::from_string("1"));
   ASSERT_TRUE(x.has_value());
   EXPECT_EQ((m.row(0) & *x).count() % 2, 1u);
 }
 
 TEST(Gf2Solve, ZeroRhsGivesZeroSolution) {
   const Gf2Matrix m = Gf2Matrix::from_strings({"110", "011"});
-  const auto x = solve(m, BitVec(2));
+  const auto x = kernels::solve(m, BitVec(2));
   ASSERT_TRUE(x.has_value());
   EXPECT_TRUE(x->none());
 }
 
 TEST(Gf2Solve, WidthChecked) {
   const Gf2Matrix m = Gf2Matrix::from_strings({"110"});
-  EXPECT_THROW(solve(m, BitVec(2)), std::invalid_argument);
+  EXPECT_THROW(kernels::solve(m, BitVec(2)), std::invalid_argument);
 }
 
 TEST(Gf2SolveProperty, ConsistentSystemsAlwaysSolved) {
@@ -237,7 +238,7 @@ TEST(Gf2SolveProperty, ConsistentSystemsAlwaysSolved) {
     for (std::size_t r = 0; r < rows; ++r) {
       b.set(r, (m.row(r) & secret).count() % 2 != 0);
     }
-    const auto x = solve(m, b);  // constructed consistent
+    const auto x = kernels::solve(m, b);  // constructed consistent
     ASSERT_TRUE(x.has_value()) << "iteration " << iter;
     for (std::size_t r = 0; r < rows; ++r) {
       EXPECT_EQ((m.row(r) & *x).count() % 2 != 0, b.get(r));

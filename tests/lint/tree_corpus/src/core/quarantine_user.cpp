@@ -1,0 +1,13 @@
+#include "util/veccount.hpp"
+#include "util/veccount_compat.hpp"
+
+namespace fixture {
+
+// The straggler: still calls the retired unqualified spelling.
+int straggler(const WordVec& v) { return vec_count(v); }
+
+// The migrated neighbour stays clean: mentioning WordVec and calling the
+// qualified live API must not trip the quarantined-shim rule.
+int migrated(const WordVec& v) { return fast::vec_count(v); }
+
+}  // namespace fixture

@@ -1,0 +1,14 @@
+#pragma once
+
+namespace fixture {
+
+struct WordVec {
+  int words = 0;
+};
+
+// The live, dispatched spelling of the count primitive.
+namespace fast {
+int vec_count(const WordVec& v);
+}  // namespace fast
+
+}  // namespace fixture

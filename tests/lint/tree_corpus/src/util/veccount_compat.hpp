@@ -1,0 +1,14 @@
+#pragma once
+
+#include "util/veccount.hpp"
+
+// Quarantined deprecated spelling, mirroring src/kernels/compat.hpp in the
+// real tree: this header exports no types, so WordVec never becomes an
+// XH-API-002 marker type — only unqualified straggler calls are flagged.
+
+namespace fixture {
+
+[[deprecated("use fast::vec_count")]]
+int vec_count(const WordVec& v);
+
+}  // namespace fixture

@@ -69,6 +69,7 @@ ServiceCheckpoint checkpoint_after(const XMatrix& xm,
   ckpt.total_x = xm.total_x();
   ckpt.config = cfg;
   ckpt.backend = store->backend_name();
+  ckpt.isa = "scalar";  // fixed, so the codec tests are CPU-independent
   ckpt.snapshot = engine.snapshot();
   return ckpt;
 }
@@ -86,6 +87,7 @@ void expect_same_checkpoint(const ServiceCheckpoint& want,
   EXPECT_EQ(want.config.cell_choice, got.config.cell_choice);
   EXPECT_EQ(want.config.seed, got.config.seed);
   EXPECT_EQ(want.backend, got.backend);
+  EXPECT_EQ(want.isa, got.isa);
   EXPECT_EQ(want.snapshot.round, got.snapshot.round);
   EXPECT_EQ(want.snapshot.done, got.snapshot.done);
   EXPECT_EQ(want.snapshot.rng_state, got.snapshot.rng_state);
@@ -282,6 +284,8 @@ TEST(Checkpoint, StructuralDefectsAreRejectedPastTheChecksum) {
       sign(swap_line(body, "state", "state 1 maybe")),
       sign(swap_line(body, "rng", "rng dead beef")),
       sign(swap_line(body, "store", "store")),
+      sign(swap_line(body, "isa", "isa")),
+      sign(swap_line(body, "isa", "isa scalar scalar")),
       sign(body + "junk line\n"),
   };
   for (std::size_t i = 0; i < tampered.size(); ++i) {
@@ -301,40 +305,57 @@ TEST(Checkpoint, MatchesOnlyTheExactRunIdentity) {
 
   std::string why;
   EXPECT_TRUE(checkpoint_matches(ckpt, xm.geometry(), xm.num_patterns(),
-                                 xm.total_x(), cfg, "csr", &why))
+                                 xm.total_x(), cfg, "csr", "scalar", &why))
       << why;
 
   ScanGeometry other_geometry{7, 24};
   EXPECT_FALSE(checkpoint_matches(ckpt, other_geometry, xm.num_patterns(),
-                                  xm.total_x(), cfg, "csr", &why));
+                                  xm.total_x(), cfg, "csr", "scalar", &why));
   EXPECT_EQ(why, "scan geometry differs");
 
   EXPECT_FALSE(checkpoint_matches(ckpt, xm.geometry(),
                                   xm.num_patterns() + 1, xm.total_x(),
-                                  cfg, "csr", &why));
+                                  cfg, "csr", "scalar", &why));
   EXPECT_EQ(why, "pattern count differs");
 
   EXPECT_FALSE(checkpoint_matches(ckpt, xm.geometry(), xm.num_patterns(),
-                                  xm.total_x() + 1, cfg, "csr", &why));
+                                  xm.total_x() + 1, cfg, "csr", "scalar",
+                                  &why));
   EXPECT_EQ(why, "total X population differs");
 
   PartitionerConfig other_misr = cfg;
   other_misr.misr.q += 1;
   EXPECT_FALSE(checkpoint_matches(ckpt, xm.geometry(), xm.num_patterns(),
-                                  xm.total_x(), other_misr, "csr", &why));
+                                  xm.total_x(), other_misr, "csr", "scalar",
+                                  &why));
   EXPECT_EQ(why, "MISR configuration differs");
 
   PartitionerConfig other_seed = cfg;
   other_seed.seed += 1;
   EXPECT_FALSE(checkpoint_matches(ckpt, xm.geometry(), xm.num_patterns(),
-                                  xm.total_x(), other_seed, "csr", &why));
+                                  xm.total_x(), other_seed, "csr", "scalar",
+                                  &why));
   EXPECT_EQ(why, "partitioner configuration differs");
 
   // A valid-but-different backend parses fine yet must refuse to graft:
   // resuming csr state through a tebm store is an operator surprise.
   EXPECT_FALSE(checkpoint_matches(ckpt, xm.geometry(), xm.num_patterns(),
-                                  xm.total_x(), cfg, "tebm", &why));
+                                  xm.total_x(), cfg, "tebm", "scalar", &why));
   EXPECT_EQ(why, "storage backend differs");
+
+  // Crossing kernel ISA tiers likewise demotes to a fresh run — the tiers
+  // are differentially pinned bit-identical, but an unaudited cross-tier
+  // graft would hide any future divergence.
+  EXPECT_FALSE(checkpoint_matches(ckpt, xm.geometry(), xm.num_patterns(),
+                                  xm.total_x(), cfg, "csr", "avx2", &why));
+  EXPECT_EQ(why, "kernel ISA differs");
+
+  // A pre-kernel-layer checkpoint carries no isa field and matches any.
+  ServiceCheckpoint legacy = ckpt;
+  legacy.isa.clear();
+  EXPECT_TRUE(checkpoint_matches(legacy, xm.geometry(), xm.num_patterns(),
+                                 xm.total_x(), cfg, "csr", "avx512", &why))
+      << why;
 }
 
 // The store line is load-bearing round-trip state, not a comment: a
@@ -347,6 +368,28 @@ TEST(Checkpoint, BackendIdentitySurvivesTheTrip) {
       checkpoint_from_string(checkpoint_to_string(want));
   ASSERT_TRUE(got.has_value());
   EXPECT_EQ(got->backend, "tebm");
+}
+
+// The isa line round-trips like the store line, and its absence is not a
+// defect: checkpoints written before the kernel layer simply skip from
+// "store" to "state" and parse to an empty (match-any) isa field.
+TEST(Checkpoint, IsaIdentitySurvivesTheTripAndIsOptional) {
+  const XMatrix xm = small_workload(20);
+  ServiceCheckpoint want = checkpoint_after(xm, small_config(), 1);
+  want.isa = "avx512";
+  const std::optional<ServiceCheckpoint> got =
+      checkpoint_from_string(checkpoint_to_string(want));
+  ASSERT_TRUE(got.has_value());
+  EXPECT_EQ(got->isa, "avx512");
+
+  ServiceCheckpoint legacy = want;
+  legacy.isa.clear();
+  const std::string text = checkpoint_to_string(legacy);
+  EXPECT_EQ(text.find("isa "), std::string::npos);
+  const std::optional<ServiceCheckpoint> reparsed =
+      checkpoint_from_string(text);
+  ASSERT_TRUE(reparsed.has_value());
+  EXPECT_TRUE(reparsed->isa.empty());
 }
 
 }  // namespace

@@ -14,6 +14,7 @@
 
 #include "engine/partition_engine.hpp"
 #include "engine/partition_types.hpp"
+#include "kernels/kernels.hpp"
 #include "response/x_matrix.hpp"
 #include "service/checkpoint.hpp"
 #include "service/job_runner.hpp"
@@ -93,6 +94,7 @@ ServiceCheckpoint checkpoint_at(const XMatrixStore& store,
   ckpt.total_x = store.total_x();
   ckpt.config = cfg;
   ckpt.backend = store.backend_name();
+  ckpt.isa = kernels::active().name;
   ckpt.snapshot = engine.snapshot();
   return ckpt;
 }
@@ -137,7 +139,8 @@ TEST(Resume, EveryRoundBoundaryResumesBitIdentically) {
       std::string why;
       ASSERT_TRUE(checkpoint_matches(*restored, store->geometry(),
                                      store->num_patterns(), store->total_x(),
-                                     cfg, store->backend_name(), &why))
+                                     cfg, store->backend_name(),
+                                     kernels::active().name, &why))
           << why;
       PartitionEngine resumed(*store, restored->config, restored->snapshot);
       expect_identical(oracle, resumed.run(),

@@ -12,6 +12,7 @@
 #include <gtest/gtest.h>
 
 #include "gf2/matrix.hpp"
+#include "kernels/kernels.hpp"
 #include "util/bitvec.hpp"
 
 namespace {
@@ -53,7 +54,7 @@ static_assert(xor_self_cancels(), "x + x = 0 over GF(2)");
 constexpr bool and_count_fusion() {
   const BitVec a = pattern(3, 0, 4);
   const BitVec b = pattern(5, 1, 3);
-  return xh::and_count(a, b) == (a & b).count();
+  return xh::kernels::and_count(a, b) == (a & b).count();
 }
 static_assert(and_count_fusion(), "and_count must equal popcount(a & b)");
 
@@ -63,7 +64,7 @@ constexpr bool and_not_count_fusion() {
   const BitVec b = pattern(5, 1, 3);
   BitVec diff = a;
   diff.and_not(b);
-  return xh::and_not_count(a, b) == diff.count();
+  return xh::kernels::and_not_count(a, b) == diff.count();
 }
 static_assert(and_not_count_fusion(),
               "and_not_count must equal popcount(a & ~b)");
@@ -73,7 +74,7 @@ static_assert(and_not_count_fusion(),
 constexpr bool inclusion_exclusion() {
   const BitVec a = pattern(2, 1, 5);
   const BitVec b = pattern(3, 2, 7);
-  return (a ^ b).count() + 2 * xh::and_count(a, b) == a.count() + b.count();
+  return (a ^ b).count() + 2 * xh::kernels::and_count(a, b) == a.count() + b.count();
 }
 static_assert(inclusion_exclusion(),
               "|a^b| + 2|a&b| must equal |a| + |b|");
@@ -83,8 +84,8 @@ constexpr bool subset_duality() {
   const BitVec whole = pattern(2, 0, 2);
   BitVec part = whole;
   part.clear(part.find_first());
-  return part.is_subset_of(whole) && xh::and_not_count(part, whole) == 0 &&
-         (part.intersects(whole) == (xh::and_count(part, whole) > 0));
+  return part.is_subset_of(whole) && xh::kernels::and_not_count(part, whole) == 0 &&
+         (part.intersects(whole) == (xh::kernels::and_count(part, whole) > 0));
 }
 static_assert(subset_duality(),
               "is_subset_of / intersects must match the fused counts");
@@ -136,7 +137,7 @@ constexpr Gf2Matrix sample_matrix() {
 
 constexpr bool combination_tracking_holds() {
   const Gf2Matrix m = sample_matrix();
-  const xh::Elimination e = xh::eliminate(m);
+  const xh::Elimination e = xh::kernels::eliminate(m);
   for (std::size_t i = 0; i < m.rows(); ++i) {
     BitVec acc(m.cols());
     for (std::size_t r = 0; r < m.rows(); ++r) {
@@ -152,7 +153,7 @@ static_assert(combination_tracking_holds(),
 // ---- Proof 10: rank–nullity over the row space -------------------------
 constexpr bool rank_nullity_holds() {
   const Gf2Matrix m = sample_matrix();
-  const xh::Elimination e = xh::eliminate(m);
+  const xh::Elimination e = xh::kernels::eliminate(m);
   return e.rank == 3 && e.null_rows().size() == m.rows() - e.rank &&
          m.rank() == e.rank;
 }
@@ -162,7 +163,7 @@ static_assert(rank_nullity_holds(),
 // ---- Proof 11: null-space combinations really cancel every column ------
 constexpr bool null_combinations_cancel() {
   const Gf2Matrix m = sample_matrix();
-  const auto combos = xh::x_free_combinations(m);
+  const auto combos = xh::kernels::x_free_combinations(m);
   if (combos.empty()) return false;
   for (const BitVec& combo : combos) {
     BitVec acc(m.cols());
@@ -181,7 +182,7 @@ static_assert(null_combinations_cancel(),
 // canonical form is what lets solve() assign pivots independently.
 constexpr bool pivots_are_canonical() {
   const Gf2Matrix m = sample_matrix();
-  const xh::Elimination e = xh::eliminate(m);
+  const xh::Elimination e = xh::kernels::eliminate(m);
   for (std::size_t r = 0; r < e.rank; ++r) {
     const std::size_t pivot = e.reduced.row(r).find_first();
     if (pivot >= m.cols()) return false;
@@ -205,12 +206,12 @@ constexpr bool solve_satisfies_system() {
   x0.set(2);
   BitVec b(m.rows());
   for (std::size_t r = 0; r < m.rows(); ++r) {
-    b.set(r, xh::and_count(m.row(r), x0) % 2 == 1);
+    b.set(r, xh::kernels::and_count(m.row(r), x0) % 2 == 1);
   }
-  const auto x = xh::solve(m, b);
+  const auto x = xh::kernels::solve(m, b);
   if (!x.has_value()) return false;
   for (std::size_t r = 0; r < m.rows(); ++r) {
-    if ((xh::and_count(m.row(r), *x) % 2 == 1) != b.get(r)) return false;
+    if ((xh::kernels::and_count(m.row(r), *x) % 2 == 1) != b.get(r)) return false;
   }
   return true;
 }
@@ -224,7 +225,7 @@ constexpr bool solve_rejects_inconsistent() {
   m.set(1, 0);
   BitVec b(2);
   b.set(0);  // row0·x = 1 but row1·x = 0 with row0 == row1
-  return !xh::solve(m, b).has_value();
+  return !xh::kernels::solve(m, b).has_value();
 }
 static_assert(solve_rejects_inconsistent(),
               "solve() must return nullopt for inconsistent systems");

@@ -19,6 +19,7 @@
 #include "core/partitioner.hpp"
 #include "engine/partition_engine.hpp"
 #include "engine/partition_types.hpp"
+#include "kernels/kernels.hpp"
 #include "response/x_matrix.hpp"
 #include "service/checkpoint.hpp"
 #include "service/job_runner.hpp"
@@ -184,7 +185,8 @@ TEST(CrossBackend, CheckpointResumeIsBitIdenticalPerBackend) {
       std::string why;
       ASSERT_TRUE(checkpoint_matches(
           *restored, second->geometry(), second->num_patterns(),
-          second->total_x(), cfg, second->backend_name(), &why))
+          second->total_x(), cfg, second->backend_name(),
+          kernels::active().name, &why))
           << why;
       PartitionEngine resumed(*second, restored->config, restored->snapshot);
       expect_identical(oracle, resumed.run(),

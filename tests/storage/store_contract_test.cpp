@@ -17,6 +17,7 @@
 
 #include <gtest/gtest.h>
 
+#include "kernels/kernels.hpp"
 #include "response/x_matrix.hpp"
 #include "storage/backend_csr.hpp"
 #include "storage/backend_mmap.hpp"
@@ -97,10 +98,10 @@ TEST(StoreContract, ProbesAgreeWithBitVecFormulationOnEveryBackend) {
       }
       for (std::size_t r = 0; r < store->num_rows(); ++r) {
         const BitVec& pats = xm.patterns_of(store->cell_id(r));
-        EXPECT_EQ(store->count_in(r, subset), and_count(pats, subset));
+        EXPECT_EQ(store->count_in(r, subset), kernels::and_count(pats, subset));
         EXPECT_EQ(store->hash_in(r, subset), reference_hash(pats, subset));
         EXPECT_EQ(store->and_not_count(r, subset),
-                  pats.count() - and_count(pats, subset));
+                  pats.count() - kernels::and_count(pats, subset));
         BitVec expect = pats & subset;
         BitVec got;
         store->intersect_into(r, subset, &got);

@@ -4,6 +4,7 @@
 
 #include <stdexcept>
 
+#include "kernels/kernels.hpp"
 #include "util/rng.hpp"
 
 namespace xh {
@@ -205,19 +206,19 @@ TEST(BitVecProperty, FusedCountsMatchNaiveFormulation) {
       if (rng.chance(0.4)) a.set(i);
       if (rng.chance(0.4)) b.set(i);
     }
-    EXPECT_EQ(and_count(a, b), (a & b).count());
+    EXPECT_EQ(kernels::and_count(a, b), (a & b).count());
     BitVec diff = a;
     diff.and_not(b);
-    EXPECT_EQ(and_not_count(a, b), diff.count());
+    EXPECT_EQ(kernels::and_not_count(a, b), diff.count());
     BitVec rdiff = b;
     rdiff.and_not(a);
-    EXPECT_EQ(and_not_count(b, a), rdiff.count());
+    EXPECT_EQ(kernels::and_not_count(b, a), rdiff.count());
   }
 }
 
 TEST(BitVec, FusedCountsRejectMismatchedSizes) {
-  EXPECT_THROW(and_count(BitVec(4), BitVec(5)), std::invalid_argument);
-  EXPECT_THROW(and_not_count(BitVec(4), BitVec(5)), std::invalid_argument);
+  EXPECT_THROW(kernels::and_count(BitVec(4), BitVec(5)), std::invalid_argument);
+  EXPECT_THROW(kernels::and_not_count(BitVec(4), BitVec(5)), std::invalid_argument);
 }
 
 TEST(BitVecProperty, FindNextEnumeratesExactlySetBits) {

@@ -78,6 +78,7 @@
 #include "engine/pipeline_context.hpp"
 #include "fault/fault_sim.hpp"
 #include "inject/corruptor.hpp"
+#include "kernels/kernels.hpp"
 #include "misr/x_cancel.hpp"
 #include "netlist/bench_io.hpp"
 #include "netlist/netlist.hpp"
@@ -111,11 +112,11 @@ namespace {
       "             [--clustered F] [--misr-size M] [--misr-q Q] [--seed S]\n"
       "             [--save-xm file.xm | --load-xm file.xm]\n"
       "             [--strict | --lenient] [--threads T]\n"
-      "             [--xm-backend B] [--telemetry file.json]\n"
+      "             [--xm-backend B] [--isa I] [--telemetry file.json]\n"
       "  %s circuit <netlist.bench> [--chains N] [--patterns P]\n"
       "             [--misr-size M] [--misr-q Q] [--seed S]\n"
       "             [--strict | --lenient] [--threads T]\n"
-      "             [--xm-backend B] [--telemetry file.json]\n"
+      "             [--xm-backend B] [--isa I] [--telemetry file.json]\n"
       "  %s inject --mode MODE [--count N] [--seed S]\n"
       "            [--strict | --lenient] [--telemetry file.json]\n"
       "            (modes: undeclared-x resolved-x burst tamper\n"
@@ -123,11 +124,15 @@ namespace {
       "  %s serve --jobs-dir DIR [--workers W] [--max-queue Q]\n"
       "           [--timeout-ms T] [--retries R] [--checkpoint-dir DIR]\n"
       "           [--checkpoint-every K] [--misr-size M] [--misr-q Q]\n"
-      "           [--seed S] [--xm-backend B] [--telemetry file.json]\n"
+      "           [--seed S] [--xm-backend B] [--isa I]\n"
+      "           [--telemetry file.json]\n"
       "--timeout-ms T (analyze/circuit/serve): stop partitioning at the\n"
       "  first round boundary past T ms and keep the best-so-far result.\n"
       "--xm-backend B (analyze/circuit/serve): X-matrix storage backend,\n"
       "  one of auto|csr|tebm|mmap (default auto; all bit-identical).\n"
+      "--isa I (analyze/circuit/serve): kernel instruction set, one of\n"
+      "  auto|scalar|avx2|avx512 (default auto = best this CPU supports;\n"
+      "  all bit-identical). The XH_ISA env variable overrides the flag.\n"
       "exit codes: 0 clean, 1 failure/diagnostic errors, 2 usage,\n"
       "  3 deadline exceeded (degraded best-so-far result produced)\n"
       "deprecated aliases (to be removed): --misr = --misr-size,\n"
@@ -177,6 +182,8 @@ struct Options {
   std::size_t count = 4;
   std::size_t threads = 1;  // pipeline lanes; 0 = hardware concurrency
   XmBackend xm_backend = XmBackend::kAuto;  // X-matrix storage backend
+  kernels::Isa isa = kernels::Isa::kAuto;   // kernel dispatch tier
+  bool isa_given = false;                   // --isa seen on the command line
   bool lenient = false;
   std::uint64_t timeout_ms = 0;  // 0 = no deadline
   std::size_t workers = 2;       // serve: concurrent job executors
@@ -231,6 +238,16 @@ Options parse(int argc, char** argv, int from) {
                      text);
         std::exit(2);
       }
+    } else if (arg == "--isa") {
+      const char* text = next();
+      if (!kernels::parse_isa(text, &opt.isa)) {
+        std::fprintf(stderr,
+                     "error: --isa: unknown instruction set '%s' "
+                     "(expected auto|scalar|avx2|avx512)\n",
+                     text);
+        std::exit(2);
+      }
+      opt.isa_given = true;
     } else if (arg == "--timeout-ms") {
       opt.timeout_ms = arg_u64("--timeout-ms", next());
     } else if (arg == "--workers") {
@@ -266,6 +283,47 @@ Options parse(int argc, char** argv, int from) {
     }
   }
   return opt;
+}
+
+/// Installs the kernel dispatch table the run will use. The kernels library
+/// already honored XH_ISA at startup but stays silent about problems (it has
+/// no diagnostics channel); the CLI re-validates the variable here so typos
+/// and unsupported tiers warn instead of silently running on auto. A valid
+/// XH_ISA wins over --isa, matching the XH_XM_BACKEND precedent where the
+/// environment overrides per-run configuration.
+void apply_isa(const Options& opt) {
+  const char* env = std::getenv("XH_ISA");
+  if (env != nullptr && *env != '\0') {
+    kernels::Isa from_env = kernels::Isa::kAuto;
+    if (!kernels::parse_isa(env, &from_env)) {
+      std::fprintf(stderr,
+                   "warning: ignoring XH_ISA='%s' (expected "
+                   "auto|scalar|avx2|avx512)\n",
+                   env);
+    } else if (!kernels::isa_supported(from_env)) {
+      std::fprintf(stderr,
+                   "warning: ignoring XH_ISA=%s (not supported by this "
+                   "CPU)\n",
+                   env);
+    } else {
+      if (opt.isa_given && kernels::table_for(opt.isa).isa !=
+                               kernels::table_for(from_env).isa) {
+        std::fprintf(stderr, "warning: XH_ISA=%s overrides --isa %s\n", env,
+                     kernels::isa_name(opt.isa));
+      }
+      kernels::select(from_env);
+      return;
+    }
+  }
+  if (opt.isa_given) {
+    if (!kernels::isa_supported(opt.isa)) {
+      std::fprintf(stderr,
+                   "error: --isa: %s is not supported by this CPU\n",
+                   kernels::isa_name(opt.isa));
+      std::exit(2);
+    }
+    kernels::select(opt.isa);
+  }
 }
 
 void print_report(const HybridReport& rep) {
@@ -672,6 +730,7 @@ int main(int argc, char** argv) {
   const std::string cmd = argv[1];
   try {
     const xh::Options opt = xh::parse(argc, argv, 2);
+    xh::apply_isa(opt);
     xh::Trace trace;
     xh::Trace* tr = opt.telemetry_path.empty() ? nullptr : &trace;
     int rc = 2;
@@ -695,13 +754,15 @@ int main(int argc, char** argv) {
                      opt.telemetry_path.c_str());
         return 1;
       }
+      xh::kernels::export_kernel_telemetry(&trace);
       xh::TelemetryMeta meta;
       meta.tool = "xhybrid_cli";
       meta.run = {{"command", cmd},
                   {"mode", opt.lenient ? "lenient" : "strict"},
                   {"seed", std::to_string(opt.seed)},
                   {"misr", std::to_string(opt.misr) + "/" +
-                               std::to_string(opt.q)}};
+                               std::to_string(opt.q)},
+                  {"isa", xh::kernels::active().name}};
       xh::write_telemetry_json(out, trace, meta);
       std::fprintf(stderr, "telemetry written to %s\n",
                    opt.telemetry_path.c_str());
