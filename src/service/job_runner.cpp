@@ -108,6 +108,7 @@ PartitionService::~PartitionService() { shutdown(); }
 SubmitOutcome PartitionService::submit(JobSpec spec) {
   XH_REQUIRE(spec.matrix != nullptr || !spec.source_path.empty(),
              "JobSpec needs a matrix or a source_path");
+  JobId id = 0;
   {
     std::lock_guard<std::mutex> lock(mu_);
     const std::size_t depth = queued_.size() + running_;
@@ -124,7 +125,7 @@ SubmitOutcome PartitionService::submit(JobSpec spec) {
                     "; job rejected (backpressure)");
       return {};
     }
-    const JobId id = next_id_++;
+    id = next_id_++;
     auto job = std::make_unique<Job>();
     job->id = id;
     job->spec = std::move(spec);
@@ -140,9 +141,14 @@ SubmitOutcome PartitionService::submit(JobSpec spec) {
     stats_.queue_depth = queued_.size() + running_;
     stats_.queue_depth_peak =
         std::max(stats_.queue_depth_peak, stats_.queue_depth);
-    pool_.post([this] { run_next(); });
-    return {true, id};
   }
+  // Post AFTER releasing mu_: run_next() re-acquires it, so posting under
+  // the lock hands the pool a task that immediately contends with (or, if
+  // the pool ever ran callables inline, deadlocks against) this scope.
+  // The job is already queued; a concurrent shutdown() between unlock and
+  // post just makes run_next() a no-op.
+  pool_.post([this] { run_next(); });
+  return {true, id};
 }
 
 std::vector<SubmitOutcome> PartitionService::ingest_directory(

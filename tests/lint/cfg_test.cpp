@@ -289,6 +289,97 @@ TEST(CfgDataflow, NodiscardAutoFiresThroughFlowContext) {
   EXPECT_EQ(findings[0].rule, "XH-FLOW-001");
 }
 
+// ---- deliberate approximations, pinned ----------------------------------
+// These cases document the CFG builder's stated simplifications (see the
+// cfg.hpp header comment). If one of these starts failing, the
+// approximation changed — update the header contract and every rule that
+// leans on it, not just the test.
+
+TEST(CfgApproximations, GotoIsNotModeled) {
+  // `goto` lowers to a plain statement node and the label line to another;
+  // no edge is created between them. The function must still lower and
+  // stay connected (the label's node is reached by fallthrough).
+  const FunctionCfg cfg = only_cfg(
+      "int f(int n) {\n"
+      "  if (n < 0) {\n"
+      "    goto done;\n"
+      "  }\n"
+      "  work(n);\n"
+      "done:\n"
+      "  return n;\n"
+      "}\n");
+  EXPECT_TRUE(xh::lint::cfg_connected(cfg)) << xh::lint::to_string(cfg);
+  // No node carries a goto-shaped edge: the statement containing `goto`
+  // has only its fallthrough successor(s).
+  for (const auto& node : cfg.nodes) {
+    if (node.text.find("goto") != std::string::npos) {
+      EXPECT_EQ(node.kind, CfgNode::Kind::kStatement) << node.text;
+    }
+  }
+}
+
+TEST(CfgApproximations, LambdaBodyIsOneOpaqueStatement) {
+  // Control flow inside a lambda is invisible: the unbounded loop in the
+  // body must NOT mark any loop head on the enclosing function's CFG, but
+  // the body text stays attached to the statement node.
+  const FunctionCfg cfg = only_cfg(
+      "void f() {\n"
+      "  auto task = [&] { for (;;) { spin(); } };\n"
+      "  use(task);\n"
+      "}\n");
+  EXPECT_EQ(count_loop_heads(cfg), 0u) << xh::lint::to_string(cfg);
+  bool body_attached = false;
+  for (const auto& node : cfg.nodes) {
+    if (node.text.find("spin") != std::string::npos) body_attached = true;
+  }
+  EXPECT_TRUE(body_attached);
+}
+
+TEST(CfgApproximations, ThrowEdgesToExitEvenWithAHandler) {
+  // A throw inside try edges to the function exit, never to the enclosing
+  // catch; the handler is additionally reachable from the try block. Both
+  // directions are over-approximations the rules treat as may-reach.
+  const FunctionCfg cfg = only_cfg(
+      "int f() {\n"
+      "  try {\n"
+      "    throw Boom{};\n"
+      "  } catch (const Boom& b) {\n"
+      "    handle(b);\n"
+      "  }\n"
+      "  return 0;\n"
+      "}\n");
+  std::size_t throw_node = xh::lint::kCfgNone;
+  std::size_t handler = xh::lint::kCfgNone;
+  for (std::size_t n = 0; n < cfg.nodes.size(); ++n) {
+    if (cfg.nodes[n].kind == CfgNode::Kind::kThrow) throw_node = n;
+    if (cfg.nodes[n].text.find("handle") != std::string::npos) handler = n;
+  }
+  ASSERT_NE(throw_node, xh::lint::kCfgNone) << xh::lint::to_string(cfg);
+  ASSERT_NE(handler, xh::lint::kCfgNone) << xh::lint::to_string(cfg);
+  const auto& succ = cfg.nodes[throw_node].succ;
+  EXPECT_NE(std::find(succ.begin(), succ.end(), FunctionCfg::kExit),
+            succ.end())
+      << xh::lint::to_string(cfg);
+  EXPECT_EQ(std::find(succ.begin(), succ.end(), handler), succ.end())
+      << "throw must NOT edge into its handler: "
+      << xh::lint::to_string(cfg);
+}
+
+TEST(CfgHeads, ReturnTypeIsCaptured) {
+  // The interprocedural tier keys status propagation off the recorded
+  // last-word return type; pin the shapes it relies on.
+  const auto cfgs = cfgs_of(
+      "xh::Diagnostics Svc::check() { return {}; }\n"
+      "StatusOr<int>& lookup() { return cache_; }\n"
+      "auto Svc::relay() { return check(); }\n"
+      "Svc::Svc() { init(); }\n");
+  ASSERT_EQ(cfgs.size(), 4u);
+  EXPECT_EQ(cfgs[0].return_type, "Diagnostics");
+  EXPECT_EQ(cfgs[1].return_type, "StatusOr");
+  EXPECT_EQ(cfgs[2].return_type, "auto");
+  EXPECT_EQ(cfgs[3].return_type, "");  // constructors have none
+}
+
 // ---- self-scan over the real tree ---------------------------------------
 
 TEST(CfgSelfScan, EverySrcFunctionLowersConnected) {

@@ -1,0 +1,371 @@
+// Tests for the interprocedural lint tier (DESIGN.md §13): call-graph
+// construction and resolution, lambda detection, the must-hold lock
+// analysis, bottom-up function summaries, and the real-tree pins the
+// XH-IPA/XH-RACE rules depend on (≥200 resolved call edges inside src/,
+// and the service/thread-pool seam summarized the way the rules assume).
+#include "lint/callgraph.hpp"
+
+#include <set>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "lint/project_model.hpp"
+#include "lint/summaries.hpp"
+
+namespace {
+
+using xh::lint::CallGraph;
+using xh::lint::CallSite;
+using xh::lint::CgFunction;
+using xh::lint::LambdaInfo;
+using xh::lint::ProjectModel;
+using xh::lint::SourceFile;
+using xh::lint::SummarySet;
+
+ProjectModel make_model(std::vector<SourceFile> files) {
+  return xh::lint::build_project_model(std::move(files), {});
+}
+
+const CgFunction* find_fn(const CallGraph& cg, const std::string& display) {
+  for (const CgFunction& fn : cg.functions) {
+    if (fn.display == display) return &fn;
+  }
+  return nullptr;
+}
+
+std::size_t index_of(const CallGraph& cg, const std::string& display) {
+  for (std::size_t i = 0; i < cg.functions.size(); ++i) {
+    if (cg.functions[i].display == display) return i;
+  }
+  ADD_FAILURE() << "no function " << display;
+  return 0;
+}
+
+/// Resolved target display names of the first call site named @p callee.
+std::set<std::string> targets_of(const CallGraph& cg,
+                                 const std::string& caller,
+                                 const std::string& callee) {
+  const CgFunction* fn = find_fn(cg, caller);
+  EXPECT_NE(fn, nullptr) << caller;
+  std::set<std::string> out;
+  if (fn == nullptr) return out;
+  for (const CallSite& site : fn->calls) {
+    if (site.callee != callee) continue;
+    for (const std::size_t t : site.targets) {
+      out.insert(cg.functions[t].display);
+    }
+    return out;
+  }
+  ADD_FAILURE() << caller << " has no call site '" << callee << "'";
+  return out;
+}
+
+// ---- lambda detection ---------------------------------------------------
+
+TEST(Lambdas, IntroducerVsSubscriptAndAttributes) {
+  // A capture introducer in expression position is a lambda; a subscript
+  // or an [[attribute]] is not.
+  const std::string text =
+      "pool.post([this, &n] { work(n); }); v[i] = 0; [[maybe_unused]] int "
+      "x = 0;";
+  const std::vector<LambdaInfo> ls = xh::lint::lambdas_in(text);
+  ASSERT_EQ(ls.size(), 1u);
+  EXPECT_EQ(text.substr(ls[0].cap_begin, ls[0].cap_end - ls[0].cap_begin),
+            "this, &n");
+  EXPECT_EQ(text.substr(ls[0].body_begin,
+                        ls[0].body_end - ls[0].body_begin),
+            " work(n); ");
+}
+
+TEST(Lambdas, ParameterListsSpecifiersAndNesting) {
+  const std::string text =
+      "auto f = [&](int a) mutable -> int { return g([] { return 1; }); };";
+  // The outer body covers the nested lambda; only the outer is reported.
+  const auto ranges = xh::lint::lambda_body_ranges(text);
+  ASSERT_EQ(ranges.size(), 1u);
+  const std::string body =
+      text.substr(ranges[0].first, ranges[0].second - ranges[0].first);
+  EXPECT_NE(body.find("return g("), std::string::npos);
+  EXPECT_NE(body.find("return 1"), std::string::npos);
+}
+
+// ---- call-graph resolution ----------------------------------------------
+
+const char* const kGraphSource = R"cpp(
+namespace xh {
+int helper(int x) { return x + 1; }
+int caller(int x) { return helper(x); }
+void Widget::ping() { helper(2); }
+void Widget::pong() { w.ping(); }
+void Pool::wait() { counter_ = 0; }
+void Pool::drive() { cv_.wait(lk); Pool::wait(); }
+void Svc::work() { helper(3); }
+void Svc::go() { pool_.post([this] { work(); }); }
+}  // namespace xh
+)cpp";
+
+TEST(CallGraph, FreeMemberQualifiedAndBlocklistResolution) {
+  const ProjectModel model =
+      make_model({{"src/core/a.cpp", kGraphSource}});
+  const CallGraph cg = xh::lint::build_call_graph(model);
+
+  // Free call resolves to the free function.
+  EXPECT_EQ(targets_of(cg, "caller", "helper"),
+            std::set<std::string>{"helper"});
+  // Unqualified call from a member also reaches the free function.
+  EXPECT_EQ(targets_of(cg, "Widget::ping", "helper"),
+            std::set<std::string>{"helper"});
+  // Member call resolves to member functions of the name.
+  EXPECT_EQ(targets_of(cg, "Widget::pong", "ping"),
+            std::set<std::string>{"Widget::ping"});
+  // `cv_.wait(...)` is std vocabulary: NOT resolved to Pool::wait even
+  // though that member exists; the explicit Pool::wait() call is.
+  const CgFunction* drive = find_fn(cg, "Pool::drive");
+  ASSERT_NE(drive, nullptr);
+  for (const CallSite& site : drive->calls) {
+    if (site.callee == "wait" && site.member) {
+      EXPECT_TRUE(site.targets.empty());
+    }
+    if (site.callee == "wait" && !site.member) {
+      ASSERT_EQ(site.targets.size(), 1u);
+      EXPECT_EQ(cg.functions[site.targets[0]].display, "Pool::wait");
+    }
+  }
+}
+
+TEST(CallGraph, PostedLambdaCallsAreDeferred) {
+  const ProjectModel model =
+      make_model({{"src/core/a.cpp", kGraphSource}});
+  const CallGraph cg = xh::lint::build_call_graph(model);
+  const CgFunction* go = find_fn(cg, "Svc::go");
+  ASSERT_NE(go, nullptr);
+  bool saw_work = false;
+  for (const CallSite& site : go->calls) {
+    if (site.callee == "work") {
+      saw_work = true;
+      EXPECT_TRUE(site.deferred);
+      ASSERT_EQ(site.targets.size(), 1u);
+      EXPECT_EQ(cg.functions[site.targets[0]].display, "Svc::work");
+    }
+    if (site.callee == "post") {
+      EXPECT_FALSE(site.deferred);  // the post itself runs synchronously
+    }
+  }
+  EXPECT_TRUE(saw_work);
+}
+
+TEST(CallGraph, DeclarationsAndMacrosAreNotCallSites) {
+  const ProjectModel model = make_model({{"src/core/b.cpp", R"cpp(
+void target() {}
+void f() {
+  std::vector<int> target(3);
+  ASSERT_EQ(target.size(), 3u);
+  int x = 0;
+  target();
+}
+)cpp"}});
+  const CallGraph cg = xh::lint::build_call_graph(model);
+  const CgFunction* f = find_fn(cg, "f");
+  ASSERT_NE(f, nullptr);
+  std::size_t target_sites = 0;
+  for (const CallSite& site : f->calls) {
+    if (site.callee == "target") ++target_sites;
+    EXPECT_NE(site.callee, "ASSERT_EQ");
+  }
+  // Only the bare `target();` statement, not the declaration shadowing it.
+  EXPECT_EQ(target_sites, 1u);
+}
+
+// ---- summaries ----------------------------------------------------------
+
+const char* const kSeamSource = R"cpp(
+namespace xh {
+Diagnostics Pool::post(Task t) {
+  std::lock_guard<std::mutex> lk(mu_);
+  tasks_.push_back(t);
+  return Diagnostics{};
+}
+void Svc::run_next(const CancelToken& token) {
+  if (token.stop_requested()) { return; }
+  std::lock_guard<std::mutex> lk(mu_);
+  pending_ = pending_ - 1;
+}
+SubmitResult Svc::enqueue() {
+  std::lock_guard<std::mutex> lk(mu_);
+  pool_.post([this] { step(); });
+  return SubmitResult{};
+}
+void Svc::step() {
+  std::lock_guard<std::mutex> lk(mu_);
+  pending_ = pending_ + 1;
+}
+void Svc::spin() {
+  while (true) { sleep_ns(10); }
+}
+auto Svc::relay() { return enqueue(); }
+}  // namespace xh
+)cpp";
+
+TEST(Summaries, LocalAndTransitiveFacts) {
+  const ProjectModel model =
+      make_model({{"src/service/seam.cpp", kSeamSource}});
+  const CallGraph cg = xh::lint::build_call_graph(model);
+  const SummarySet sums = xh::lint::compute_summaries(cg);
+
+  const auto sum = [&](const std::string& d) {
+    return sums.summaries[index_of(cg, d)];
+  };
+
+  EXPECT_TRUE(sum("Pool::post").returns_status);  // Diagnostics
+  EXPECT_EQ(sum("Pool::post").locks_acquired,
+            std::set<std::string>{"Pool::mu_"});
+
+  EXPECT_TRUE(sum("Svc::run_next").consults_token);
+  EXPECT_EQ(sum("Svc::run_next").locks_acquired,
+            std::set<std::string>{"Svc::mu_"});
+
+  const auto enq = sum("Svc::enqueue");
+  EXPECT_TRUE(enq.returns_status);  // SubmitResult by naming convention
+  EXPECT_TRUE(enq.escapes_callable_to_pool);
+  // Synchronous callee Pool::post's acquisition propagates; the DEFERRED
+  // Svc::step acquisition must not.
+  EXPECT_EQ(enq.locks_acquired,
+            (std::set<std::string>{"Pool::mu_", "Svc::mu_"}));
+  // Nested order formed by calling the locking post under Svc::mu_.
+  EXPECT_EQ(enq.lock_pairs,
+            (std::set<std::pair<std::string, std::string>>{
+                {"Svc::mu_", "Pool::mu_"}}));
+  // enqueue returns under its guard: the return node is must-holding mu_.
+  EXPECT_EQ(enq.locks_held_at_exit, std::set<std::string>{"Svc::mu_"});
+
+  EXPECT_TRUE(sum("Svc::spin").can_block);
+  EXPECT_FALSE(sum("Svc::step").can_block);
+
+  // `auto relay() { return enqueue(); }` inherits status-ness.
+  EXPECT_TRUE(sum("Svc::relay").returns_status);
+
+  // The witness list anchors the (Svc::mu_, Pool::mu_) formation site.
+  bool witnessed = false;
+  for (const auto& w : sums.witnesses) {
+    if (w.outer == "Svc::mu_" && w.inner == "Pool::mu_") {
+      witnessed = true;
+      EXPECT_EQ(w.function, "Svc::enqueue");
+    }
+  }
+  EXPECT_TRUE(witnessed);
+}
+
+TEST(Summaries, MustHoldRespectsScopesAndUnlock) {
+  const ProjectModel model = make_model({{"src/core/h.cpp", R"cpp(
+void Svc::phases() {
+  {
+    std::lock_guard<std::mutex> a(alpha_);
+    touch_a();
+  }
+  {
+    std::lock_guard<std::mutex> b(beta_);
+    touch_b();
+  }
+  after();
+}
+void Svc::manual() {
+  std::unique_lock<std::mutex> lk(gamma_, std::defer_lock);
+  before();
+  lk.lock();
+  inside();
+  lk.unlock();
+  rest();
+}
+)cpp"}});
+  const CallGraph cg = xh::lint::build_call_graph(model);
+
+  const CgFunction* phases = find_fn(cg, "Svc::phases");
+  ASSERT_NE(phases, nullptr);
+  const auto held_p = xh::lint::must_hold(*phases);
+  for (std::size_t n = 0; n < phases->cfg.nodes.size(); ++n) {
+    const std::string& t = phases->cfg.nodes[n].text;
+    if (t.find("touch_a") != std::string::npos) {
+      EXPECT_EQ(held_p[n], std::set<std::string>{"Svc::alpha_"}) << t;
+    }
+    // Sibling scope: alpha_ must be dead by the time beta_'s block runs.
+    if (t.find("touch_b") != std::string::npos) {
+      EXPECT_EQ(held_p[n], std::set<std::string>{"Svc::beta_"}) << t;
+    }
+    if (t.find("after") != std::string::npos) {
+      EXPECT_TRUE(held_p[n].empty()) << t;
+    }
+  }
+
+  const CgFunction* manual = find_fn(cg, "Svc::manual");
+  ASSERT_NE(manual, nullptr);
+  const auto held_m = xh::lint::must_hold(*manual);
+  for (std::size_t n = 0; n < manual->cfg.nodes.size(); ++n) {
+    const std::string& t = manual->cfg.nodes[n].text;
+    if (t.find("before") != std::string::npos) {
+      EXPECT_TRUE(held_m[n].empty()) << t;  // defer_lock: not yet held
+    }
+    if (t.find("inside") != std::string::npos) {
+      EXPECT_EQ(held_m[n], std::set<std::string>{"Svc::gamma_"}) << t;
+    }
+    if (t.find("rest") != std::string::npos) {
+      EXPECT_TRUE(held_m[n].empty()) << t;  // explicit unlock
+    }
+  }
+}
+
+// ---- real-tree pins -----------------------------------------------------
+
+TEST(RealTree, CallGraphResolvesTheServiceSeam) {
+  const std::string root = XH_LINT_SOURCE_DIR;
+  std::vector<std::string> errors;
+  std::vector<SourceFile> files =
+      xh::lint::load_tree(root, {root + "/src"}, {}, errors);
+  ASSERT_TRUE(errors.empty()) << errors.front();
+  const ProjectModel model = make_model(std::move(files));
+  const CallGraph cg = xh::lint::build_call_graph(model);
+
+  // The floor the interprocedural rules are worth running against: the
+  // resolver must see a substantial share of the real tree's call edges.
+  std::size_t src_edges = 0;
+  for (const CgFunction& fn : cg.functions) {
+    if (fn.path.rfind("src/", 0) != 0) continue;
+    for (const CallSite& site : fn.calls) {
+      for (const std::size_t t : site.targets) {
+        if (cg.functions[t].path.rfind("src/", 0) == 0) ++src_edges;
+      }
+    }
+  }
+  EXPECT_GE(src_edges, 200u) << "call-graph resolution regressed; "
+                             << cg.resolved_edges << " edges total";
+
+  // The seam the XH-IPA/XH-RACE rules reason about, summarized as the
+  // rules assume: the job runner consults its cancel token, the pool's
+  // post acquires the pool mutex, and submit() (fixed in this tree) no
+  // longer must-holds mu_ at its post site.
+  const SummarySet sums = xh::lint::compute_summaries(cg);
+  const CgFunction* run_next =
+      find_fn(cg, "PartitionService::run_next");
+  ASSERT_NE(run_next, nullptr);
+  EXPECT_TRUE(sums.summaries[index_of(cg, "PartitionService::run_next")]
+                  .consults_token);
+
+  const auto& post_sum = sums.summaries[index_of(cg, "ThreadPool::post")];
+  EXPECT_EQ(post_sum.locks_acquired,
+            std::set<std::string>{"ThreadPool::mu_"});
+
+  const CgFunction* submit = find_fn(cg, "PartitionService::submit");
+  ASSERT_NE(submit, nullptr);
+  const auto held = xh::lint::must_hold(*submit);
+  for (std::size_t n = 0; n < submit->cfg.nodes.size(); ++n) {
+    if (submit->cfg.nodes[n].text.find(".post(") != std::string::npos) {
+      EXPECT_TRUE(held[n].empty())
+          << "submit() posts while holding a lock again: "
+          << submit->cfg.nodes[n].text;
+    }
+  }
+}
+
+}  // namespace

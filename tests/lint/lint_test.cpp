@@ -172,7 +172,7 @@ TEST(LintFindings, MultipleRulesSortedByLine) {
 
 TEST(LintRules, RegistryListsEveryRuleFamily) {
   const auto& rules = xh::lint::rules();
-  ASSERT_EQ(rules.size(), 17u);
+  ASSERT_EQ(rules.size(), 21u);
   std::set<std::string> ids;
   for (const auto& r : rules) ids.insert(r.id);
   EXPECT_EQ(ids, (std::set<std::string>{
@@ -180,7 +180,17 @@ TEST(LintRules, RegistryListsEveryRuleFamily) {
                      "XH-HDR-001", "XH-HDR-002", "XH-INC-001", "XH-INC-002",
                      "XH-INC-003", "XH-API-001", "XH-API-002", "XH-OBS-001",
                      "XH-SUP-001", "XH-FLOW-001", "XH-FLOW-002", "XH-FLOW-003",
-                     "XH-FLOW-004"}));
+                     "XH-FLOW-004", "XH-IPA-001", "XH-IPA-002", "XH-RACE-001",
+                     "XH-RACE-002"}));
+}
+
+TEST(LintRules, RegistryVersionTracksTheRuleSet) {
+  const std::string v = xh::lint::registry_version();
+  // "xh-lint-registry/<count>/<16-hex-digit hash>" — the count makes a
+  // grown registry visibly different, the hash catches edits in place.
+  EXPECT_EQ(v.rfind("xh-lint-registry/21/", 0), 0u) << v;
+  EXPECT_EQ(v.size(), std::string("xh-lint-registry/21/").size() + 16) << v;
+  EXPECT_EQ(v, xh::lint::registry_version());  // deterministic
 }
 
 TEST(LintFindings, JsonDocumentIsVersionedAndEscaped) {
@@ -203,6 +213,29 @@ TEST(LintFindings, JsonDocumentIsVersionedAndEscaped) {
   EXPECT_LT(json.find("\"path\""), json.find("\"rule\""));
   const std::string empty = xh::lint::findings_to_json({});
   EXPECT_NE(empty.find("\"count\": 0"), std::string::npos);
+}
+
+TEST(LintFindings, SarifDocumentCarriesRulesAndResults) {
+  const std::vector<xh::lint::Finding> findings = {
+      {"src/a.cpp", 3, "XH-RACE-002", "posts while holding \"mu_\""},
+  };
+  const std::string sarif = xh::lint::findings_to_sarif(findings);
+  EXPECT_NE(sarif.find("\"version\": \"2.1.0\""), std::string::npos);
+  EXPECT_NE(sarif.find("sarif-2.1.0.json"), std::string::npos);
+  EXPECT_NE(sarif.find("\"name\": \"xh_lint\""), std::string::npos);
+  // Every registry rule is described in the driver block, fired or not.
+  for (const auto& r : xh::lint::rules()) {
+    EXPECT_NE(sarif.find("\"id\": \"" + r.id + "\""), std::string::npos)
+        << r.id;
+  }
+  EXPECT_NE(sarif.find("\"ruleId\": \"XH-RACE-002\""), std::string::npos);
+  EXPECT_NE(sarif.find("\"uri\": \"src/a.cpp\""), std::string::npos);
+  EXPECT_NE(sarif.find("\"startLine\": 3"), std::string::npos);
+  EXPECT_NE(sarif.find("posts while holding \\\"mu_\\\""),
+            std::string::npos);
+  // An empty run still produces a valid document with the rule list.
+  const std::string empty = xh::lint::findings_to_sarif({});
+  EXPECT_NE(empty.find("\"results\": []"), std::string::npos);
 }
 
 }  // namespace

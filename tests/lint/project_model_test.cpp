@@ -84,6 +84,14 @@ TEST(TreeCorpus, EverySeededViolationIsDetectedAndNothingElse) {
       {"src/core/quarantine_user.cpp", "XH-API-002"},
       {"src/core/telemetry_user.cpp", "XH-OBS-001"},
       {"src/core/stale_suppress.cpp", "XH-SUP-001"},
+      {"src/service/ipa001_drop_bad.cpp", "XH-IPA-001"},
+      {"src/service/ipa001_member_drop_bad.cpp", "XH-IPA-001"},
+      {"src/service/ipa002_block_bad.cpp", "XH-IPA-002"},
+      {"src/service/ipa002_chain_block_bad.cpp", "XH-IPA-002"},
+      {"src/service/race001_ref_bad.cpp", "XH-RACE-001"},
+      {"src/service/race001_default_ref_bad.cpp", "XH-RACE-001"},
+      {"src/service/race002_abba_bad.cpp", "XH-RACE-002"},
+      {"src/service/race002_post_lock_bad.cpp", "XH-RACE-002"},
   };
   EXPECT_EQ(got, expected) << describe(findings);
 
@@ -241,6 +249,34 @@ TEST(LayerSpec, PrivatePrefixDirectiveRestrictsIncluders) {
   EXPECT_NE(error.find("private <prefix> -> <layer>"), std::string::npos);
   EXPECT_FALSE(xh::lint::parse_layer_spec(
       "private src/storage/backend_ storage\n", bad, error));
+}
+
+TEST(LayerSpec, DuplicatePrivateDirectivesAreRejected) {
+  // Two `private` lines for the same prefix would silently shadow each
+  // other (lookup returns the first match); the parser must refuse and
+  // name the prefix so the author merges the layer lists.
+  LayerSpec bad;
+  std::string error;
+  EXPECT_FALSE(xh::lint::parse_layer_spec(
+      "layer storage\n"
+      "layer engine -> storage\n"
+      "private src/storage/backend_ -> storage\n"
+      "private src/storage/backend_ -> engine\n",
+      bad, error));
+  EXPECT_NE(error.find("line 4"), std::string::npos) << error;
+  EXPECT_NE(error.find("duplicate private directive"), std::string::npos)
+      << error;
+  EXPECT_NE(error.find("src/storage/backend_"), std::string::npos) << error;
+
+  // Distinct prefixes — even nested ones — are still fine.
+  LayerSpec ok;
+  EXPECT_TRUE(xh::lint::parse_layer_spec(
+      "layer storage\n"
+      "layer engine -> storage\n"
+      "private src/storage/backend_ -> storage\n"
+      "private src/storage/backend_csr_ -> engine\n",
+      ok, error))
+      << error;
 }
 
 TEST(LayerSpec, LayerOfMapsRepoPaths) {

@@ -1,0 +1,20 @@
+// XH-IPA-001 non-firing fixture: the status-bearing result is bound and
+// read, so nothing is discarded.
+namespace fixture {
+
+struct ScrubResult {
+  bool ok = false;
+};
+
+ScrubResult scrub_ledger() {
+  ScrubResult r;
+  r.ok = true;
+  return r;
+}
+
+bool scrub_and_check() {
+  const ScrubResult r = scrub_ledger();
+  return r.ok;
+}
+
+}  // namespace fixture

@@ -1,0 +1,22 @@
+// Seeds XH-IPA-001 through a free call: mend_index() returns a *Result
+// type but the caller throws the outcome away as a bare statement. No
+// [[nodiscard]] anywhere — only the callee's resolved signature says this
+// is a status, which is exactly what the interprocedural tier adds.
+namespace fixture {
+
+struct MendResult {
+  bool ok = false;
+  int repaired = 0;
+};
+
+MendResult mend_index() {
+  MendResult r;
+  r.ok = true;
+  return r;
+}
+
+void nightly_tick() {
+  mend_index();
+}
+
+}  // namespace fixture

@@ -1,0 +1,24 @@
+// Seeds XH-IPA-001 through a member call: the chain `s.rebalance()` must
+// resolve to Shard::rebalance's definition and read the *Outcome return
+// type from there.
+namespace fixture {
+
+struct RebalanceOutcome {
+  bool moved = false;
+};
+
+struct Shard {
+  RebalanceOutcome rebalance();
+};
+
+RebalanceOutcome Shard::rebalance() {
+  RebalanceOutcome out;
+  out.moved = true;
+  return out;
+}
+
+void maintenance_cycle(Shard& s) {
+  s.rebalance();
+}
+
+}  // namespace fixture

@@ -1,0 +1,23 @@
+// XH-IPA-001 non-firing fixtures: a (void) cast is a deliberate,
+// acknowledged drop, and a bare call to a void-returning helper has no
+// status to lose.
+namespace fixture {
+
+struct FetchResult {
+  int total = 0;
+};
+
+FetchResult fetch_totals() {
+  FetchResult r;
+  r.total = 3;
+  return r;
+}
+
+void log_rollover() {}
+
+void quiet_tock() {
+  (void)fetch_totals();
+  log_rollover();
+}
+
+}  // namespace fixture

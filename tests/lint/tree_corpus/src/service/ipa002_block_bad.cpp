@@ -1,0 +1,13 @@
+// Seeds XH-IPA-002: pump() has a CancelToken in scope, yet the callable
+// it posts sleeps and never consults any token — shutdown cannot
+// interrupt the posted work.
+#include "service/ipa_seam.hpp"
+
+namespace fixture {
+
+void pump_uncancellable(WorkPool& pool, const CancelToken& token) {
+  if (token.stop_requested()) return;
+  pool.post([] { sleep_ns(2000); });
+}
+
+}  // namespace fixture

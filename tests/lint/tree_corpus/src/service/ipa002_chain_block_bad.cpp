@@ -1,0 +1,17 @@
+// Seeds XH-IPA-002 transitively: the lambda body itself never blocks, but
+// the deferred callee it resolves to (spin_backoff) does. Only the
+// summary's can_block bit, propagated through the call graph, sees that.
+#include "service/ipa_seam.hpp"
+
+namespace fixture {
+
+void spin_backoff() {
+  sleep_ns(1000);
+}
+
+void pump_chained(WorkPool& pool, const CancelToken& token) {
+  if (token.stop_requested()) return;
+  pool.post([] { spin_backoff(); });
+}
+
+}  // namespace fixture

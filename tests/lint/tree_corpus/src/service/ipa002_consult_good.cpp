@@ -1,0 +1,15 @@
+// XH-IPA-002 non-firing fixture: the callable copies the token and checks
+// it before the blocking call, so cancellation can interrupt it. The copy
+// capture also keeps XH-RACE-001 quiet — nothing outlives the frame.
+#include "service/ipa_seam.hpp"
+
+namespace fixture {
+
+void pump_cancellable(WorkPool& pool, const CancelToken& token) {
+  pool.post([token] {
+    if (token.stop_requested()) return;
+    sleep_ns(500);
+  });
+}
+
+}  // namespace fixture

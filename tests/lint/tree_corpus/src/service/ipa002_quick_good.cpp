@@ -1,0 +1,13 @@
+// XH-IPA-002 non-firing fixture: a token is in scope but the posted work
+// cannot block (no sleeps, no blockable resolved callee), so there is
+// nothing for cancellation to interrupt.
+#include "service/ipa_seam.hpp"
+
+namespace fixture {
+
+void pump_quick(WorkPool& pool, const CancelToken& token) {
+  if (token.stop_requested()) return;
+  pool.post([] { counter_bump(); });
+}
+
+}  // namespace fixture

@@ -1,0 +1,25 @@
+// Shared seam types for the interprocedural fixtures: a thread pool with
+// a post/drain surface, a cancel token, and a few leaf helpers that the
+// posted callables invoke. Deliberately declaration-only where possible —
+// the XH-IPA/XH-RACE rules must work from resolved definitions, not from
+// what a header promises.
+#pragma once
+
+namespace fixture {
+
+struct CancelToken {
+  bool stop_requested() const;
+};
+
+class WorkPool {
+ public:
+  template <typename Fn>
+  void post(Fn fn);
+  void drain();
+};
+
+void sleep_ns(long ns);
+void consume(int v);
+void counter_bump();
+
+}  // namespace fixture

@@ -1,0 +1,12 @@
+// Seeds XH-RACE-001 through a default reference capture: [&] silently
+// captures the parameter the body uses, and nothing fences the frame's
+// lifetime against the pool.
+#include "service/ipa_seam.hpp"
+
+namespace fixture {
+
+void scatter_seed(WorkPool& pool, int seed) {
+  pool.post([&] { consume(seed); });
+}
+
+}  // namespace fixture

@@ -1,0 +1,15 @@
+// XH-RACE-001 non-firing fixture: same by-reference capture as the bad
+// twin, but every path from the post crosses pool.drain() before the
+// frame dies, so the callable cannot outlive what it borrowed.
+#include "service/ipa_seam.hpp"
+
+namespace fixture {
+
+int gather_totals(WorkPool& pool) {
+  int total = 0;
+  pool.post([&total] { total = total + 1; });
+  pool.drain();
+  return total;
+}
+
+}  // namespace fixture

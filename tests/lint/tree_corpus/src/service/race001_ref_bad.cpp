@@ -1,0 +1,13 @@
+// Seeds XH-RACE-001: the posted callable captures the local accumulator
+// by reference and the function returns without any drain/join barrier —
+// the callable can run after the frame is gone.
+#include "service/ipa_seam.hpp"
+
+namespace fixture {
+
+void flush_totals(WorkPool& pool) {
+  int total = 0;
+  pool.post([&total] { total = total + 1; });
+}
+
+}  // namespace fixture

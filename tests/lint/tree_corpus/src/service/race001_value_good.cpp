@@ -1,0 +1,11 @@
+// XH-RACE-001 non-firing fixture: the callable copies the value it needs,
+// so the frame's lifetime is irrelevant.
+#include "service/ipa_seam.hpp"
+
+namespace fixture {
+
+void tally_seed(WorkPool& pool, int seed) {
+  pool.post([seed] { consume(seed); });
+}
+
+}  // namespace fixture

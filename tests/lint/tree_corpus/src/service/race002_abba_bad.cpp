@@ -1,0 +1,32 @@
+// Seeds XH-RACE-002 (a): credit() nests in_mu_ before out_mu_ while
+// debit() nests them the other way around — the classic ABBA deadlock.
+// Each direction is reported at its own witness, so this file carries two
+// findings of the same family.
+#include <mutex>
+
+namespace fixture {
+
+class Ledger {
+ public:
+  void credit();
+  void debit();
+
+ private:
+  std::mutex in_mu_;
+  std::mutex out_mu_;
+  int balance_ = 0;
+};
+
+void Ledger::credit() {
+  std::lock_guard<std::mutex> outer(in_mu_);
+  std::lock_guard<std::mutex> inner(out_mu_);
+  balance_ = balance_ + 1;
+}
+
+void Ledger::debit() {
+  std::lock_guard<std::mutex> outer(out_mu_);
+  std::lock_guard<std::mutex> inner(in_mu_);
+  balance_ = balance_ - 1;
+}
+
+}  // namespace fixture

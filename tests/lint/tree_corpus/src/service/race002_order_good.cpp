@@ -1,0 +1,30 @@
+// XH-RACE-002 non-firing fixture: both paths nest a_mu_ before b_mu_ —
+// consistent order, no inversion.
+#include <mutex>
+
+namespace fixture {
+
+class Tandem {
+ public:
+  void both();
+  void refresh();
+
+ private:
+  std::mutex a_mu_;
+  std::mutex b_mu_;
+  int epoch_ = 0;
+};
+
+void Tandem::both() {
+  std::lock_guard<std::mutex> outer(a_mu_);
+  std::lock_guard<std::mutex> inner(b_mu_);
+  epoch_ = epoch_ + 1;
+}
+
+void Tandem::refresh() {
+  std::lock_guard<std::mutex> outer(a_mu_);
+  std::lock_guard<std::mutex> inner(b_mu_);
+  epoch_ = epoch_ + 2;
+}
+
+}  // namespace fixture

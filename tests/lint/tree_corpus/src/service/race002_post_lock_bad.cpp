@@ -1,0 +1,30 @@
+// Seeds XH-RACE-002 (b): kick() posts a callable while mu_ is must-held,
+// and the deferred callee it resolves to (Gate::work) re-acquires the
+// same mutex — the posted work serializes against its own posting scope.
+#include <mutex>
+
+#include "service/ipa_seam.hpp"
+
+namespace fixture {
+
+class Gate {
+ public:
+  void kick(WorkPool& pool);
+  void work();
+
+ private:
+  std::mutex mu_;
+  int pending_ = 0;
+};
+
+void Gate::work() {
+  std::lock_guard<std::mutex> g(mu_);
+  pending_ = pending_ + 1;
+}
+
+void Gate::kick(WorkPool& pool) {
+  std::lock_guard<std::mutex> g(mu_);
+  pool.post([this] { work(); });
+}
+
+}  // namespace fixture

@@ -1,0 +1,34 @@
+// XH-RACE-002 non-firing fixture: the mutating work happens inside the
+// locked scope, and the post happens after it closes — the pattern the
+// rule's fix message asks for. The deferred callee still re-acquires mu_,
+// but nothing is held at the post site.
+#include <mutex>
+
+#include "service/ipa_seam.hpp"
+
+namespace fixture {
+
+class Relay {
+ public:
+  void kick(WorkPool& pool);
+  void step();
+
+ private:
+  std::mutex mu_;
+  int pending_ = 0;
+};
+
+void Relay::step() {
+  std::lock_guard<std::mutex> g(mu_);
+  pending_ = pending_ + 1;
+}
+
+void Relay::kick(WorkPool& pool) {
+  {
+    std::lock_guard<std::mutex> g(mu_);
+    pending_ = pending_ + 1;
+  }
+  pool.post([this] { step(); });
+}
+
+}  // namespace fixture

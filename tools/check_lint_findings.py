@@ -15,11 +15,31 @@ compares the per-rule counts in "by_rule":
     (tools/lint/findings_baseline.json), keeping it an exact record rather
     than a stale ceiling.
 
+Rule ids are validated against the known family prefixes (the registry's
+families, including the interprocedural XH-IPA-/XH-RACE- tier): a document
+mentioning a rule from an unknown family is unusable input — the gate is
+out of date relative to the linter and must be taught the family before
+its counts mean anything.
+
 Stdlib only; exit 0 on match, 1 on any divergence, 2 on unusable input.
 """
 
 import json
 import sys
+
+KNOWN_FAMILIES = (
+    "XH-DET-",
+    "XH-ERR-",
+    "XH-PARSE-",
+    "XH-HDR-",
+    "XH-INC-",
+    "XH-API-",
+    "XH-OBS-",
+    "XH-SUP-",
+    "XH-FLOW-",
+    "XH-IPA-",
+    "XH-RACE-",
+)
 
 
 def load(path):
@@ -37,6 +57,12 @@ def load(path):
     if not isinstance(by_rule, dict):
         print(f"error: {path}: by_rule is not an object", file=sys.stderr)
         sys.exit(2)
+    for rule in by_rule:
+        if not any(rule.startswith(fam) for fam in KNOWN_FAMILIES):
+            print(f"error: {path}: rule '{rule}' is from an unknown family; "
+                  "teach tools/check_lint_findings.py the family before "
+                  "gating on it", file=sys.stderr)
+            sys.exit(2)
     return by_rule
 
 

@@ -1,0 +1,83 @@
+// Whole-program call graph for the interprocedural lint tier
+// (DESIGN.md §13). Built over the project model's files at the same
+// token-stream altitude as the rest of xh_lint: every function definition
+// in scope (src/, tools/, bench/) contributes its FunctionCfg, every
+// call-shaped identifier in its nodes contributes a call site, and name
+// resolution is deliberately conservative:
+//
+//   * a free call `f(...)` resolves to every free function named f plus
+//     every member f of the CALLER's own class (the unqualified
+//     member-call idiom inside out-of-line definitions);
+//   * a member call `x.f(...)` / `x->f(...)` resolves only to member
+//     functions named f (non-empty qualifier) — and a short blocklist of
+//     std-owned member names (wait, lock, notify_one, ...) never resolves
+//     at all, so `done_cv_.wait(...)` cannot alias a project function that
+//     happens to be called `wait`;
+//   * a call whose identifier sits inside a lambda body in the same
+//     statement is marked `deferred`: it runs when the callable runs, not
+//     when the statement executes. Summary propagation (summaries.hpp)
+//     skips deferred edges; the posted-callable rules consume them.
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "lint/cfg.hpp"
+#include "lint/project_model.hpp"
+
+namespace xh::lint {
+
+struct CallSite {
+  std::string callee;   // unqualified name at the call site
+  std::size_t node = 0; // caller CFG node containing the call
+  std::size_t line = 0; // 1-based source line of that node
+  bool member = false;  // `x.callee(...)` / `x->callee(...)` shape
+  bool deferred = false;  // identifier sits inside a lambda body
+  std::vector<std::size_t> targets;  // resolved CallGraph::functions indices
+};
+
+struct CgFunction {
+  std::string path;     // repo-relative defining file
+  std::string display;  // "Qualifier::name" or "name"
+  FunctionCfg cfg;
+  std::vector<CallSite> calls;
+};
+
+struct CallGraph {
+  std::vector<CgFunction> functions;
+  /// Unqualified name -> indices into functions, for resolution and tests.
+  std::map<std::string, std::vector<std::size_t>> by_name;
+  /// Strongly connected components in callees-first (reverse topological)
+  /// order: every non-recursive callee's component precedes its callers'.
+  std::vector<std::vector<std::size_t>> sccs;
+  /// Total resolved (site, target) edges; the self-scan pins a floor.
+  std::size_t resolved_edges = 0;
+};
+
+/// Builds the call graph over every function defined in the model's src/,
+/// tools/ and bench/ files. Deterministic: files in path order, functions
+/// in definition order.
+CallGraph build_call_graph(const ProjectModel& model);
+
+/// One lambda expression inside a compacted statement text: a '[' in
+/// expression position, optional capture list, optional parameter list and
+/// specifiers, then a braced body. Offsets are [begin, end) into the text.
+struct LambdaInfo {
+  std::size_t cap_begin = 0;   // first char inside the '[...]' introducer
+  std::size_t cap_end = 0;
+  std::size_t body_begin = 0;  // first char inside the '{...}' body
+  std::size_t body_end = 0;
+};
+
+/// Every top-level lambda in @p text, left to right (lambdas nested inside
+/// another lambda's body are covered by the outer body range).
+std::vector<LambdaInfo> lambdas_in(const std::string& text);
+
+/// Just the [body_begin, body_end) ranges of lambdas_in(text).
+std::vector<std::pair<std::size_t, std::size_t>> lambda_body_ranges(
+    const std::string& text);
+
+}  // namespace xh::lint

@@ -119,6 +119,7 @@ struct Head {
   std::string name;
   std::string qualifier;
   std::string params;
+  std::string return_type;
   bool is_destructor = false;
   std::size_t head_offset = 0;  // offset of the name identifier
   std::size_t body_begin = 0;   // offset just past the body '{'
@@ -270,6 +271,34 @@ std::vector<Head> find_heads(const std::string& s) {
       std::size_t qb = b;
       while (qb > 0 && is_ident_char(s[qb - 1])) --qb;
       head.qualifier = s.substr(qb, b - qb);
+      b = qb;
+    }
+    // Declared return type: the word before the (qualified) name, scanned
+    // backwards over `&`/`*` and one `<...>` template list. Constructors
+    // and destructors have none by construction.
+    if (!head.is_destructor && head.name != head.qualifier) {
+      std::size_t rb = b;
+      while (rb > 0 && is_space(s[rb - 1])) --rb;
+      while (rb > 0 && (s[rb - 1] == '&' || s[rb - 1] == '*')) {
+        --rb;
+        while (rb > 0 && is_space(s[rb - 1])) --rb;
+      }
+      if (rb > 0 && s[rb - 1] == '>' &&
+          !(rb > 1 && (s[rb - 2] == '-' || s[rb - 2] == '>'))) {
+        int depth = 0;
+        while (rb > 0) {
+          if (s[rb - 1] == '>') ++depth;
+          if (s[rb - 1] == '<' && --depth == 0) {
+            --rb;
+            break;
+          }
+          --rb;
+        }
+        while (rb > 0 && is_space(s[rb - 1])) --rb;
+      }
+      std::size_t wb = rb;
+      while (wb > 0 && is_ident_char(s[wb - 1])) --wb;
+      head.return_type = s.substr(wb, rb - wb);
     }
     heads.push_back(std::move(head));
   }
@@ -778,6 +807,7 @@ std::vector<FunctionCfg> build_cfgs(const Cleaned& cleaned) {
     cfg.is_constructor =
         !head.is_destructor && head.name == head.qualifier;
     cfg.params = head.params;
+    cfg.return_type = cfg.is_constructor ? "" : head.return_type;
     cfg.nodes.resize(2);
     cfg.nodes[FunctionCfg::kEntry].kind = CfgNode::Kind::kEntry;
     cfg.nodes[FunctionCfg::kEntry].line = cfg.line;

@@ -75,6 +75,12 @@ struct FunctionCfg {
   bool is_constructor = false;  // name == qualifier
   bool is_destructor = false;   // ~name
   std::string params;     // raw parameter-list text (between the parens)
+  /// Last word of the declared return type, scanned backwards from the
+  /// name over `&`/`*` and one `<...>` list: "Diagnostics" for
+  /// `xh::Diagnostics f()`, "auto" for `auto f()`, "" for constructors,
+  /// destructors and macro-shaped heads. The interprocedural tier keys
+  /// status propagation off it.
+  std::string return_type;
 
   /// nodes[0] is always kEntry, nodes[1] always kExit.
   std::vector<CfgNode> nodes;

@@ -103,4 +103,27 @@ bool is_decl(const std::string& text, const std::string& name);
 /// object, e.g. has_member_call("token.stop_requested()", "stop_requested").
 bool has_member_call(const std::string& text, const std::string& name);
 
+// ---- shared semantic classifiers ----------------------------------------
+// Used by both the flow tier (flow_rules.cpp) and the interprocedural tier
+// (summaries.cpp / ipa_rules.cpp) so the two can never disagree on what
+// counts as a status type, a blocking call, or a cancel token.
+
+/// True when @p word is a status-bearing type name: xh::Diagnostics or the
+/// *Status/*Outcome/*Result/*Errc naming convention.
+bool status_type(const std::string& word);
+
+/// True when @p text contains a blocking call identifier (sleep_ns,
+/// sleep_for/until, wait/wait_for/wait_until, usleep, nanosleep).
+bool blocking_text(const std::string& text);
+
+/// CancelToken variable names in scope of @p cfg: parameters and locals of
+/// (const) CancelToken(&/*) type, declaration order, deduplicated.
+std::vector<std::string> token_names(const FunctionCfg& cfg);
+
+/// The type token governing the identifier at @p p in compacted @p text:
+/// the word reached by scanning back over `&`, `*`, spaces and one `<...>`
+/// argument list, e.g. "Status" for `Status s`, `StatusOr<int>& s`. Empty
+/// when none.
+std::string type_word_before(const std::string& text, std::size_t p);
+
 }  // namespace xh::lint

@@ -36,36 +36,6 @@ bool pure_redef(const std::string& text, const std::string& name) {
   return is_def(text, name) && ident_count(text, name) == 1;
 }
 
-/// The type token governing the identifier at @p p: the word reached by
-/// scanning back over `&`, `*`, spaces and one `<...>` argument list, e.g.
-/// "Status" for `Status s`, `StatusOr<int>& s`. Empty when none.
-std::string type_word_before(const std::string& text, std::size_t p) {
-  std::size_t b = p;
-  const auto skip_back_ws = [&] {
-    while (b > 0 && text[b - 1] == ' ') --b;
-  };
-  skip_back_ws();
-  while (b > 0 && (text[b - 1] == '&' || text[b - 1] == '*')) {
-    --b;
-    skip_back_ws();
-  }
-  if (b > 0 && text[b - 1] == '>') {
-    int depth = 0;
-    while (b > 0) {
-      if (text[b - 1] == '>') ++depth;
-      if (text[b - 1] == '<' && --depth == 0) {
-        --b;
-        break;
-      }
-      --b;
-    }
-    skip_back_ws();
-  }
-  std::size_t wb = b;
-  while (wb > 0 && is_ident_char(text[wb - 1])) --wb;
-  return text.substr(wb, b - wb);
-}
-
 struct FlowRuleContext {
   const SourceFile* file = nullptr;
   const std::vector<FunctionCfg>* cfgs = nullptr;
@@ -79,12 +49,8 @@ void report(const FlowRuleContext& ctx, std::size_t line,
 }
 
 // ---- XH-FLOW-001: status value discarded/overwritten before checked ----
-
-bool status_type(const std::string& word) {
-  return word == "Diagnostics" || ends_with(word, "Status") ||
-         ends_with(word, "Outcome") || ends_with(word, "Result") ||
-         ends_with(word, "Errc");
-}
+// (status_type / type_word_before live in dataflow.hpp, shared with the
+// interprocedural tier.)
 
 void rule_flow001(const FlowRuleContext& ctx) {
   for (const FunctionCfg& cfg : *ctx.cfgs) {
@@ -178,43 +144,8 @@ void rule_flow001(const FlowRuleContext& ctx) {
 }
 
 // ---- XH-FLOW-002: blocking loop never consults its CancelToken ----------
-
-bool blocking_text(const std::string& text) {
-  static const std::array<const char*, 8> kBlocking = {
-      "sleep_ns",  "sleep_for", "sleep_until", "wait",
-      "wait_for",  "wait_until", "usleep",     "nanosleep"};
-  for (const char* fn : kBlocking) {
-    if (has_ident(text, fn)) return true;
-  }
-  return false;
-}
-
-/// Token variable names in scope: CancelToken parameters and locals.
-std::vector<std::string> token_names(const FunctionCfg& cfg) {
-  std::vector<std::string> names;
-  const auto harvest = [&](const std::string& text) {
-    for (std::size_t p = find_ident(text, "CancelToken");
-         p != std::string::npos;
-         p = find_ident(text, "CancelToken", p + 1)) {
-      std::size_t q = p + 11;  // strlen("CancelToken")
-      while (q < text.size() &&
-             (text[q] == ' ' || text[q] == '&' || text[q] == '*')) {
-        ++q;
-      }
-      std::size_t e = q;
-      while (e < text.size() && is_ident_char(text[e])) ++e;
-      if (e == q) continue;
-      const std::string name = text.substr(q, e - q);
-      if (name == "const") continue;
-      if (std::find(names.begin(), names.end(), name) == names.end()) {
-        names.push_back(name);
-      }
-    }
-  };
-  harvest(cfg.params);
-  for (const CfgNode& node : cfg.nodes) harvest(node.text);
-  return names;
-}
+// (blocking_text / token_names live in dataflow.hpp, shared with the
+// interprocedural tier.)
 
 void rule_flow002(const FlowRuleContext& ctx) {
   for (const FunctionCfg& cfg : *ctx.cfgs) {

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <array>
 #include <cstddef>
+#include <cstdio>
 #include <map>
 
 #include "lint/text_scan.hpp"
@@ -224,8 +225,42 @@ const std::vector<RuleInfo>& rules() {
        "or a mutex-guarded field touched on an unguarded path"},
       {"XH-FLOW-004",
        "use-after-move of a BitVec/store handle or other moved-from local"},
+      {"XH-IPA-001",
+       "bare-statement call whose every resolved target returns a "
+       "Diagnostics/Status-bearing type: the outcome is discarded "
+       "transitively"},
+      {"XH-IPA-002",
+       "callable posted to the thread pool can block (directly or through "
+       "a resolved callee) but never consults the in-scope CancelToken"},
+      {"XH-RACE-001",
+       "posted callable captures a local by reference and some path "
+       "reaches the end of its scope without a drain/join barrier"},
+      {"XH-RACE-002",
+       "lock-order inversion between two functions' nested acquisitions, "
+       "or a callable posted under a lock its own work re-acquires"},
   };
   return kRules;
+}
+
+std::string registry_version() {
+  // Changes whenever a rule is added, removed, or re-described: analysis
+  // caches keyed on this string invalidate on any registry change even
+  // when the scanned sources are untouched.
+  std::string v = "xh-lint-registry/";
+  v += std::to_string(rules().size());
+  std::size_t hash = 1469598103934665603ull;  // FNV-1a, as in cache_key
+
+  for (const RuleInfo& r : rules()) {
+    for (const char c : r.id + "\x1f" + r.summary + "\x1e") {
+      hash ^= static_cast<unsigned char>(c);
+      hash *= 1099511628211ull;
+    }
+  }
+  char buf[17];
+  std::snprintf(buf, sizeof buf, "%016zx", hash);
+  v += "/";
+  v += buf;
+  return v;
 }
 
 std::vector<Finding> per_file_findings(
@@ -351,6 +386,47 @@ std::string findings_to_json(const std::vector<Finding>& findings) {
   }
   out += findings.empty() ? "],\n" : "\n  ],\n";
   out += "  \"schema\": \"xh-lint-findings/1\"\n}\n";
+  return out;
+}
+
+std::string findings_to_sarif(const std::vector<Finding>& findings) {
+  std::string out;
+  out += "{\n";
+  out += "  \"$schema\": "
+         "\"https://json.schemastore.org/sarif-2.1.0.json\",\n";
+  out += "  \"version\": \"2.1.0\",\n";
+  out += "  \"runs\": [\n    {\n";
+  out += "      \"tool\": {\n        \"driver\": {\n";
+  out += "          \"name\": \"xh_lint\",\n";
+  out += "          \"informationUri\": "
+         "\"https://github.com/xhybrid/xhybrid\",\n";
+  out += "          \"version\": \"" + json_escape(registry_version()) +
+         "\",\n";
+  out += "          \"rules\": [";
+  const auto& reg = rules();
+  for (std::size_t i = 0; i < reg.size(); ++i) {
+    out += i == 0 ? "\n" : ",\n";
+    out += "            {\"id\": \"" + json_escape(reg[i].id) +
+           "\", \"shortDescription\": {\"text\": \"" +
+           json_escape(reg[i].summary) + "\"}}";
+  }
+  out += reg.empty() ? "]\n" : "\n          ]\n";
+  out += "        }\n      },\n";
+  out += "      \"results\": [";
+  for (std::size_t i = 0; i < findings.size(); ++i) {
+    const Finding& f = findings[i];
+    out += i == 0 ? "\n" : ",\n";
+    out += "        {\"ruleId\": \"" + json_escape(f.rule) +
+           "\", \"level\": \"warning\", \"message\": {\"text\": \"" +
+           json_escape(f.message) +
+           "\"}, \"locations\": [{\"physicalLocation\": "
+           "{\"artifactLocation\": {\"uri\": \"" +
+           json_escape(f.path) +
+           "\"}, \"region\": {\"startLine\": " +
+           std::to_string(f.line == 0 ? 1 : f.line) + "}}}]}";
+  }
+  out += findings.empty() ? "]\n" : "\n      ]\n";
+  out += "    }\n  ]\n}\n";
   return out;
 }
 

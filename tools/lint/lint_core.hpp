@@ -7,12 +7,15 @@
 // deliberately syntactic — the point is that they run on every line of every
 // file in milliseconds, complementing the sampled runtime tests.
 //
-// Three rule tiers share one lexing pass (text_scan.hpp):
+// Four rule tiers share one lexing pass (text_scan.hpp):
 //   * per-file rules (this header) see one translation unit at a time;
 //   * whole-tree rules (project_model.hpp) see the include graph, the
 //     symbol index and every suppression at once;
 //   * flow-sensitive rules (flow_rules.cpp, DESIGN.md §13) see per-function
-//     CFGs (cfg.hpp) and dataflow facts (dataflow.hpp) within each file.
+//     CFGs (cfg.hpp) and dataflow facts (dataflow.hpp) within each file;
+//   * interprocedural rules (ipa_rules.cpp, DESIGN.md §13) see the
+//     whole-model call graph (callgraph.hpp) and bottom-up function
+//     summaries (summaries.hpp), crossing function and file boundaries.
 //
 // Per-file rules (see DESIGN.md §9 for the rationale table):
 //   XH-DET-001   nondeterminism source (rand/random_device/time/chrono now)
@@ -37,6 +40,15 @@
 //   XH-FLOW-003  relaxed-atomic RMW outside the storage accounting seam /
 //                mutex-guarded field touched on an unguarded path
 //   XH-FLOW-004  use-after-move of a local or member handle
+//
+// Interprocedural rules (tools/lint/ipa_rules.cpp):
+//   XH-IPA-001   status-bearing result discarded transitively (the type is
+//                only visible in the callee's signature)
+//   XH-IPA-002   blockable posted callable never consults a CancelToken
+//   XH-RACE-001  posted callable captures a local by reference that can
+//                die before any drain/join barrier
+//   XH-RACE-002  lock-order inversion, or a post under a lock the posted
+//                work re-acquires
 //
 // Suppression: an `allow(XH-DET-002)` directive inside an `xh-lint:`
 // marker comment on the offending line or the line directly above it; the
@@ -69,6 +81,12 @@ struct RuleInfo {
 /// Static description of every rule (per-file and whole-tree), for
 /// --list-rules and docs.
 const std::vector<RuleInfo>& rules();
+
+/// A fingerprint of the rule registry ("xh-lint-registry/<count>/<hash>"):
+/// changes whenever a rule is added, removed or re-described. Analysis
+/// caches mix it into their keys so a registry change invalidates them
+/// even when the scanned sources are untouched.
+std::string registry_version();
 
 /// One file to scan. `path` is the repo-relative path (forward slashes);
 /// rule applicability keys off its leading directory (src/, tools/, bench/)
@@ -119,5 +137,11 @@ std::string to_string(const Finding& f);
 
 /// Formats findings as the versioned "xh-lint-findings/1" JSON document.
 std::string findings_to_json(const std::vector<Finding>& findings);
+
+/// Formats findings as a SARIF 2.1.0 document (one run, tool "xh_lint",
+/// every registry rule listed, one result per finding) for GitHub code
+/// scanning upload. Deterministic: rules in registry order, results in
+/// input order.
+std::string findings_to_sarif(const std::vector<Finding>& findings);
 
 }  // namespace xh::lint

@@ -412,6 +412,17 @@ bool parse_layer_spec(const std::string& text, LayerSpec& spec,
       }
       LayerSpec::PrivateRule rule;
       rule.prefix = tokens[1];
+      // Two directives for one prefix would silently shadow each other
+      // (private_rule returns the first match): refuse instead of letting
+      // the second one widen or narrow visibility unnoticed.
+      for (const LayerSpec::PrivateRule& existing : spec.privates) {
+        if (existing.prefix == rule.prefix) {
+          error = "layers spec line " + std::to_string(line_no) +
+                  ": duplicate private directive for prefix '" +
+                  rule.prefix + "'; merge the layer lists into one line";
+          return false;
+        }
+      }
       for (std::size_t i = 3; i < tokens.size(); ++i) {
         rule.layers.insert(tokens[i]);
       }

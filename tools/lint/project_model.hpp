@@ -138,6 +138,7 @@ struct AnalyzeOptions {
   bool per_file_rules = true;  // XH-DET/ERR/PARSE/HDR over src|tools|bench
   bool tree_rules = true;      // XH-INC/API/OBS/SUP over the whole model
   bool flow_rules = true;      // XH-FLOW-001..004 over per-function CFGs
+  bool ipa_rules = true;       // XH-IPA/XH-RACE over the call graph
   /// When non-empty, only rules matching one of these patterns report
   /// (exact ID, or a trailing-'*' prefix glob like "XH-FLOW-*"). Families
   /// still RUN — XH-SUP-001 must audit against the full raw set — but the
@@ -153,6 +154,12 @@ bool rule_matches(const std::string& rule, const std::string& pattern);
 /// (path, line, rule).
 std::vector<Finding> analyze_tree(const ProjectModel& model,
                                   const AnalyzeOptions& options = {});
+
+/// Runs the interprocedural rule families XH-IPA-001/002 and
+/// XH-RACE-001/002 over the model's call graph (tools/lint/callgraph.hpp)
+/// and function summaries. Returns RAW findings (suppressions not
+/// applied) so the XH-SUP-001 audit sees them.
+std::vector<Finding> ipa_findings(const ProjectModel& model);
 
 /// Walks @p inputs (files or directories, absolute or cwd-relative) and
 /// loads every .cpp/.cc/.hpp/.h into SourceFiles whose paths are relative

@@ -1,0 +1,461 @@
+#include "lint/summaries.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <tuple>
+
+#include "lint/dataflow.hpp"
+#include "lint/text_scan.hpp"
+
+namespace xh::lint {
+namespace {
+
+std::string trim(const std::string& s) {
+  std::size_t b = 0, e = s.size();
+  while (b < e && s[b] == ' ') ++b;
+  while (e > b && s[e - 1] == ' ') --e;
+  return s.substr(b, e - b);
+}
+
+/// True when @p text calls @p method through @p var (`var.method(` or
+/// `var->method(`).
+bool member_call_on(const std::string& text, const std::string& var,
+                    const std::string& method) {
+  for (std::size_t p = find_ident(text, var); p != std::string::npos;
+       p = find_ident(text, var, p + 1)) {
+    std::size_t q = p + var.size();
+    if (q < text.size() && text[q] == '.') {
+      ++q;
+    } else if (q + 1 < text.size() && text[q] == '-' && text[q + 1] == '>') {
+      q += 2;
+    } else {
+      continue;
+    }
+    if (text.compare(q, method.size(), method) != 0) continue;
+    std::size_t r = q + method.size();
+    if (r < text.size() && is_ident_char(text[r])) continue;
+    while (r < text.size() && text[r] == ' ') ++r;
+    if (r < text.size() && text[r] == '(') return true;
+  }
+  return false;
+}
+
+/// One scope-guard declaration inside a function body.
+struct GuardDecl {
+  std::size_t node = 0;           // declaring CFG node
+  std::set<std::string> mutexes;  // qualified mutex names guarded
+  bool defer = false;             // declared with std::defer_lock
+};
+
+bool lock_tag(const std::string& arg) {
+  return ends_with(arg, "defer_lock") || ends_with(arg, "adopt_lock") ||
+         ends_with(arg, "try_to_lock");
+}
+
+/// Guard variable name -> declaration. Unnamed guards (scoped_lock
+/// temporaries) get synthetic keys; they can never be .unlock()ed anyway.
+std::map<std::string, GuardDecl> collect_guards(const CgFunction& fn) {
+  std::map<std::string, GuardDecl> out;
+  std::size_t anon = 0;
+  for (std::size_t n = 0; n < fn.cfg.nodes.size(); ++n) {
+    const std::string& t = fn.cfg.nodes[n].text;
+    for (const char* kind : {"lock_guard", "scoped_lock", "unique_lock"}) {
+      const std::size_t p = find_ident(t, kind);
+      if (p == std::string::npos) continue;
+      std::size_t q = p + std::string(kind).size();
+      if (q < t.size() && t[q] == '<') {  // template argument list
+        int depth = 1;
+        ++q;
+        while (q < t.size() && depth > 0) {
+          if (t[q] == '<') ++depth;
+          if (t[q] == '>') --depth;
+          ++q;
+        }
+      }
+      while (q < t.size() && t[q] == ' ') ++q;
+      std::string var;
+      if (q < t.size() && is_ident_char(t[q])) {
+        const std::size_t vb = q;
+        while (q < t.size() && is_ident_char(t[q])) ++q;
+        var = t.substr(vb, q - vb);
+        while (q < t.size() && t[q] == ' ') ++q;
+      }
+      if (q >= t.size() || (t[q] != '(' && t[q] != '{')) continue;
+      const char open = t[q];
+      const char close = open == '(' ? ')' : '}';
+      const std::size_t ab = q + 1;
+      int depth = 1;
+      ++q;
+      while (q < t.size() && depth > 0) {
+        if (t[q] == open) ++depth;
+        if (t[q] == close) --depth;
+        ++q;
+      }
+      if (depth != 0) continue;
+      GuardDecl gd;
+      gd.node = n;
+      // Split the initializer at top-level commas.
+      std::string args = t.substr(ab, q - 1 - ab);
+      std::vector<std::string> parts;
+      int ad = 0;
+      std::size_t start = 0;
+      for (std::size_t i = 0; i <= args.size(); ++i) {
+        if (i == args.size() || (args[i] == ',' && ad == 0)) {
+          parts.push_back(trim(args.substr(start, i - start)));
+          start = i + 1;
+        } else if (args[i] == '(' || args[i] == '<' || args[i] == '{') {
+          ++ad;
+        } else if (args[i] == ')' || args[i] == '>' || args[i] == '}') {
+          --ad;
+        }
+      }
+      for (const std::string& part : parts) {
+        if (part.empty()) continue;
+        if (lock_tag(part)) {
+          if (ends_with(part, "defer_lock")) gd.defer = true;
+          continue;
+        }
+        gd.mutexes.insert(qualify_mutex(fn, part));
+      }
+      if (gd.mutexes.empty()) continue;
+      if (var.empty()) var = "<anon" + std::to_string(anon++) + ">";
+      out.emplace(var, gd);
+    }
+  }
+  return out;
+}
+
+/// mutex -> (guard scope depth, declaring node). The depth is the
+/// declaring node's scope_locks (the CFG builder assigns a guard
+/// declaration its own incremented count), so "scope ended" is visible as
+/// entering a node with a smaller scope_locks.
+using Held = std::map<std::string, std::pair<int, std::size_t>>;
+
+Held intersect(const Held& a, const Held& b) {
+  Held out;
+  for (const auto& [mu, info] : a) {
+    const auto it = b.find(mu);
+    if (it == b.end()) continue;
+    // On depth disagreement keep the deeper entry: it dies at the next
+    // scope boundary, the conservative direction for must-hold.
+    out[mu] = info.first >= it->second.first ? info : it->second;
+  }
+  return out;
+}
+
+struct HoldAnalysis {
+  std::vector<Held> in;
+  std::vector<Held> out;
+};
+
+HoldAnalysis analyze_hold(const CgFunction& fn,
+                          const std::map<std::string, GuardDecl>& guards) {
+  const auto& nodes = fn.cfg.nodes;
+  std::set<std::size_t> decl_nodes;
+  for (const auto& [var, gd] : guards) {
+    (void)var;
+    decl_nodes.insert(gd.node);
+  }
+
+  HoldAnalysis ha;
+  ha.in.assign(nodes.size(), {});
+  ha.out.assign(nodes.size(), {});
+  std::vector<bool> reached(nodes.size(), false);
+  reached[FunctionCfg::kEntry] = true;
+
+  const auto transfer = [&](std::size_t n, Held h) {
+    const std::string& t = nodes[n].text;
+    for (const auto& [var, gd] : guards) {
+      if (member_call_on(t, var, "unlock")) {
+        for (const std::string& mu : gd.mutexes) h.erase(mu);
+      }
+    }
+    for (const auto& [var, gd] : guards) {
+      const bool at_decl = gd.node == n && !gd.defer;
+      const bool relock = member_call_on(t, var, "lock");
+      if (!at_decl && !relock) continue;
+      for (const std::string& mu : gd.mutexes) {
+        h[mu] = {nodes[gd.node].scope_locks, gd.node};
+      }
+    }
+    return h;
+  };
+
+  std::deque<std::size_t> work = {FunctionCfg::kEntry};
+  std::vector<bool> queued(nodes.size(), false);
+  queued[FunctionCfg::kEntry] = true;
+  while (!work.empty()) {
+    const std::size_t n = work.front();
+    work.pop_front();
+    queued[n] = false;
+    ha.out[n] = transfer(n, ha.in[n]);
+    for (const std::size_t v : nodes[n].succ) {
+      Held flowed;
+      for (const auto& [mu, info] : ha.out[n]) {
+        // Scope death: the exit node is synthetic (a return executes
+        // UNDER its locks; RAII releases after), so no kill there.
+        // Elsewhere an entry dies when control enters a shallower scope,
+        // or a SIBLING scope: a different guard declaration at the same
+        // depth means the previous same-depth scope has closed.
+        if (v != FunctionCfg::kExit) {
+          if (info.first > nodes[v].scope_locks) continue;
+          if (decl_nodes.count(v) != 0 &&
+              nodes[v].scope_locks == info.first && info.second != v) {
+            continue;
+          }
+        }
+        flowed[mu] = info;
+      }
+      const Held next =
+          reached[v] ? intersect(ha.in[v], flowed) : flowed;
+      if (!reached[v] || next != ha.in[v]) {
+        reached[v] = true;
+        ha.in[v] = next;
+        if (!queued[v]) {
+          queued[v] = true;
+          work.push_back(v);
+        }
+      }
+    }
+  }
+  return ha;
+}
+
+/// Per-function facts that do not depend on other functions' summaries.
+struct LocalFacts {
+  std::vector<std::string> sync_text;  // node text, lambda bodies blanked
+  std::map<std::string, GuardDecl> guards;
+  std::vector<Held> held_in;  // must-hold at node entry
+  Held held_at_exit;
+  bool returns_status = false;
+  bool auto_return = false;  // `auto`/empty return type: propagate through
+                             // `return callee(...)`
+  bool consults_token = false;
+  bool can_block = false;
+  bool escapes_to_pool = false;
+  std::set<std::string> locks_acquired;
+};
+
+LocalFacts local_facts(const CgFunction& fn) {
+  LocalFacts L;
+  const auto& nodes = fn.cfg.nodes;
+  L.sync_text.resize(nodes.size());
+  for (std::size_t n = 0; n < nodes.size(); ++n) {
+    std::string t = nodes[n].text;
+    for (const auto& [b, e] : lambda_body_ranges(t)) {
+      for (std::size_t i = b; i < e && i < t.size(); ++i) t[i] = ' ';
+    }
+    L.sync_text[n] = std::move(t);
+  }
+  L.guards = collect_guards(fn);
+  HoldAnalysis ha = analyze_hold(fn, L.guards);
+  L.held_in = std::move(ha.in);
+  L.held_at_exit = L.held_in[FunctionCfg::kExit];
+
+  L.returns_status = status_type(fn.cfg.return_type);
+  L.auto_return =
+      fn.cfg.return_type == "auto" || fn.cfg.return_type.empty();
+
+  const std::vector<std::string> tokens = token_names(fn.cfg);
+  for (std::size_t n = 0; n < nodes.size(); ++n) {
+    const std::string& t = L.sync_text[n];
+    if (has_member_call(t, "stop_requested") ||
+        has_member_call(t, "expired")) {
+      L.consults_token = true;
+    }
+    for (const std::string& tok : tokens) {
+      if (is_use(t, tok)) L.consults_token = true;
+    }
+    if (blocking_text(t) || nodes[n].loop_unbounded) L.can_block = true;
+    if (has_member_call(t, "post")) L.escapes_to_pool = true;
+  }
+
+  for (const auto& [var, gd] : L.guards) {
+    // A defer_lock guard acquires only if .lock() is actually called.
+    bool acquires = !gd.defer;
+    if (!acquires) {
+      for (std::size_t n = 0; n < nodes.size() && !acquires; ++n) {
+        acquires = member_call_on(nodes[n].text, var, "lock");
+      }
+    }
+    if (acquires) {
+      L.locks_acquired.insert(gd.mutexes.begin(), gd.mutexes.end());
+    }
+  }
+  return L;
+}
+
+bool summary_equal(const FunctionSummary& a, const FunctionSummary& b) {
+  return a.returns_status == b.returns_status &&
+         a.consults_token == b.consults_token && a.can_block == b.can_block &&
+         a.escapes_callable_to_pool == b.escapes_callable_to_pool &&
+         a.locks_acquired == b.locks_acquired &&
+         a.locks_held_at_exit == b.locks_held_at_exit &&
+         a.lock_pairs == b.lock_pairs;
+}
+
+/// Qualified mutexes acquired AT node @p n (guard declarations and
+/// explicit guard-variable .lock() calls).
+std::set<std::string> acquired_at(const CgFunction& fn, const LocalFacts& L,
+                                  std::size_t n) {
+  std::set<std::string> out;
+  for (const auto& [var, gd] : L.guards) {
+    if ((gd.node == n && !gd.defer) ||
+        member_call_on(fn.cfg.nodes[n].text, var, "lock")) {
+      out.insert(gd.mutexes.begin(), gd.mutexes.end());
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string qualify_mutex(const CgFunction& fn, const std::string& arg) {
+  std::string a = trim(arg);
+  if (starts_with(a, "this->")) a = a.substr(6);
+  if (starts_with(a, "*")) a = trim(a.substr(1));
+  const std::string owner =
+      fn.cfg.qualifier.empty() ? fn.path : fn.cfg.qualifier;
+  return owner + "::" + a;
+}
+
+std::vector<std::set<std::string>> must_hold(const CgFunction& fn) {
+  const auto guards = collect_guards(fn);
+  const HoldAnalysis ha = analyze_hold(fn, guards);
+  std::vector<std::set<std::string>> out(fn.cfg.nodes.size());
+  for (std::size_t n = 0; n < fn.cfg.nodes.size(); ++n) {
+    for (const auto& [mu, info] : ha.in[n]) {
+      (void)info;
+      out[n].insert(mu);
+    }
+  }
+  return out;
+}
+
+SummarySet compute_summaries(const CallGraph& cg) {
+  SummarySet out;
+  out.summaries.resize(cg.functions.size());
+
+  std::vector<LocalFacts> locals;
+  locals.reserve(cg.functions.size());
+  for (const CgFunction& fn : cg.functions) locals.push_back(local_facts(fn));
+
+  const auto compute_one = [&](std::size_t f) {
+    const CgFunction& fn = cg.functions[f];
+    const LocalFacts& L = locals[f];
+    FunctionSummary s;
+    s.returns_status = L.returns_status;
+    s.consults_token = L.consults_token;
+    s.can_block = L.can_block;
+    s.escapes_callable_to_pool = L.escapes_to_pool;
+    s.locks_acquired = L.locks_acquired;
+    for (const auto& [mu, info] : L.held_at_exit) {
+      (void)info;
+      s.locks_held_at_exit.insert(mu);
+    }
+
+    // `auto f() { return g(...); }` inherits g's status-ness: the first
+    // synchronous resolved call on a return node is the returned value.
+    if (!s.returns_status && L.auto_return) {
+      for (const CallSite& site : fn.calls) {
+        if (site.deferred || site.targets.empty()) continue;
+        if (fn.cfg.nodes[site.node].kind != CfgNode::Kind::kReturn) continue;
+        bool all = true;
+        for (const std::size_t t : site.targets) {
+          all = all && out.summaries[t].returns_status;
+        }
+        if (all) s.returns_status = true;
+        break;  // leftmost call on the first return node decides
+      }
+    }
+
+    // Transitive facts across synchronous edges.
+    for (const CallSite& site : fn.calls) {
+      if (site.deferred) continue;
+      for (const std::size_t t : site.targets) {
+        const FunctionSummary& cs = out.summaries[t];
+        if (cs.consults_token) s.consults_token = true;
+        if (cs.can_block) s.can_block = true;
+        if (cs.escapes_callable_to_pool) s.escapes_callable_to_pool = true;
+        s.locks_acquired.insert(cs.locks_acquired.begin(),
+                                cs.locks_acquired.end());
+        s.lock_pairs.insert(cs.lock_pairs.begin(), cs.lock_pairs.end());
+      }
+    }
+
+    // Locally formed (outer, inner) orders: an acquisition or a locking
+    // call executed while something is already must-held.
+    for (std::size_t n = 0; n < fn.cfg.nodes.size(); ++n) {
+      if (L.held_in[n].empty()) continue;
+      std::set<std::string> inner = acquired_at(fn, L, n);
+      for (const CallSite& site : fn.calls) {
+        if (site.node != n || site.deferred) continue;
+        for (const std::size_t t : site.targets) {
+          const auto& acq = out.summaries[t].locks_acquired;
+          inner.insert(acq.begin(), acq.end());
+        }
+      }
+      for (const auto& [outer, info] : L.held_in[n]) {
+        (void)info;
+        for (const std::string& in_mu : inner) {
+          if (outer != in_mu) s.lock_pairs.insert({outer, in_mu});
+        }
+      }
+    }
+    return s;
+  };
+
+  for (const auto& scc : cg.sccs) {
+    bool changed = true;
+    while (changed) {
+      changed = false;
+      for (const std::size_t f : scc) {
+        FunctionSummary s = compute_one(f);
+        if (!summary_equal(s, out.summaries[f])) {
+          out.summaries[f] = std::move(s);
+          changed = true;
+        }
+      }
+    }
+  }
+
+  // Witnesses for locally formed pairs, with final summaries.
+  std::set<std::tuple<std::string, std::string, std::string, std::string,
+                      std::size_t>>
+      seen;
+  for (std::size_t f = 0; f < cg.functions.size(); ++f) {
+    const CgFunction& fn = cg.functions[f];
+    const LocalFacts& L = locals[f];
+    for (std::size_t n = 0; n < fn.cfg.nodes.size(); ++n) {
+      if (L.held_in[n].empty()) continue;
+      std::set<std::string> inner = acquired_at(fn, L, n);
+      std::size_t line = fn.cfg.nodes[n].line;
+      for (const CallSite& site : fn.calls) {
+        if (site.node != n || site.deferred) continue;
+        for (const std::size_t t : site.targets) {
+          const auto& acq = out.summaries[t].locks_acquired;
+          inner.insert(acq.begin(), acq.end());
+        }
+      }
+      for (const auto& [outer, info] : L.held_in[n]) {
+        (void)info;
+        for (const std::string& in_mu : inner) {
+          if (outer == in_mu) continue;
+          if (seen.insert({outer, in_mu, fn.path, fn.display, line})
+                  .second) {
+            out.witnesses.push_back({outer, in_mu, fn.path, fn.display,
+                                     line});
+          }
+        }
+      }
+    }
+  }
+  std::sort(out.witnesses.begin(), out.witnesses.end(),
+            [](const LockPairWitness& a, const LockPairWitness& b) {
+              return std::tie(a.outer, a.inner, a.path, a.line) <
+                     std::tie(b.outer, b.inner, b.path, b.line);
+            });
+  return out;
+}
+
+}  // namespace xh::lint

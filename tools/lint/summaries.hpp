@@ -1,0 +1,90 @@
+// Per-function summaries for the interprocedural lint tier
+// (DESIGN.md §13): the facts the XH-IPA / XH-RACE rules consult about a
+// CALLEE without re-walking its body at every call site.
+//
+// Summaries are computed bottom-up over the call graph's strongly
+// connected components (callees first); within a recursive component a
+// fixed-point iteration runs until nothing changes. Transitive facts
+// (can_block, consults_token, locks_acquired, lock_pairs) propagate only
+// across NON-deferred call edges — a call inside a lambda runs when the
+// callable runs, not when the enclosing statement executes, so it must
+// not leak its callee's blocking/locking behavior into the enclosing
+// function's synchronous summary. The posted-callable rules consume the
+// deferred edges directly.
+//
+// Lock identity is a qualified name: the acquiring function's class
+// qualifier (else its file path) prefixes the mutex expression, so
+// PartitionService::mu_ and ThreadPool::mu_ stay distinct even though
+// both fields are spelled `mu_`.
+#pragma once
+
+#include <cstddef>
+#include <set>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "lint/callgraph.hpp"
+
+namespace xh::lint {
+
+struct FunctionSummary {
+  /// Declared (or, for auto, propagated through `return f(...)`) return
+  /// type is status-bearing per status_type().
+  bool returns_status = false;
+  /// Consults a CancelToken (stop_requested()/expired() or a token-typed
+  /// variable), directly or through a synchronous callee.
+  bool consults_token = false;
+  /// Can block: sleep/wait text or a textually unbounded loop, directly
+  /// or through a synchronous callee.
+  bool can_block = false;
+  /// Hands a callable to the pool (`.post(` somewhere), directly or
+  /// through a synchronous callee.
+  bool escapes_callable_to_pool = false;
+  /// Qualified mutexes this function (transitively) acquires via scope
+  /// guards on some path.
+  std::set<std::string> locks_acquired;
+  /// Qualified mutexes still held when control reaches a return/exit
+  /// (must-hold intersection at the exit node's predecessors). RAII
+  /// guards release after the return statement runs, so a non-empty set
+  /// means "the return executes under this lock", not a leak.
+  std::set<std::string> locks_held_at_exit;
+  /// Nested acquisition orders observed on some path, (outer, inner),
+  /// including pairs formed by calling a locking function while holding.
+  std::set<std::pair<std::string, std::string>> lock_pairs;
+};
+
+/// Where a lock_pairs entry was FORMED (the inner acquisition site),
+/// for anchoring XH-RACE-002 findings.
+struct LockPairWitness {
+  std::string outer;
+  std::string inner;
+  std::string path;      // defining file of the acquiring function
+  std::string function;  // display name of the acquiring function
+  std::size_t line = 0;  // line of the inner acquisition / call
+};
+
+struct SummarySet {
+  /// Parallel to CallGraph::functions.
+  std::vector<FunctionSummary> summaries;
+  /// Every locally-formed (outer, inner) pair with its source anchor,
+  /// deduplicated, sorted by (outer, inner, path, line).
+  std::vector<LockPairWitness> witnesses;
+};
+
+SummarySet compute_summaries(const CallGraph& cg);
+
+/// Per-node MUST-hold qualified-mutex sets for @p fn: a forward analysis
+/// over scope-guard declarations (lock_guard/scoped_lock/unique_lock of a
+/// named mutex), explicit guard-variable .unlock()/.lock() transitions,
+/// and lexical scope death via CfgNode::scope_locks; the join over paths
+/// is intersection. Element [n] is the set held when node n EXECUTES
+/// (before its own acquisitions).
+std::vector<std::set<std::string>> must_hold(const CgFunction& fn);
+
+/// The qualified name of mutex expression @p arg acquired inside @p fn:
+/// "PartitionService::mu_" for a member, "src/foo.cpp::mu" for a free
+/// function. Exposed for tests.
+std::string qualify_mutex(const CgFunction& fn, const std::string& arg);
+
+}  // namespace xh::lint

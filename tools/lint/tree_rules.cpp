@@ -491,6 +491,12 @@ std::vector<Finding> analyze_tree(const ProjectModel& model,
     }
   }
 
+  if (options.ipa_rules) {
+    for (Finding& f : ipa_findings(model)) {
+      raw[f.path].push_back(std::move(f));
+    }
+  }
+
   if (options.tree_rules) {
     check_cycles(model, raw);
     check_layering(model, raw);
@@ -502,7 +508,8 @@ std::vector<Finding> analyze_tree(const ProjectModel& model,
 
   // The staleness audit only makes sense when every family that could use
   // a suppression actually ran.
-  if (options.per_file_rules && options.tree_rules && options.flow_rules) {
+  if (options.per_file_rules && options.tree_rules && options.flow_rules &&
+      options.ipa_rules) {
     audit_suppressions(model, raw);
   }
 

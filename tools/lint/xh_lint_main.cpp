@@ -4,8 +4,8 @@
 // can gate on it.
 //
 //   xh_lint [--root DIR] [--layers FILE] [--exclude PREFIX]...
-//           [--json FILE] [--per-file-only|--tree-only] [--only PATTERN]
-//           [--cache-dir DIR] [--list-rules] PATH...
+//           [--json FILE] [--sarif FILE] [--per-file-only|--tree-only]
+//           [--only PATTERN] [--cache-dir DIR] [--list-rules] PATH...
 //
 // Paths are reported relative to --root (default: the current directory);
 // rule applicability (src/ vs bench/ vs tests/, core/engine) keys off that
@@ -17,9 +17,10 @@
 // trailing-'*' glob, comma-separable, repeatable); every family still runs
 // so the stale-suppression audit stays whole-picture. --cache-dir enables a
 // ccache-style findings cache: the key is an FNV-1a hash over the tool
-// schema version, the analysis options, the layers spec, and every input
-// file's (path, content-hash) pair — any edit anywhere misses, an untouched
-// tree hits and skips the whole analysis.
+// schema version, the rule-registry fingerprint, the analysis options, the
+// layers spec, and every input file's (path, content-hash) pair — any edit
+// anywhere (including adding a rule) misses, an untouched tree hits and
+// skips the whole analysis.
 #include <algorithm>
 #include <cstdint>
 #include <fstream>
@@ -34,7 +35,8 @@ namespace {
 
 constexpr const char* kUsage =
     "usage: xh_lint [--root DIR] [--layers FILE] [--exclude PREFIX]...\n"
-    "               [--json FILE] [--per-file-only|--tree-only]\n"
+    "               [--json FILE] [--sarif FILE]\n"
+    "               [--per-file-only|--tree-only]\n"
     "               [--only PATTERN] [--cache-dir DIR]\n"
     "               [--list-rules] PATH...\n";
 
@@ -62,9 +64,11 @@ std::string cache_key(const std::vector<xh::lint::SourceFile>& files,
                       const std::string& layers_text,
                       const xh::lint::AnalyzeOptions& options) {
   std::uint64_t h = fnv1a("xh-lint-cache/1", 14695981039346656037ULL);
+  h = fnv1a(xh::lint::registry_version(), h);
   h = fnv1a(options.per_file_rules ? "pf1" : "pf0", h);
   h = fnv1a(options.tree_rules ? "tr1" : "tr0", h);
   h = fnv1a(options.flow_rules ? "fl1" : "fl0", h);
+  h = fnv1a(options.ipa_rules ? "ip1" : "ip0", h);
   for (const std::string& pat : options.only) h = fnv1a("only:" + pat, h);
   h = fnv1a(layers_text, h);
   // load_tree returns paths in traversal order; hash (path, content-hash)
@@ -127,6 +131,7 @@ int main(int argc, char** argv) {
   std::string layers_path;  // default: <root>/tools/lint/layers.txt
   bool layers_explicit = false;
   std::string json_path;
+  std::string sarif_path;
   std::string cache_dir;
   std::vector<std::string> excludes;
   std::vector<std::string> inputs;
@@ -170,6 +175,12 @@ int main(int argc, char** argv) {
       json_path = v;
       continue;
     }
+    if (arg == "--sarif") {
+      const char* v = next("a file argument");
+      if (v == nullptr) return 2;
+      sarif_path = v;
+      continue;
+    }
     if (arg == "--exclude") {
       const char* v = next("a repo-relative path prefix");
       if (v == nullptr) return 2;
@@ -179,11 +190,13 @@ int main(int argc, char** argv) {
     if (arg == "--per-file-only") {
       options.tree_rules = false;
       options.flow_rules = false;
+      options.ipa_rules = false;
       continue;
     }
     if (arg == "--tree-only") {
       options.per_file_rules = false;
       options.flow_rules = false;
+      options.ipa_rules = false;
       continue;
     }
     if (arg == "--only") {
@@ -267,6 +280,15 @@ int main(int argc, char** argv) {
     out << xh::lint::findings_to_json(findings);
     if (!out.good()) {
       std::cerr << "error: cannot write " << json_path << "\n";
+      return 2;
+    }
+  }
+
+  if (!sarif_path.empty()) {
+    std::ofstream out(sarif_path, std::ios::binary);
+    out << xh::lint::findings_to_sarif(findings);
+    if (!out.good()) {
+      std::cerr << "error: cannot write " << sarif_path << "\n";
       return 2;
     }
   }
